@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ablation study of software SpecPMT's design choices (the knobs
+ * DESIGN.md calls out):
+ *
+ *  1. log block size — small blocks chain and flush more often, large
+ *     blocks waste reclamation granularity;
+ *  2. last-update entry deduplication (Section 4) — without it every
+ *     repeated update of a datum appends a fresh record;
+ *  3. reclamation threshold — how much log memory is traded for
+ *     reclamation work.
+ *
+ * Workloads: kmeans-high (many repeated updates per transaction, the
+ * dedup stress case) and vacation-low (mixed access).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/spec_tx.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+
+using namespace specpmt;
+using namespace specpmt::bench;
+
+namespace
+{
+
+struct AblationResult
+{
+    SimNs ns;
+    std::size_t peakLogBytes;
+    std::uint64_t reclaimCycles;
+};
+
+AblationResult
+runConfigured(workloads::WorkloadKind kind, double scale,
+              const core::SpecTxConfig &tx_config)
+{
+    pmem::PmemDevice dev(320u << 20);
+    pmem::PmemPool pool(dev);
+    core::SpecTx tx(pool, 1, tx_config);
+    workloads::WorkloadConfig config;
+    config.scale = scale;
+    auto workload = workloads::makeWorkload(kind, config);
+
+    workload->setup(tx);
+    dev.clearStats();
+    dev.timing().reset();
+    dev.timeOnlyCallingThread();
+    workload->run(tx);
+
+    AblationResult result{dev.timing().now(), tx.peakLogBytes(),
+                          tx.reclaimCycles()};
+    tx.shutdown();
+    SPECPMT_ASSERT(workload->verify(tx));
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = parseScale(argc, argv, 0.3);
+    const workloads::WorkloadKind kinds[] = {
+        workloads::WorkloadKind::KmeansHigh,
+        workloads::WorkloadKind::VacationLow};
+
+    std::printf("== Ablation 1: log block size ==\n");
+    std::printf("%-16s%14s%14s%14s\n", "workload", "block (B)",
+                "time (ms)", "peak log KB");
+    for (const auto kind : kinds) {
+        for (const std::size_t block : {256u, 1024u, 4096u, 16384u}) {
+            core::SpecTxConfig config;
+            config.backgroundReclaim = true;
+            config.reclaimThresholdBytes = 8u << 20;
+            config.logBlockSize = block;
+            const auto result = runConfigured(kind, scale, config);
+            std::printf("%-16s%14zu%14.2f%14zu\n",
+                        workloads::workloadKindName(kind), block,
+                        static_cast<double>(result.ns) / 1e6,
+                        result.peakLogBytes / 1024);
+        }
+    }
+
+    std::printf("\n== Ablation 2: last-update dedup (Section 4) ==\n");
+    std::printf("(synthetic accumulator: each tx updates the same 4 "
+                "slots 16 times)\n");
+    std::printf("%-16s%14s%14s%14s\n", "workload", "dedup",
+                "time (ms)", "peak log KB");
+    for (const bool dedup : {true, false}) {
+        pmem::PmemDevice dev(320u << 20);
+        pmem::PmemPool pool(dev);
+        core::SpecTxConfig config;
+        config.backgroundReclaim = false;
+        config.dedupEntries = dedup;
+        core::SpecTx tx(pool, 1, config);
+        const PmOff data = pool.alloc(64);
+        tx.txBegin(0);
+        for (unsigned i = 0; i < 8; ++i)
+            tx.txStoreT<std::uint64_t>(0, data + i * 8, 0);
+        tx.txCommit(0);
+        dev.clearStats();
+        dev.timing().reset();
+        for (unsigned t = 0; t < 20000; ++t) {
+            tx.txBegin(0);
+            for (unsigned i = 0; i < 16; ++i) {
+                for (unsigned s2 = 0; s2 < 4; ++s2) {
+                    tx.txStoreT<std::uint64_t>(0, data + s2 * 8,
+                                               t * 16 + i);
+                }
+            }
+            tx.txCommit(0);
+        }
+        std::printf("%-16s%14s%14.2f%14zu\n", "accumulator",
+                    dedup ? "on" : "off",
+                    static_cast<double>(dev.timing().now()) / 1e6,
+                    tx.peakLogBytes() / 1024);
+    }
+
+    std::printf("\n== Ablation 3: reclamation threshold ==\n");
+    std::printf("%-16s%14s%14s%14s%14s\n", "workload", "thresh KB",
+                "time (ms)", "peak log KB", "cycles");
+    for (const auto kind : kinds) {
+        for (const std::size_t threshold :
+             {256u << 10, 1u << 20, 4u << 20, 32u << 20}) {
+            core::SpecTxConfig config;
+            config.backgroundReclaim = true;
+            config.reclaimThresholdBytes = threshold;
+            const auto result = runConfigured(kind, scale, config);
+            std::printf("%-16s%14zu%14.2f%14zu%14llu\n",
+                        workloads::workloadKindName(kind),
+                        threshold >> 10,
+                        static_cast<double>(result.ns) / 1e6,
+                        result.peakLogBytes / 1024,
+                        static_cast<unsigned long long>(
+                            result.reclaimCycles));
+        }
+    }
+    return 0;
+}

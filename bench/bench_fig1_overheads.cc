@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 1: residual crash-consistency overheads of the
+ * state-of-the-art schemes relative to versions without persistent
+ * memory transactions.
+ *
+ * Top panel (software, emulated ADR machine): PMDK, Kamino-Tx and
+ * SPHT execution-time overhead over the no-transaction baseline.
+ * Bottom panel (hardware, trace-driven simulator): EDE and HOOP
+ * overhead over the no-log ideal.
+ *
+ * Paper reference points: PMDK 460%, Kamino-Tx 232%, SPHT 161%
+ * geomean (software); EDE 50%, HOOP ~29% (hardware).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+
+using namespace specpmt;
+using namespace specpmt::bench;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = parseScale(argc, argv);
+
+    printHeader("Figure 1 (software): overhead over no-tx, percent",
+                {"PMDK", "Kamino-Tx", "SPHT"});
+    std::vector<double> pmdk_over, kamino_over, spht_over;
+    for (const auto kind : workloads::allWorkloads()) {
+        workloads::WorkloadConfig config;
+        config.scale = scale;
+        const auto base = runSoftware(SwScheme::Direct, kind, config);
+        const auto pmdk = runSoftware(SwScheme::Pmdk, kind, config);
+        const auto kamino =
+            runSoftware(SwScheme::KaminoTx, kind, config);
+        const auto spht = runSoftware(SwScheme::Spht, kind, config);
+
+        const auto overhead = [&](const SwResult &result) {
+            return 100.0 *
+                   (static_cast<double>(result.ns) /
+                        static_cast<double>(base.ns) -
+                    1.0);
+        };
+        pmdk_over.push_back(overhead(pmdk));
+        kamino_over.push_back(overhead(kamino));
+        spht_over.push_back(overhead(spht));
+        printRow(workloads::workloadKindName(kind),
+                 {pmdk_over.back(), kamino_over.back(),
+                  spht_over.back()},
+                 1);
+    }
+    // Geomean over (1 + overhead) ratios, reported back as percent.
+    const auto geo_pct = [](std::vector<double> overs) {
+        for (auto &value : overs)
+            value = 1.0 + value / 100.0;
+        return 100.0 * (geomean(overs) - 1.0);
+    };
+    printRow("geomean",
+             {geo_pct(pmdk_over), geo_pct(kamino_over),
+              geo_pct(spht_over)},
+             1);
+    std::printf("paper geomean:  PMDK 460%%  Kamino-Tx 232%%  "
+                "SPHT 161%%\n");
+
+    printHeader("Figure 1 (hardware): overhead over no-log, percent",
+                {"EDE", "HOOP"});
+    std::vector<double> ede_over, hoop_over;
+    for (const auto kind : workloads::allWorkloads()) {
+        workloads::WorkloadConfig config;
+        config.scale = scale;
+        const auto trace = recordTrace(kind, config);
+        sim::SimConfig sim_config;
+        const auto ideal =
+            sim::simulate(sim::HwScheme::NoLog, sim_config, trace);
+        const auto ede =
+            sim::simulate(sim::HwScheme::Ede, sim_config, trace);
+        const auto hoop =
+            sim::simulate(sim::HwScheme::Hoop, sim_config, trace);
+
+        const auto overhead = [&](const sim::HwStats &stats) {
+            return 100.0 * (static_cast<double>(stats.ns) /
+                                static_cast<double>(ideal.ns) -
+                            1.0);
+        };
+        ede_over.push_back(overhead(ede));
+        hoop_over.push_back(overhead(hoop));
+        printRow(workloads::workloadKindName(kind),
+                 {ede_over.back(), hoop_over.back()}, 1);
+    }
+    printRow("geomean", {geo_pct(ede_over), geo_pct(hoop_over)}, 1);
+    std::printf("paper geomean:  EDE 50%%  HOOP ~26%%\n");
+    return 0;
+}

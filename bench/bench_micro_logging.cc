@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the primitive costs the paper
+ * reasons about: the per-update persist barrier of undo logging vs
+ * the fence-free speculative append, commit anatomy, checksum cost,
+ * and the sequential-vs-random PM write gap of the timing model.
+ *
+ * Two time domains appear here: google-benchmark measures host CPU
+ * time of the emulation (a proxy for implementation overhead), and
+ * each benchmark also reports the *simulated* nanoseconds per
+ * operation as the "sim_ns" counter — the number the paper's claims
+ * are about.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.hh"
+#include "core/spec_tx.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+#include "txn/undo_tx.hh"
+
+using namespace specpmt;
+
+namespace
+{
+
+void
+BM_UndoLoggedStore(benchmark::State &state)
+{
+    pmem::PmemDevice dev(64u << 20);
+    pmem::PmemPool pool(dev);
+    txn::PmdkUndoTx tx(pool, 1);
+    const PmOff data = pool.alloc(1u << 20);
+
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        tx.txBegin(0);
+        tx.txStoreT<std::uint64_t>(0, data + (i % 131072) * 8, i);
+        tx.txCommit(0);
+        ++i;
+    }
+    state.counters["sim_ns"] = benchmark::Counter(
+        static_cast<double>(dev.timing().now()) /
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kAvgThreads);
+    state.counters["fences"] = benchmark::Counter(
+        static_cast<double>(dev.stats().fences) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_UndoLoggedStore);
+
+void
+BM_SpeculativeLoggedStore(benchmark::State &state)
+{
+    pmem::PmemDevice dev(256u << 20);
+    pmem::PmemPool pool(dev);
+    core::SpecTxConfig config;
+    config.backgroundReclaim = false;
+    core::SpecTx tx(pool, 1, config);
+    const PmOff data = pool.alloc(1u << 20);
+
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        tx.txBegin(0);
+        tx.txStoreT<std::uint64_t>(0, data + (i % 131072) * 8, i);
+        tx.txCommit(0);
+        ++i;
+        if (i % 8192 == 0)
+            tx.reclaimNow();
+    }
+    state.counters["sim_ns"] = benchmark::Counter(
+        static_cast<double>(dev.timing().now()) /
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kAvgThreads);
+    state.counters["fences"] = benchmark::Counter(
+        static_cast<double>(dev.stats().fences) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SpeculativeLoggedStore);
+
+void
+BM_SpecCommitBatch(benchmark::State &state)
+{
+    // Cost of one commit as the write set grows: the flush batch is
+    // sequential, so simulated cost grows sublinearly in entries.
+    const auto writes = static_cast<unsigned>(state.range(0));
+    pmem::PmemDevice dev(256u << 20);
+    pmem::PmemPool pool(dev);
+    core::SpecTxConfig config;
+    config.backgroundReclaim = false;
+    core::SpecTx tx(pool, 1, config);
+    const PmOff data = pool.alloc(1u << 20);
+
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        tx.txBegin(0);
+        for (unsigned w = 0; w < writes; ++w)
+            tx.txStoreT<std::uint64_t>(0, data + ((i + w) % 131072) * 8,
+                                       i);
+        tx.txCommit(0);
+        i += writes;
+        if (i % (1u << 16) == 0)
+            tx.reclaimNow();
+    }
+    state.counters["sim_ns"] = benchmark::Counter(
+        static_cast<double>(dev.timing().now()) /
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_SpecCommitBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buffer(
+        static_cast<std::size_t>(state.range(0)), 0xA5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32c(buffer.data(), buffer.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(256)->Arg(4096);
+
+void
+BM_SequentialVsRandomPmWrites(benchmark::State &state)
+{
+    // The timing-model property underpinning speculative logging's
+    // advantage: flushing N sequential lines is cheaper than flushing
+    // N scattered lines.
+    const bool sequential = state.range(0) == 1;
+    pmem::PmemDevice dev(64u << 20);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        for (unsigned n = 0; n < 16; ++n) {
+            const std::uint64_t line =
+                sequential ? (i + n) % 500000
+                           : ((i + n) * 977) % 500000;
+            dev.storeT<std::uint64_t>(line * kCacheLineSize, i);
+            dev.clwb(line * kCacheLineSize);
+        }
+        dev.sfence();
+        i += 16;
+    }
+    state.counters["sim_ns_per_line"] = benchmark::Counter(
+        static_cast<double>(dev.timing().now()) /
+        static_cast<double>(state.iterations() * 16));
+}
+BENCHMARK(BM_SequentialVsRandomPmWrites)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"sequential"});
+
+} // namespace
+
+BENCHMARK_MAIN();

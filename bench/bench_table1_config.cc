@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Table 1: system configuration of the simulated hardware.
+ */
+
+#include <cstdio>
+
+#include "sim/sim_config.hh"
+
+int
+main()
+{
+    specpmt::sim::SimConfig config;
+    std::printf("== Table 1: system configuration ==\n%s",
+                config.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table 2: size and number of transactions per STAMP-analog workload.
+ *
+ * The paper's reference inputs run millions of transactions; these
+ * kernels run the same access patterns at a reduced scale, so the
+ * columns to compare are the *average transaction size* (reproduced
+ * directly) and the relative ordering of transaction/update counts.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace specpmt;
+using namespace specpmt::bench;
+
+namespace
+{
+
+/** Paper Table 2 reference values for side-by-side comparison. */
+struct PaperRow
+{
+    double avgBytes;
+    double numTxMillions;
+    double numUpdatesMillions;
+};
+
+PaperRow
+paperRow(workloads::WorkloadKind kind)
+{
+    using K = workloads::WorkloadKind;
+    switch (kind) {
+      case K::Genome:
+        return {7.2, 2.489, 7.231};
+      case K::Intruder:
+        return {20.5, 23.428, 106.976};
+      case K::KmeansLow:
+        return {101, 9.874, 266.600};
+      case K::KmeansHigh:
+        return {101, 4.107, 110.887};
+      case K::Labyrinth:
+        return {1420, 0.001026, 0.184};
+      case K::Ssca2:
+        return {16, 22.362, 89.449};
+      case K::VacationLow:
+        return {44.2, 4.194, 31.582};
+      case K::VacationHigh:
+        return {67.8, 4.194, 43.951};
+      case K::Yada:
+        return {175.6, 2.415, 57.845};
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = parseScale(argc, argv);
+
+    std::printf("== Table 2: size and number of transactions ==\n");
+    std::printf("%-16s%14s%14s%14s%14s%14s\n", "workload",
+                "avg size (B)", "paper avg", "num tx", "num updates",
+                "upd/tx");
+    for (const auto kind : workloads::allWorkloads()) {
+        workloads::WorkloadConfig config;
+        config.scale = scale;
+        const auto trace = recordTrace(kind, config);
+        const auto paper = paperRow(kind);
+        std::printf("%-16s%14.1f%14.1f%14llu%14llu%14.1f\n",
+                    workloads::workloadKindName(kind),
+                    trace.avgTxBytes(), paper.avgBytes,
+                    static_cast<unsigned long long>(trace.numTx),
+                    static_cast<unsigned long long>(trace.numUpdates),
+                    trace.numTx
+                        ? static_cast<double>(trace.numUpdates) /
+                              static_cast<double>(trace.numTx)
+                        : 0.0);
+    }
+    return 0;
+}

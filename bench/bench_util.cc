@@ -1,0 +1,159 @@
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "core/hash_log_tx.hh"
+#include "core/spec_tx.hh"
+#include "txn/spht_tx.hh"
+#include "txn/trace_recorder.hh"
+#include "txn/undo_tx.hh"
+
+namespace specpmt::bench
+{
+
+namespace
+{
+
+constexpr std::size_t kBenchPoolBytes = 320u << 20;
+
+std::unique_ptr<txn::TxRuntime>
+makeSwRuntime(SwScheme scheme, pmem::PmemPool &pool)
+{
+    switch (scheme) {
+      case SwScheme::Direct:
+        return std::make_unique<txn::DirectTx>(pool, 1);
+      case SwScheme::Pmdk:
+        return std::make_unique<txn::PmdkUndoTx>(pool, 1);
+      case SwScheme::KaminoTx:
+        return std::make_unique<txn::KaminoTx>(pool, 1);
+      case SwScheme::Spht:
+        return std::make_unique<txn::SphtTx>(pool, 1,
+                                             /*start_replayer=*/true);
+      case SwScheme::SpecSpmtDp: {
+        core::SpecTxConfig config;
+        config.dataPersistOnCommit = true;
+        config.backgroundReclaim = true;
+        config.reclaimThresholdBytes = 8u << 20;
+        return std::make_unique<core::SpecTx>(pool, 1, config);
+      }
+      case SwScheme::SpecSpmt: {
+        core::SpecTxConfig config;
+        config.backgroundReclaim = true;
+        config.reclaimThresholdBytes = 8u << 20;
+        return std::make_unique<core::SpecTx>(pool, 1, config);
+      }
+      case SwScheme::HashLog:
+        return std::make_unique<core::HashLogTx>(pool, 1, 1u << 18);
+    }
+    SPECPMT_PANIC("unknown software scheme");
+}
+
+} // namespace
+
+const char *
+swSchemeName(SwScheme scheme)
+{
+    switch (scheme) {
+      case SwScheme::Direct:
+        return "no-tx";
+      case SwScheme::Pmdk:
+        return "PMDK";
+      case SwScheme::KaminoTx:
+        return "Kamino-Tx";
+      case SwScheme::Spht:
+        return "SPHT";
+      case SwScheme::SpecSpmtDp:
+        return "SpecSPMT-DP";
+      case SwScheme::SpecSpmt:
+        return "SpecSPMT";
+      case SwScheme::HashLog:
+        return "hash-splog";
+    }
+    return "?";
+}
+
+SwResult
+runSoftware(SwScheme scheme, workloads::WorkloadKind kind,
+            const workloads::WorkloadConfig &config)
+{
+    pmem::PmemDevice dev(kBenchPoolBytes);
+    pmem::PmemPool pool(dev);
+    auto runtime = makeSwRuntime(scheme, pool);
+    auto workload = workloads::makeWorkload(kind, config);
+
+    workload->setup(*runtime);
+
+    // Measure only the transactional phase, on this thread's clock.
+    dev.clearStats();
+    dev.timing().reset();
+    dev.timeOnlyCallingThread();
+
+    workload->run(*runtime);
+
+    SwResult result;
+    result.ns = dev.timing().now();
+    result.deviceStats = dev.stats();
+    result.pmLineWrites = dev.timing().pmLineWrites();
+    if (auto *spec = dynamic_cast<core::SpecTx *>(runtime.get()))
+        result.peakLogBytes = spec->peakLogBytes();
+    result.peakPoolBytes = pool.peakBytesAllocated();
+
+    runtime->shutdown();
+    result.verified = workload->verify(*runtime);
+    result.digest = workload->digest(*runtime);
+    return result;
+}
+
+txn::MemTrace
+recordTrace(workloads::WorkloadKind kind,
+            const workloads::WorkloadConfig &config)
+{
+    pmem::PmemDevice dev(kBenchPoolBytes);
+    pmem::PmemPool pool(dev);
+    txn::TraceRecorder recorder(pool, 1);
+    auto workload = workloads::makeWorkload(kind, config);
+
+    workload->setup(recorder);
+    recorder.startRecording();
+    workload->run(recorder);
+    recorder.stopRecording();
+    SPECPMT_ASSERT(workload->verify(recorder));
+    auto trace = recorder.takeTrace();
+    trace.residentBytes = pool.bytesAllocated();
+    return trace;
+}
+
+void
+printHeader(const std::string &title,
+            const std::vector<std::string> &columns)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-16s", "workload");
+    for (const auto &column : columns)
+        std::printf("%14s", column.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &values,
+         int precision)
+{
+    std::printf("%-16s", label.c_str());
+    for (double value : values)
+        std::printf("%14.*f", precision, value);
+    std::printf("\n");
+}
+
+double
+parseScale(int argc, char **argv, double fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--scale=", 0) == 0)
+            return std::stod(arg.substr(8));
+    }
+    return fallback;
+}
+
+} // namespace specpmt::bench

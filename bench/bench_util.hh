@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared harness for the per-figure benchmark binaries: runs a
+ * STAMP-analog workload under any software scheme on the emulated
+ * ADR timing model, or records its trace and replays it through the
+ * hardware models.
+ */
+
+#ifndef SPECPMT_BENCH_BENCH_UTIL_HH
+#define SPECPMT_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmem/pmem_device.hh"
+#include "sim/machine.hh"
+#include "txn/trace.hh"
+#include "workloads/workload.hh"
+
+namespace specpmt::bench
+{
+
+/** Software schemes of Figures 1 and 12. */
+enum class SwScheme
+{
+    Direct,    ///< no crash consistency (the overhead baseline)
+    Pmdk,
+    KaminoTx,
+    Spht,
+    SpecSpmtDp,
+    SpecSpmt,
+    HashLog,   ///< Section 4's hash-table-log strawman
+};
+
+/** Display name matching the paper. */
+const char *swSchemeName(SwScheme scheme);
+
+/** Result of one software run. */
+struct SwResult
+{
+    SimNs ns = 0;                  ///< simulated execution time
+    pmem::DeviceStats deviceStats; ///< measured-phase event counts
+    std::uint64_t pmLineWrites = 0;
+    std::size_t peakLogBytes = 0;  ///< SpecSPMT log high-water mark
+    std::size_t peakPoolBytes = 0;
+    bool verified = false;
+    std::uint64_t digest = 0;
+};
+
+/**
+ * Run @p kind under @p scheme on a fresh emulated device and return
+ * timing/traffic of the measured phase (setup excluded). Background
+ * helper threads run untimed, mirroring the paper's dedicated-core
+ * methodology.
+ */
+SwResult runSoftware(SwScheme scheme, workloads::WorkloadKind kind,
+                     const workloads::WorkloadConfig &config);
+
+/** Record the measured-phase trace of @p kind for the hardware sims. */
+txn::MemTrace recordTrace(workloads::WorkloadKind kind,
+                          const workloads::WorkloadConfig &config);
+
+/** Pretty-print a header row for a figure table. */
+void printHeader(const std::string &title,
+                 const std::vector<std::string> &columns);
+
+/** Print one row: workload label + numeric cells. */
+void printRow(const std::string &label,
+              const std::vector<double> &values, int precision = 2);
+
+/**
+ * Parse an optional "--scale=<float>" argument (workload size factor
+ * relative to the reference inputs; default 1.0).
+ */
+double parseScale(int argc, char **argv, double fallback = 1.0);
+
+} // namespace specpmt::bench
+
+#endif // SPECPMT_BENCH_BENCH_UTIL_HH

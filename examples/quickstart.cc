@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: the smallest complete SpecPMT program.
+ *
+ * Creates an emulated persistent memory pool, runs speculatively
+ * persistent transactions over a pair of counters, simulates a power
+ * failure at the worst possible moment, recovers, and shows that the
+ * interrupted transaction was revoked while committed ones survived.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/spec_tx.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+
+using namespace specpmt;
+
+int
+main()
+{
+    // An emulated 64MB persistent memory device + pool. On real
+    // hardware this would be a DAX-mapped file; here it is a byte
+    // image with explicit clwb/sfence/crash semantics.
+    pmem::PmemDevice device(64u << 20);
+    pmem::PmemPool pool(device);
+
+    // The speculative transaction runtime (one worker thread).
+    core::SpecTx tx(pool, /*num_threads=*/1);
+
+    // Allocate two durable counters and publish them through a root
+    // slot so a future process can find them.
+    const PmOff a = pool.alloc(8);
+    const PmOff b = pool.alloc(8);
+    pool.setRoot(txn::kAppRootSlotBase, a);
+    pool.setRoot(txn::kAppRootSlotBase + 1, b);
+
+    // Committed transaction: both counters move together.
+    tx.txBegin(0);
+    tx.txStoreT<std::uint64_t>(0, a, 100);
+    tx.txStoreT<std::uint64_t>(0, b, 200);
+    tx.txCommit(0);
+    std::printf("committed: a=%llu b=%llu\n",
+                (unsigned long long)device.loadT<std::uint64_t>(a),
+                (unsigned long long)device.loadT<std::uint64_t>(b));
+
+    // A transaction interrupted by a power failure. The adversarial
+    // part: every dirty cache line drains to PM, so the in-place
+    // updates of the doomed transaction DO reach persistent media.
+    tx.txBegin(0);
+    tx.txStoreT<std::uint64_t>(0, a, 111);
+    tx.txStoreT<std::uint64_t>(0, b, 222);
+    std::printf("power failure mid-transaction (all lines evict)...\n");
+    device.simulateCrash(pmem::CrashPolicy::everything());
+    pool.reopenAfterCrash();
+
+    // "Reboot": a fresh runtime recovers from the speculative log.
+    core::SpecTx recovered(pool, 1);
+    recovered.recover();
+    const auto ra = device.loadT<std::uint64_t>(
+        pool.getRoot(txn::kAppRootSlotBase));
+    const auto rb = device.loadT<std::uint64_t>(
+        pool.getRoot(txn::kAppRootSlotBase + 1));
+    std::printf("recovered: a=%llu b=%llu  (the 111/222 update was "
+                "revoked)\n",
+                (unsigned long long)ra, (unsigned long long)rb);
+
+    // The recovered pool keeps working.
+    recovered.txBegin(0);
+    recovered.txStoreT<std::uint64_t>(0, a, ra + 1);
+    recovered.txCommit(0);
+    recovered.shutdown();
+    std::printf("post-recovery commit: a=%llu\n",
+                (unsigned long long)device.loadT<std::uint64_t>(a));
+
+    return (ra == 100 && rb == 200) ? 0 : 1;
+}

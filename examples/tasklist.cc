@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A persistent task-processing pipeline built from the pmds library:
+ * a PmQueue of pending jobs, a PmHashMap of job results, and a
+ * PmVector audit trail — all crash-consistent, all rebuilt from roots
+ * after each of several injected power failures.
+ *
+ * The invariant checked after every reboot: every job is in exactly
+ * one place (pending queue, results map) and the audit trail length
+ * equals the number of completed jobs.
+ *
+ * Build & run:  ./build/examples/tasklist
+ */
+
+#include <cstdio>
+#include <memory>
+#include <map>
+#include <set>
+
+#include "common/rand.hh"
+#include "core/spec_tx.hh"
+#include "pmds/pm_hash_map.hh"
+#include "pmds/pm_queue.hh"
+#include "pmds/pm_vector.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+
+using namespace specpmt;
+
+namespace
+{
+
+struct Job
+{
+    std::uint64_t id;
+    std::uint64_t payload;
+};
+
+constexpr unsigned kQueueRoot = txn::kAppRootSlotBase;
+constexpr unsigned kMapRoot = txn::kAppRootSlotBase + 1;
+constexpr unsigned kAuditRoot = txn::kAppRootSlotBase + 2;
+
+} // namespace
+
+int
+main()
+{
+    pmem::PmemDevice device(128u << 20);
+    pmem::PmemPool pool(device);
+    Rng rng(31);
+
+    core::SpecTxConfig spec_config;
+    auto rt = std::make_unique<core::SpecTx>(pool, 1, spec_config);
+    auto queue = pmds::PmQueue<Job>::create(*rt, 256);
+    auto results =
+        pmds::PmHashMap<std::uint64_t, std::uint64_t>::create(*rt,
+                                                              1024);
+    auto audit = pmds::PmVector<std::uint64_t>::create(*rt, 4096);
+    pool.setRoot(kQueueRoot, queue.base());
+    pool.setRoot(kMapRoot, results.base());
+    pool.setRoot(kAuditRoot, audit.base());
+
+    std::uint64_t next_id = 1;
+    unsigned reboots = 0;
+
+    for (int round = 0; round < 15; ++round) {
+        device.armCrash(static_cast<long>(30 + rng.below(800)));
+        try {
+            // Produce a few jobs, then process a few: completing a job
+            // moves it from the queue into the results map and appends
+            // to the audit trail — one transaction, fully atomic.
+            for (int i = 0; i < 10; ++i) {
+                if (queue.enqueue({next_id, next_id * 7}))
+                    ++next_id;
+            }
+            for (int i = 0; i < 8; ++i) {
+                rt->txBegin(0);
+                // Manual composite transaction using the InTx APIs.
+                const auto job = queue.front();
+                if (job) {
+                    results.putInTx(job->id, job->payload * job->payload);
+                    audit.pushBackInTx(job->id);
+                    // Consume the queue head inside the same tx.
+                    const auto header =
+                        rt->txLoadT<pmds::PmQueue<Job>::Header>(
+                            0, queue.base());
+                    rt->txStoreT<std::uint64_t>(
+                        0, queue.base() + offsetof(
+                               pmds::PmQueue<Job>::Header, head),
+                        header.head + 1);
+                }
+                rt->txCommit(0);
+            }
+            device.armCrash(-1);
+        } catch (const pmem::SimulatedCrash &) {
+            ++reboots;
+            rt.reset();
+            device.simulateCrash(
+                pmem::CrashPolicy::random(round * 7 + 3, 0.5));
+            pool.reopenAfterCrash();
+            rt = std::make_unique<core::SpecTx>(pool, 1, spec_config);
+            rt->recover();
+            queue = pmds::PmQueue<Job>::attach(*rt,
+                                               pool.getRoot(kQueueRoot));
+            results =
+                pmds::PmHashMap<std::uint64_t, std::uint64_t>::attach(
+                    *rt, pool.getRoot(kMapRoot));
+            audit = pmds::PmVector<std::uint64_t>::attach(
+                *rt, pool.getRoot(kAuditRoot));
+
+            // Audit: completed jobs == audit entries; no job both
+            // pending and completed; no audit entry without a result.
+            if (results.size() != audit.size()) {
+                std::printf("FAIL: %llu results vs %llu audit rows\n",
+                            (unsigned long long)results.size(),
+                            (unsigned long long)audit.size());
+                return 1;
+            }
+            std::set<std::uint64_t> completed;
+            results.forEach([&](std::uint64_t id, std::uint64_t) {
+                completed.insert(id);
+            });
+            for (std::uint64_t i = 0; i < audit.size(); ++i) {
+                if (!completed.count(audit.at(i))) {
+                    std::printf("FAIL: audit row without result\n");
+                    return 1;
+                }
+            }
+            bool overlap = false;
+            while (auto job = queue.front()) {
+                if (completed.count(job->id))
+                    overlap = true;
+                break;
+            }
+            if (overlap) {
+                std::printf("FAIL: job both pending and completed\n");
+                return 1;
+            }
+            // Resync the producer from DURABLE state only. A power
+            // failure arriving exactly at the commit fence leaves the
+            // application uncertain whether its last operation
+            // committed ("commit ambiguity"); trusting the volatile
+            // next_id here would re-enqueue an id that actually
+            // landed. The durable queue + results are the truth.
+            std::uint64_t max_id = 0;
+            results.forEach([&](std::uint64_t id, std::uint64_t) {
+                max_id = std::max(max_id, id);
+            });
+            queue.forEach([&](const Job &job) {
+                max_id = std::max(max_id, job.id);
+            });
+            next_id = max_id + 1;
+        }
+    }
+
+    rt->shutdown();
+    std::printf("tasklist survived %u power failures: %llu completed "
+                "jobs, %llu pending, audit consistent\n",
+                reboots, (unsigned long long)results.size(),
+                (unsigned long long)queue.size());
+    return 0;
+}

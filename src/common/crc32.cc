@@ -1,0 +1,43 @@
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace specpmt
+{
+
+namespace
+{
+
+/** Build the CRC32C (polynomial 0x1EDC6F41, reflected) lookup table. */
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 1u)
+                crc = (crc >> 1) ^ 0x82F63B78u;
+            else
+                crc >>= 1;
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t size, std::uint32_t seed)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace specpmt

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Software CRC32C (Castagnoli), used as the speculative log record
+ * checksum. The checksum doubles as the transaction commit flag in
+ * software SpecPMT (Section 4.1 of the paper), so it must detect torn
+ * (partially persisted) records with high probability.
+ */
+
+#ifndef SPECPMT_COMMON_CRC32_HH
+#define SPECPMT_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace specpmt
+{
+
+/**
+ * Compute CRC32C over a byte buffer.
+ *
+ * @param data  The buffer to checksum.
+ * @param size  Number of bytes.
+ * @param seed  Initial CRC state for incremental use (default fresh).
+ * @return The CRC32C value.
+ */
+std::uint32_t crc32c(const void *data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+} // namespace specpmt
+
+#endif // SPECPMT_COMMON_CRC32_HH

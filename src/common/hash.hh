@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Integer mixing hashes used by the volatile record indexes of the log
+ * reclaimer and by the persistent hash map workload structure.
+ */
+
+#ifndef SPECPMT_COMMON_HASH_HH
+#define SPECPMT_COMMON_HASH_HH
+
+#include <cstdint>
+
+namespace specpmt
+{
+
+/** Finalizer from SplitMix64; a strong 64-to-64 bit mixer. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two hash values (boost::hash_combine style, 64-bit). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return a ^ (mix64(b) + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4));
+}
+
+} // namespace specpmt
+
+#endif // SPECPMT_COMMON_HASH_HH

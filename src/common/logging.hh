@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic split.
+ *
+ * panic() flags an internal invariant violation (a bug in this library)
+ * and aborts; fatal() flags an unrecoverable user/configuration error
+ * and exits cleanly; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef SPECPMT_COMMON_LOGGING_HH
+#define SPECPMT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace specpmt
+{
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted warning to stderr and continue. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr and continue. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace specpmt
+
+#define SPECPMT_PANIC(...) \
+    ::specpmt::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define SPECPMT_FATAL(...) \
+    ::specpmt::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define SPECPMT_WARN(...) ::specpmt::warnImpl(__VA_ARGS__)
+#define SPECPMT_INFORM(...) ::specpmt::informImpl(__VA_ARGS__)
+
+/**
+ * Internal invariant check: active in all build types because crash
+ * consistency bugs are exactly the kind of defect optimized builds hide.
+ */
+#define SPECPMT_ASSERT(cond, ...)                                       \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::specpmt::panicImpl(__FILE__, __LINE__,                    \
+                                 "assertion failed: %s", #cond);        \
+        }                                                               \
+    } while (0)
+
+#endif // SPECPMT_COMMON_LOGGING_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small deterministic PRNGs. Workloads and crash-injection tests need
+ * reproducible randomness that is stable across platforms, so we avoid
+ * std::mt19937's weight and libc rand()'s nondeterminism.
+ */
+
+#ifndef SPECPMT_COMMON_RAND_HH
+#define SPECPMT_COMMON_RAND_HH
+
+#include <cstdint>
+
+#include "common/hash.hh"
+
+namespace specpmt
+{
+
+/**
+ * SplitMix64-seeded xoshiro256** generator.
+ *
+ * Deterministic for a given seed on all platforms; passes BigCrush.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x5EC9417ull)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_) {
+            sm += 0x9E3779B97F4A7C15ull;
+            word = mix64(sm);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for workload generation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace specpmt
+
+#endif // SPECPMT_COMMON_RAND_HH

@@ -1,0 +1,38 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace specpmt
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    SPECPMT_ASSERT(!values.empty());
+    double log_sum = 0.0;
+    for (double v : values) {
+        SPECPMT_ASSERT(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+formatRow(const std::string &label, const std::vector<double> &values,
+          int precision, int width)
+{
+    std::string row = label;
+    if (row.size() < 16)
+        row.resize(16, ' ');
+    char cell[64];
+    for (double v : values) {
+        std::snprintf(cell, sizeof(cell), "%*.*f", width, precision, v);
+        row += cell;
+    }
+    return row;
+}
+
+} // namespace specpmt

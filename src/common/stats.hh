@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight statistics helpers: named counters, and the geometric
+ * mean / speedup arithmetic used by the benchmark harnesses when
+ * reproducing the paper's figures.
+ */
+
+#ifndef SPECPMT_COMMON_STATS_HH
+#define SPECPMT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specpmt
+{
+
+/**
+ * A named bag of monotonically increasing counters.
+ *
+ * Runtimes expose their persistence events (fences, PM line writes,
+ * log bytes, ...) through one of these so tests and benches can make
+ * assertions on exact event counts.
+ */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Read counter @p name; missing counters read as zero. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Reset every counter to zero. */
+    void clear() { counters_.clear(); }
+
+    /** Access to all counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/** Geometric mean of a series of positive values. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Format a speedup/overhead table row: a label column followed by one
+ * fixed-width numeric cell per value, e.g. for the figure benches.
+ */
+std::string formatRow(const std::string &label,
+                      const std::vector<double> &values,
+                      int precision = 2, int width = 14);
+
+} // namespace specpmt
+
+#endif // SPECPMT_COMMON_STATS_HH

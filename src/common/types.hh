@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the SpecPMT code base.
+ */
+
+#ifndef SPECPMT_COMMON_TYPES_HH
+#define SPECPMT_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace specpmt
+{
+
+/**
+ * A byte offset into a persistent memory pool.
+ *
+ * All persistent data structures address each other with pool-relative
+ * offsets rather than raw pointers so that a pool image remains valid
+ * across process restarts (and, in our emulation, across simulated
+ * crashes). Offset 0 is reserved as the null value.
+ */
+using PmOff = std::uint64_t;
+
+/** The reserved null persistent offset. */
+constexpr PmOff kPmNull = 0;
+
+/** Simulated time in nanoseconds. */
+using SimNs = std::uint64_t;
+
+/** Simulated time in CPU cycles. */
+using SimCycles = std::uint64_t;
+
+/** Monotonic transaction timestamp (from a simulated rdtscp). */
+using TxTimestamp = std::uint64_t;
+
+/** Identifier of a worker thread inside a transaction runtime. */
+using ThreadId = std::uint32_t;
+
+/** Identifier of a log reclamation epoch (hardware SpecPMT). */
+using EpochId = std::uint32_t;
+
+/** Cache line geometry used throughout the emulation. */
+constexpr std::size_t kCacheLineSize = 64;
+
+/** Page geometry used by the hardware TLB model. */
+constexpr std::size_t kPageSize = 4096;
+
+/** Intel Optane internal write-combining granularity (an "XPLine"). */
+constexpr std::size_t kXpLineSize = 256;
+
+/** Round an offset down to its cache line base. */
+constexpr PmOff
+lineBase(PmOff off)
+{
+    return off & ~static_cast<PmOff>(kCacheLineSize - 1);
+}
+
+/** Index of the cache line containing @p off. */
+constexpr std::uint64_t
+lineIndex(PmOff off)
+{
+    return off / kCacheLineSize;
+}
+
+/** Round an offset down to its page base. */
+constexpr PmOff
+pageBase(PmOff off)
+{
+    return off & ~static_cast<PmOff>(kPageSize - 1);
+}
+
+/** Index of the page containing @p off. */
+constexpr std::uint64_t
+pageIndex(PmOff off)
+{
+    return off / kPageSize;
+}
+
+/** Number of cache lines covering [off, off + size). */
+constexpr std::uint64_t
+lineSpan(PmOff off, std::size_t size)
+{
+    if (size == 0)
+        return 0;
+    return lineIndex(off + size - 1) - lineIndex(off) + 1;
+}
+
+} // namespace specpmt
+
+#endif // SPECPMT_COMMON_TYPES_HH

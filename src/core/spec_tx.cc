@@ -1,0 +1,875 @@
+#include "core/spec_tx.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace specpmt::core
+{
+
+namespace
+{
+
+/** Dedup key for a logged (address, size) pair. */
+std::uint64_t
+entryKey(PmOff off, std::size_t size)
+{
+    SPECPMT_ASSERT(off < (1ull << 32));
+    SPECPMT_ASSERT(size < (1ull << 32));
+    return (off << 32) | static_cast<std::uint64_t>(size);
+}
+
+} // namespace
+
+SpecTx::SpecTx(pmem::PmemPool &pool, unsigned num_threads,
+               const SpecTxConfig &config)
+    : TxRuntime(pool, num_threads), config_(config)
+{
+    logs_.reserve(num_threads);
+    for (unsigned tid = 0; tid < num_threads; ++tid)
+        logs_.push_back(std::make_unique<ThreadLog>());
+
+    if (pool_.getRoot(txn::logHeadSlot(0)) != kPmNull) {
+        // A previous incarnation's logs survive in this pool; the
+        // caller must run recover() before the first transaction.
+        needsRecovery_ = true;
+    } else {
+        for (unsigned tid = 0; tid < num_threads; ++tid)
+            initFreshLog(tid);
+    }
+
+    if (config_.backgroundReclaim)
+        reclaimer_ = std::thread([this] { reclaimerMain(); });
+}
+
+SpecTx::~SpecTx()
+{
+    if (reclaimer_.joinable()) {
+        {
+            std::lock_guard<std::mutex> guard(reclaimMutex_);
+            stopReclaimer_ = true;
+        }
+        reclaimCv_.notify_all();
+        reclaimer_.join();
+    }
+}
+
+void
+SpecTx::noteLogBytes(std::ptrdiff_t delta)
+{
+    const std::size_t now = logBytes_.fetch_add(delta) + delta;
+    std::size_t peak = peakLogBytes_.load();
+    while (now > peak && !peakLogBytes_.compare_exchange_weak(peak, now)) {
+    }
+}
+
+void
+SpecTx::initFreshLog(unsigned tid)
+{
+    auto &log = *logs_[tid];
+    std::lock_guard<std::mutex> guard(log.mutex);
+    log.blocks.clear();
+
+    const PmOff block =
+        pool_.allocAligned(config_.logBlockSize, kCacheLineSize);
+    BlockHeader header{kPmNull, kPmNull, pool_.allocationSize(block), 0};
+    dev_.storeT(block, header);
+    // Poison the first record slot so a walker stops immediately.
+    dev_.storeT<std::uint64_t>(block + sizeof(BlockHeader), 0);
+    dev_.clwbRange(block, sizeof(BlockHeader) + 8,
+                   pmem::TrafficClass::Log);
+    dev_.sfence();
+    pool_.setRoot(txn::logHeadSlot(tid), block);
+
+    log.blocks.push_back(block);
+    log.tailPos = sizeof(BlockHeader);
+    log.firstOpenBlock = 0;
+    log.inTx = false;
+    log.openSegs.clear();
+    log.entryIndex.clear();
+    log.pendingFlush.clear();
+    noteLogBytes(static_cast<std::ptrdiff_t>(pool_.allocationSize(block)));
+}
+
+void
+SpecTx::attachBlock(ThreadLog &log, std::size_t min_bytes)
+{
+    std::size_t size = config_.logBlockSize;
+    const std::size_t need = sizeof(BlockHeader) + min_bytes + 8;
+    if (need > size)
+        size = (need + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+
+    const PmOff block = pool_.allocAligned(size, kCacheLineSize);
+    const PmOff old_tail = log.blocks.back();
+    size = pool_.allocationSize(block);
+
+    BlockHeader header{kPmNull, old_tail, size, 0};
+    dev_.storeT(block, header);
+    dev_.storeT<std::uint64_t>(block + sizeof(BlockHeader), 0);
+    // Chain it: the pointer persists with the next commit fence.
+    dev_.storeT<PmOff>(old_tail + offsetof(BlockHeader, next), block);
+
+    log.pendingFlush.emplace_back(block, sizeof(BlockHeader) + 8);
+    log.pendingFlush.emplace_back(old_tail + offsetof(BlockHeader, next),
+                                  sizeof(PmOff));
+
+    {
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.blocks.push_back(block);
+        log.tailPos = sizeof(BlockHeader);
+    }
+    noteLogBytes(static_cast<std::ptrdiff_t>(size));
+}
+
+void
+SpecTx::openSegment(ThreadLog &log)
+{
+    const PmOff base = log.blocks.back();
+    const auto cap = static_cast<std::size_t>(
+        dev_.loadT<std::uint64_t>(base + offsetof(BlockHeader, capacity)));
+    if (log.tailPos + sizeof(SegHead) + sizeof(std::uint64_t) > cap)
+        attachBlock(log, sizeof(SegHead));
+    log.openSegs.push_back(
+        {log.blocks.back() + log.tailPos, sizeof(SegHead), 0});
+    log.tailPos += sizeof(SegHead);
+}
+
+void
+SpecTx::appendEntry(ThreadLog &log, PmOff off, const void *src,
+                    std::size_t size)
+{
+    const std::size_t bytes = entryBytes(size);
+    const PmOff base = log.blocks.back();
+    const auto cap = static_cast<std::size_t>(
+        dev_.loadT<std::uint64_t>(base + offsetof(BlockHeader, capacity)));
+
+    if (log.tailPos + bytes + sizeof(std::uint64_t) > cap) {
+        // The entry does not fit: start a fresh segment in a fresh
+        // block; the transaction now spans multiple segments.
+        attachBlock(log, sizeof(SegHead) + bytes);
+        openSegment(log);
+    }
+
+    const PmOff pos = log.blocks.back() + log.tailPos;
+    EntryHead head{off, static_cast<std::uint32_t>(size), 0};
+    dev_.storeT(pos, head);
+    dev_.store(pos + sizeof(EntryHead), src, size);
+
+    auto &seg = log.openSegs.back();
+    seg.bytes += bytes;
+    ++seg.numEntries;
+    log.entryIndex[entryKey(off, size)] = pos + sizeof(EntryHead);
+    log.tailPos += bytes;
+}
+
+void
+SpecTx::poisonTail(ThreadLog &log)
+{
+    const PmOff base = log.blocks.back();
+    const auto cap = static_cast<std::size_t>(
+        dev_.loadT<std::uint64_t>(base + offsetof(BlockHeader, capacity)));
+    if (log.tailPos + sizeof(std::uint64_t) <= cap) {
+        dev_.storeT<std::uint64_t>(base + log.tailPos, 0);
+        log.pendingFlush.emplace_back(base + log.tailPos,
+                                      sizeof(std::uint64_t));
+    }
+}
+
+void
+SpecTx::txBegin(ThreadId tid)
+{
+    SPECPMT_ASSERT(!needsRecovery_);
+    auto &log = threadLog(tid);
+    SPECPMT_ASSERT(!log.inTx);
+    log.inTx = true;
+    log.openSegs.clear();
+    log.entryIndex.clear();
+    log.preImages.clear();
+    log.captured.clear();
+    log.writeSet.clear();
+    openSegment(log);
+    {
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.firstOpenBlock = log.blocks.size() - 1;
+    }
+}
+
+void
+SpecTx::txStore(ThreadId tid, PmOff off, const void *src, std::size_t size)
+{
+    auto &log = threadLog(tid);
+    SPECPMT_ASSERT(log.inTx);
+    SPECPMT_ASSERT(size > 0);
+
+    // Capture pre-images (volatile) for fast abort.
+    for (const auto &[gap_off, gap_size] : log.captured.uncovered(off,
+                                                                  size)) {
+        std::vector<std::uint8_t> old_value(gap_size);
+        dev_.load(gap_off, old_value.data(), gap_size);
+        log.preImages.emplace_back(gap_off, std::move(old_value));
+        log.captured.add(gap_off, gap_size);
+    }
+
+    // splog: record the *new* value; a repeated update of the same
+    // datum overwrites its existing log entry in place so only the
+    // last update survives (Section 4).
+    const auto it = config_.dedupEntries
+        ? log.entryIndex.find(entryKey(off, size))
+        : log.entryIndex.end();
+    if (it != log.entryIndex.end()) {
+        dev_.store(it->second, src, size);
+    } else {
+        appendEntry(log, off, src, size);
+    }
+
+    // In-place durable update — no flush, no fence.
+    dev_.store(off, src, size);
+    if (config_.dataPersistOnCommit)
+        log.writeSet.add(off, size);
+}
+
+void
+SpecTx::txCommit(ThreadId tid)
+{
+    auto &log = threadLog(tid);
+    SPECPMT_ASSERT(log.inTx);
+    log.inTx = false;
+
+    // Read-only transaction: nothing to persist; rewind the header
+    // space reserved at txBegin.
+    if (log.openSegs.size() == 1 && log.openSegs[0].numEntries == 0) {
+        log.tailPos -= sizeof(SegHead);
+        log.openSegs.clear();
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.firstOpenBlock = log.blocks.size() - 1;
+        return;
+    }
+
+    const TxTimestamp ts = nextTimestamp();
+    for (std::size_t i = 0; i < log.openSegs.size(); ++i) {
+        const auto &seg = log.openSegs[i];
+        SegHead head;
+        head.sizeBytes = static_cast<std::uint32_t>(seg.bytes);
+        head.timestamp = ts;
+        head.flags = (i + 1 == log.openSegs.size()) ? kSegFinal : 0;
+        head.numEntries = seg.numEntries;
+        head.crc = segmentCrc(dev_, seg.pos, head);
+        dev_.storeT(seg.pos, head);
+        log.pendingFlush.emplace_back(seg.pos, seg.bytes);
+    }
+    poisonTail(log);
+
+    // One flush batch + one fence persists the whole transaction:
+    // the segment checksums are the commit flag (Section 4.1).
+    if (config_.dataPersistOnCommit) {
+        log.writeSet.forEachLine([&](std::uint64_t line) {
+            dev_.clwb(line * kCacheLineSize, pmem::TrafficClass::Data);
+        });
+    }
+    for (const auto &[off, size] : log.pendingFlush)
+        dev_.clwbRange(off, size, pmem::TrafficClass::Log);
+    dev_.sfence();
+
+    log.pendingFlush.clear();
+    log.openSegs.clear();
+    log.entryIndex.clear();
+    log.preImages.clear();
+    log.captured.clear();
+    log.writeSet.clear();
+    {
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.firstOpenBlock = log.blocks.size() - 1;
+    }
+
+    // Implicit reclamation trigger (Section 4.2).
+    if (logBytes_.load() > config_.reclaimThresholdBytes &&
+        reclaimer_.joinable()) {
+        {
+            std::lock_guard<std::mutex> guard(reclaimMutex_);
+            reclaimRequested_ = true;
+        }
+        reclaimCv_.notify_one();
+    }
+}
+
+void
+SpecTx::txAbort(ThreadId tid)
+{
+    auto &log = threadLog(tid);
+    SPECPMT_ASSERT(log.inTx);
+    log.inTx = false;
+
+    // Restore the captured pre-images, newest first.
+    for (auto it = log.preImages.rbegin(); it != log.preImages.rend();
+         ++it) {
+        dev_.store(it->first, it->second.data(), it->second.size());
+    }
+
+    // Rewind the log tail to where this transaction started and drop
+    // any blocks attached on its behalf.
+    SPECPMT_ASSERT(!log.openSegs.empty());
+    const PmOff rewind_pos = log.openSegs.front().pos;
+
+    std::vector<PmOff> freed;
+    {
+        std::lock_guard<std::mutex> guard(log.mutex);
+        // Find the block containing rewind_pos.
+        std::size_t keep = log.blocks.size();
+        for (std::size_t i = 0; i < log.blocks.size(); ++i) {
+            const PmOff base = log.blocks[i];
+            const auto cap = dev_.loadT<std::uint64_t>(
+                base + offsetof(BlockHeader, capacity));
+            if (rewind_pos >= base && rewind_pos < base + cap) {
+                keep = i;
+                break;
+            }
+        }
+        SPECPMT_ASSERT(keep < log.blocks.size());
+        for (std::size_t i = keep + 1; i < log.blocks.size(); ++i)
+            freed.push_back(log.blocks[i]);
+        log.blocks.resize(keep + 1);
+        log.tailPos = rewind_pos - log.blocks.back();
+        log.firstOpenBlock = log.blocks.size() - 1;
+    }
+
+    // Unlink and poison; drop pending flushes that point into freed
+    // blocks.
+    dev_.storeT<PmOff>(log.blocks.back() + offsetof(BlockHeader, next),
+                       kPmNull);
+    log.pendingFlush.emplace_back(
+        log.blocks.back() + offsetof(BlockHeader, next), sizeof(PmOff));
+    auto in_freed = [&](PmOff off) {
+        for (PmOff base : freed) {
+            const std::size_t cap = pool_.allocationSize(base);
+            if (off >= base && off < base + cap)
+                return true;
+        }
+        return false;
+    };
+    std::erase_if(log.pendingFlush, [&](const auto &range) {
+        return in_freed(range.first);
+    });
+    poisonTail(log);
+
+    for (PmOff base : freed) {
+        noteLogBytes(-static_cast<std::ptrdiff_t>(
+            pool_.allocationSize(base)));
+        pool_.free(base);
+    }
+
+    log.openSegs.clear();
+    log.entryIndex.clear();
+    log.preImages.clear();
+    log.captured.clear();
+    log.writeSet.clear();
+}
+
+void
+SpecTx::adoptExternal(ThreadId tid, PmOff off, std::size_t size)
+{
+    // Snapshot external data in chunks inside one transaction
+    // (Section 4.3.2): afterwards every byte has a committed record.
+    constexpr std::size_t kChunk = 1024;
+    txBegin(tid);
+    std::vector<std::uint8_t> buffer(kChunk);
+    for (std::size_t done = 0; done < size; done += kChunk) {
+        const std::size_t chunk = std::min(kChunk, size - done);
+        dev_.load(off + done, buffer.data(), chunk);
+        txStore(tid, off + done, buffer.data(), chunk);
+    }
+    txCommit(tid);
+}
+
+void
+SpecTx::switchMechanism()
+{
+    for (const auto &log : logs_)
+        SPECPMT_ASSERT(!log->inTx);
+    // Persist every durable datum; after this the speculative logs are
+    // unnecessary and another mechanism may take over (Section 4.3.1).
+    dev_.drainAll();
+    logBytes_.store(0);
+    for (unsigned tid = 0; tid < numThreads_; ++tid) {
+        auto &log = *logs_[tid];
+        std::vector<PmOff> old_blocks;
+        {
+            std::lock_guard<std::mutex> guard(log.mutex);
+            old_blocks = log.blocks;
+            log.blocks.clear();
+            log.tailPos = 0;
+            log.firstOpenBlock = 0;
+        }
+        for (PmOff base : old_blocks)
+            pool_.free(base);
+        pool_.setRoot(txn::logHeadSlot(tid), kPmNull);
+    }
+    // This instance is done; a successor mechanism owns the pool now.
+    needsRecovery_ = true;
+}
+
+void
+SpecTx::shutdown()
+{
+    if (reclaimer_.joinable()) {
+        {
+            std::lock_guard<std::mutex> guard(reclaimMutex_);
+            stopReclaimer_ = true;
+        }
+        reclaimCv_.notify_all();
+        reclaimer_.join();
+    }
+    dev_.drainAll();
+}
+
+std::size_t
+SpecTx::logBytesInUse() const
+{
+    return logBytes_.load();
+}
+
+// ---------------------------------------------------------------------
+// Recovery (Section 3.1)
+// ---------------------------------------------------------------------
+
+void
+SpecTx::recover()
+{
+    struct CommittedTx
+    {
+        TxTimestamp ts;
+        std::vector<DecodedEntry> entries;
+    };
+    std::vector<CommittedTx> txs;
+
+    struct AdoptedChain
+    {
+        WalkResult walk;
+        bool present = false;
+        /** End position of the last *committed* transaction: the
+         * adoption point. Trailing valid-checksum segments of a torn
+         * commit are truncated, not kept — leaving them embedded
+         * would let a later compaction mistake them for committed
+         * records. */
+        PmOff lastCommittedEnd = kPmNull;
+    };
+    std::vector<AdoptedChain> chains(numThreads_);
+
+    for (unsigned tid = 0; tid < numThreads_; ++tid) {
+        const PmOff root = pool_.getRoot(txn::logHeadSlot(tid));
+        if (root == kPmNull)
+            continue;
+        chains[tid].present = true;
+
+        // Group consecutive same-timestamp segments into transactions;
+        // a transaction counts as committed only when its final-flagged
+        // segment was reached with a valid checksum.
+        std::vector<DecodedSegment> open;
+        chains[tid].walk = walkChain(
+            dev_, root, [&](const DecodedSegment &seg) {
+                seedTimestamp(seg.timestamp);
+                if (!open.empty() &&
+                    open.front().timestamp != seg.timestamp) {
+                    open.clear(); // incomplete tx: discard
+                }
+                open.push_back(seg);
+                if (seg.final) {
+                    CommittedTx tx;
+                    tx.ts = seg.timestamp;
+                    for (const auto &part : open) {
+                        tx.entries.insert(tx.entries.end(),
+                                          part.entries.begin(),
+                                          part.entries.end());
+                    }
+                    txs.push_back(std::move(tx));
+                    open.clear();
+                    chains[tid].lastCommittedEnd =
+                        seg.pos + ((seg.sizeBytes + 7) & ~7u);
+                }
+            });
+    }
+
+    // Replay every fresh record in global chronological order: redo
+    // for committed transactions, undo for interrupted ones.
+    std::sort(txs.begin(), txs.end(),
+              [](const CommittedTx &a, const CommittedTx &b) {
+                  return a.ts < b.ts;
+              });
+    std::vector<std::uint8_t> value;
+    for (const auto &tx : txs) {
+        for (const auto &entry : tx.entries) {
+            value.resize(entry.size);
+            dev_.load(entry.valuePos, value.data(), entry.size);
+            dev_.store(entry.dataOff, value.data(), entry.size);
+            dev_.clwbRange(entry.dataOff, entry.size,
+                           pmem::TrafficClass::Data);
+        }
+    }
+    dev_.sfence();
+
+    // Re-adopt each surviving chain: keep the valid prefix (its
+    // records still cover the data for future interrupted updates),
+    // truncate at the tail, and cut any dangling blocks.
+    logBytes_.store(0);
+    for (unsigned tid = 0; tid < numThreads_; ++tid) {
+        if (!chains[tid].present || chains[tid].walk.blocks.empty()) {
+            initFreshLog(tid);
+            continue;
+        }
+        const auto &walk = chains[tid].walk;
+
+        // Adopt the chain only up to the end of the last committed
+        // transaction; anything beyond it is a torn commit's debris.
+        PmOff adopt_pos = chains[tid].lastCommittedEnd;
+        if (adopt_pos == kPmNull)
+            adopt_pos = walk.blocks.front() + sizeof(BlockHeader);
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < walk.blocks.size(); ++i) {
+            const auto cap = dev_.loadT<std::uint64_t>(
+                walk.blocks[i] + offsetof(BlockHeader, capacity));
+            if (adopt_pos >= walk.blocks[i] &&
+                adopt_pos <= walk.blocks[i] + cap) {
+                keep = i;
+                break;
+            }
+        }
+
+        auto &log = *logs_[tid];
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.blocks.assign(walk.blocks.begin(),
+                          walk.blocks.begin() +
+                              static_cast<std::ptrdiff_t>(keep + 1));
+        log.tailPos = adopt_pos - log.blocks.back();
+        log.firstOpenBlock = log.blocks.size() - 1;
+        log.inTx = false;
+        log.openSegs.clear();
+        log.entryIndex.clear();
+        log.pendingFlush.clear();
+        log.preImages.clear();
+        log.captured.clear();
+        log.writeSet.clear();
+
+        // Cut the chain after the adopted tail and refresh the poison.
+        const PmOff tail_block = log.blocks.back();
+        dev_.storeT<PmOff>(tail_block + offsetof(BlockHeader, next),
+                           kPmNull);
+        dev_.clwb(tail_block + offsetof(BlockHeader, next),
+                  pmem::TrafficClass::Log);
+        const auto cap = dev_.loadT<std::uint64_t>(
+            tail_block + offsetof(BlockHeader, capacity));
+        if (log.tailPos + sizeof(std::uint64_t) <= cap) {
+            dev_.storeT<std::uint64_t>(tail_block + log.tailPos, 0);
+            dev_.clwb(tail_block + log.tailPos,
+                      pmem::TrafficClass::Log);
+        }
+        std::size_t bytes = 0;
+        for (PmOff base : log.blocks) {
+            const auto cap = dev_.loadT<std::uint64_t>(
+                base + offsetof(BlockHeader, capacity));
+            // Make the surviving block known to the re-opened pool's
+            // (volatile) allocator.
+            pool_.adopt(base, cap);
+            bytes += cap;
+        }
+        noteLogBytes(static_cast<std::ptrdiff_t>(bytes));
+    }
+    dev_.sfence();
+    needsRecovery_ = false;
+}
+
+// ---------------------------------------------------------------------
+// Background log reclamation (Section 4.2)
+// ---------------------------------------------------------------------
+
+void
+SpecTx::reclaimerMain()
+{
+    std::unique_lock<std::mutex> lock(reclaimMutex_);
+    for (;;) {
+        reclaimCv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
+            return stopReclaimer_ || reclaimRequested_;
+        });
+        if (stopReclaimer_)
+            return;
+        const bool over_threshold =
+            logBytes_.load() > config_.reclaimThresholdBytes;
+        if (!reclaimRequested_ && !over_threshold)
+            continue;
+        reclaimRequested_ = false;
+        lock.unlock();
+        reclaimCycle();
+        lock.lock();
+    }
+}
+
+void
+SpecTx::reclaimNow()
+{
+    reclaimCycle();
+}
+
+std::size_t
+SpecTx::reclaimCycle()
+{
+    // Serialize explicit reclaimNow() calls against the background
+    // thread; cycles are infrequent, contention is not a concern.
+    static std::mutex cycle_mutex;
+    std::lock_guard<std::mutex> cycle_guard(cycle_mutex);
+    if (needsRecovery_)
+        return 0;
+
+    // Phase 1: freeze the immutable prefix of every chain and build
+    // the volatile freshness index: (addr,size) -> newest committed
+    // timestamp (the hash table of Figure 5; volatile by design, as it
+    // can be rebuilt after a crash).
+    std::vector<std::vector<PmOff>> frozen(numThreads_);
+    for (unsigned tid = 0; tid < numThreads_; ++tid) {
+        auto &log = *logs_[tid];
+        std::lock_guard<std::mutex> guard(log.mutex);
+        frozen[tid].assign(log.blocks.begin(),
+                           log.blocks.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   log.firstOpenBlock));
+    }
+
+    // Phase 1b: group every thread's frozen segments into
+    // transactions. Only entries of *committed* transactions (a run
+    // of consecutive same-timestamp segments ending in a final one)
+    // may enter the freshness index or a compact record — a torn
+    // multi-segment commit leaves valid-checksum non-final segments
+    // embedded in the chain, and treating them as committed would
+    // launder an uncommitted update into recovery's replay set.
+    struct SegInfo
+    {
+        DecodedSegment seg;
+        std::size_t blockIndex;
+    };
+    struct TxGroup
+    {
+        TxTimestamp ts;
+        std::vector<SegInfo> segs;
+    };
+    std::vector<std::vector<TxGroup>> groups(numThreads_);
+    /** Compaction covers frozen blocks [0, cutoff): never split a
+     * transaction whose tail lives beyond the boundary. */
+    std::vector<std::size_t> cutoff(numThreads_, 0);
+    for (unsigned tid = 0; tid < numThreads_; ++tid) {
+        std::vector<SegInfo> open;
+        for (std::size_t i = 0; i < frozen[tid].size(); ++i) {
+            walkBlock(dev_, frozen[tid][i],
+                      [&](const DecodedSegment &seg) {
+                          if (!open.empty() &&
+                              open.front().seg.timestamp !=
+                                  seg.timestamp) {
+                              open.clear(); // torn leftovers: drop
+                          }
+                          open.push_back({seg, i});
+                          if (seg.final) {
+                              groups[tid].push_back(
+                                  {seg.timestamp, std::move(open)});
+                              open.clear();
+                          }
+                      });
+        }
+        // A trailing group may complete in the unfrozen tail: keep
+        // its blocks out of the compacted span.
+        std::size_t cut = open.empty() ? frozen[tid].size()
+                                       : open.front().blockIndex;
+        for (auto it = groups[tid].rbegin(); it != groups[tid].rend();
+             ++it) {
+            if (it->segs.back().blockIndex >= cut)
+                cut = std::min(cut, it->segs.front().blockIndex);
+            else
+                break; // block indexes are monotone
+        }
+        cutoff[tid] = cut;
+    }
+
+    std::unordered_map<std::uint64_t, TxTimestamp> newest;
+    for (unsigned tid = 0; tid < numThreads_; ++tid) {
+        for (const auto &group : groups[tid]) {
+            for (const auto &info : group.segs) {
+                for (const auto &entry : info.seg.entries) {
+                    auto &ts = newest[entryKey(entry.dataOff,
+                                               entry.size)];
+                    if (group.ts > ts)
+                        ts = group.ts;
+                }
+            }
+        }
+    }
+
+    // Phase 2: per-thread compaction of blocks [0, cutoff).
+    std::size_t freed_total = 0;
+    for (unsigned tid = 0; tid < numThreads_; ++tid) {
+        if (cutoff[tid] == 0)
+            continue;
+
+        // Measure span vs fresh bytes; build one compact record per
+        // committed transaction that lies entirely within the span.
+        std::size_t frozen_bytes = 0;
+        for (std::size_t i = 0; i < cutoff[tid]; ++i)
+            frozen_bytes += pool_.allocationSize(frozen[tid][i]);
+        std::size_t fresh_bytes = 0;
+        std::vector<DecodedSegment> fresh_segments;
+        for (const auto &group : groups[tid]) {
+            if (group.segs.back().blockIndex >= cutoff[tid])
+                continue;
+            DecodedSegment compacted;
+            compacted.timestamp = group.ts;
+            compacted.final = true;
+            for (const auto &info : group.segs) {
+                for (const auto &entry : info.seg.entries) {
+                    if (newest.at(entryKey(entry.dataOff,
+                                           entry.size)) == group.ts) {
+                        compacted.entries.push_back(entry);
+                        fresh_bytes += entryBytes(entry.size);
+                    }
+                }
+            }
+            if (!compacted.entries.empty()) {
+                fresh_bytes += sizeof(SegHead);
+                fresh_segments.push_back(std::move(compacted));
+            }
+        }
+        if (fresh_bytes + sizeof(BlockHeader) + 8 >
+            static_cast<std::size_t>(
+                (1.0 - config_.compactionMinSavings) *
+                static_cast<double>(frozen_bytes))) {
+            continue; // not worth rewriting
+        }
+
+        // Write the compact blocks.
+        std::vector<PmOff> compact_blocks;
+        PmOff tail_pos = 0;
+        auto ensure = [&](std::size_t bytes) {
+            const std::size_t need = bytes + sizeof(std::uint64_t);
+            if (!compact_blocks.empty()) {
+                const auto cap = dev_.loadT<std::uint64_t>(
+                    compact_blocks.back() +
+                    offsetof(BlockHeader, capacity));
+                if (tail_pos + need <= cap)
+                    return;
+            }
+            std::size_t size = config_.logBlockSize;
+            if (sizeof(BlockHeader) + need > size) {
+                size = (sizeof(BlockHeader) + need + kCacheLineSize - 1) &
+                       ~(kCacheLineSize - 1);
+            }
+            const PmOff block = pool_.allocAligned(size, kCacheLineSize);
+            size = pool_.allocationSize(block);
+            BlockHeader header{kPmNull,
+                               compact_blocks.empty()
+                                   ? kPmNull
+                                   : compact_blocks.back(),
+                               size, 0};
+            dev_.storeT(block, header);
+            dev_.storeT<std::uint64_t>(block + sizeof(BlockHeader), 0);
+            if (!compact_blocks.empty()) {
+                dev_.storeT<PmOff>(compact_blocks.back() +
+                                       offsetof(BlockHeader, next),
+                                   block);
+            }
+            compact_blocks.push_back(block);
+            tail_pos = sizeof(BlockHeader);
+            noteLogBytes(static_cast<std::ptrdiff_t>(size));
+        };
+
+        std::vector<std::uint8_t> value;
+        for (const auto &seg : fresh_segments) {
+            std::size_t seg_bytes = sizeof(SegHead);
+            for (const auto &entry : seg.entries)
+                seg_bytes += entryBytes(entry.size);
+            ensure(seg_bytes);
+
+            const PmOff base = compact_blocks.back();
+            const PmOff seg_pos = base + tail_pos;
+            PmOff cursor = seg_pos + sizeof(SegHead);
+            for (const auto &entry : seg.entries) {
+                EntryHead ehead{entry.dataOff, entry.size, 0};
+                dev_.storeT(cursor, ehead);
+                value.resize(entry.size);
+                dev_.load(entry.valuePos, value.data(), entry.size);
+                dev_.store(cursor + sizeof(EntryHead), value.data(),
+                           entry.size);
+                cursor += entryBytes(entry.size);
+            }
+            SegHead head;
+            head.sizeBytes = static_cast<std::uint32_t>(seg_bytes);
+            head.timestamp = seg.timestamp;
+            head.flags = kSegFinal;
+            head.numEntries =
+                static_cast<std::uint32_t>(seg.entries.size());
+            head.crc = segmentCrc(dev_, seg_pos, head);
+            dev_.storeT(seg_pos, head);
+            tail_pos += seg_bytes;
+        }
+        if (!compact_blocks.empty()) {
+            // Trailing poison in the last compact block.
+            dev_.storeT<std::uint64_t>(compact_blocks.back() + tail_pos,
+                                       0);
+        }
+
+        // The successor of the compacted span.
+        PmOff successor = kPmNull;
+        {
+            auto &log = *logs_[tid];
+            std::lock_guard<std::mutex> guard(log.mutex);
+            successor = log.blocks[cutoff[tid]];
+        }
+        if (!compact_blocks.empty()) {
+            dev_.storeT<PmOff>(compact_blocks.back() +
+                                   offsetof(BlockHeader, next),
+                               successor);
+        }
+
+        // Fence 1: persist the compact blocks in full.
+        for (PmOff block : compact_blocks) {
+            dev_.clwbRange(block, pool_.allocationSize(block),
+                           pmem::TrafficClass::Log);
+        }
+        dev_.sfence();
+
+        // Fence 2: atomically splice by switching the log head; fix
+        // the successor's back pointer in the same barrier.
+        const PmOff new_head = compact_blocks.empty()
+            ? successor
+            : compact_blocks.front();
+        dev_.storeT<PmOff>(successor + offsetof(BlockHeader, prev),
+                           compact_blocks.empty()
+                               ? kPmNull
+                               : compact_blocks.back());
+        dev_.clwb(successor + offsetof(BlockHeader, prev),
+                  pmem::TrafficClass::Log);
+        pool_.setRoot(txn::logHeadSlot(tid), new_head);
+
+        // Publish the new chain to the worker and free the old blocks.
+        {
+            auto &log = *logs_[tid];
+            std::lock_guard<std::mutex> guard(log.mutex);
+            std::vector<PmOff> rebuilt = compact_blocks;
+            rebuilt.insert(rebuilt.end(),
+                           log.blocks.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   cutoff[tid]),
+                           log.blocks.end());
+            log.firstOpenBlock = log.firstOpenBlock - cutoff[tid] +
+                                 compact_blocks.size();
+            log.blocks = std::move(rebuilt);
+        }
+        for (std::size_t i = 0; i < cutoff[tid]; ++i) {
+            const PmOff block = frozen[tid][i];
+            const std::size_t size = pool_.allocationSize(block);
+            freed_total += size;
+            noteLogBytes(-static_cast<std::ptrdiff_t>(size));
+            pool_.free(block);
+        }
+    }
+    reclaimCycles_.fetch_add(1);
+    return freed_total;
+}
+
+} // namespace specpmt::core

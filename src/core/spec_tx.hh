@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Software SpecPMT (the paper's SpecSPMT): speculatively persistent
+ * memory transactions, Sections 3 and 4.
+ *
+ * Inside a transaction every durable update is performed in place and
+ * *speculatively logged* — the new value is appended to a per-thread
+ * log with no flush or fence. Commit persists the transaction's log
+ * segments with one flush batch and a single sfence; the checksum
+ * written into each segment header is the commit flag. Data cache
+ * lines are never explicitly persisted (the log doubles as a redo log
+ * for committed and an undo log for interrupted transactions); the
+ * SpecSPMT-DP variant additionally flushes the data write set at
+ * commit to isolate the benefit of eliding data persistence
+ * (Section 7.1.2).
+ *
+ * A background reclaimer (Section 4.2) keeps log memory bounded: it
+ * freezes the immutable prefix of every thread's block chain, builds
+ * a volatile address->newest-timestamp hash index, copies only fresh
+ * entries into compact blocks, splices them in with exactly two
+ * fences, and frees the stale blocks.
+ */
+
+#ifndef SPECPMT_CORE_SPEC_TX_HH
+#define SPECPMT_CORE_SPEC_TX_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/splog_format.hh"
+#include "txn/tx_runtime.hh"
+#include "txn/write_set.hh"
+
+namespace specpmt::core
+{
+
+/** Tunables for the SpecSPMT runtime. */
+struct SpecTxConfig
+{
+    /** Also persist the data write set at commit (SpecSPMT-DP). */
+    bool dataPersistOnCommit = false;
+    /** Log block size in bytes. */
+    std::size_t logBlockSize = kLogBlockSize;
+    /** Start the background reclamation thread. */
+    bool backgroundReclaim = true;
+    /**
+     * Implicit reclamation trigger: run a cycle when the live log
+     * exceeds this many bytes (Section 4.2's tunable threshold).
+     */
+    std::size_t reclaimThresholdBytes = 1u << 20;
+    /** Skip compaction when it would save less than this fraction. */
+    double compactionMinSavings = 0.10;
+    /**
+     * Overwrite a datum's existing in-transaction log entry instead
+     * of appending a new one (Section 4's "only the last update needs
+     * a record"). Disabled only by the ablation benchmark.
+     */
+    bool dedupEntries = true;
+};
+
+/** Speculative-logging transaction runtime (SpecSPMT / SpecSPMT-DP). */
+class SpecTx : public txn::TxRuntime
+{
+  public:
+    SpecTx(pmem::PmemPool &pool, unsigned num_threads,
+           const SpecTxConfig &config = {});
+    ~SpecTx() override;
+
+    const char *
+    name() const override
+    {
+        return config_.dataPersistOnCommit ? "spec-spmt-dp" : "spec-spmt";
+    }
+
+    void txBegin(ThreadId tid) override;
+    void txStore(ThreadId tid, PmOff off, const void *src,
+                 std::size_t size) override;
+    void txCommit(ThreadId tid) override;
+
+    /**
+     * Abort the open transaction during normal execution
+     * (Section 5.3.2): restore the captured pre-images and drop the
+     * staged log segments.
+     */
+    void txAbort(ThreadId tid);
+
+    /**
+     * Post-crash recovery (Section 3.1): discard records of
+     * uncommitted transactions, replay all fresh records in global
+     * timestamp order, then re-initialize the log areas.
+     */
+    void recover() override;
+
+    /** Drain background work, persist all data, stop the reclaimer. */
+    void shutdown() override;
+
+    /**
+     * Adopt external durable data (Section 4.3.2): create a committed
+     * snapshot record of [off, off+size) so later transactions on it
+     * are revocable even though no prior transaction logged it.
+     */
+    void adoptExternal(ThreadId tid, PmOff off, std::size_t size);
+
+    /**
+     * Switch away from speculative logging (Section 4.3.1): persist
+     * all durable data, then truncate the logs; afterwards another
+     * crash-consistency mechanism may manage this pool. No transaction
+     * may be running.
+     */
+    void switchMechanism();
+
+    /** Run one synchronous reclamation/compaction cycle (all threads). */
+    void reclaimNow();
+
+    /** Bytes currently held by log blocks across all threads. */
+    std::size_t logBytesInUse() const;
+
+    /** High-water mark of logBytesInUse(). */
+    std::size_t peakLogBytes() const { return peakLogBytes_.load(); }
+
+    /** Number of completed reclamation cycles. */
+    std::uint64_t reclaimCycles() const { return reclaimCycles_.load(); }
+
+  private:
+    /** An in-progress (uncommitted) segment of the open transaction. */
+    struct OpenSeg
+    {
+        PmOff pos;          ///< SegHead location
+        std::size_t bytes;  ///< segment size so far (incl. header)
+        std::uint32_t numEntries;
+    };
+
+    struct ThreadLog
+    {
+        mutable std::mutex mutex; ///< guards blocks/tail vs reclaimer
+        std::vector<PmOff> blocks; ///< chain, oldest -> newest
+        std::size_t tailPos = 0;   ///< append offset in blocks.back()
+        bool inTx = false;
+        std::vector<OpenSeg> openSegs;
+        /** (off,size) -> logged value position, for last-update dedup. */
+        std::unordered_map<std::uint64_t, PmOff> entryIndex;
+        /** Flush set accumulated since the last commit fence. */
+        std::vector<std::pair<PmOff, std::size_t>> pendingFlush;
+        /** Pre-images for fast abort (volatile, Section 5.3.2). */
+        std::vector<std::pair<PmOff, std::vector<std::uint8_t>>> preImages;
+        txn::WriteSet captured;  ///< bytes with a pre-image this tx
+        txn::WriteSet writeSet;  ///< data bytes updated this tx (DP)
+        /** Index of the first block containing an open segment. */
+        std::size_t firstOpenBlock = 0;
+    };
+
+    ThreadLog &threadLog(ThreadId tid) { return *logs_.at(tid); }
+
+    /** Allocate, zero and link a fresh tail block (>= min_bytes room). */
+    void attachBlock(ThreadLog &log, std::size_t min_bytes);
+
+    /** Open a new segment at the tail (attaching a block if needed). */
+    void openSegment(ThreadLog &log);
+
+    /** Append one entry (assumes a segment is open). */
+    void appendEntry(ThreadLog &log, PmOff off, const void *src,
+                     std::size_t size);
+
+    /** Write zero poison at the tail so walkers stop there. */
+    void poisonTail(ThreadLog &log);
+
+    void initFreshLog(unsigned tid);
+
+    /** One reclamation cycle; returns bytes freed. */
+    std::size_t reclaimCycle();
+
+    void reclaimerMain();
+
+    void noteLogBytes(std::ptrdiff_t delta);
+
+    SpecTxConfig config_;
+    std::vector<std::unique_ptr<ThreadLog>> logs_;
+    /** Set when the constructor found a pre-existing (crashed) pool. */
+    bool needsRecovery_ = false;
+
+    std::atomic<std::size_t> logBytes_{0};
+    std::atomic<std::size_t> peakLogBytes_{0};
+    std::atomic<std::uint64_t> reclaimCycles_{0};
+
+    std::mutex reclaimMutex_;
+    std::condition_variable reclaimCv_;
+    bool reclaimRequested_ = false;
+    bool stopReclaimer_ = false;
+    std::thread reclaimer_;
+};
+
+} // namespace specpmt::core
+
+#endif // SPECPMT_CORE_SPEC_TX_HH

@@ -1,0 +1,157 @@
+#include "core/splog_format.hh"
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace specpmt::core
+{
+
+std::uint32_t
+segmentCrc(const pmem::PmemDevice &dev, PmOff seg_pos, const SegHead &head)
+{
+    std::uint32_t crc = crc32c(&seg_pos, sizeof(seg_pos));
+    crc = crc32c(&head.sizeBytes, sizeof(head.sizeBytes), crc);
+    crc = crc32c(&head.timestamp, sizeof(head.timestamp), crc);
+    crc = crc32c(&head.flags, sizeof(head.flags), crc);
+    crc = crc32c(&head.numEntries, sizeof(head.numEntries), crc);
+
+    // Entry bytes, straight from the device image.
+    const std::size_t body = head.sizeBytes - sizeof(SegHead);
+    std::vector<std::uint8_t> buffer(body);
+    dev.load(seg_pos + sizeof(SegHead), buffer.data(), body);
+    return crc32c(buffer.data(), body, crc);
+}
+
+namespace
+{
+
+/**
+ * Parse the segments of one block starting at its first record slot.
+ *
+ * @return WalkEnd::TornRecord on a crc mismatch; WalkEnd::CleanTail on
+ *         poison or block exhaustion. @p next_out receives the chain
+ *         pointer for the caller to follow on CleanTail.
+ */
+WalkEnd
+parseBlock(const pmem::PmemDevice &dev, PmOff block,
+           const std::function<void(const DecodedSegment &)> &visit,
+           PmOff *next_out, PmOff *stop_out = nullptr)
+{
+    const auto bh = dev.loadT<BlockHeader>(block);
+    if (next_out)
+        *next_out = bh.next;
+
+    PmOff pos = block + sizeof(BlockHeader);
+    // A block reached through a never-persisted chain pointer may hold
+    // a torn header; treat anything implausible as a torn record.
+    if (bh.capacity < sizeof(BlockHeader) + 8 ||
+        block + bh.capacity > dev.size()) {
+        if (next_out)
+            *next_out = kPmNull;
+        if (stop_out)
+            *stop_out = pos;
+        return WalkEnd::TornRecord;
+    }
+    struct StopGuard
+    {
+        PmOff *out;
+        PmOff *pos;
+        ~StopGuard()
+        {
+            if (out)
+                *out = *pos;
+        }
+    } stop_guard{stop_out, &pos};
+    const PmOff end = block + bh.capacity;
+    while (pos + sizeof(SegHead) <= end) {
+        const auto head = dev.loadT<SegHead>(pos);
+        if (head.sizeBytes == 0)
+            return WalkEnd::CleanTail; // poison: chronological tail here
+        if (head.sizeBytes < sizeof(SegHead) || pos + head.sizeBytes > end)
+            return WalkEnd::TornRecord;
+        if (segmentCrc(dev, pos, head) != head.crc)
+            return WalkEnd::TornRecord;
+
+        DecodedSegment seg;
+        seg.pos = pos;
+        seg.timestamp = head.timestamp;
+        seg.final = (head.flags & kSegFinal) != 0;
+        seg.flags = head.flags;
+        seg.sizeBytes = head.sizeBytes;
+
+        PmOff cursor = pos + sizeof(SegHead);
+        const PmOff seg_end = pos + head.sizeBytes;
+        bool entries_ok = true;
+        for (std::uint32_t i = 0; i < head.numEntries; ++i) {
+            if (cursor + sizeof(EntryHead) > seg_end) {
+                entries_ok = false;
+                break;
+            }
+            const auto ehead = dev.loadT<EntryHead>(cursor);
+            if (ehead.size == 0 ||
+                cursor + entryBytes(ehead.size) > seg_end) {
+                entries_ok = false;
+                break;
+            }
+            seg.entries.push_back({ehead.off, ehead.size,
+                                   cursor + sizeof(EntryHead)});
+            cursor += entryBytes(ehead.size);
+        }
+        if (!entries_ok)
+            return WalkEnd::TornRecord; // crc matched garbage? bail out
+
+        visit(seg);
+        pos += (head.sizeBytes + 7) & ~std::uint64_t{7};
+    }
+    return WalkEnd::CleanTail;
+}
+
+} // namespace
+
+WalkResult
+walkChain(const pmem::PmemDevice &dev, PmOff head_block,
+          const std::function<void(const DecodedSegment &)> &visit)
+{
+    WalkResult result;
+    PmOff block = head_block;
+    while (block != kPmNull) {
+        // Validate the block header before adopting the block: a block
+        // reached through a chain pointer that persisted before the
+        // block's own header did may be arbitrary garbage. The walk
+        // ends at the previous block's tail in that case.
+        if (block + sizeof(BlockHeader) > dev.size()) {
+            result.end = WalkEnd::TornRecord;
+            return result;
+        }
+        const auto bh = dev.loadT<BlockHeader>(block);
+        if (bh.capacity < sizeof(BlockHeader) + 8 ||
+            bh.capacity > dev.size() ||
+            block + bh.capacity > dev.size()) {
+            result.end = WalkEnd::TornRecord;
+            return result;
+        }
+        result.blocks.push_back(block);
+        result.tailBlock = block;
+        PmOff next = kPmNull;
+        PmOff stop = kPmNull;
+        const WalkEnd block_end =
+            parseBlock(dev, block, visit, &next, &stop);
+        result.tailPos = stop;
+        if (block_end == WalkEnd::TornRecord) {
+            result.end = WalkEnd::TornRecord;
+            return result;
+        }
+        block = next;
+    }
+    result.end = WalkEnd::CleanTail;
+    return result;
+}
+
+void
+walkBlock(const pmem::PmemDevice &dev, PmOff block,
+          const std::function<void(const DecodedSegment &)> &visit)
+{
+    parseBlock(dev, block, visit, nullptr);
+}
+
+} // namespace specpmt::core

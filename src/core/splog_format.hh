@@ -1,0 +1,158 @@
+/**
+ * @file
+ * On-media format of the speculative log (paper Section 4.1) and the
+ * shared walker used by commit-time bookkeeping, the background
+ * reclaimer, and post-crash recovery.
+ *
+ * A per-thread log area is a forward-chained list of *log blocks*:
+ *
+ *   [BlockHeader][segment][segment]...[poison]
+ *
+ * Each committed transaction contributes one or more *segments*
+ * (several only when the transaction's entries overflow a block).
+ * A segment is:
+ *
+ *   [SegHead crc|sizeBytes|timestamp|flags|numEntries]
+ *   [EntryHead off|size][value, 8-aligned] * numEntries
+ *
+ * The crc covers everything after the crc field and is written only at
+ * commit — it doubles as the commit flag (a torn or absent crc means
+ * the transaction never committed), exactly the dedicated-flag-free
+ * design in the paper. The timestamp orders records across threads for
+ * recovery. A zero sizeBytes where a segment header would start is the
+ * chronological tail poison: the walker either follows the block's
+ * next pointer or stops.
+ */
+
+#ifndef SPECPMT_CORE_SPLOG_FORMAT_HH
+#define SPECPMT_CORE_SPLOG_FORMAT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "pmem/pmem_device.hh"
+
+namespace specpmt::core
+{
+
+/** Chain pointers at the start of every log block. */
+struct BlockHeader
+{
+    PmOff next;
+    PmOff prev;
+    std::uint64_t capacity; ///< usable bytes including this header
+    std::uint64_t pad;
+};
+static_assert(sizeof(BlockHeader) == 32);
+
+/** Segment (log record) header; see file comment. */
+struct SegHead
+{
+    std::uint32_t crc;
+    std::uint32_t sizeBytes; ///< whole segment, including this header
+    std::uint64_t timestamp;
+    std::uint32_t flags;     ///< kSegFinal on a tx's last segment
+    std::uint32_t numEntries;
+};
+static_assert(sizeof(SegHead) == 24);
+
+/** Flag: this segment completes its transaction. */
+constexpr std::uint32_t kSegFinal = 0x1;
+
+/**
+ * Flags used by the hybrid (hardware-protocol) log, Section 5: an
+ * undo record created for a cold line, and a whole-page speculative
+ * record created on a cold->hot transition. For these, the timestamp
+ * field carries the creating transaction's per-thread sequence number
+ * rather than a commit timestamp.
+ */
+constexpr std::uint32_t kSegUndo = 0x2;
+constexpr std::uint32_t kSegPage = 0x4;
+
+/** Per-datum entry header inside a segment. */
+struct EntryHead
+{
+    std::uint64_t off;
+    std::uint32_t size;
+    std::uint32_t pad;
+};
+static_assert(sizeof(EntryHead) == 16);
+
+/** Bytes an entry occupies in the log. */
+constexpr std::size_t
+entryBytes(std::size_t value_size)
+{
+    return sizeof(EntryHead) + ((value_size + 7) & ~std::size_t{7});
+}
+
+/** Default log block size (paper: on-demand fixed-size blocks). */
+constexpr std::size_t kLogBlockSize = 4096;
+
+/**
+ * Compute a segment's crc from the device image: covers the SegHead
+ * fields after crc plus all entry bytes, seeded by the segment's
+ * location so a record can never validate at a different position
+ * (e.g. in a recycled block).
+ */
+std::uint32_t segmentCrc(const pmem::PmemDevice &dev, PmOff seg_pos,
+                         const SegHead &head);
+
+/** A decoded log entry (value still resident in the device image). */
+struct DecodedEntry
+{
+    PmOff dataOff;   ///< address the entry describes
+    std::uint32_t size;
+    PmOff valuePos;  ///< where the logged value lives in the log area
+};
+
+/** A decoded, checksum-valid segment. */
+struct DecodedSegment
+{
+    PmOff pos = kPmNull;        ///< segment start in the log area
+    TxTimestamp timestamp = 0;
+    bool final = false;         ///< completes its transaction
+    std::uint32_t flags = 0;    ///< raw SegHead flags
+    std::uint32_t sizeBytes = 0;
+    std::vector<DecodedEntry> entries;
+};
+
+/** Why a walk over one thread's chain ended. */
+enum class WalkEnd
+{
+    CleanTail,   ///< poison / end of chain: everything parsed
+    TornRecord,  ///< crc mismatch: crash interrupted a commit here
+};
+
+/** Structural result of a chain walk, used to re-adopt a log. */
+struct WalkResult
+{
+    WalkEnd end = WalkEnd::CleanTail;
+    /** Every block reached by following next pointers, in order. */
+    std::vector<PmOff> blocks;
+    /** Absolute position right after the last valid segment. */
+    PmOff tailPos = kPmNull;
+    /** Block containing tailPos (the last visited block). */
+    PmOff tailBlock = kPmNull;
+};
+
+/**
+ * Walk one thread's block chain from @p head_block, invoking
+ * @p visit for every checksum-valid segment in chronological order.
+ * Stops at the first torn record (there cannot be fresh records
+ * beyond it — Section 4.1).
+ */
+WalkResult walkChain(const pmem::PmemDevice &dev, PmOff head_block,
+                     const std::function<void(const DecodedSegment &)> &visit);
+
+/**
+ * Walk the segments of a single block (no chain following); used by
+ * the reclaimer, which freezes an explicit block list.
+ */
+void walkBlock(const pmem::PmemDevice &dev, PmOff block,
+               const std::function<void(const DecodedSegment &)> &visit);
+
+} // namespace specpmt::core
+
+#endif // SPECPMT_CORE_SPLOG_FORMAT_HH

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * A crash-consistent open-addressing hash map over the TxRuntime API.
+ *
+ * Keys and values are trivially copyable; each mutation is one
+ * transaction (or joins the caller's open transaction via the *InTx
+ * variants), so multi-word bucket updates are crash-atomic under any
+ * recoverable runtime in this repository. Capacity is fixed at
+ * creation; the map header lives in persistent memory so a re-opened
+ * pool can attach() by base offset.
+ */
+
+#ifndef SPECPMT_PMDS_PM_HASH_MAP_HH
+#define SPECPMT_PMDS_PM_HASH_MAP_HH
+
+#include <optional>
+#include <type_traits>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "txn/tx_runtime.hh"
+
+namespace specpmt::pmds
+{
+
+/** Fixed-capacity persistent hash map; see file comment. */
+template <typename Key, typename Value>
+class PmHashMap
+{
+    static_assert(std::is_trivially_copyable_v<Key>);
+    static_assert(std::is_trivially_copyable_v<Value>);
+
+  public:
+    /** Persistent header at the map's base offset. */
+    struct Header
+    {
+        std::uint64_t magic;
+        std::uint64_t buckets;
+        std::uint64_t pad[2];
+    };
+
+    struct Bucket
+    {
+        std::uint8_t state; ///< 0 empty, 1 live, 2 tombstone
+        std::uint8_t pad[7];
+        Key key;
+        Value value;
+    };
+
+    static constexpr std::uint64_t kMagic = 0x504D4D4150ull; // "PMMAP"
+
+    /**
+     * Allocate and initialize a map with @p buckets slots (a power of
+     * two) through committed transactions of @p rt.
+     */
+    static PmHashMap
+    create(txn::TxRuntime &rt, std::uint64_t buckets)
+    {
+        SPECPMT_ASSERT((buckets & (buckets - 1)) == 0);
+        auto &pool = rt.pool();
+        const PmOff base = pool.alloc(sizeof(Header) +
+                                      buckets * sizeof(Bucket));
+        rt.txBegin(0);
+        rt.txStoreT<Header>(0, base, {kMagic, buckets, {0, 0}});
+        rt.txCommit(0);
+
+        PmHashMap map(rt, base, buckets);
+        Bucket empty{};
+        empty.state = 0;
+        constexpr std::uint64_t kBatch = 128;
+        for (std::uint64_t start = 0; start < buckets;
+             start += kBatch) {
+            rt.txBegin(0);
+            for (std::uint64_t i = start;
+                 i < std::min(start + kBatch, buckets); ++i) {
+                rt.txStoreT<Bucket>(0, map.bucketOff(i), empty);
+            }
+            rt.txCommit(0);
+        }
+        return map;
+    }
+
+    /** Attach to an existing map at @p base (e.g. after recovery). */
+    static PmHashMap
+    attach(txn::TxRuntime &rt, PmOff base)
+    {
+        const auto header = rt.txLoadT<Header>(0, base);
+        SPECPMT_ASSERT(header.magic == kMagic);
+        return PmHashMap(rt, base, header.buckets);
+    }
+
+    /** The base offset (publish it via a pool root). */
+    PmOff base() const { return base_; }
+
+    /** Insert or update inside its own transaction. */
+    bool
+    put(const Key &key, const Value &value)
+    {
+        rt_->txBegin(0);
+        const bool ok = putInTx(key, value);
+        rt_->txCommit(0);
+        return ok;
+    }
+
+    /** Insert or update inside the caller's open transaction. */
+    bool
+    putInTx(const Key &key, const Value &value)
+    {
+        const auto slot = findSlot(key, true);
+        if (!slot)
+            return false;
+        Bucket bucket;
+        bucket.state = 1;
+        bucket.key = key;
+        bucket.value = value;
+        rt_->txStoreT<Bucket>(0, bucketOff(*slot), bucket);
+        return true;
+    }
+
+    /** Point lookup (usable inside or outside a transaction). */
+    std::optional<Value>
+    get(const Key &key)
+    {
+        const auto slot = findSlot(key, false);
+        if (!slot)
+            return std::nullopt;
+        const auto bucket = rt_->txLoadT<Bucket>(0, bucketOff(*slot));
+        if (bucket.state == 1 && bucket.key == key)
+            return bucket.value;
+        return std::nullopt;
+    }
+
+    /** Remove inside its own transaction; true if it was present. */
+    bool
+    erase(const Key &key)
+    {
+        rt_->txBegin(0);
+        const bool erased = eraseInTx(key);
+        rt_->txCommit(0);
+        return erased;
+    }
+
+    /** Remove inside the caller's open transaction. */
+    bool
+    eraseInTx(const Key &key)
+    {
+        const auto slot = findSlot(key, false);
+        if (!slot)
+            return false;
+        auto bucket = rt_->txLoadT<Bucket>(0, bucketOff(*slot));
+        if (bucket.state != 1 || !(bucket.key == key))
+            return false;
+        bucket.state = 2;
+        rt_->txStoreT<Bucket>(0, bucketOff(*slot), bucket);
+        return true;
+    }
+
+    /** Visit every live (key, value) pair. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (std::uint64_t i = 0; i < buckets_; ++i) {
+            const auto bucket = rt_->txLoadT<Bucket>(0, bucketOff(i));
+            if (bucket.state == 1)
+                fn(bucket.key, bucket.value);
+        }
+    }
+
+    /** Number of live entries (linear scan). */
+    std::uint64_t
+    size()
+    {
+        std::uint64_t count = 0;
+        forEach([&](const Key &, const Value &) { ++count; });
+        return count;
+    }
+
+  private:
+    PmHashMap(txn::TxRuntime &rt, PmOff base, std::uint64_t buckets)
+        : rt_(&rt), base_(base), buckets_(buckets)
+    {}
+
+    PmOff
+    bucketOff(std::uint64_t index) const
+    {
+        return base_ + sizeof(Header) + index * sizeof(Bucket);
+    }
+
+    std::optional<std::uint64_t>
+    findSlot(const Key &key, bool for_insert)
+    {
+        std::uint64_t index = mix64(hashKey(key)) & (buckets_ - 1);
+        std::optional<std::uint64_t> first_free;
+        for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
+            const auto bucket = rt_->txLoadT<Bucket>(0,
+                                                     bucketOff(index));
+            if (bucket.state == 1 && bucket.key == key)
+                return index;
+            if (bucket.state == 2 && !first_free)
+                first_free = index;
+            if (bucket.state == 0) {
+                return for_insert
+                    ? (first_free ? first_free : std::optional(index))
+                    : std::nullopt;
+            }
+            index = (index + 1) & (buckets_ - 1);
+        }
+        return for_insert ? first_free : std::nullopt;
+    }
+
+    static std::uint64_t
+    hashKey(const Key &key)
+    {
+        // Byte-wise hash of the trivially copyable key.
+        const auto *bytes = reinterpret_cast<const unsigned char *>(
+            &key);
+        std::uint64_t hash = 0;
+        for (std::size_t i = 0; i < sizeof(Key); ++i)
+            hash = hashCombine(hash, bytes[i]);
+        return hash;
+    }
+
+    txn::TxRuntime *rt_;
+    PmOff base_;
+    std::uint64_t buckets_;
+};
+
+} // namespace specpmt::pmds
+
+#endif // SPECPMT_PMDS_PM_HASH_MAP_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A crash-consistent bounded FIFO queue (ring buffer) over the
+ * TxRuntime API. Enqueue writes the slot and bumps the tail in one
+ * transaction; dequeue reads the slot and bumps the head in one
+ * transaction — so after a crash an element was either fully enqueued
+ * (dequeued) or not at all, and no element is ever duplicated or
+ * lost.
+ */
+
+#ifndef SPECPMT_PMDS_PM_QUEUE_HH
+#define SPECPMT_PMDS_PM_QUEUE_HH
+
+#include <optional>
+#include <type_traits>
+
+#include "common/logging.hh"
+#include "txn/tx_runtime.hh"
+
+namespace specpmt::pmds
+{
+
+/** Fixed-capacity persistent FIFO; see file comment. */
+template <typename T>
+class PmQueue
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    struct Header
+    {
+        std::uint64_t magic;
+        std::uint64_t capacity;
+        std::uint64_t head; ///< next slot to dequeue
+        std::uint64_t tail; ///< next slot to enqueue
+    };
+
+    static constexpr std::uint64_t kMagic = 0x504D51ull; // "PMQ"
+
+    /** Allocate an empty queue with room for @p capacity elements. */
+    static PmQueue
+    create(txn::TxRuntime &rt, std::uint64_t capacity)
+    {
+        auto &pool = rt.pool();
+        const PmOff base =
+            pool.alloc(sizeof(Header) + capacity * sizeof(T));
+        rt.txBegin(0);
+        rt.txStoreT<Header>(0, base, {kMagic, capacity, 0, 0});
+        rt.txCommit(0);
+        return PmQueue(rt, base, capacity);
+    }
+
+    /** Attach to an existing queue at @p base. */
+    static PmQueue
+    attach(txn::TxRuntime &rt, PmOff base)
+    {
+        const auto header = rt.txLoadT<Header>(0, base);
+        SPECPMT_ASSERT(header.magic == kMagic);
+        return PmQueue(rt, base, header.capacity);
+    }
+
+    PmOff base() const { return base_; }
+
+    std::uint64_t
+    size()
+    {
+        const auto header = rt_->txLoadT<Header>(0, base_);
+        return header.tail - header.head;
+    }
+
+    bool empty() { return size() == 0; }
+
+    /** Enqueue atomically; false when full. */
+    bool
+    enqueue(const T &value)
+    {
+        rt_->txBegin(0);
+        const auto header = rt_->txLoadT<Header>(0, base_);
+        bool ok = false;
+        if (header.tail - header.head < capacity_) {
+            rt_->txStoreT<T>(0, slotOff(header.tail % capacity_),
+                             value);
+            rt_->txStoreT<std::uint64_t>(
+                0, base_ + offsetof(Header, tail), header.tail + 1);
+            ok = true;
+        }
+        rt_->txCommit(0);
+        return ok;
+    }
+
+    /** Dequeue atomically; nullopt when empty. */
+    std::optional<T>
+    dequeue()
+    {
+        rt_->txBegin(0);
+        const auto header = rt_->txLoadT<Header>(0, base_);
+        std::optional<T> value;
+        if (header.tail != header.head) {
+            value = rt_->txLoadT<T>(0, slotOff(header.head % capacity_));
+            rt_->txStoreT<std::uint64_t>(
+                0, base_ + offsetof(Header, head), header.head + 1);
+        }
+        rt_->txCommit(0);
+        return value;
+    }
+
+    /** Visit every pending element, oldest first, without consuming. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        const auto header = rt_->txLoadT<Header>(0, base_);
+        for (std::uint64_t i = header.head; i != header.tail; ++i)
+            fn(rt_->txLoadT<T>(0, slotOff(i % capacity_)));
+    }
+
+    /** Peek without consuming. */
+    std::optional<T>
+    front()
+    {
+        const auto header = rt_->txLoadT<Header>(0, base_);
+        if (header.tail == header.head)
+            return std::nullopt;
+        return rt_->txLoadT<T>(0, slotOff(header.head % capacity_));
+    }
+
+  private:
+    PmQueue(txn::TxRuntime &rt, PmOff base, std::uint64_t capacity)
+        : rt_(&rt), base_(base), capacity_(capacity)
+    {}
+
+    PmOff
+    slotOff(std::uint64_t slot) const
+    {
+        return base_ + sizeof(Header) + slot * sizeof(T);
+    }
+
+    txn::TxRuntime *rt_;
+    PmOff base_;
+    std::uint64_t capacity_;
+};
+
+} // namespace specpmt::pmds
+
+#endif // SPECPMT_PMDS_PM_QUEUE_HH

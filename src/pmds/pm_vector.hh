@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A crash-consistent bounded vector over the TxRuntime API.
+ *
+ * The element write and the size bump happen in one transaction, so a
+ * push is atomic: after a crash the vector either has the element and
+ * the larger size, or neither. The capacity is fixed at creation.
+ */
+
+#ifndef SPECPMT_PMDS_PM_VECTOR_HH
+#define SPECPMT_PMDS_PM_VECTOR_HH
+
+#include <type_traits>
+
+#include "common/logging.hh"
+#include "txn/tx_runtime.hh"
+
+namespace specpmt::pmds
+{
+
+/** Fixed-capacity persistent vector; see file comment. */
+template <typename T>
+class PmVector
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    struct Header
+    {
+        std::uint64_t magic;
+        std::uint64_t capacity;
+        std::uint64_t size;
+        std::uint64_t pad;
+    };
+
+    static constexpr std::uint64_t kMagic = 0x504D564543ull; // "PMVEC"
+
+    /** Allocate an empty vector with room for @p capacity elements. */
+    static PmVector
+    create(txn::TxRuntime &rt, std::uint64_t capacity)
+    {
+        auto &pool = rt.pool();
+        const PmOff base =
+            pool.alloc(sizeof(Header) + capacity * sizeof(T));
+        rt.txBegin(0);
+        rt.txStoreT<Header>(0, base, {kMagic, capacity, 0, 0});
+        rt.txCommit(0);
+        return PmVector(rt, base, capacity);
+    }
+
+    /** Attach to an existing vector at @p base. */
+    static PmVector
+    attach(txn::TxRuntime &rt, PmOff base)
+    {
+        const auto header = rt.txLoadT<Header>(0, base);
+        SPECPMT_ASSERT(header.magic == kMagic);
+        return PmVector(rt, base, header.capacity);
+    }
+
+    PmOff base() const { return base_; }
+
+    std::uint64_t
+    size()
+    {
+        return rt_->txLoadT<Header>(0, base_).size;
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Append atomically; false when full. */
+    bool
+    pushBack(const T &value)
+    {
+        rt_->txBegin(0);
+        const bool ok = pushBackInTx(value);
+        rt_->txCommit(0);
+        return ok;
+    }
+
+    /** Append inside the caller's open transaction. */
+    bool
+    pushBackInTx(const T &value)
+    {
+        const auto header = rt_->txLoadT<Header>(0, base_);
+        if (header.size >= capacity_)
+            return false;
+        rt_->txStoreT<T>(0, elementOff(header.size), value);
+        rt_->txStoreT<std::uint64_t>(
+            0, base_ + offsetof(Header, size), header.size + 1);
+        return true;
+    }
+
+    /** Remove the last element atomically; false when empty. */
+    bool
+    popBack()
+    {
+        rt_->txBegin(0);
+        const auto header = rt_->txLoadT<Header>(0, base_);
+        bool ok = false;
+        if (header.size > 0) {
+            rt_->txStoreT<std::uint64_t>(
+                0, base_ + offsetof(Header, size), header.size - 1);
+            ok = true;
+        }
+        rt_->txCommit(0);
+        return ok;
+    }
+
+    /** Read element @p index (bounds-checked). */
+    T
+    at(std::uint64_t index)
+    {
+        SPECPMT_ASSERT(index < size());
+        return rt_->txLoadT<T>(0, elementOff(index));
+    }
+
+    /** Overwrite element @p index atomically. */
+    void
+    set(std::uint64_t index, const T &value)
+    {
+        SPECPMT_ASSERT(index < size());
+        rt_->txBegin(0);
+        rt_->txStoreT<T>(0, elementOff(index), value);
+        rt_->txCommit(0);
+    }
+
+  private:
+    PmVector(txn::TxRuntime &rt, PmOff base, std::uint64_t capacity)
+        : rt_(&rt), base_(base), capacity_(capacity)
+    {}
+
+    PmOff
+    elementOff(std::uint64_t index) const
+    {
+        return base_ + sizeof(Header) + index * sizeof(T);
+    }
+
+    txn::TxRuntime *rt_;
+    PmOff base_;
+    std::uint64_t capacity_;
+};
+
+} // namespace specpmt::pmds
+
+#endif // SPECPMT_PMDS_PM_VECTOR_HH

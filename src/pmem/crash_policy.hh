@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Crash eviction policies for the emulated persistence domain.
+ *
+ * At a simulated power failure, every store that has been fenced into
+ * the persistence domain survives deterministically. Everything else —
+ * dirty cache lines and flushed-but-unfenced lines — may or may not
+ * have reached persistent media, depending on cache evictions and
+ * write-pending-queue drain timing that real hardware does not let
+ * software observe. These policies make that nondeterminism explicit
+ * and enumerable so crash-consistency tests can sweep it.
+ */
+
+#ifndef SPECPMT_PMEM_CRASH_POLICY_HH
+#define SPECPMT_PMEM_CRASH_POLICY_HH
+
+#include <cstdint>
+
+namespace specpmt::pmem
+{
+
+/** How undrained lines behave at a simulated crash. */
+enum class CrashMode : std::uint8_t
+{
+    /** No unfenced write persists: the adversarial minimum. */
+    NothingExtra,
+    /** Every dirty/pending line persists: the adversarial maximum. */
+    EverythingDrains,
+    /** Each unfenced line independently persists with probability p. */
+    RandomSubset,
+};
+
+/** A fully specified crash scenario. */
+struct CrashPolicy
+{
+    CrashMode mode = CrashMode::NothingExtra;
+    /** Persist probability for RandomSubset. */
+    double persistProbability = 0.5;
+    /** RNG seed for RandomSubset so scenarios are reproducible. */
+    std::uint64_t seed = 1;
+
+    static CrashPolicy
+    nothing()
+    {
+        return {CrashMode::NothingExtra, 0.0, 0};
+    }
+
+    static CrashPolicy
+    everything()
+    {
+        return {CrashMode::EverythingDrains, 1.0, 0};
+    }
+
+    static CrashPolicy
+    random(std::uint64_t seed, double p = 0.5)
+    {
+        return {CrashMode::RandomSubset, p, seed};
+    }
+};
+
+} // namespace specpmt::pmem
+
+#endif // SPECPMT_PMEM_CRASH_POLICY_HH

@@ -1,0 +1,294 @@
+#include "pmem/pmem_device.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rand.hh"
+
+namespace specpmt::pmem
+{
+
+PmemDevice::PmemDevice(std::size_t size, const TimingParams &params)
+    : timing_(params)
+{
+    const std::size_t rounded =
+        (size + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+    SPECPMT_ASSERT(rounded > 0);
+    volatileImage_.assign(rounded, 0);
+    persistentImage_.assign(rounded, 0);
+}
+
+void
+PmemDevice::checkRange(PmOff off, std::size_t size) const
+{
+    if (off + size > volatileImage_.size() || off + size < off) {
+        SPECPMT_PANIC("pmem access out of range: off=%llu size=%zu cap=%zu",
+                      static_cast<unsigned long long>(off), size,
+                      volatileImage_.size());
+    }
+}
+
+void
+PmemDevice::armCrash(long ops)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    crashCountdown_ = ops;
+    crashThread_ = std::this_thread::get_id();
+}
+
+void
+PmemDevice::maybeCrash()
+{
+    if (crashCountdown_ < 0 ||
+        std::this_thread::get_id() != crashThread_) {
+        return;
+    }
+    if (crashCountdown_-- == 0) {
+        crashCountdown_ = -1;
+        throw SimulatedCrash();
+    }
+}
+
+void
+PmemDevice::store(PmOff off, const void *src, std::size_t size)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    maybeCrash();
+    checkRange(off, size);
+    std::memcpy(volatileImage_.data() + off, src, size);
+    const std::uint64_t first = lineIndex(off);
+    const std::uint64_t last = lineIndex(off + size - 1);
+    for (std::uint64_t line = first; line <= last; ++line)
+        dirtyLines_.insert(line);
+    ++stats_.stores;
+    stats_.storeBytes += size;
+    if (timed())
+        timing_.onStore(last - first + 1);
+}
+
+void
+PmemDevice::load(PmOff off, void *dst, std::size_t size) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    checkRange(off, size);
+    std::memcpy(dst, volatileImage_.data() + off, size);
+    auto *self = const_cast<PmemDevice *>(this);
+    ++self->stats_.loads;
+    if (timed())
+        self->timing_.onLoad(lineSpan(off, size));
+}
+
+void
+PmemDevice::clwbLocked(PmOff off, TrafficClass cls)
+{
+    checkRange(off, 1);
+    const std::uint64_t line = lineIndex(off);
+    // clwb of a clean line is a no-op on real hardware (nothing to
+    // write back); modelling it as free keeps runtimes honest about
+    // redundant flushes without inflating their traffic counters.
+    if (!dirtyLines_.count(line))
+        return;
+    maybeCrash();
+    Line snapshot;
+    std::memcpy(snapshot.data(),
+                volatileImage_.data() + line * kCacheLineSize,
+                kCacheLineSize);
+    pendingLines_[line] = snapshot;
+    dirtyLines_.erase(line);
+    ++stats_.clwbs[static_cast<unsigned>(cls)];
+    if (timed())
+        timing_.onClwb(line);
+    else if (timedThreadOnly_)
+        timing_.onClwbAsync(line);
+}
+
+void
+PmemDevice::clwb(PmOff off, TrafficClass cls)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    clwbLocked(off, cls);
+}
+
+void
+PmemDevice::clwbRange(PmOff off, std::size_t size, TrafficClass cls)
+{
+    if (size == 0)
+        return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    const std::uint64_t first = lineIndex(off);
+    const std::uint64_t last = lineIndex(off + size - 1);
+    for (std::uint64_t line = first; line <= last; ++line)
+        clwbLocked(line * kCacheLineSize, cls);
+}
+
+void
+PmemDevice::sfence()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    maybeCrash();
+    for (const auto &[line, snapshot] : pendingLines_) {
+        std::memcpy(persistentImage_.data() + line * kCacheLineSize,
+                    snapshot.data(), kCacheLineSize);
+    }
+    pendingLines_.clear();
+    ++stats_.fences;
+    if (timed())
+        timing_.onSfence();
+}
+
+void
+PmemDevice::ntstore(PmOff off, const void *src, std::size_t size,
+                    TrafficClass cls)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    maybeCrash();
+    checkRange(off, size);
+    std::memcpy(volatileImage_.data() + off, src, size);
+    ++stats_.stores;
+    stats_.storeBytes += size;
+    const std::uint64_t first = lineIndex(off);
+    const std::uint64_t last = lineIndex(off + size - 1);
+    for (std::uint64_t line = first; line <= last; ++line) {
+        Line snapshot;
+        std::memcpy(snapshot.data(),
+                    volatileImage_.data() + line * kCacheLineSize,
+                    kCacheLineSize);
+        pendingLines_[line] = snapshot;
+        dirtyLines_.erase(line);
+        ++stats_.clwbs[static_cast<unsigned>(cls)];
+        if (timed())
+            timing_.onClwb(line);
+        else if (timedThreadOnly_)
+            timing_.onClwbAsync(line);
+    }
+}
+
+void
+PmemDevice::adrPersist(PmOff off, std::size_t size, TrafficClass cls)
+{
+    if (size == 0)
+        return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    maybeCrash();
+    checkRange(off, size);
+    const std::uint64_t first = lineIndex(off);
+    const std::uint64_t last = lineIndex(off + size - 1);
+    for (std::uint64_t line = first; line <= last; ++line) {
+        std::memcpy(persistentImage_.data() + line * kCacheLineSize,
+                    volatileImage_.data() + line * kCacheLineSize,
+                    kCacheLineSize);
+        dirtyLines_.erase(line);
+        pendingLines_.erase(line);
+        ++stats_.clwbs[static_cast<unsigned>(cls)];
+        if (timed())
+            timing_.onClwb(line);
+        else if (timedThreadOnly_)
+            timing_.onClwbAsync(line);
+    }
+}
+
+std::vector<std::uint8_t>
+PmemDevice::crashImage(const CrashPolicy &policy) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::uint8_t> image = persistentImage_;
+    Rng rng(policy.seed);
+
+    auto persists = [&](void) -> bool {
+        switch (policy.mode) {
+          case CrashMode::NothingExtra:
+            return false;
+          case CrashMode::EverythingDrains:
+            return true;
+          case CrashMode::RandomSubset:
+            return rng.chance(policy.persistProbability);
+        }
+        return false;
+    };
+
+    // Flushed-but-unfenced snapshots may have drained. Iterate in
+    // sorted line order so RandomSubset draws are reproducible.
+    std::vector<std::uint64_t> pending_lines;
+    pending_lines.reserve(pendingLines_.size());
+    for (const auto &[line, snapshot] : pendingLines_)
+        pending_lines.push_back(line);
+    std::sort(pending_lines.begin(), pending_lines.end());
+    for (std::uint64_t line : pending_lines) {
+        if (persists()) {
+            std::memcpy(image.data() + line * kCacheLineSize,
+                        pendingLines_.at(line).data(), kCacheLineSize);
+        }
+    }
+
+    // Dirty lines may have been evicted with their current contents.
+    std::vector<std::uint64_t> dirty_lines(dirtyLines_.begin(),
+                                           dirtyLines_.end());
+    std::sort(dirty_lines.begin(), dirty_lines.end());
+    for (std::uint64_t line : dirty_lines) {
+        if (persists()) {
+            std::memcpy(image.data() + line * kCacheLineSize,
+                        volatileImage_.data() + line * kCacheLineSize,
+                        kCacheLineSize);
+        }
+    }
+    return image;
+}
+
+void
+PmemDevice::simulateCrash(const CrashPolicy &policy)
+{
+    auto image = crashImage(policy);
+    std::lock_guard<std::mutex> guard(mutex_);
+    persistentImage_ = image;
+    volatileImage_ = std::move(image);
+    dirtyLines_.clear();
+    pendingLines_.clear();
+    ++stats_.crashes;
+}
+
+void
+PmemDevice::resetFromImage(const std::vector<std::uint8_t> &image)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    SPECPMT_ASSERT(image.size() == volatileImage_.size());
+    volatileImage_ = image;
+    persistentImage_ = image;
+    dirtyLines_.clear();
+    pendingLines_.clear();
+    ++stats_.crashes;
+}
+
+void
+PmemDevice::drainAll(TrafficClass cls)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::uint64_t> dirty(dirtyLines_.begin(),
+                                     dirtyLines_.end());
+    std::sort(dirty.begin(), dirty.end());
+    for (std::uint64_t line : dirty)
+        clwbLocked(line * kCacheLineSize, cls);
+    for (const auto &[line, snapshot] : pendingLines_) {
+        std::memcpy(persistentImage_.data() + line * kCacheLineSize,
+                    snapshot.data(), kCacheLineSize);
+    }
+    pendingLines_.clear();
+    ++stats_.fences;
+    if (timed())
+        timing_.onSfence();
+}
+
+bool
+PmemDevice::isLineDirty(PmOff off) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return dirtyLines_.count(lineIndex(off)) > 0;
+}
+
+std::size_t
+PmemDevice::dirtyLineCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return dirtyLines_.size();
+}
+
+} // namespace specpmt::pmem

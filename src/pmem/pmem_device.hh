@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Emulated persistent memory device with an explicit persistence
+ * domain, the substrate every transaction runtime in this repository
+ * is built on.
+ *
+ * The device keeps two byte images of the same address space:
+ *
+ *  - the *volatile image*: what the CPU observes through loads — the
+ *    union of cache contents and memory;
+ *  - the *persistent image*: what is guaranteed to survive a power
+ *    failure under ADR semantics.
+ *
+ * Stores modify the volatile image and mark cache lines dirty. clwb
+ * snapshots the current line contents into a pending set (the write
+ * heads toward the write pending queue). sfence promotes every pending
+ * snapshot into the persistent image — only then is the data durable
+ * under *all* crash scenarios. A simulated crash keeps the persistent
+ * image and lets a CrashPolicy decide, line by line, whether unfenced
+ * state (dirty lines, pending snapshots) also made it out — exactly
+ * the nondeterminism real hardware exposes.
+ *
+ * This model is deliberately conservative: on real ADR hardware a
+ * retired clwb will eventually drain even without a fence, but no
+ * ordering is guaranteed, so treating unfenced flushes as "maybe
+ * persisted" covers every real interleaving.
+ */
+
+#ifndef SPECPMT_PMEM_PMEM_DEVICE_HH
+#define SPECPMT_PMEM_PMEM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "pmem/crash_policy.hh"
+#include "pmem/pmem_timing.hh"
+
+namespace specpmt::pmem
+{
+
+/** Purpose tag for persistence traffic, for per-figure accounting. */
+enum class TrafficClass : std::uint8_t
+{
+    Data = 0,
+    Log = 1,
+    Meta = 2,
+};
+
+/**
+ * Thrown by the device when an armed crash countdown expires; the
+ * "power failed" signal for crash-injection tests. The operation that
+ * tripped the countdown is NOT applied.
+ */
+class SimulatedCrash : public std::exception
+{
+  public:
+    const char *
+    what() const noexcept override
+    {
+        return "simulated power failure";
+    }
+};
+
+/** Aggregate event counters exposed by the device. */
+struct DeviceStats
+{
+    std::uint64_t stores = 0;
+    std::uint64_t storeBytes = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t clwbs[3] = {0, 0, 0}; ///< indexed by TrafficClass
+    std::uint64_t fences = 0;
+    std::uint64_t crashes = 0;
+
+    std::uint64_t
+    totalClwbs() const
+    {
+        return clwbs[0] + clwbs[1] + clwbs[2];
+    }
+};
+
+/**
+ * The emulated device. Thread-safe: all mutating entry points take an
+ * internal lock, because software SpecPMT runs worker threads alongside
+ * a background log reclaimer.
+ */
+class PmemDevice
+{
+  public:
+    /**
+     * @param size    Device capacity in bytes (rounded up to a line).
+     * @param params  Latency model parameters.
+     */
+    explicit PmemDevice(std::size_t size, const TimingParams &params = {});
+
+    /** Device capacity in bytes. */
+    std::size_t size() const { return volatileImage_.size(); }
+
+    /** @name CPU-visible data path */
+    /// @{
+
+    /** Store @p size bytes at @p off (volatile until flushed+fenced). */
+    void store(PmOff off, const void *src, std::size_t size);
+
+    /** Load @p size bytes from @p off into @p dst. */
+    void load(PmOff off, void *dst, std::size_t size) const;
+
+    /** Typed store convenience. */
+    template <typename T>
+    void
+    storeT(PmOff off, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        store(off, &value, sizeof(T));
+    }
+
+    /** Typed load convenience. */
+    template <typename T>
+    T
+    loadT(PmOff off) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        load(off, &value, sizeof(T));
+        return value;
+    }
+
+    /** Flush the cache line containing @p off toward the WPQ. */
+    void clwb(PmOff off, TrafficClass cls = TrafficClass::Data);
+
+    /** Flush every line overlapping [off, off+size). */
+    void clwbRange(PmOff off, std::size_t size,
+                   TrafficClass cls = TrafficClass::Data);
+
+    /** Store fence: all previously flushed lines become durable. */
+    void sfence();
+
+    /**
+     * Non-temporal store: bypasses the cache; the written lines head
+     * straight for the WPQ (still requires sfence for a guarantee).
+     */
+    void ntstore(PmOff off, const void *src, std::size_t size,
+                 TrafficClass cls = TrafficClass::Data);
+
+    /**
+     * Hardware-ordered persist: the lines overlapping [off, off+size)
+     * enter the persistence domain immediately, with no fence.
+     *
+     * This models a hardware path that guarantees a write reaches the
+     * ADR-protected write pending queue before any dependent later
+     * store can retire — the ordering primitive hardware logging
+     * schemes (EDE's dependency tracking, hardware SpecPMT's log
+     * writes, Section 5) rely on. Software runtimes must NOT use it;
+     * they only get clwb + sfence.
+     */
+    void adrPersist(PmOff off, std::size_t size,
+                    TrafficClass cls = TrafficClass::Log);
+
+    /** Charge pure computation time on the virtual clock. */
+    void
+    compute(SimNs ns)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (timed())
+            timing_.compute(ns);
+    }
+
+    /**
+     * Restrict the virtual clock to the calling thread. Background
+     * helpers (SPHT's replayer, SpecPMT's reclaimer) run on dedicated
+     * cores in the paper's methodology; with this set, their device
+     * operations still count in the traffic statistics but do not
+     * advance the measured thread's clock.
+     */
+    void
+    timeOnlyCallingThread()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        timedThreadOnly_ = true;
+        timedThread_ = std::this_thread::get_id();
+    }
+
+    /// @}
+
+    /** @name Crash machinery */
+    /// @{
+
+    /**
+     * Compute the post-crash memory image under @p policy without
+     * modifying the device, so tests can sweep many policies from a
+     * single execution point.
+     */
+    std::vector<std::uint8_t> crashImage(const CrashPolicy &policy) const;
+
+    /**
+     * Simulate a power failure: the volatile state collapses to the
+     * crash image, all cache/WPQ state is lost.
+     */
+    void simulateCrash(const CrashPolicy &policy);
+
+    /** Reset both images from an externally captured crash image. */
+    void resetFromImage(const std::vector<std::uint8_t> &image);
+
+    /**
+     * Flush and fence every dirty line (clean shutdown / mode switch,
+     * Section 4.3.1's wbnoinvd analog).
+     */
+    void drainAll(TrafficClass cls = TrafficClass::Data);
+
+    /// @}
+
+    /**
+     * Arm a crash for the *calling thread*: after @p ops further
+     * persistence-relevant operations (stores, effective flushes,
+     * fences) from this thread, the device throws SimulatedCrash.
+     * Other threads are unaffected. Pass a negative value to disarm.
+     */
+    void armCrash(long ops);
+
+    /** @name Introspection */
+    /// @{
+
+    /** Direct read-only view of the volatile image. */
+    const std::uint8_t *raw() const { return volatileImage_.data(); }
+
+    /** Direct read-only view of the persistent image. */
+    const std::uint8_t *
+    persistentRaw() const
+    {
+        return persistentImage_.data();
+    }
+
+    /** True if the line containing @p off has unflushed stores. */
+    bool isLineDirty(PmOff off) const;
+
+    /** Number of currently dirty lines. */
+    std::size_t dirtyLineCount() const;
+
+    /** Event counters. */
+    const DeviceStats &stats() const { return stats_; }
+
+    /** Zero the event counters (images unaffected). */
+    void clearStats() { stats_ = DeviceStats{}; }
+
+    /** The virtual clock / latency model. */
+    PmemTiming &timing() { return timing_; }
+    const PmemTiming &timing() const { return timing_; }
+
+    /// @}
+
+  private:
+    using Line = std::array<std::uint8_t, kCacheLineSize>;
+
+    void checkRange(PmOff off, std::size_t size) const;
+    void clwbLocked(PmOff off, TrafficClass cls);
+    void maybeCrash();
+
+    /** Whether the calling thread's ops advance the virtual clock. */
+    bool
+    timed() const
+    {
+        return !timedThreadOnly_ ||
+               std::this_thread::get_id() == timedThread_;
+    }
+
+    mutable std::mutex mutex_;
+    std::vector<std::uint8_t> volatileImage_;
+    std::vector<std::uint8_t> persistentImage_;
+    /** Lines with stores newer than any flush. */
+    std::unordered_set<std::uint64_t> dirtyLines_;
+    /** Flushed-but-unfenced line snapshots, keyed by line index. */
+    std::unordered_map<std::uint64_t, Line> pendingLines_;
+    DeviceStats stats_;
+    PmemTiming timing_;
+    /** Crash-injection countdown; negative = disarmed. */
+    long crashCountdown_ = -1;
+    std::thread::id crashThread_;
+    /** Virtual-clock thread filter (see timeOnlyCallingThread). */
+    bool timedThreadOnly_ = false;
+    std::thread::id timedThread_;
+};
+
+} // namespace specpmt::pmem
+
+#endif // SPECPMT_PMEM_PMEM_DEVICE_HH

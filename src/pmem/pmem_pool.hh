@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A persistent memory pool: a segregated-free-list allocator over a
+ * PmemDevice plus a small crash-safe root directory.
+ *
+ * Allocator metadata (free lists, allocation sizes) lives in DRAM and
+ * is *not* crash consistent — this mirrors the paper's methodology,
+ * which ports STAMP with libvmmalloc (Section 7.1.1): heap contents
+ * are persistent, heap bookkeeping is volatile. Crash-consistency of
+ * application data is entirely the transaction runtime's job.
+ *
+ * The first page of the pool is a root directory of named persistent
+ * offsets (log heads, data structure roots). Root writes are persisted
+ * eagerly (clwb + sfence) so recovery can always locate its anchors.
+ */
+
+#ifndef SPECPMT_PMEM_PMEM_POOL_HH
+#define SPECPMT_PMEM_PMEM_POOL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "pmem/pmem_device.hh"
+
+namespace specpmt::pmem
+{
+
+/**
+ * Allocator + root directory over one PmemDevice.
+ */
+class PmemPool
+{
+  public:
+    /** Number of root directory slots (first pool page). */
+    static constexpr unsigned kRootSlots = 64;
+
+    /** Wrap @p device; the pool does not own the device. */
+    explicit PmemPool(PmemDevice &device);
+
+    /** The underlying device. */
+    PmemDevice &device() { return device_; }
+    const PmemDevice &device() const { return device_; }
+
+    /**
+     * Allocate @p size bytes (16-byte aligned).
+     * @return The pool offset, never kPmNull.
+     */
+    PmOff alloc(std::size_t size);
+
+    /**
+     * Allocate with the start aligned to @p alignment (a power of 2,
+     * at least 16). Log blocks use cache-line alignment so a record
+     * flush never drags in a neighbour's bytes.
+     */
+    PmOff allocAligned(std::size_t size, std::size_t alignment);
+
+    /** Release an allocation previously returned by alloc(). */
+    void free(PmOff off);
+
+    /** Size of the allocation at @p off. */
+    std::size_t allocationSize(PmOff off) const;
+
+    /** Bytes currently allocated (live). */
+    std::size_t bytesAllocated() const;
+
+    /** High-water mark of live bytes. */
+    std::size_t peakBytesAllocated() const;
+
+    /**
+     * Persistently publish the root offset in slot @p slot
+     * (clwb + sfence so it survives any crash).
+     */
+    void setRoot(unsigned slot, PmOff value);
+
+    /** Read root slot @p slot (kPmNull if never set). */
+    PmOff getRoot(unsigned slot) const;
+
+    /**
+     * Re-register an allocation discovered in a re-opened pool (e.g.
+     * a surviving log block found by recovery), so that free() and
+     * allocationSize() work on it and fresh allocations steer clear.
+     */
+    void adopt(PmOff off, std::size_t size);
+
+    /**
+     * Reset the volatile allocator state, as happens when a process
+     * re-opens a pool after a crash. Persistent contents (including
+     * roots) are untouched; all previous allocations are forgotten
+     * and the heap is re-opened above @p preserve_watermark so that
+     * recovery code can re-read old data before the application
+     * reallocates over it.
+     */
+    void reopenAfterCrash();
+
+  private:
+    static constexpr std::size_t kMinAlloc = 16;
+    static constexpr unsigned kNumClasses = 12; // 16B .. 32KB
+
+    static unsigned sizeClass(std::size_t size);
+    static std::size_t classBytes(unsigned cls);
+
+    PmemDevice &device_;
+    mutable std::mutex mutex_;
+    /** Free lists of offsets per size class (volatile). */
+    std::vector<std::vector<PmOff>> freeLists_;
+    /** Bump pointer for fresh carves. */
+    PmOff bump_;
+    /** Live allocation sizes (volatile bookkeeping). */
+    std::unordered_map<PmOff, std::size_t> live_;
+    std::size_t bytesLive_ = 0;
+    std::size_t peakBytesLive_ = 0;
+};
+
+} // namespace specpmt::pmem
+
+#endif // SPECPMT_PMEM_PMEM_POOL_HH

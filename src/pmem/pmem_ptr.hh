@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A thin typed view over a pool offset, for example/application code
+ * that wants pointer-ish ergonomics over PmOff plumbing.
+ */
+
+#ifndef SPECPMT_PMEM_PMEM_PTR_HH
+#define SPECPMT_PMEM_PMEM_PTR_HH
+
+#include <type_traits>
+
+#include "common/types.hh"
+#include "pmem/pmem_device.hh"
+
+namespace specpmt::pmem
+{
+
+/**
+ * Typed persistent pointer: (device, offset). Reads go straight to the
+ * device; writes must flow through a transaction runtime to be crash
+ * consistent, so this class only offers reads and address arithmetic.
+ */
+template <typename T>
+class PmemPtr
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "persistent objects must be trivially copyable");
+
+  public:
+    PmemPtr() : device_(nullptr), off_(kPmNull) {}
+
+    PmemPtr(PmemDevice &device, PmOff off) : device_(&device), off_(off) {}
+
+    /** The raw pool offset. */
+    PmOff off() const { return off_; }
+
+    /** True unless this is a null persistent pointer. */
+    explicit operator bool() const { return off_ != kPmNull; }
+
+    /** Read the whole object. */
+    T
+    get() const
+    {
+        return device_->loadT<T>(off_);
+    }
+
+    /** Offset of member @p member for use with TxRuntime::txStore. */
+    template <typename M>
+    PmOff
+    memberOff(M T::*member) const
+    {
+        // Standard-layout member offset without instantiating T in PM.
+        alignas(T) unsigned char storage[sizeof(T)];
+        auto *obj = reinterpret_cast<T *>(storage);
+        const auto delta =
+            reinterpret_cast<const unsigned char *>(&(obj->*member)) -
+            reinterpret_cast<const unsigned char *>(obj);
+        return off_ + static_cast<PmOff>(delta);
+    }
+
+    /** Pointer to the i-th element when this addresses an array of T. */
+    PmemPtr<T>
+    operator[](std::size_t i) const
+    {
+        return PmemPtr<T>(*device_, off_ + i * sizeof(T));
+    }
+
+  private:
+    PmemDevice *device_;
+    PmOff off_;
+};
+
+} // namespace specpmt::pmem
+
+#endif // SPECPMT_PMEM_PMEM_PTR_HH

@@ -1,0 +1,133 @@
+#include "pmem/pmem_timing.hh"
+
+#include "common/logging.hh"
+
+namespace specpmt::pmem
+{
+
+PmemTiming::Channel &
+PmemTiming::channelFor(std::uint64_t line_index)
+{
+    const std::uint64_t xp_line =
+        line_index / (kXpLineSize / kCacheLineSize);
+    return channels_[xp_line % channels_.size()];
+}
+
+void
+PmemTiming::retireCompleted()
+{
+    for (auto &channel : channels_) {
+        while (!channel.inflight.empty() &&
+               channel.inflight.front().done <= now_) {
+            channel.inflight.pop_front();
+        }
+    }
+}
+
+std::size_t
+PmemTiming::pendingCount() const
+{
+    std::size_t count = 0;
+    for (const auto &channel : channels_)
+        count += channel.inflight.size();
+    return count;
+}
+
+void
+PmemTiming::waitForSlot()
+{
+    SimNs earliest = ~SimNs{0};
+    for (const auto &channel : channels_) {
+        if (!channel.inflight.empty() &&
+            channel.inflight.front().done < earliest) {
+            earliest = channel.inflight.front().done;
+        }
+    }
+    SPECPMT_ASSERT(earliest != ~SimNs{0});
+    if (earliest > now_)
+        now_ = earliest;
+    retireCompleted();
+}
+
+bool
+PmemTiming::mergeIfPending(std::uint64_t line_index)
+{
+    for (const auto &write : channelFor(line_index).inflight) {
+        if (write.line == line_index)
+            return true;
+    }
+    return false;
+}
+
+SimNs
+PmemTiming::enqueueDrain(std::uint64_t line_index, bool async)
+{
+    Channel &channel = channelFor(line_index);
+    const std::uint64_t xp_line =
+        line_index / (kXpLineSize / kCacheLineSize);
+    const SimNs write_ns = (xp_line == channel.lastXpLine)
+        ? params_.pmWriteSameXpLineNs
+        : params_.pmWriteNs;
+    channel.lastXpLine = xp_line;
+
+    const SimNs start = channel.inflight.empty()
+        ? now_
+        : (channel.inflight.back().done > now_
+               ? channel.inflight.back().done
+               : now_);
+    ++pmLineWrites_;
+    if (write_ns == params_.pmWriteSameXpLineNs)
+        ++combinedWrites_;
+    const SimNs done = start + write_ns;
+    channel.inflight.push_back({done, line_index, async});
+    return done;
+}
+
+void
+PmemTiming::onClwb(std::uint64_t line_index)
+{
+    retireCompleted();
+    if (mergeIfPending(line_index)) {
+        now_ += params_.wpqAcceptNs;
+        return;
+    }
+    // A full queue back-pressures the core: media drain bandwidth is
+    // the throughput limit for write-heavy phases.
+    while (pendingCount() >= params_.wpqLines)
+        waitForSlot();
+    now_ += params_.wpqAcceptNs;
+    enqueueDrain(line_index, false);
+}
+
+void
+PmemTiming::onClwbAsync(std::uint64_t line_index)
+{
+    retireCompleted();
+    if (mergeIfPending(line_index))
+        return;
+    // Background cores do not stall this clock on a full queue, but
+    // their writes still occupy drain slots and bandwidth.
+    enqueueDrain(line_index, true);
+}
+
+void
+PmemTiming::onSfence()
+{
+    retireCompleted();
+    // Strict persist: wait for the youngest *synchronous* write on
+    // every channel (async writes ahead of it have already serialized
+    // into the same channel, so they are implicitly covered).
+    SimNs last_sync = 0;
+    for (const auto &channel : channels_) {
+        for (const auto &write : channel.inflight) {
+            if (!write.async && write.done > last_sync)
+                last_sync = write.done;
+        }
+    }
+    if (last_sync > now_)
+        now_ = last_sync;
+    retireCompleted();
+    now_ += params_.sfenceNs;
+}
+
+} // namespace specpmt::pmem

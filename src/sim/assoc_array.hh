@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A generic set-associative array with true-LRU replacement, the
+ * building block for the TLB and cache models.
+ */
+
+#ifndef SPECPMT_SIM_ASSOC_ARRAY_HH
+#define SPECPMT_SIM_ASSOC_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace specpmt::sim
+{
+
+/**
+ * Set-associative array mapping 64-bit keys to Meta, with LRU
+ * replacement inside each set.
+ */
+template <typename Meta>
+class AssocArray
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        Meta meta{};
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    AssocArray(unsigned num_entries, unsigned ways)
+        : ways_(ways), numSets_(num_entries / ways),
+          entries_(static_cast<std::size_t>(num_entries / ways) * ways)
+    {
+        // Capacities that are not an exact multiple of the
+        // associativity (e.g. 2MB / 12 ways) round down to whole sets.
+        SPECPMT_ASSERT(ways > 0);
+        SPECPMT_ASSERT(numSets_ > 0);
+    }
+
+    /** Find @p key; touches LRU state on hit. */
+    Meta *
+    find(std::uint64_t key)
+    {
+        Entry *entry = findEntry(key);
+        if (!entry)
+            return nullptr;
+        entry->lastUse = ++tick_;
+        return &entry->meta;
+    }
+
+    /** Find without disturbing LRU order (introspection). */
+    const Meta *
+    peek(std::uint64_t key) const
+    {
+        const Entry *entry =
+            const_cast<AssocArray *>(this)->findEntry(key);
+        return entry ? &entry->meta : nullptr;
+    }
+
+    /**
+     * Insert (key, meta), evicting the set's LRU entry if needed.
+     * @return The evicted (key, meta) pair, if a valid entry fell out.
+     */
+    std::optional<std::pair<std::uint64_t, Meta>>
+    insert(std::uint64_t key, const Meta &meta)
+    {
+        SPECPMT_ASSERT(!findEntry(key));
+        Entry *victim = nullptr;
+        const std::size_t base = setBase(key);
+        for (unsigned way = 0; way < ways_; ++way) {
+            Entry &entry = entries_[base + way];
+            if (!entry.valid) {
+                victim = &entry;
+                break;
+            }
+            if (!victim || entry.lastUse < victim->lastUse)
+                victim = &entry;
+        }
+        std::optional<std::pair<std::uint64_t, Meta>> evicted;
+        if (victim->valid)
+            evicted = {{victim->key, victim->meta}};
+        victim->key = key;
+        victim->meta = meta;
+        victim->valid = true;
+        victim->lastUse = ++tick_;
+        return evicted;
+    }
+
+    /** Remove @p key if present; returns its meta. */
+    std::optional<Meta>
+    erase(std::uint64_t key)
+    {
+        Entry *entry = findEntry(key);
+        if (!entry)
+            return std::nullopt;
+        entry->valid = false;
+        return entry->meta;
+    }
+
+    /** Apply @p fn to every valid entry (meta mutable). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Entry &entry : entries_) {
+            if (entry.valid)
+                fn(entry.key, entry.meta);
+        }
+    }
+
+    unsigned ways() const { return ways_; }
+    unsigned numSets() const { return numSets_; }
+
+  private:
+    std::size_t
+    setBase(std::uint64_t key) const
+    {
+        return (key % numSets_) * ways_;
+    }
+
+    Entry *
+    findEntry(std::uint64_t key)
+    {
+        const std::size_t base = setBase(key);
+        for (unsigned way = 0; way < ways_; ++way) {
+            Entry &entry = entries_[base + way];
+            if (entry.valid && entry.key == key)
+                return &entry;
+        }
+        return nullptr;
+    }
+
+    unsigned ways_;
+    unsigned numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_ASSOC_ARRAY_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Two-level cache model (private L1D + shared L2) with the hardware
+ * SpecPMT per-L1-line PBit/LogBit extensions (Figure 9), LRU
+ * replacement, and writeback eviction callbacks so the runtime models
+ * can charge persistent-memory traffic for natural evictions.
+ */
+
+#ifndef SPECPMT_SIM_CACHE_HH
+#define SPECPMT_SIM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "sim/assoc_array.hh"
+#include "sim/sim_config.hh"
+
+namespace specpmt::sim
+{
+
+/** Per-cache-line state, including the SpecPMT flag bits. */
+struct LineMeta
+{
+    bool dirty = false;
+    bool pBit = false;   ///< needs persistence on eviction
+    bool logBit = false; ///< needs speculative logging on commit/evict
+};
+
+/** Where an access was satisfied. */
+enum class CacheLevel
+{
+    L1,
+    L2,
+    Memory,
+};
+
+/**
+ * The cache hierarchy. All durable data lives in PM, so fills on a
+ * full miss pay the PM read latency (charged by the caller from the
+ * returned level).
+ */
+class CacheModel
+{
+  public:
+    /**
+     * Called when a line with interesting state leaves the hierarchy
+     * or crosses levels: the runtime decides what PM traffic results.
+     */
+    struct Hooks
+    {
+        /**
+         * Dirty/flagged line evicted from L1 into L2 (still volatile).
+         * The hook may rewrite the meta (e.g. clear PBit after
+         * persisting) before the line is demoted.
+         */
+        std::function<void(std::uint64_t line, LineMeta &)> onL1Evict;
+        /** Dirty line evicted from L2 toward memory. */
+        std::function<void(std::uint64_t line, LineMeta &)>
+            onL2Writeback;
+    };
+
+    explicit CacheModel(const SimConfig &config)
+        : l1_(static_cast<unsigned>(config.l1Bytes / kCacheLineSize),
+              config.l1Ways),
+          l2_(static_cast<unsigned>(config.l2Bytes / kCacheLineSize),
+              config.l2Ways)
+    {}
+
+    void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /**
+     * Access cache line @p line. Returns the level that satisfied the
+     * access; the line is resident in L1 with updated meta afterwards.
+     */
+    CacheLevel
+    access(std::uint64_t line, bool is_write)
+    {
+        if (LineMeta *meta = l1_.find(line)) {
+            meta->dirty |= is_write;
+            ++l1Hits_;
+            return CacheLevel::L1;
+        }
+        CacheLevel level = CacheLevel::Memory;
+        LineMeta fill{};
+        if (auto l2_meta = l2_.erase(line)) {
+            fill = *l2_meta;
+            level = CacheLevel::L2;
+            ++l2Hits_;
+        } else {
+            ++memFills_;
+        }
+        fill.dirty |= is_write;
+        installL1(line, fill);
+        return level;
+    }
+
+    /** L1 meta for @p line if resident. */
+    LineMeta *l1Meta(std::uint64_t line) { return l1_.find(line); }
+
+    /**
+     * Write the line back (clwb semantics): clears dirty wherever the
+     * line is resident; the caller charges the PM write.
+     */
+    void
+    clean(std::uint64_t line)
+    {
+        if (LineMeta *meta = l1_.find(line)) {
+            meta->dirty = false;
+            meta->pBit = false;
+        } else if (auto l2_meta = l2_.erase(line)) {
+            l2_meta->dirty = false;
+            l2_meta->pBit = false;
+            l2_.insert(line, *l2_meta);
+        }
+    }
+
+    /**
+     * If the line is resident and dirty (or carries a PBit duty),
+     * clear those flags and report true — the caller charges the
+     * resulting PM write.
+     */
+    bool
+    cleanIfDirty(std::uint64_t line)
+    {
+        if (LineMeta *meta = l1_.find(line)) {
+            const bool was = meta->dirty || meta->pBit;
+            meta->dirty = false;
+            meta->pBit = false;
+            return was;
+        }
+        if (auto l2_meta = l2_.erase(line)) {
+            const bool was = l2_meta->dirty || l2_meta->pBit;
+            l2_meta->dirty = false;
+            l2_meta->pBit = false;
+            l2_.insert(line, *l2_meta);
+            return was;
+        }
+        return false;
+    }
+
+    /** Apply @p fn to every resident line in both levels. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        l1_.forEach(fn);
+        l2_.forEach(fn);
+    }
+
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Hits() const { return l2Hits_; }
+    std::uint64_t memFills() const { return memFills_; }
+
+  private:
+    void
+    installL1(std::uint64_t line, const LineMeta &meta)
+    {
+        auto l1_victim = l1_.insert(line, meta);
+        if (!l1_victim)
+            return;
+        if (hooks_.onL1Evict && (l1_victim->second.dirty ||
+                                 l1_victim->second.pBit)) {
+            hooks_.onL1Evict(l1_victim->first, l1_victim->second);
+        }
+        // Demote into L2 (clearing L1-only persistence duties is the
+        // runtime's call inside onL1Evict; here we keep dirty state).
+        auto l2_victim = l2_.insert(l1_victim->first, l1_victim->second);
+        if (l2_victim && l2_victim->second.dirty && hooks_.onL2Writeback)
+            hooks_.onL2Writeback(l2_victim->first, l2_victim->second);
+    }
+
+    AssocArray<LineMeta> l1_;
+    AssocArray<LineMeta> l2_;
+    Hooks hooks_;
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t l2Hits_ = 0;
+    std::uint64_t memFills_ = 0;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_CACHE_HH

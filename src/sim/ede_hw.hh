@@ -1,0 +1,67 @@
+/**
+ * @file
+ * EDE (Execution Dependence Extension, Shull et al., ISCA'21) model —
+ * the hardware baseline of Section 7.3. Undo logging with hardware
+ * dependence tracking instead of fences between the log write and the
+ * in-place data update; data is persisted synchronously at commit.
+ * Log records are coalesced as much as possible (Section 7.1.3).
+ */
+
+#ifndef SPECPMT_SIM_EDE_HW_HH
+#define SPECPMT_SIM_EDE_HW_HH
+
+#include "sim/hw_runtime.hh"
+
+namespace specpmt::sim
+{
+
+/** EDE baseline hardware model. */
+class EdeHw : public HwRuntime
+{
+  public:
+    explicit EdeHw(const SimConfig &config) : HwRuntime(config) {}
+
+    const char *name() const override { return "ede"; }
+
+  protected:
+    void
+    store(PmOff off, std::uint32_t size) override
+    {
+        const std::uint64_t first = lineIndex(off);
+        const std::uint64_t last = lineIndex(off + size - 1);
+        for (std::uint64_t line = first; line <= last; ++line) {
+            // Undo-log each line on its first in-tx update: a record
+            // carrying (addr, old line data), streamed out coalesced.
+            // No fence orders it against the data update — that is
+            // EDE's contribution — but the bytes still go to PM
+            // through the WPQ.
+            if (txLogged_.insert(line).second)
+                logAppendBytes(16 + kCacheLineSize);
+            txDirty_.insert(line);
+        }
+        accessLines(off, size, true);
+    }
+
+    void
+    commit() override
+    {
+        // Synchronous data persistence at commit, then one fence that
+        // also covers the transaction's log records.
+        logFlushPartial();
+        for (std::uint64_t line : txDirty_) {
+            persistDataLine(line);
+            cache_.clean(line);
+        }
+        fence();
+        txDirty_.clear();
+        txLogged_.clear();
+    }
+
+  private:
+    std::unordered_set<std::uint64_t> txDirty_;
+    std::unordered_set<std::uint64_t> txLogged_;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_EDE_HW_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The multi-threaded epoch reclamation safety protocol of
+ * Section 5.2.2, as standalone logic: an epoch e may be reclaimed iff
+ * (1) e is inactive (its ID has been reassigned to a younger epoch of
+ * the same thread), and (2) every active epoch — on any thread —
+ * started after e ended. This prevents the Figure 11 hazard where
+ * reclaiming a log record removes the only undo guardian of a datum
+ * another thread is still updating.
+ */
+
+#ifndef SPECPMT_SIM_EPOCH_PROTOCOL_HH
+#define SPECPMT_SIM_EPOCH_PROTOCOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace specpmt::sim
+{
+
+/** Lifetime record of one epoch on one thread. */
+struct EpochSpan
+{
+    ThreadId thread = 0;
+    EpochId id = 0;
+    TxTimestamp start = 0;
+    TxTimestamp end = 0;      ///< 0 while still open
+    bool idReassigned = false; ///< a younger epoch reuses this ID
+
+    bool open() const { return end == 0; }
+
+    /** Inactive = closed and its ID handed to a younger epoch. */
+    bool inactive() const { return !open() && idReassigned; }
+
+    /** Active = open, or closed but ID not yet reassigned. */
+    bool active() const { return !inactive(); }
+};
+
+/**
+ * Tracks epoch spans across threads and answers reclamation-safety
+ * queries. Pure bookkeeping — the hardware model consults it; tests
+ * drive it directly against the paper's Figure 11 scenario.
+ */
+class EpochProtocol
+{
+  public:
+    /** Open a new epoch on @p thread at time @p now. */
+    std::size_t
+    startEpoch(ThreadId thread, EpochId id, TxTimestamp now)
+    {
+        // Reusing an ID implicitly retires the previous epoch that
+        // carried it on this thread.
+        for (auto &span : spans_) {
+            if (span.thread == thread && span.id == id &&
+                !span.idReassigned) {
+                SPECPMT_ASSERT(!span.open());
+                span.idReassigned = true;
+            }
+        }
+        spans_.push_back({thread, id, now, 0, false});
+        return spans_.size() - 1;
+    }
+
+    /** Close epoch @p index at time @p now. */
+    void
+    endEpoch(std::size_t index, TxTimestamp now)
+    {
+        SPECPMT_ASSERT(index < spans_.size());
+        SPECPMT_ASSERT(spans_[index].open());
+        spans_[index].end = now;
+    }
+
+    /**
+     * The Section 5.2.2 rule: may every log record of epoch @p index
+     * be reclaimed now?
+     */
+    bool
+    canReclaim(std::size_t index) const
+    {
+        SPECPMT_ASSERT(index < spans_.size());
+        const EpochSpan &epoch = spans_[index];
+        if (!epoch.inactive())
+            return false;
+        for (const auto &other : spans_) {
+            if (&other == &epoch || !other.active())
+                continue;
+            // Every active epoch must have started after e ended.
+            if (other.start <= epoch.end)
+                return false;
+        }
+        return true;
+    }
+
+    const EpochSpan &span(std::size_t index) const
+    {
+        return spans_.at(index);
+    }
+
+  private:
+    std::vector<EpochSpan> spans_;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_EPOCH_PROTOCOL_HH

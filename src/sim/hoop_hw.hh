@@ -1,0 +1,93 @@
+/**
+ * @file
+ * HOOP (Cai et al., ISCA'20) model — the hardware out-of-place-update
+ * comparator of Section 7.3. Write intents stream into a PM log
+ * through an on-chip buffer (no fences, asynchronous persistence);
+ * commit persists only the log. A background garbage collector
+ * coalesces log records and applies them to the home data locations
+ * in 128KB batches, contending with the application for the memory
+ * controller's write pending queue — the contention SpecHPMT avoids
+ * (Section 7.3).
+ */
+
+#ifndef SPECPMT_SIM_HOOP_HW_HH
+#define SPECPMT_SIM_HOOP_HW_HH
+
+#include "sim/hw_runtime.hh"
+
+namespace specpmt::sim
+{
+
+/** HOOP out-of-place hardware model. */
+class HoopHw : public HwRuntime
+{
+  public:
+    explicit HoopHw(const SimConfig &config) : HwRuntime(config) {}
+
+    const char *name() const override { return "hoop"; }
+
+  protected:
+    void
+    store(PmOff off, std::uint32_t size) override
+    {
+        accessLines(off, size, true);
+
+        // Each update appends a write intent (addr + data) to the log.
+        pendingLogBytes_ += 16 + size;
+        noteLogBytes(16 + size);
+        while (pendingLogBytes_ >= kCacheLineSize) {
+            logAppendLines(1);
+            pendingLogBytes_ -= kCacheLineSize;
+        }
+
+        const std::uint64_t first = lineIndex(off);
+        const std::uint64_t last = lineIndex(off + size - 1);
+        for (std::uint64_t line = first; line <= last; ++line)
+            gcPendingLines_.insert(line);
+    }
+
+    void
+    commit() override
+    {
+        // Persist the partial log line plus the commit record; data
+        // stays un-persisted (address indirection serves reads).
+        logAppendLines(1 + (pendingLogBytes_ ? 1 : 0));
+        pendingLogBytes_ = 0;
+        fence();
+
+        if (logBytes_ >= config_.hoopGcBatchBytes)
+            runGc();
+    }
+
+    void
+    finishRun() override
+    {
+        runGc();
+        HwRuntime::finishRun();
+    }
+
+  private:
+    void
+    runGc()
+    {
+        if (gcPendingLines_.empty())
+            return;
+        // The GC coalesces all log records of the batch and applies
+        // one write per distinct home line — through the same WPQ the
+        // application uses, which is where the contention comes from.
+        for (std::uint64_t line : gcPendingLines_) {
+            persistDataLine(line);
+            cache_.clean(line);
+        }
+        gcPendingLines_.clear();
+        noteLogBytes(-static_cast<std::ptrdiff_t>(logBytes_));
+        ++stats_.gcRuns;
+    }
+
+    std::size_t pendingLogBytes_ = 0;
+    std::unordered_set<std::uint64_t> gcPendingLines_;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_HOOP_HW_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Base class for the trace-driven hardware persistent-transaction
+ * models compared in Section 7.3: EDE (baseline), HOOP, hardware
+ * SpecPMT (and its -DP variant), and the no-log ideal.
+ *
+ * All models share one core/cache/WPQ cost structure; they differ only
+ * in the persistence events their protocols generate — log appends
+ * (sequential PM writes, which enjoy XPLine combining), data-line
+ * flushes (scattered PM writes), commit fences, background GC bursts,
+ * page copies, and epoch reclamation. The time and traffic differences
+ * between schemes therefore come exclusively from counted protocol
+ * events, never from per-scheme fudge factors.
+ */
+
+#ifndef SPECPMT_SIM_HW_RUNTIME_HH
+#define SPECPMT_SIM_HW_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "pmem/pmem_timing.hh"
+#include "sim/cache.hh"
+#include "sim/sim_config.hh"
+#include "txn/trace.hh"
+
+namespace specpmt::sim
+{
+
+/** Timing/traffic results of one trace replay. */
+struct HwStats
+{
+    SimNs ns = 0;                 ///< simulated execution time
+    std::uint64_t txs = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t pmDataLineWrites = 0; ///< scattered data persists
+    std::uint64_t pmLogLineWrites = 0;  ///< sequential log persists
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t memFills = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t pageCopies = 0;     ///< cold->hot bulk page logs
+    std::uint64_t gcRuns = 0;         ///< HOOP garbage collections
+    std::uint64_t epochsReclaimed = 0;
+    std::size_t peakLogBytes = 0;     ///< high-water log footprint
+    std::size_t dataFootprintBytes = 0; ///< distinct durable lines * 64
+
+    /** Total PM line writes (Figure 14's metric). */
+    std::uint64_t
+    pmLineWrites() const
+    {
+        return pmDataLineWrites + pmLogLineWrites;
+    }
+};
+
+/** Abstract hardware transaction model; see file comment. */
+class HwRuntime
+{
+  public:
+    explicit HwRuntime(const SimConfig &config);
+    virtual ~HwRuntime() = default;
+
+    HwRuntime(const HwRuntime &) = delete;
+    HwRuntime &operator=(const HwRuntime &) = delete;
+
+    /** Scheme name as used in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /** Replay a whole trace (single worker thread). */
+    const HwStats &run(const txn::MemTrace &trace);
+
+    const HwStats &stats() const { return stats_; }
+
+  protected:
+    /** @name Protocol hooks */
+    /// @{
+    virtual void txBegin() {}
+    virtual void store(PmOff off, std::uint32_t size) = 0;
+
+    virtual void
+    load(PmOff off, std::uint32_t size)
+    {
+        accessLines(off, size, false);
+    }
+
+    virtual void commit() = 0;
+
+    /** End-of-trace: make everything durable so totals compare. */
+    virtual void finishRun();
+    /// @}
+
+    /** @name Shared cost helpers */
+    /// @{
+
+    /** Touch the cache for every line of [off, off+size). */
+    void accessLines(PmOff off, std::uint32_t size, bool is_write);
+
+    /** Append @p lines sequential log lines (WPQ, XPLine-friendly). */
+    void logAppendLines(std::uint64_t lines);
+
+    /**
+     * Append @p lines sequential log lines through the bulk copy
+     * engine (Section 5.1's ARMv9-style primitive): consumes drain
+     * bandwidth without stalling the core.
+     */
+    void logAppendLinesAsync(std::uint64_t lines);
+
+    /**
+     * Accumulate @p bytes of log payload, emitting a line write for
+     * every full cache line (log records stream out coalesced).
+     */
+    void logAppendBytes(std::size_t bytes);
+
+    /** Flush the partially filled log line, if any. */
+    void logFlushPartial();
+
+    /** Flush one (scattered) data line toward PM. */
+    void persistDataLine(std::uint64_t line);
+
+    /** Store fence: drain the WPQ. */
+    void fence();
+
+    /** Account a change in the live log footprint. */
+    void noteLogBytes(std::ptrdiff_t delta);
+
+    /// @}
+
+    SimConfig config_;
+    pmem::PmemTiming timing_;
+    CacheModel cache_;
+    HwStats stats_;
+    /** Distinct durable lines ever stored (footprint metric). */
+    std::unordered_set<std::uint64_t> touchedLines_;
+    /** Live log bytes (peak recorded in stats_). */
+    std::size_t logBytes_ = 0;
+    /** Monotonic line cursor giving log appends sequential addresses. */
+    std::uint64_t logCursor_ = 1ull << 40;
+    /** Bytes accumulated toward the next full log line. */
+    std::size_t logPartialBytes_ = 0;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_HW_RUNTIME_HH

@@ -1,0 +1,65 @@
+#include "sim/machine.hh"
+
+#include "common/logging.hh"
+#include "sim/ede_hw.hh"
+#include "sim/hoop_hw.hh"
+#include "sim/nolog_hw.hh"
+#include "sim/spec_hpmt_hw.hh"
+
+namespace specpmt::sim
+{
+
+const char *
+hwSchemeName(HwScheme scheme)
+{
+    switch (scheme) {
+      case HwScheme::Ede:
+        return "EDE";
+      case HwScheme::Hoop:
+        return "HOOP";
+      case HwScheme::SpecHpmtDp:
+        return "SpecHPMT-DP";
+      case HwScheme::SpecHpmt:
+        return "SpecHPMT";
+      case HwScheme::NoLog:
+        return "no-log";
+    }
+    return "?";
+}
+
+const std::vector<HwScheme> &
+allHwSchemes()
+{
+    static const std::vector<HwScheme> schemes = {
+        HwScheme::Ede, HwScheme::Hoop, HwScheme::SpecHpmtDp,
+        HwScheme::SpecHpmt, HwScheme::NoLog};
+    return schemes;
+}
+
+std::unique_ptr<HwRuntime>
+makeHwRuntime(HwScheme scheme, const SimConfig &config)
+{
+    switch (scheme) {
+      case HwScheme::Ede:
+        return std::make_unique<EdeHw>(config);
+      case HwScheme::Hoop:
+        return std::make_unique<HoopHw>(config);
+      case HwScheme::SpecHpmtDp:
+        return std::make_unique<SpecHpmtHw>(config, true);
+      case HwScheme::SpecHpmt:
+        return std::make_unique<SpecHpmtHw>(config, false);
+      case HwScheme::NoLog:
+        return std::make_unique<NoLogHw>(config);
+    }
+    SPECPMT_PANIC("unknown hardware scheme");
+}
+
+HwStats
+simulate(HwScheme scheme, const SimConfig &config,
+         const txn::MemTrace &trace)
+{
+    auto runtime = makeHwRuntime(scheme, config);
+    return runtime->run(trace);
+}
+
+} // namespace specpmt::sim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace-replay entry point: builds any of the Section 7.3 hardware
+ * models by name and replays a workload trace through it.
+ */
+
+#ifndef SPECPMT_SIM_MACHINE_HH
+#define SPECPMT_SIM_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/hw_runtime.hh"
+
+namespace specpmt::sim
+{
+
+/** The hardware schemes of Figures 13-15. */
+enum class HwScheme
+{
+    Ede,
+    Hoop,
+    SpecHpmtDp,
+    SpecHpmt,
+    NoLog,
+};
+
+/** Display name matching the paper's figures. */
+const char *hwSchemeName(HwScheme scheme);
+
+/** All schemes in the paper's presentation order. */
+const std::vector<HwScheme> &allHwSchemes();
+
+/** Instantiate a model. */
+std::unique_ptr<HwRuntime> makeHwRuntime(HwScheme scheme,
+                                         const SimConfig &config);
+
+/** Convenience: replay @p trace on a fresh instance of @p scheme. */
+HwStats simulate(HwScheme scheme, const SimConfig &config,
+                 const txn::MemTrace &trace);
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_MACHINE_HH

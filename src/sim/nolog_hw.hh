@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The "no-log" ideal (Section 7.1.3): in-place updates, data persisted
+ * at transaction commit, no logging whatsoever — and therefore no
+ * crash consistency. The performance ceiling for in-place-update
+ * persistent transactions in Figure 13.
+ */
+
+#ifndef SPECPMT_SIM_NOLOG_HW_HH
+#define SPECPMT_SIM_NOLOG_HW_HH
+
+#include "sim/hw_runtime.hh"
+
+namespace specpmt::sim
+{
+
+/** No-log ideal hardware model. */
+class NoLogHw : public HwRuntime
+{
+  public:
+    explicit NoLogHw(const SimConfig &config) : HwRuntime(config) {}
+
+    const char *name() const override { return "no-log"; }
+
+  protected:
+    void
+    store(PmOff off, std::uint32_t size) override
+    {
+        accessLines(off, size, true);
+        const std::uint64_t first = lineIndex(off);
+        const std::uint64_t last = lineIndex(off + size - 1);
+        for (std::uint64_t line = first; line <= last; ++line)
+            txDirty_.insert(line);
+    }
+
+    void
+    commit() override
+    {
+        for (std::uint64_t line : txDirty_) {
+            persistDataLine(line);
+            cache_.clean(line);
+        }
+        fence();
+        txDirty_.clear();
+    }
+
+  private:
+    std::unordered_set<std::uint64_t> txDirty_;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_NOLOG_HW_HH

@@ -1,0 +1,44 @@
+#include "sim/sim_config.hh"
+
+#include <cstdio>
+
+namespace specpmt::sim
+{
+
+std::string
+toStringImpl(const SimConfig &config)
+{
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "Component   Parameter\n"
+        "CPU         out-of-order X86 core@%.0fGHz\n"
+        "L1 TLB      Private per core, %u entries, %u-way\n"
+        "L2 TLB      Private per core, %u entries, %u-way\n"
+        "Data Cache  Private per core, %zuKB, %u-way, %llu ns\n"
+        "L2 Cache    Shared %zuMB, %u-way, %llu ns\n"
+        "PM          %u-line (%u B) write pending queue, %lluns accept; "
+        "%lluns read latency; %lluns write latency "
+        "(%lluns within an XPLine)\n",
+        config.cpuGhz, config.l1TlbEntries, config.l1TlbWays,
+        config.l2TlbEntries, config.l2TlbWays, config.l1Bytes / 1024,
+        config.l1Ways,
+        static_cast<unsigned long long>(config.l1HitNs),
+        config.l2Bytes / (1024 * 1024), config.l2Ways,
+        static_cast<unsigned long long>(config.l2HitNs),
+        config.wpqLines,
+        static_cast<unsigned>(config.wpqLines * kCacheLineSize),
+        static_cast<unsigned long long>(config.wpqAcceptNs),
+        static_cast<unsigned long long>(config.pmReadNs),
+        static_cast<unsigned long long>(config.pmWriteNs),
+        static_cast<unsigned long long>(config.pmWriteSameXpLineNs));
+    return buffer;
+}
+
+std::string
+SimConfig::toString() const
+{
+    return toStringImpl(*this);
+}
+
+} // namespace specpmt::sim

@@ -1,0 +1,199 @@
+#include "sim/spec_hpmt_hw.hh"
+
+#include "common/logging.hh"
+
+namespace specpmt::sim
+{
+
+SpecHpmtHw::SpecHpmtHw(const SimConfig &config,
+                       bool data_persist_on_commit)
+    : HwRuntime(config), tlb_(config), dp_(data_persist_on_commit),
+      epochs_(config.numEpochs)
+{
+    SPECPMT_ASSERT(config.numEpochs >= 2);
+    epochs_[currentEpoch_].live = true;
+    liveOrder_.push_back(currentEpoch_);
+
+    // Natural eviction paths for speculatively-logged data: a PBit
+    // line persists when it leaves L1 (Figure 8); any line still dirty
+    // at L2 eviction writes back to its PM home as usual.
+    CacheModel::Hooks hooks;
+    hooks.onL1Evict = [this](std::uint64_t line, LineMeta &meta) {
+        // A speculatively-logged line may overflow to L2 unpersisted
+        // (Section 5.1); a line not yet logged this transaction is
+        // logged before it leaves L1 and needs no second record at
+        // commit.
+        if (meta.pBit && txDirtyHot_.erase(line) > 0) {
+            logAppendBytes(16 + kCacheLineSize);
+            epochs_[currentEpoch_].bytes += 16 + kCacheLineSize;
+            epochs_[currentEpoch_].loggedLines.insert(line);
+            noteLogBytes(16 + kCacheLineSize);
+            meta.logBit = true;
+        }
+    };
+    hooks.onL2Writeback = [this](std::uint64_t line, LineMeta &meta) {
+        persistDataLine(line);
+        meta.dirty = false;
+    };
+    cache_.setHooks(hooks);
+}
+
+void
+SpecHpmtHw::store(PmOff off, std::uint32_t size)
+{
+    const std::uint64_t vpn = pageIndex(off);
+    const TlbLookup lookup = tlb_.lookup(vpn);
+    if (!lookup.hit)
+        ++stats_.tlbMisses;
+    TlbMeta &meta = *lookup.meta;
+
+    bool hot = meta.epochBit;
+    if (!hot) {
+        if (meta.counter < config_.hotCounterMax)
+            ++meta.counter;
+        if (meta.counter >= config_.hotCounterMax) {
+            // Cold -> hot: bulk-copy the page into the log via the
+            // copy engine (asynchronous — the page stays accessible,
+            // Section 5.1); the page log record doubles as the undo
+            // log for every later update in this transaction.
+            logAppendLinesAsync(kPageSize / kCacheLineSize);
+            ++stats_.pageCopies;
+            meta.epochBit = true;
+            meta.counter = static_cast<std::uint8_t>(currentEpoch_);
+            Epoch &epoch = epochs_[currentEpoch_];
+            epoch.bytes += kPageSize;
+            ++epoch.pages;
+            noteLogBytes(kPageSize);
+            hot = true;
+        }
+    }
+
+    accessLines(off, size, true);
+
+    const std::uint64_t first = lineIndex(off);
+    const std::uint64_t last = lineIndex(off + size - 1);
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (hot) {
+            if (LineMeta *lm = cache_.l1Meta(line)) {
+                lm->pBit = true;
+                lm->logBit = true;
+            }
+            txDirtyHot_.insert(line);
+        } else {
+            // Undo-log the first in-tx update of a cold line; no
+            // ordering fence against the data store is needed.
+            if (txColdLogged_.insert(line).second)
+                logAppendLines(1);
+            txDirtyCold_.insert(line);
+        }
+    }
+}
+
+void
+SpecHpmtHw::commit()
+{
+    // Speculative log records for the hot write set: sequential PM
+    // writes, coalesced (addr + line data ~ 80B per entry).
+    if (!txDirtyHot_.empty()) {
+        const std::size_t bytes = txDirtyHot_.size() * 80;
+        logAppendLines((bytes + kCacheLineSize - 1) / kCacheLineSize);
+        Epoch &epoch = epochs_[currentEpoch_];
+        epoch.bytes += bytes;
+        noteLogBytes(static_cast<std::ptrdiff_t>(bytes));
+        for (std::uint64_t line : txDirtyHot_) {
+            epoch.loggedLines.insert(line);
+            if (LineMeta *lm = cache_.l1Meta(line))
+                lm->logBit = false; // cleared at commit (Section 5.1)
+        }
+    }
+
+    // Cold (undo-logged) data persists synchronously at commit.
+    for (std::uint64_t line : txDirtyCold_) {
+        persistDataLine(line);
+        cache_.clean(line);
+    }
+    if (dp_) {
+        for (std::uint64_t line : txDirtyHot_) {
+            persistDataLine(line);
+            cache_.clean(line);
+        }
+    }
+    fence();
+
+    txDirtyHot_.clear();
+    txDirtyCold_.clear();
+    txColdLogged_.clear();
+
+    if (++commitsSinceDecay_ >= config_.hotnessDecayCommits) {
+        tlb_.decayColdCounters();
+        commitsSinceDecay_ = 0;
+    }
+    maybeAdvanceEpoch();
+}
+
+void
+SpecHpmtHw::maybeAdvanceEpoch()
+{
+    Epoch &current = epochs_[currentEpoch_];
+    if (current.bytes <= config_.epochMaxBytes &&
+        current.pages <= config_.epochMaxPages) {
+        return;
+    }
+    // startepoch: advance the epoch ID register (IDs cycle through
+    // 1..numEpochs-1; 0 stays reserved for cold pages). If the target
+    // slot still holds an unreclaimed epoch, reclaim it now.
+    const EpochId next = static_cast<EpochId>(
+        (currentEpoch_ % (epochs_.size() - 1)) + 1);
+    if (epochs_[next].live) {
+        reclaimEpoch(next);
+        std::erase(liveOrder_, next);
+    }
+    currentEpoch_ = next;
+    epochs_[next].live = true;
+    liveOrder_.push_back(next);
+
+    // Foreground reclamation keeps only the newest epochs alive —
+    // the software "always reclaims the oldest epoch" (Section 5.2.1),
+    // which bounds log memory to a couple of epoch budgets.
+    while (liveOrder_.size() > 2) {
+        const EpochId oldest = liveOrder_.front();
+        liveOrder_.erase(liveOrder_.begin());
+        reclaimEpoch(oldest);
+    }
+}
+
+void
+SpecHpmtHw::reclaimEpoch(EpochId eid)
+{
+    Epoch &epoch = epochs_[eid];
+    // Step 1: persist all data whose only guardian is this epoch's
+    // log records (still-dirty lines; lines already evicted reached
+    // PM naturally).
+    bool flushed_any = false;
+    for (std::uint64_t line : epoch.loggedLines) {
+        if (cache_.cleanIfDirty(line)) {
+            persistDataLine(line);
+            flushed_any = true;
+        }
+    }
+    if (flushed_any)
+        fence();
+    // Step 2: clearepoch EID — one instruction, flips the pages cold.
+    tlb_.clearEpoch(eid);
+    // Step 3: release the log memory.
+    noteLogBytes(-static_cast<std::ptrdiff_t>(epoch.bytes));
+    ++stats_.epochsReclaimed;
+    epoch = Epoch{};
+}
+
+void
+SpecHpmtHw::finishRun()
+{
+    for (std::size_t eid = 1; eid < epochs_.size(); ++eid) {
+        if (epochs_[eid].live)
+            reclaimEpoch(static_cast<EpochId>(eid));
+    }
+    HwRuntime::finishRun();
+}
+
+} // namespace specpmt::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hardware SpecPMT model (Section 5): hybrid undo/speculative logging
+ * steered by TLB hotness tracking, PBit/LogBit cache-line flags, and
+ * epoch-based foreground log reclamation.
+ *
+ * Cold pages get EDE-style undo logging with synchronous data
+ * persistence at commit. Pages crossing the 3-bit store-counter
+ * threshold are bulk-copied into the log (the ARMv9-style copy
+ * engine) and switch to speculative logging: their dirty lines are
+ * logged sequentially at commit and *not* persisted — they drain to
+ * PM on natural cache eviction (PBit) or at epoch reclamation. The
+ * -DP variant persists hot data at commit too, isolating the benefit
+ * of eliding data persistence (Section 7.1.3).
+ */
+
+#ifndef SPECPMT_SIM_SPEC_HPMT_HW_HH
+#define SPECPMT_SIM_SPEC_HPMT_HW_HH
+
+#include <vector>
+
+#include "sim/hw_runtime.hh"
+#include "sim/tlb.hh"
+
+namespace specpmt::sim
+{
+
+/** Hardware SpecPMT (SpecHPMT / SpecHPMT-DP). */
+class SpecHpmtHw : public HwRuntime
+{
+  public:
+    /**
+     * @param config  Machine parameters.
+     * @param data_persist_on_commit  Build the -DP variant.
+     */
+    SpecHpmtHw(const SimConfig &config,
+               bool data_persist_on_commit = false);
+
+    const char *
+    name() const override
+    {
+        return dp_ ? "spec-hpmt-dp" : "spec-hpmt";
+    }
+
+    /** TLB model introspection for tests. */
+    TlbModel &tlb() { return tlb_; }
+
+  protected:
+    void store(PmOff off, std::uint32_t size) override;
+    void commit() override;
+    void finishRun() override;
+
+  private:
+    struct Epoch
+    {
+        std::size_t bytes = 0;
+        unsigned pages = 0;
+        /** Speculatively logged lines awaiting data persistence. */
+        std::unordered_set<std::uint64_t> loggedLines;
+        bool live = false;
+    };
+
+    /** Start a new epoch when the current one is over its budget. */
+    void maybeAdvanceEpoch();
+
+    /** Reclaim epoch @p eid (Section 5.2.1's three steps). */
+    void reclaimEpoch(EpochId eid);
+
+    TlbModel tlb_;
+    bool dp_;
+    /** Epoch slots; ID 0 is reserved for cold pages (Section 5.2.1). */
+    std::vector<Epoch> epochs_;
+    /** Live epoch IDs, oldest first. */
+    std::vector<EpochId> liveOrder_;
+    EpochId currentEpoch_ = 1;
+
+    std::unordered_set<std::uint64_t> txDirtyHot_;
+    std::unordered_set<std::uint64_t> txDirtyCold_;
+    std::unordered_set<std::uint64_t> txColdLogged_;
+    unsigned commitsSinceDecay_ = 0;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_SPEC_HPMT_HW_HH

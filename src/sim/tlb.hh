@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Two-level private TLB model with the hardware-SpecPMT metadata
+ * extensions of Figure 9: per-entry EpochBit plus a 3-bit saturating
+ * store counter that doubles as the epoch ID once the page goes hot.
+ */
+
+#ifndef SPECPMT_SIM_TLB_HH
+#define SPECPMT_SIM_TLB_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/assoc_array.hh"
+#include "sim/sim_config.hh"
+
+namespace specpmt::sim
+{
+
+/** Per-TLB-entry hotness metadata (Figure 9). */
+struct TlbMeta
+{
+    bool epochBit = false;  ///< set: page is speculatively logged (hot)
+    std::uint8_t counter = 0; ///< cold: store count; hot: epoch ID
+};
+
+/** Result of a TLB probe. */
+struct TlbLookup
+{
+    bool hit = false;
+    TlbMeta *meta = nullptr;
+};
+
+/**
+ * L1 + L2 TLB. A miss inserts a fresh (cold) entry into L1; L1
+ * victims demote into L2; L2 victims lose their metadata entirely —
+ * which is precisely how hardware SpecPMT bounds hot-page tracking
+ * (Section 5.1: an evicted page "is likely no longer hot").
+ */
+class TlbModel
+{
+  public:
+    explicit TlbModel(const SimConfig &config)
+        : l1_(config.l1TlbEntries, config.l1TlbWays),
+          l2_(config.l2TlbEntries, config.l2TlbWays)
+    {}
+
+    /**
+     * Probe for @p vpn, inserting a cold entry on a full miss.
+     * The returned meta pointer stays valid until the next lookup.
+     */
+    TlbLookup
+    lookup(std::uint64_t vpn)
+    {
+        if (TlbMeta *meta = l1_.find(vpn)) {
+            ++hits_;
+            return {true, meta};
+        }
+        if (auto l2_meta = l2_.erase(vpn)) {
+            // Promote to L1, demoting an L1 victim into L2.
+            promote(vpn, *l2_meta);
+            ++hits_;
+            return {true, l1_.find(vpn)};
+        }
+        ++misses_;
+        promote(vpn, TlbMeta{});
+        return {false, l1_.find(vpn)};
+    }
+
+    /**
+     * Age the cold-page store counters (halving them). Hotness is a
+     * *rate*: a page qualifies for speculative logging only when it
+     * takes enough stores within an aging window, not merely over its
+     * whole TLB residency — sparsely updated pages must stay on the
+     * undo path (Section 5.1's "frequently updated" criterion).
+     */
+    void
+    decayColdCounters()
+    {
+        const auto decay = [](std::uint64_t, TlbMeta &meta) {
+            if (!meta.epochBit)
+                meta.counter /= 2;
+        };
+        l1_.forEach(decay);
+        l2_.forEach(decay);
+    }
+
+    /**
+     * clearepoch EID (Section 5.2): turn every page whose epoch ID is
+     * @p eid back into a cold page, in both TLB levels. One
+     * instruction in hardware.
+     */
+    void
+    clearEpoch(EpochId eid)
+    {
+        const auto clear = [eid](std::uint64_t, TlbMeta &meta) {
+            if (meta.epochBit && meta.counter == eid) {
+                meta.epochBit = false;
+                meta.counter = 0;
+            }
+        };
+        l1_.forEach(clear);
+        l2_.forEach(clear);
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    void
+    promote(std::uint64_t vpn, const TlbMeta &meta)
+    {
+        if (auto l1_victim = l1_.insert(vpn, meta)) {
+            if (auto l2_victim = l2_.insert(l1_victim->first,
+                                            l1_victim->second)) {
+                // Metadata of the L2 victim is discarded: that page
+                // is cold again from the hardware's point of view.
+                (void)l2_victim;
+            }
+        }
+    }
+
+    AssocArray<TlbMeta> l1_;
+    AssocArray<TlbMeta> l2_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace specpmt::sim
+
+#endif // SPECPMT_SIM_TLB_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Striped lock table for application-level isolation.
+ *
+ * SpecPMT provides atomic durability and, like the transactions it is
+ * compared against, leaves isolation to the application
+ * (Section 4.3.3: strict two-phase locking or optimistic schemes).
+ * This helper gives multi-threaded callers a deadlock-free way to
+ * lock the persistent locations a transaction will touch: locks are
+ * striped by address and always acquired in ascending stripe order.
+ */
+
+#ifndef SPECPMT_TXN_LOCK_TABLE_HH
+#define SPECPMT_TXN_LOCK_TABLE_HH
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/types.hh"
+
+namespace specpmt::txn
+{
+
+/** Striped mutex table; see file comment. */
+class LockTable
+{
+  public:
+    explicit LockTable(unsigned stripes = 64) : stripes_(stripes) {}
+
+    /** Stripe index guarding @p off. */
+    unsigned
+    stripeOf(PmOff off) const
+    {
+        return static_cast<unsigned>(mix64(lineIndex(off)) %
+                                     stripes_.size());
+    }
+
+    /**
+     * RAII guard holding the stripes for a set of addresses. The
+     * stripes are locked in ascending order (two-phase locking with
+     * a global order), so concurrent transactions cannot deadlock.
+     */
+    class Guard
+    {
+      public:
+        Guard(LockTable &table, std::vector<PmOff> addresses)
+            : table_(&table)
+        {
+            stripes_.reserve(addresses.size());
+            for (PmOff off : addresses)
+                stripes_.push_back(table.stripeOf(off));
+            std::sort(stripes_.begin(), stripes_.end());
+            stripes_.erase(
+                std::unique(stripes_.begin(), stripes_.end()),
+                stripes_.end());
+            for (unsigned stripe : stripes_)
+                table_->stripes_[stripe].lock();
+        }
+
+        ~Guard()
+        {
+            for (auto it = stripes_.rbegin(); it != stripes_.rend();
+                 ++it) {
+                table_->stripes_[*it].unlock();
+            }
+        }
+
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        LockTable *table_;
+        std::vector<unsigned> stripes_;
+    };
+
+    /** Lock the stripes covering @p addresses for the guard's life. */
+    Guard
+    lockAll(std::vector<PmOff> addresses)
+    {
+        return Guard(*this, std::move(addresses));
+    }
+
+  private:
+    friend class Guard;
+    /** deque-free stable storage for the mutexes. */
+    struct Stripes
+    {
+        explicit Stripes(unsigned count) : mutexes(count) {}
+        std::vector<std::mutex> mutexes;
+        std::mutex &operator[](unsigned i) { return mutexes[i]; }
+        std::size_t size() const { return mutexes.size(); }
+    };
+
+    Stripes stripes_;
+};
+
+} // namespace specpmt::txn
+
+#endif // SPECPMT_TXN_LOCK_TABLE_HH

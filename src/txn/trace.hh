@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory-operation traces: the interface between the STAMP-analog
+ * workloads and the hardware simulator (Section 7.1.3's gem5 analog).
+ *
+ * A workload runs once against a TraceRecorder runtime; the recorded
+ * per-thread operation stream is then replayed through each hardware
+ * runtime model (EDE, HOOP, SpecHPMT, ...) so that every scheme is
+ * charged for exactly the same program behaviour.
+ */
+
+#ifndef SPECPMT_TXN_TRACE_HH
+#define SPECPMT_TXN_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specpmt::txn
+{
+
+/** One traced operation. */
+enum class MemOpKind : std::uint8_t
+{
+    TxBegin,
+    TxCommit,
+    Store,   ///< transactional durable store
+    Load,    ///< durable load
+    Compute, ///< non-memory work (ns)
+};
+
+/** A trace element; offsets are pool offsets (unit-stride "physical"). */
+struct MemOp
+{
+    MemOpKind kind;
+    std::uint8_t pad[3] = {0, 0, 0};
+    ThreadId tid = 0;
+    PmOff off = 0;
+    std::uint32_t size = 0;
+    std::uint32_t computeNs = 0;
+};
+
+/** A whole-program trace plus summary statistics. */
+struct MemTrace
+{
+    std::vector<MemOp> ops;
+
+    std::uint64_t numTx = 0;
+    /** Persistent-heap bytes live when the trace was recorded. */
+    std::uint64_t residentBytes = 0;
+    std::uint64_t numUpdates = 0;      ///< transactional stores
+    std::uint64_t updateBytes = 0;     ///< bytes written in txs
+    std::uint64_t numLoads = 0;
+
+    /** Average durable write-set bytes per transaction (Table 2). */
+    double
+    avgTxBytes() const
+    {
+        return numTx == 0
+            ? 0.0
+            : static_cast<double>(updateBytes) /
+                  static_cast<double>(numTx);
+    }
+};
+
+} // namespace specpmt::txn
+
+#endif // SPECPMT_TXN_TRACE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A TxRuntime that records the operation stream of a workload run
+ * while applying stores directly (no crash consistency), producing the
+ * MemTrace consumed by the hardware simulator.
+ */
+
+#ifndef SPECPMT_TXN_TRACE_RECORDER_HH
+#define SPECPMT_TXN_TRACE_RECORDER_HH
+
+#include "txn/trace.hh"
+#include "txn/tx_runtime.hh"
+
+namespace specpmt::txn
+{
+
+/** Trace-producing runtime; see trace.hh. */
+class TraceRecorder : public TxRuntime
+{
+  public:
+    TraceRecorder(pmem::PmemPool &pool, unsigned num_threads)
+        : TxRuntime(pool, num_threads)
+    {}
+
+    const char *name() const override { return "trace"; }
+
+    /**
+     * Begin recording. Operations before this call (workload setup)
+     * are applied but not traced, so the simulated region matches the
+     * measured region of the software benches.
+     */
+    void startRecording() { recording_ = true; }
+
+    void stopRecording() { recording_ = false; }
+
+    void
+    txBegin(ThreadId tid) override
+    {
+        if (recording_) {
+            trace_.ops.push_back({MemOpKind::TxBegin, {}, tid, 0, 0, 0});
+            ++trace_.numTx;
+        }
+    }
+
+    void
+    txStore(ThreadId tid, PmOff off, const void *src,
+            std::size_t size) override
+    {
+        dev_.store(off, src, size);
+        if (recording_) {
+            trace_.ops.push_back({MemOpKind::Store, {}, tid, off,
+                                  static_cast<std::uint32_t>(size), 0});
+            ++trace_.numUpdates;
+            trace_.updateBytes += size;
+        }
+    }
+
+    void
+    txLoad(ThreadId tid, PmOff off, void *dst, std::size_t size) override
+    {
+        dev_.load(off, dst, size);
+        if (recording_) {
+            trace_.ops.push_back({MemOpKind::Load, {}, tid, off,
+                                  static_cast<std::uint32_t>(size), 0});
+            ++trace_.numLoads;
+        }
+    }
+
+    void
+    txCommit(ThreadId tid) override
+    {
+        if (recording_)
+            trace_.ops.push_back({MemOpKind::TxCommit, {}, tid, 0, 0, 0});
+    }
+
+    void
+    compute(ThreadId tid, SimNs ns) override
+    {
+        dev_.compute(ns);
+        if (recording_) {
+            trace_.ops.push_back({MemOpKind::Compute, {}, tid, 0, 0,
+                                  static_cast<std::uint32_t>(ns)});
+        }
+    }
+
+    /** The recorded trace. */
+    const MemTrace &trace() const { return trace_; }
+    MemTrace takeTrace() { return std::move(trace_); }
+
+  private:
+    MemTrace trace_;
+    bool recording_ = false;
+};
+
+} // namespace specpmt::txn
+
+#endif // SPECPMT_TXN_TRACE_RECORDER_HH

@@ -1,0 +1,96 @@
+#include "txn/write_set.hh"
+
+#include "common/logging.hh"
+
+namespace specpmt::txn
+{
+
+void
+WriteSet::add(PmOff off, std::size_t size)
+{
+    if (size == 0)
+        return;
+    PmOff start = off;
+    PmOff end = off + size;
+    SPECPMT_ASSERT(end > start);
+
+    // Find the first interval that could overlap or touch [start, end).
+    auto it = intervals_.upper_bound(start);
+    if (it != intervals_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= start)
+            it = prev;
+    }
+    // Absorb every overlapping/adjacent interval.
+    while (it != intervals_.end() && it->first <= end) {
+        if (it->first < start)
+            start = it->first;
+        if (it->second > end)
+            end = it->second;
+        it = intervals_.erase(it);
+    }
+    intervals_.emplace(start, end);
+}
+
+bool
+WriteSet::covered(PmOff off, std::size_t size) const
+{
+    if (size == 0)
+        return true;
+    auto it = intervals_.upper_bound(off);
+    if (it == intervals_.begin())
+        return false;
+    --it;
+    return it->first <= off && it->second >= off + size;
+}
+
+std::vector<std::pair<PmOff, std::size_t>>
+WriteSet::uncovered(PmOff off, std::size_t size) const
+{
+    std::vector<std::pair<PmOff, std::size_t>> gaps;
+    if (size == 0)
+        return gaps;
+    PmOff cursor = off;
+    const PmOff end = off + size;
+
+    auto it = intervals_.upper_bound(cursor);
+    if (it != intervals_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > cursor)
+            cursor = std::min(prev->second, end);
+    }
+    while (cursor < end) {
+        // `it` is the first interval starting after the original start;
+        // walk it forward to the first interval at/after cursor.
+        while (it != intervals_.end() && it->second <= cursor)
+            ++it;
+        if (it == intervals_.end() || it->first >= end) {
+            gaps.emplace_back(cursor, end - cursor);
+            break;
+        }
+        if (it->first > cursor)
+            gaps.emplace_back(cursor, it->first - cursor);
+        cursor = std::min(it->second, end);
+        ++it;
+    }
+    return gaps;
+}
+
+std::uint64_t
+WriteSet::lineCount() const
+{
+    std::uint64_t count = 0;
+    forEachLine([&](std::uint64_t) { ++count; });
+    return count;
+}
+
+std::uint64_t
+WriteSet::byteCount() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &[start, end] : intervals_)
+        bytes += end - start;
+    return bytes;
+}
+
+} // namespace specpmt::txn

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Byte-interval write-set index used by the transaction runtimes.
+ *
+ * Undo logging must log a location only on its *first* update inside a
+ * transaction (Section 4: "the first or last update on a datum in a
+ * transaction can be discovered via write-set indexing"), and commit
+ * must flush each dirty cache line exactly once. Both needs reduce to
+ * merged-interval bookkeeping over pool offsets.
+ */
+
+#ifndef SPECPMT_TXN_WRITE_SET_HH
+#define SPECPMT_TXN_WRITE_SET_HH
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specpmt::txn
+{
+
+/** A set of disjoint, merged byte intervals [start, end). */
+class WriteSet
+{
+  public:
+    /** Record that [off, off+size) has been written. */
+    void add(PmOff off, std::size_t size);
+
+    /** True if every byte of [off, off+size) was previously added. */
+    bool covered(PmOff off, std::size_t size) const;
+
+    /**
+     * The sub-ranges of [off, off+size) not yet in the set, in
+     * ascending order. Used to log only first updates.
+     */
+    std::vector<std::pair<PmOff, std::size_t>>
+    uncovered(PmOff off, std::size_t size) const;
+
+    /** Invoke @p fn for every disjoint interval (start, length). */
+    template <typename Fn>
+    void
+    forEachInterval(Fn &&fn) const
+    {
+        for (const auto &[start, end] : intervals_)
+            fn(start, static_cast<std::size_t>(end - start));
+    }
+
+    /** Invoke @p fn once per distinct cache line the set touches. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        std::uint64_t prev_line = ~0ull;
+        for (const auto &[start, end] : intervals_) {
+            for (std::uint64_t line = lineIndex(start);
+                 line <= lineIndex(end - 1); ++line) {
+                if (line != prev_line) {
+                    fn(line);
+                    prev_line = line;
+                }
+            }
+        }
+    }
+
+    /** Number of distinct cache lines covered. */
+    std::uint64_t lineCount() const;
+
+    /** Total bytes covered. */
+    std::uint64_t byteCount() const;
+
+    /** Number of disjoint intervals. */
+    std::size_t intervalCount() const { return intervals_.size(); }
+
+    bool empty() const { return intervals_.empty(); }
+
+    void clear() { intervals_.clear(); }
+
+  private:
+    /** start -> end, disjoint and non-adjacent after merging. */
+    std::map<PmOff, PmOff> intervals_;
+};
+
+} // namespace specpmt::txn
+
+#endif // SPECPMT_TXN_WRITE_SET_HH

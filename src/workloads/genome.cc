@@ -1,0 +1,152 @@
+#include "workloads/genome.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+
+namespace specpmt::workloads
+{
+
+void
+GenomeWorkload::setup(txn::TxRuntime &rt)
+{
+    auto &pool = rt.pool();
+    keysOff_ = pool.alloc(kBuckets * sizeof(std::uint64_t));
+    linksOff_ = pool.alloc(kBuckets * sizeof(std::uint32_t));
+    flagsOff_ = pool.alloc(kBuckets * sizeof(std::uint8_t));
+    positionsOff_ = pool.alloc(kBuckets * sizeof(std::uint64_t));
+    pool.setRoot(txn::kAppRootSlotBase, keysOff_);
+
+    // Zero-initialize through committed transactions so every durable
+    // byte enters the world with a log record (SpecPMT's contract).
+    constexpr unsigned kChunk = 4096;
+    std::vector<std::uint8_t> zeros(kChunk, 0);
+    const auto zero_region = [&](PmOff off, std::size_t bytes) {
+        for (std::size_t done = 0; done < bytes; done += kChunk) {
+            const std::size_t n = std::min<std::size_t>(kChunk,
+                                                        bytes - done);
+            rt.txBegin(0);
+            rt.txStore(0, off + done, zeros.data(), n);
+            rt.txCommit(0);
+        }
+    };
+    zero_region(keysOff_, kBuckets * sizeof(std::uint64_t));
+    zero_region(linksOff_, kBuckets * sizeof(std::uint32_t));
+    zero_region(flagsOff_, kBuckets * sizeof(std::uint8_t));
+    zero_region(positionsOff_, kBuckets * sizeof(std::uint64_t));
+}
+
+unsigned
+GenomeWorkload::probe(txn::TxRuntime &rt, std::uint64_t key)
+{
+    unsigned index = static_cast<unsigned>(mix64(key)) & (kBuckets - 1);
+    for (;;) {
+        const auto resident =
+            loadT<std::uint64_t>(rt, keysOff_ + index * 8);
+        if (resident == 0 || resident == key)
+            return index;
+        index = (index + 1) & (kBuckets - 1);
+    }
+}
+
+void
+GenomeWorkload::run(txn::TxRuntime &rt)
+{
+    // Phase 1: segment deduplication. Each transaction probes the
+    // shared set and inserts the key only when absent.
+    const std::uint64_t segments = scaled(30000);
+    const std::uint64_t universe = segments * kUniverseFactor;
+    for (std::uint64_t i = 0; i < segments; ++i) {
+        const std::uint64_t key = 1 + rng_.below(universe);
+        rt.compute(0, 490); // hashing + segment comparison work
+        rt.txBegin(0);
+        const unsigned bucket = probe(rt, key);
+        if (loadT<std::uint64_t>(rt, keysOff_ + bucket * 8) == 0) {
+            storeT<std::uint64_t>(rt, keysOff_ + bucket * 8, key);
+            ++inserted_;
+        }
+        rt.txCommit(0);
+    }
+
+    // Phase 2: overlap chaining over unique segments: mark a segment
+    // visited (1 byte) and point it at its successor (4 bytes).
+    const std::uint64_t steps = scaled(12000);
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        const unsigned bucket =
+            static_cast<unsigned>(rng_.below(kBuckets));
+        rt.compute(0, 400); // overlap scoring
+        rt.txBegin(0);
+        const auto key = loadT<std::uint64_t>(rt, keysOff_ + bucket * 8);
+        if (key != 0 &&
+            loadT<std::uint8_t>(rt, flagsOff_ + bucket) == 0) {
+            storeT<std::uint8_t>(rt, flagsOff_ + bucket, 1);
+            storeT<std::uint32_t>(
+                rt, linksOff_ + bucket * 4,
+                static_cast<std::uint32_t>(rng_.below(kBuckets)));
+            // Record the segment's position in the assembled sequence.
+            storeT<std::uint64_t>(rt, positionsOff_ + bucket * 8,
+                                  linked_ + 1);
+            ++linked_;
+        }
+        rt.txCommit(0);
+    }
+}
+
+bool
+GenomeWorkload::verify(txn::TxRuntime &rt)
+{
+    std::uint64_t nonzero = 0;
+    std::uint64_t flagged = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (loadT<std::uint64_t>(rt, keysOff_ + i * 8) != 0)
+            ++nonzero;
+        const auto flag = loadT<std::uint8_t>(rt, flagsOff_ + i);
+        if (flag > 1)
+            return false;
+        flagged += flag;
+        // A visited mark requires a resident key and a position.
+        if (flag != 0 &&
+            (loadT<std::uint64_t>(rt, keysOff_ + i * 8) == 0 ||
+             loadT<std::uint64_t>(rt, positionsOff_ + i * 8) == 0)) {
+            return false;
+        }
+    }
+    return nonzero == inserted_ && flagged == linked_;
+}
+
+bool
+GenomeWorkload::verifyStructural(txn::TxRuntime &rt)
+{
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        const auto flag = loadT<std::uint8_t>(rt, flagsOff_ + i);
+        if (flag > 1)
+            return false;
+        // The visited mark, link, and position are written in one
+        // transaction with the key already present: a mark without a
+        // key or position means a torn transaction.
+        if (flag != 0 &&
+            (loadT<std::uint64_t>(rt, keysOff_ + i * 8) == 0 ||
+             loadT<std::uint64_t>(rt, positionsOff_ + i * 8) == 0)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+GenomeWorkload::digest(txn::TxRuntime &rt)
+{
+    std::uint64_t hash = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        hash = hashCombine(hash, loadT<std::uint64_t>(rt,
+                                                      keysOff_ + i * 8));
+        hash = hashCombine(hash,
+                           loadT<std::uint32_t>(rt, linksOff_ + i * 4));
+        hash = hashCombine(hash, loadT<std::uint8_t>(rt, flagsOff_ + i));
+        hash = hashCombine(
+            hash, loadT<std::uint64_t>(rt, positionsOff_ + i * 8));
+    }
+    return hash;
+}
+
+} // namespace specpmt::workloads

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * genome: gene sequencing analog. STAMP's genome deduplicates DNA
+ * segments in a shared hash set, then links unique segments into a
+ * sequence by overlap matching. Transactions are tiny (Table 2:
+ * 7.2 B written per transaction on average, ~2.9 updates) because
+ * most of them are duplicate probes that write nothing, and the
+ * writes that do happen are a hash-set key insert or a small link
+ * update.
+ */
+
+#ifndef SPECPMT_WORKLOADS_GENOME_HH
+#define SPECPMT_WORKLOADS_GENOME_HH
+
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+
+/** See file comment. */
+class GenomeWorkload : public Workload
+{
+  public:
+    explicit GenomeWorkload(const WorkloadConfig &config)
+        : Workload(config)
+    {}
+
+    const char *name() const override { return "genome"; }
+
+    void setup(txn::TxRuntime &rt) override;
+    void run(txn::TxRuntime &rt) override;
+    bool verify(txn::TxRuntime &rt) override;
+    std::uint64_t digest(txn::TxRuntime &rt) override;
+    bool verifyStructural(txn::TxRuntime &rt) override;
+
+  private:
+    /** One hash-set slot: the segment key (0 = empty). */
+    static constexpr unsigned kBuckets = 1u << 15;
+    /** Segment keys are drawn from a universe this many times the
+     * insert count, giving STAMP-like duplicate rates. */
+    static constexpr unsigned kUniverseFactor = 2;
+
+    PmOff keysOff_ = kPmNull;   ///< u64[kBuckets]
+    PmOff linksOff_ = kPmNull;  ///< u32[kBuckets] overlap links
+    PmOff flagsOff_ = kPmNull;  ///< u8[kBuckets] visited marks
+    PmOff positionsOff_ = kPmNull; ///< u64[kBuckets] sequence offsets
+    std::uint64_t inserted_ = 0; ///< volatile tally for verify()
+    std::uint64_t linked_ = 0;
+
+    /** Probe for @p key; returns bucket index (match or empty). */
+    unsigned probe(txn::TxRuntime &rt, std::uint64_t key);
+};
+
+} // namespace specpmt::workloads
+
+#endif // SPECPMT_WORKLOADS_GENOME_HH

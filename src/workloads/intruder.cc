@@ -1,0 +1,148 @@
+#include "workloads/intruder.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+
+namespace specpmt::workloads
+{
+
+void
+IntruderWorkload::setup(txn::TxRuntime &rt)
+{
+    auto &pool = rt.pool();
+    flowsOff_ = pool.alloc(kSlots * sizeof(FlowEntry));
+    payloadOff_ = pool.alloc(kSlots * kFlowLen * sizeof(std::uint16_t));
+    doneOff_ = pool.alloc(sizeof(std::uint64_t));
+    pool.setRoot(txn::kAppRootSlotBase, flowsOff_);
+
+    constexpr unsigned kChunk = 4096;
+    std::vector<std::uint8_t> zeros(kChunk, 0);
+    const auto zero_region = [&](PmOff off, std::size_t bytes) {
+        for (std::size_t done = 0; done < bytes; done += kChunk) {
+            const std::size_t n = std::min<std::size_t>(kChunk,
+                                                        bytes - done);
+            rt.txBegin(0);
+            rt.txStore(0, off + done, zeros.data(), n);
+            rt.txCommit(0);
+        }
+    };
+    zero_region(flowsOff_, kSlots * sizeof(FlowEntry));
+    zero_region(payloadOff_, kSlots * kFlowLen * sizeof(std::uint16_t));
+    zero_region(doneOff_, sizeof(std::uint64_t));
+}
+
+unsigned
+IntruderWorkload::probe(txn::TxRuntime &rt, std::uint64_t key)
+{
+    unsigned index = static_cast<unsigned>(mix64(key)) & (kSlots - 1);
+    for (;;) {
+        const auto resident = loadT<std::uint64_t>(
+            rt, flowsOff_ + index * sizeof(FlowEntry));
+        if (resident == 0 || resident == key)
+            return index;
+        index = (index + 1) & (kSlots - 1);
+    }
+}
+
+void
+IntruderWorkload::run(txn::TxRuntime &rt)
+{
+    const std::uint64_t fragments = scaled(60000);
+    const std::uint64_t flows = fragments / kFlowLen;
+    for (std::uint64_t i = 0; i < fragments; ++i) {
+        const std::uint64_t flow = 1 + rng_.below(flows);
+        const unsigned frag =
+            static_cast<unsigned>(rng_.below(kFlowLen));
+        const auto payload =
+            static_cast<std::uint16_t>(rng_.next() & 0xFFFF);
+
+        rt.compute(0, 900); // packet decode + dictionary hashing
+
+        rt.txBegin(0);
+        const unsigned slot = probe(rt, flow);
+        const PmOff entry = flowsOff_ + slot * sizeof(FlowEntry);
+        if (loadT<std::uint64_t>(rt, entry) == 0) {
+            storeT<std::uint64_t>(rt, entry, flow);
+            storeT<std::uint64_t>(rt, entry + 8, 0);
+        }
+        // Store the fragment payload, bump the flow's arrival stamp
+        // and byte tally, and update the reassembly mask.
+        storeT<std::uint16_t>(
+            rt, payloadOff_ + (slot * kFlowLen + frag) * 2, payload);
+        storeT<std::uint64_t>(rt, entry + 16, i + 1);
+        storeT<std::uint64_t>(rt, entry + 24,
+                              loadT<std::uint64_t>(rt, entry + 24) +
+                                  payload);
+        const auto mask = loadT<std::uint64_t>(rt, entry + 8);
+        const std::uint64_t new_mask = mask | (1ull << frag);
+        if (new_mask != mask) {
+            storeT<std::uint64_t>(rt, entry + 8, new_mask);
+            if (new_mask == (1ull << kFlowLen) - 1) {
+                // Flow complete: retire it to the detector stage.
+                storeT<std::uint64_t>(
+                    rt, doneOff_,
+                    loadT<std::uint64_t>(rt, doneOff_) + 1);
+                ++completed_;
+            }
+        }
+        rt.txCommit(0);
+    }
+}
+
+bool
+IntruderWorkload::verify(txn::TxRuntime &rt)
+{
+    std::uint64_t full = 0;
+    for (unsigned slot = 0; slot < kSlots; ++slot) {
+        const PmOff entry = flowsOff_ + slot * sizeof(FlowEntry);
+        const auto key = loadT<std::uint64_t>(rt, entry);
+        const auto mask = loadT<std::uint64_t>(rt, entry + 8);
+        if (key == 0 && mask != 0)
+            return false; // mask without a flow
+        if (mask >= (1ull << kFlowLen))
+            return false; // impossible bits
+        if (mask == (1ull << kFlowLen) - 1)
+            ++full;
+    }
+    return full == completed_ &&
+           loadT<std::uint64_t>(rt, doneOff_) == completed_;
+}
+
+bool
+IntruderWorkload::verifyStructural(txn::TxRuntime &rt)
+{
+    std::uint64_t full = 0;
+    for (unsigned slot = 0; slot < kSlots; ++slot) {
+        const PmOff entry = flowsOff_ + slot * sizeof(FlowEntry);
+        const auto key = loadT<std::uint64_t>(rt, entry);
+        const auto mask = loadT<std::uint64_t>(rt, entry + 8);
+        if (key == 0 && mask != 0)
+            return false; // mask without a flow: torn insert
+        if (mask >= (1ull << kFlowLen))
+            return false;
+        if (mask == (1ull << kFlowLen) - 1)
+            ++full;
+    }
+    // The done counter is updated in the same transaction that
+    // completes a flow's mask.
+    return loadT<std::uint64_t>(rt, doneOff_) == full;
+}
+
+std::uint64_t
+IntruderWorkload::digest(txn::TxRuntime &rt)
+{
+    std::uint64_t hash = loadT<std::uint64_t>(rt, doneOff_);
+    for (unsigned slot = 0; slot < kSlots; ++slot) {
+        const PmOff entry = flowsOff_ + slot * sizeof(FlowEntry);
+        hash = hashCombine(hash, loadT<std::uint64_t>(rt, entry));
+        hash = hashCombine(hash, loadT<std::uint64_t>(rt, entry + 8));
+    }
+    for (unsigned i = 0; i < kSlots * kFlowLen; ++i) {
+        hash = hashCombine(hash,
+                           loadT<std::uint16_t>(rt, payloadOff_ + i * 2));
+    }
+    return hash;
+}
+
+} // namespace specpmt::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * intruder: network intrusion detection analog. STAMP's intruder
+ * reassembles packet fragments from a shared queue into flows held in
+ * a dictionary, then scans completed flows. Transactions are small
+ * (Table 2: ~20.5 B/tx, ~4.6 updates): insert a fragment's payload,
+ * update the flow's reassembly state, and occasionally retire a
+ * completed flow.
+ */
+
+#ifndef SPECPMT_WORKLOADS_INTRUDER_HH
+#define SPECPMT_WORKLOADS_INTRUDER_HH
+
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+
+/** See file comment. */
+class IntruderWorkload : public Workload
+{
+  public:
+    explicit IntruderWorkload(const WorkloadConfig &config)
+        : Workload(config)
+    {}
+
+    const char *name() const override { return "intruder"; }
+
+    void setup(txn::TxRuntime &rt) override;
+    void run(txn::TxRuntime &rt) override;
+    bool verify(txn::TxRuntime &rt) override;
+    std::uint64_t digest(txn::TxRuntime &rt) override;
+    bool verifyStructural(txn::TxRuntime &rt) override;
+
+  private:
+    static constexpr unsigned kSlots = 1u << 14; ///< flow table slots
+    static constexpr unsigned kFlowLen = 6;      ///< fragments per flow
+
+    struct FlowEntry
+    {
+        std::uint64_t key;      ///< flow id, 0 = empty
+        std::uint64_t mask;     ///< received-fragment bitmap
+        std::uint64_t lastSeen; ///< arrival index of newest fragment
+        std::uint64_t bytes;    ///< accumulated payload bytes
+    };
+
+    PmOff flowsOff_ = kPmNull;   ///< FlowEntry[kSlots]
+    PmOff payloadOff_ = kPmNull; ///< u16[kSlots][kFlowLen]
+    PmOff doneOff_ = kPmNull;    ///< u64 completed-flow counter
+    std::uint64_t completed_ = 0;
+
+    unsigned probe(txn::TxRuntime &rt, std::uint64_t key);
+};
+
+} // namespace specpmt::workloads
+
+#endif // SPECPMT_WORKLOADS_INTRUDER_HH

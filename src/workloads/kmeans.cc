@@ -1,0 +1,155 @@
+#include "workloads/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/hash.hh"
+
+namespace specpmt::workloads
+{
+
+void
+KmeansWorkload::setup(txn::TxRuntime &rt)
+{
+    auto &pool = rt.pool();
+    centroidsOff_ = pool.alloc(clusters_ * centroidBytes());
+    pool.setRoot(txn::kAppRootSlotBase, centroidsOff_);
+
+    // The input points live in the persistent heap too (the paper
+    // ports STAMP with libvmmalloc, which moves the whole heap to
+    // PM); they are written once at load time.
+    numPoints_ = scaled(6000);
+    pointsOff_ = pool.alloc(numPoints_ * kDims * sizeof(float));
+    Rng point_rng(config_.seed);
+    for (std::uint64_t p2 = 0; p2 < numPoints_; ++p2) {
+        float point[kDims];
+        for (unsigned d = 0; d < kDims; ++d)
+            point[d] = static_cast<float>(point_rng.uniform()) * 10.0f;
+        rt.txBegin(0);
+        rt.txStore(0, pointsOff_ + p2 * kDims * sizeof(float), point,
+                   sizeof(point));
+        rt.txCommit(0);
+    }
+
+    // Seed the centroids with deterministic starting positions.
+    Rng seed_rng(config_.seed ^ 0xC1u);
+    for (unsigned c = 0; c < clusters_; ++c) {
+        rt.txBegin(0);
+        for (unsigned d = 0; d < kDims; ++d) {
+            const float value =
+                static_cast<float>(seed_rng.uniform()) * 10.0f;
+            storeT<float>(rt, centroidOff(c) + d * sizeof(float),
+                          value);
+        }
+        storeT<std::uint64_t>(
+            rt, centroidOff(c) + kDims * sizeof(float), 0);
+        rt.txCommit(0);
+    }
+}
+
+void
+KmeansWorkload::run(txn::TxRuntime &rt)
+{
+    for (unsigned iter = 0; iter < kIterations; ++iter) {
+        for (std::uint64_t p = 0; p < numPoints_; ++p) {
+            // Fetch the point from the persistent heap (read-only).
+            float point[kDims];
+            rt.txLoad(0, pointsOff_ + p * kDims * sizeof(float), point,
+                      sizeof(point));
+
+            // Nearest-centroid search: k*d distance arithmetic. This
+            // is kmeans' dominant compute, proportional to the number
+            // of clusters.
+            unsigned best = 0;
+            float best_distance = 1e30f;
+            float coords[kDims];
+            for (unsigned c = 0; c < clusters_; ++c) {
+                rt.txLoad(0, centroidOff(c), coords, sizeof(coords));
+                float distance = 0;
+                for (unsigned d = 0; d < kDims; ++d) {
+                    const float delta = coords[d] - point[d];
+                    distance += delta * delta;
+                }
+                if (distance < best_distance) {
+                    best_distance = distance;
+                    best = c;
+                }
+            }
+            rt.compute(0, high_ ? 1500 : 4000); // distance arithmetic, ~k*d flops
+
+            // Transaction: fold the point into the chosen centroid,
+            // one float at a time (27-ish small updates, Table 2).
+            rt.txBegin(0);
+            for (unsigned d = 0; d < kDims; ++d) {
+                const PmOff coord_off =
+                    centroidOff(best) + d * sizeof(float);
+                const auto coord = loadT<float>(rt, coord_off);
+                storeT<float>(rt, coord_off,
+                              coord + 0.01f * (point[d] - coord));
+            }
+            const PmOff count_off =
+                centroidOff(best) + kDims * sizeof(float);
+            storeT<std::uint64_t>(
+                rt, count_off, loadT<std::uint64_t>(rt, count_off) + 1);
+            rt.txCommit(0);
+            ++accumulated_;
+        }
+    }
+}
+
+bool
+KmeansWorkload::verify(txn::TxRuntime &rt)
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < clusters_; ++c) {
+        total += loadT<std::uint64_t>(
+            rt, centroidOff(c) + kDims * sizeof(float));
+        for (unsigned d = 0; d < kDims; ++d) {
+            const auto coord =
+                loadT<float>(rt, centroidOff(c) + d * sizeof(float));
+            if (!std::isfinite(coord) || coord < -100.0f ||
+                coord > 100.0f) {
+                return false;
+            }
+        }
+    }
+    return total == accumulated_;
+}
+
+bool
+KmeansWorkload::verifyStructural(txn::TxRuntime &rt)
+{
+    for (unsigned c = 0; c < clusters_; ++c) {
+        for (unsigned d = 0; d < kDims; ++d) {
+            const auto coord =
+                loadT<float>(rt, centroidOff(c) + d * sizeof(float));
+            if (!std::isfinite(coord) || coord < -100.0f ||
+                coord > 100.0f) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+KmeansWorkload::digest(txn::TxRuntime &rt)
+{
+    std::uint64_t hash = 0;
+    for (unsigned c = 0; c < clusters_; ++c) {
+        for (unsigned d = 0; d < kDims; ++d) {
+            const auto coord =
+                loadT<float>(rt, centroidOff(c) + d * sizeof(float));
+            std::uint32_t bits;
+            std::memcpy(&bits, &coord, sizeof(bits));
+            hash = hashCombine(hash, bits);
+        }
+        hash = hashCombine(
+            hash, loadT<std::uint64_t>(
+                      rt, centroidOff(c) + kDims * sizeof(float)));
+    }
+    return hash;
+}
+
+} // namespace specpmt::workloads

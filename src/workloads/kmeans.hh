@@ -1,0 +1,72 @@
+/**
+ * @file
+ * kmeans: clustering analog. STAMP's kmeans assigns points to their
+ * nearest centroid (pure computation) and transactionally accumulates
+ * each point into the chosen centroid: one float per dimension plus a
+ * membership count (Table 2: ~101 B and ~27 updates per transaction
+ * with d=24 dimensions). The low-contention configuration uses more
+ * clusters — and therefore more distance computation per point — than
+ * the high-contention one, which is why kmeans-high benefits more
+ * from eliding data persistence (Section 7.3: "kmeans-high has less
+ * computation and therefore observes higher speedup").
+ */
+
+#ifndef SPECPMT_WORKLOADS_KMEANS_HH
+#define SPECPMT_WORKLOADS_KMEANS_HH
+
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+
+/** See file comment. */
+class KmeansWorkload : public Workload
+{
+  public:
+    /**
+     * @param high_contention  true = kmeans-high (fewer clusters).
+     */
+    KmeansWorkload(const WorkloadConfig &config, bool high_contention)
+        : Workload(config), high_(high_contention),
+          clusters_(high_contention ? 16 : 40)
+    {}
+
+    const char *
+    name() const override
+    {
+        return high_ ? "kmeans-high" : "kmeans-low";
+    }
+
+    void setup(txn::TxRuntime &rt) override;
+    void run(txn::TxRuntime &rt) override;
+    bool verify(txn::TxRuntime &rt) override;
+    std::uint64_t digest(txn::TxRuntime &rt) override;
+    bool verifyStructural(txn::TxRuntime &rt) override;
+
+  private:
+    static constexpr unsigned kDims = 24;
+    static constexpr unsigned kIterations = 2;
+
+    /** Bytes of one centroid record: kDims floats + u64 count. */
+    static constexpr std::size_t
+    centroidBytes()
+    {
+        return kDims * sizeof(float) + sizeof(std::uint64_t);
+    }
+
+    PmOff centroidOff(unsigned cluster) const
+    {
+        return centroidsOff_ + cluster * centroidBytes();
+    }
+
+    bool high_;
+    unsigned clusters_;
+    PmOff centroidsOff_ = kPmNull;
+    PmOff pointsOff_ = kPmNull; ///< input points (PM-resident heap)
+    std::uint64_t numPoints_ = 0;
+    std::uint64_t accumulated_ = 0; ///< points folded in (verify)
+};
+
+} // namespace specpmt::workloads
+
+#endif // SPECPMT_WORKLOADS_KMEANS_HH

@@ -1,0 +1,194 @@
+#include "workloads/labyrinth.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/hash.hh"
+
+namespace specpmt::workloads
+{
+
+void
+LabyrinthWorkload::setup(txn::TxRuntime &rt)
+{
+    auto &pool = rt.pool();
+    gridOff_ = pool.alloc(kCells * sizeof(std::uint64_t));
+    pool.setRoot(txn::kAppRootSlotBase, gridOff_);
+
+    constexpr unsigned kChunk = 4096;
+    std::vector<std::uint8_t> zeros(kChunk, 0);
+    for (std::size_t done = 0; done < kCells * sizeof(std::uint64_t);
+         done += kChunk) {
+        const std::size_t n = std::min<std::size_t>(
+            kChunk, kCells * sizeof(std::uint64_t) - done);
+        rt.txBegin(0);
+        rt.txStore(0, gridOff_ + done, zeros.data(), n);
+        rt.txCommit(0);
+    }
+}
+
+std::vector<unsigned>
+LabyrinthWorkload::planPath(const std::vector<std::uint64_t> &grid,
+                            unsigned src, unsigned dst,
+                            std::uint64_t *expanded) const
+{
+    // Plain BFS over free cells of the 3D grid (occupied cells block
+    // the route; the extra layers let wires cross, as in STAMP).
+    std::vector<int> parent(kCells, -1);
+    std::deque<unsigned> frontier;
+    frontier.push_back(src);
+    parent[src] = static_cast<int>(src);
+    *expanded = 0;
+    constexpr unsigned kPlane = kSide * kSide;
+
+    while (!frontier.empty()) {
+        const unsigned cell = frontier.front();
+        frontier.pop_front();
+        ++*expanded;
+        if (cell == dst)
+            break;
+        const unsigned x = cell % kSide;
+        const unsigned y = (cell / kSide) % kSide;
+        const unsigned z = cell / kPlane;
+        const int neighbours[6] = {
+            x + 1 < kSide ? static_cast<int>(cell + 1) : -1,
+            x > 0 ? static_cast<int>(cell - 1) : -1,
+            y + 1 < kSide ? static_cast<int>(cell + kSide) : -1,
+            y > 0 ? static_cast<int>(cell - kSide) : -1,
+            z + 1 < kLayers ? static_cast<int>(cell + kPlane) : -1,
+            z > 0 ? static_cast<int>(cell - kPlane) : -1,
+        };
+        for (int next : neighbours) {
+            if (next < 0 || parent[next] != -1 || grid[next] != 0)
+                continue;
+            parent[next] = static_cast<int>(cell);
+            frontier.push_back(static_cast<unsigned>(next));
+        }
+    }
+    std::vector<unsigned> path;
+    if (parent[dst] == -1)
+        return path;
+    for (unsigned cell = dst;; cell = static_cast<unsigned>(
+                                   parent[cell])) {
+        path.push_back(cell);
+        if (cell == src)
+            break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+void
+LabyrinthWorkload::run(txn::TxRuntime &rt)
+{
+    const std::uint64_t requests = scaled(320);
+    std::vector<std::uint64_t> snapshot(kCells);
+    for (std::uint64_t request = 0; request < requests; ++request) {
+        // Terminals sit near opposite edges of the bottom layer, as
+        // routing benchmarks place them, giving long wires.
+        const auto src = static_cast<unsigned>(
+            rng_.below(kSide / 16) + kSide * rng_.below(kSide));
+        const auto dst = static_cast<unsigned>(
+            (kSide - 1 - rng_.below(kSide / 16)) +
+            kSide * rng_.below(kSide));
+
+        rt.txBegin(0);
+        // Snapshot the shared grid into private memory — labyrinth's
+        // signature bulk read.
+        rt.txLoad(0, gridOff_, snapshot.data(),
+                  kCells * sizeof(std::uint64_t));
+        if (snapshot[src] != 0 || snapshot[dst] != 0 || src == dst) {
+            rt.txCommit(0);
+            continue;
+        }
+
+        std::uint64_t expanded = 0;
+        const auto path = planPath(snapshot, src, dst, &expanded);
+        // Route planning dominates labyrinth's runtime.
+        rt.compute(0, 2 * expanded / 3);
+
+        if (!path.empty()) {
+            ++pathsRouted_;
+            for (unsigned cell : path) {
+                storeT<std::uint64_t>(rt, cellOff(cell), pathsRouted_);
+                ++cellsClaimed_;
+            }
+        }
+        rt.txCommit(0);
+    }
+}
+
+bool
+LabyrinthWorkload::verify(txn::TxRuntime &rt)
+{
+    // Every claimed cell carries a valid path id, and the number of
+    // claimed cells matches the tally (paths never overlap).
+    std::uint64_t claimed = 0;
+    for (unsigned cell = 0; cell < kCells; ++cell) {
+        const auto id = loadT<std::uint64_t>(rt, cellOff(cell));
+        if (id > pathsRouted_)
+            return false;
+        if (id != 0)
+            ++claimed;
+    }
+    return claimed == cellsClaimed_;
+}
+
+bool
+LabyrinthWorkload::verifyStructural(txn::TxRuntime &rt)
+{
+    // A path is claimed atomically: the cells of every id must form
+    // one connected component of the 3D grid.
+    std::vector<std::uint64_t> grid(kCells);
+    rt.txLoad(0, gridOff_, grid.data(), kCells * sizeof(std::uint64_t));
+
+    std::map<std::uint64_t, std::vector<unsigned>> paths;
+    for (unsigned cell = 0; cell < kCells; ++cell) {
+        if (grid[cell] != 0)
+            paths[grid[cell]].push_back(cell);
+    }
+    constexpr unsigned kPlane = kSide * kSide;
+    for (const auto &[id, cells] : paths) {
+        std::set<unsigned> remaining(cells.begin(), cells.end());
+        std::deque<unsigned> frontier{cells.front()};
+        remaining.erase(cells.front());
+        while (!frontier.empty()) {
+            const unsigned cell = frontier.front();
+            frontier.pop_front();
+            const unsigned x = cell % kSide;
+            const unsigned y = (cell / kSide) % kSide;
+            const unsigned z = cell / kPlane;
+            const int neighbours[6] = {
+                x + 1 < kSide ? static_cast<int>(cell + 1) : -1,
+                x > 0 ? static_cast<int>(cell - 1) : -1,
+                y + 1 < kSide ? static_cast<int>(cell + kSide) : -1,
+                y > 0 ? static_cast<int>(cell - kSide) : -1,
+                z + 1 < kLayers ? static_cast<int>(cell + kPlane) : -1,
+                z > 0 ? static_cast<int>(cell - kPlane) : -1,
+            };
+            for (int next : neighbours) {
+                if (next >= 0 &&
+                    remaining.erase(static_cast<unsigned>(next))) {
+                    frontier.push_back(static_cast<unsigned>(next));
+                }
+            }
+        }
+        if (!remaining.empty())
+            return false; // a torn (disconnected) path
+    }
+    return true;
+}
+
+std::uint64_t
+LabyrinthWorkload::digest(txn::TxRuntime &rt)
+{
+    std::uint64_t hash = 0;
+    for (unsigned cell = 0; cell < kCells; ++cell)
+        hash = hashCombine(hash, loadT<std::uint64_t>(rt,
+                                                      cellOff(cell)));
+    return hash;
+}
+
+} // namespace specpmt::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * labyrinth: maze routing analog. STAMP's labyrinth routes wires
+ * through a shared 3D grid: each transaction snapshots the grid,
+ * plans a shortest path on the private copy (heavy computation), and
+ * claims the path's cells. Transactions are rare but huge (Table 2:
+ * only ~1k transactions averaging ~1.4 KB of writes each).
+ */
+
+#ifndef SPECPMT_WORKLOADS_LABYRINTH_HH
+#define SPECPMT_WORKLOADS_LABYRINTH_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+
+/** See file comment. */
+class LabyrinthWorkload : public Workload
+{
+  public:
+    explicit LabyrinthWorkload(const WorkloadConfig &config)
+        : Workload(config)
+    {}
+
+    const char *name() const override { return "labyrinth"; }
+
+    void setup(txn::TxRuntime &rt) override;
+    void run(txn::TxRuntime &rt) override;
+    bool verify(txn::TxRuntime &rt) override;
+    std::uint64_t digest(txn::TxRuntime &rt) override;
+    bool verifyStructural(txn::TxRuntime &rt) override;
+
+  private:
+    static constexpr unsigned kSide = 128;  ///< x/y extent
+    static constexpr unsigned kLayers = 4;  ///< z extent (crossings)
+    static constexpr unsigned kCells = kSide * kSide * kLayers;
+
+    PmOff
+    cellOff(unsigned cell) const
+    {
+        return gridOff_ + cell * sizeof(std::uint64_t);
+    }
+
+    /**
+     * Breadth-first route on a volatile grid snapshot.
+     * @return The path cells from src to dst, empty if unroutable.
+     */
+    std::vector<unsigned> planPath(const std::vector<std::uint64_t> &grid,
+                                   unsigned src, unsigned dst,
+                                   std::uint64_t *expanded) const;
+
+    PmOff gridOff_ = kPmNull;
+    std::uint64_t pathsRouted_ = 0;
+    std::uint64_t cellsClaimed_ = 0;
+};
+
+} // namespace specpmt::workloads
+
+#endif // SPECPMT_WORKLOADS_LABYRINTH_HH

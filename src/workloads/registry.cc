@@ -1,0 +1,79 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/genome.hh"
+#include "workloads/intruder.hh"
+#include "workloads/kmeans.hh"
+#include "workloads/labyrinth.hh"
+#include "workloads/ssca2.hh"
+#include "workloads/vacation.hh"
+#include "workloads/yada.hh"
+
+namespace specpmt::workloads
+{
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Genome:
+        return "genome";
+      case WorkloadKind::Intruder:
+        return "intruder";
+      case WorkloadKind::KmeansLow:
+        return "kmeans-low";
+      case WorkloadKind::KmeansHigh:
+        return "kmeans-high";
+      case WorkloadKind::Labyrinth:
+        return "labyrinth";
+      case WorkloadKind::Ssca2:
+        return "ssca2";
+      case WorkloadKind::VacationLow:
+        return "vacation-low";
+      case WorkloadKind::VacationHigh:
+        return "vacation-high";
+      case WorkloadKind::Yada:
+        return "yada";
+    }
+    return "?";
+}
+
+const std::vector<WorkloadKind> &
+allWorkloads()
+{
+    static const std::vector<WorkloadKind> kinds = {
+        WorkloadKind::Genome,       WorkloadKind::Intruder,
+        WorkloadKind::KmeansLow,    WorkloadKind::KmeansHigh,
+        WorkloadKind::Labyrinth,    WorkloadKind::Ssca2,
+        WorkloadKind::VacationLow,  WorkloadKind::VacationHigh,
+        WorkloadKind::Yada};
+    return kinds;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, const WorkloadConfig &config)
+{
+    switch (kind) {
+      case WorkloadKind::Genome:
+        return std::make_unique<GenomeWorkload>(config);
+      case WorkloadKind::Intruder:
+        return std::make_unique<IntruderWorkload>(config);
+      case WorkloadKind::KmeansLow:
+        return std::make_unique<KmeansWorkload>(config, false);
+      case WorkloadKind::KmeansHigh:
+        return std::make_unique<KmeansWorkload>(config, true);
+      case WorkloadKind::Labyrinth:
+        return std::make_unique<LabyrinthWorkload>(config);
+      case WorkloadKind::Ssca2:
+        return std::make_unique<Ssca2Workload>(config);
+      case WorkloadKind::VacationLow:
+        return std::make_unique<VacationWorkload>(config, false);
+      case WorkloadKind::VacationHigh:
+        return std::make_unique<VacationWorkload>(config, true);
+      case WorkloadKind::Yada:
+        return std::make_unique<YadaWorkload>(config);
+    }
+    SPECPMT_PANIC("unknown workload kind");
+}
+
+} // namespace specpmt::workloads

@@ -1,0 +1,144 @@
+#include "workloads/ssca2.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+
+namespace specpmt::workloads
+{
+
+void
+Ssca2Workload::setup(txn::TxRuntime &rt)
+{
+    auto &pool = rt.pool();
+    degreeOff_ = pool.alloc(kNodes * sizeof(std::uint64_t));
+    adjOff_ = pool.alloc(kNodes * kCapacity * sizeof(std::uint64_t));
+    rdegreeOff_ = pool.alloc(kNodes * sizeof(std::uint64_t));
+    radjOff_ = pool.alloc(kNodes * kCapacity * sizeof(std::uint64_t));
+    pool.setRoot(txn::kAppRootSlotBase, degreeOff_);
+
+    constexpr unsigned kChunk = 4096;
+    std::vector<std::uint8_t> zeros(kChunk, 0);
+    const auto zero_region = [&](PmOff off, std::size_t bytes) {
+        for (std::size_t done = 0; done < bytes; done += kChunk) {
+            const std::size_t n = std::min<std::size_t>(kChunk,
+                                                        bytes - done);
+            rt.txBegin(0);
+            rt.txStore(0, off + done, zeros.data(), n);
+            rt.txCommit(0);
+        }
+    };
+    zero_region(degreeOff_, kNodes * sizeof(std::uint64_t));
+    zero_region(adjOff_, kNodes * kCapacity * sizeof(std::uint64_t));
+    zero_region(rdegreeOff_, kNodes * sizeof(std::uint64_t));
+    zero_region(radjOff_, kNodes * kCapacity * sizeof(std::uint64_t));
+}
+
+void
+Ssca2Workload::run(txn::TxRuntime &rt)
+{
+    const std::uint64_t edges = scaled(50000);
+    for (std::uint64_t i = 0; i < edges; ++i) {
+        const auto u = static_cast<unsigned>(rng_.below(kNodes));
+        const auto v = static_cast<unsigned>(rng_.below(kNodes));
+
+        rt.compute(0, 700); // edge generation / permutation arithmetic
+
+        rt.txBegin(0);
+        // Insert the directed edge and its transpose (ssca2 builds
+        // both the graph and its transpose for the later kernels).
+        const auto degree =
+            loadT<std::uint64_t>(rt, degreeOff_ + u * 8);
+        if (degree < kCapacity) {
+            storeT<std::uint64_t>(
+                rt, adjOff_ + (u * kCapacity + degree) * 8, v + 1);
+            storeT<std::uint64_t>(rt, degreeOff_ + u * 8, degree + 1);
+            ++insertedEdges_;
+        }
+        const auto rdegree =
+            loadT<std::uint64_t>(rt, rdegreeOff_ + v * 8);
+        if (rdegree < kCapacity) {
+            storeT<std::uint64_t>(
+                rt, radjOff_ + (v * kCapacity + rdegree) * 8, u + 1);
+            storeT<std::uint64_t>(rt, rdegreeOff_ + v * 8, rdegree + 1);
+            ++insertedRedges_;
+        }
+        rt.txCommit(0);
+    }
+}
+
+bool
+Ssca2Workload::verify(txn::TxRuntime &rt)
+{
+    std::uint64_t total_degree = 0;
+    for (unsigned u = 0; u < kNodes; ++u) {
+        const auto degree = loadT<std::uint64_t>(rt, degreeOff_ + u * 8);
+        if (degree > kCapacity)
+            return false;
+        total_degree += degree;
+        // Every slot below the degree must hold a real edge; every
+        // slot above it must be empty.
+        for (unsigned s = 0; s < kCapacity; ++s) {
+            const auto target = loadT<std::uint64_t>(
+                rt, adjOff_ + (u * kCapacity + s) * 8);
+            if (s < degree && (target == 0 || target > kNodes))
+                return false;
+            if (s >= degree && target != 0)
+                return false;
+        }
+    }
+    if (total_degree != insertedEdges_)
+        return false;
+    std::uint64_t total_rdegree = 0;
+    for (unsigned v = 0; v < kNodes; ++v)
+        total_rdegree += loadT<std::uint64_t>(rt, rdegreeOff_ + v * 8);
+    return total_rdegree == insertedRedges_;
+}
+
+bool
+Ssca2Workload::verifyStructural(txn::TxRuntime &rt)
+{
+    // Degree and adjacency slots are updated in the same transaction:
+    // every slot below the degree holds an edge, none above it.
+    const auto check = [&](PmOff degrees, PmOff adjacency) {
+        for (unsigned u = 0; u < kNodes; ++u) {
+            const auto degree =
+                loadT<std::uint64_t>(rt, degrees + u * 8);
+            if (degree > kCapacity)
+                return false;
+            for (unsigned s = 0; s < kCapacity; ++s) {
+                const auto target = loadT<std::uint64_t>(
+                    rt, adjacency + (u * kCapacity + s) * 8);
+                if (s < degree && (target == 0 || target > kNodes))
+                    return false;
+                if (s >= degree && target != 0)
+                    return false;
+            }
+        }
+        return true;
+    };
+    return check(degreeOff_, adjOff_) && check(rdegreeOff_, radjOff_);
+}
+
+std::uint64_t
+Ssca2Workload::digest(txn::TxRuntime &rt)
+{
+    std::uint64_t hash = 0;
+    for (unsigned u = 0; u < kNodes; ++u) {
+        hash = hashCombine(hash,
+                           loadT<std::uint64_t>(rt, degreeOff_ + u * 8));
+        hash = hashCombine(
+            hash, loadT<std::uint64_t>(rt, rdegreeOff_ + u * 8));
+        for (unsigned s = 0; s < kCapacity; ++s) {
+            hash = hashCombine(
+                hash, loadT<std::uint64_t>(
+                          rt, adjOff_ + (u * kCapacity + s) * 8));
+            hash = hashCombine(
+                hash, loadT<std::uint64_t>(
+                          rt, radjOff_ + (u * kCapacity + s) * 8));
+        }
+    }
+    return hash;
+}
+
+} // namespace specpmt::workloads

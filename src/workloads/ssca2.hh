@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ssca2: scalable synthetic compact application #2 analog. STAMP's
+ * ssca2 kernel 1 constructs a large directed multigraph from an edge
+ * stream; each transaction appends one edge to a node's adjacency
+ * array and bumps its degree — tiny writes (Table 2: 16 B/tx, ~4
+ * updates) over a large memory footprint, which is what stresses
+ * per-update fences in undo logging.
+ */
+
+#ifndef SPECPMT_WORKLOADS_SSCA2_HH
+#define SPECPMT_WORKLOADS_SSCA2_HH
+
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+
+/** See file comment. */
+class Ssca2Workload : public Workload
+{
+  public:
+    explicit Ssca2Workload(const WorkloadConfig &config)
+        : Workload(config)
+    {}
+
+    const char *name() const override { return "ssca2"; }
+
+    void setup(txn::TxRuntime &rt) override;
+    void run(txn::TxRuntime &rt) override;
+    bool verify(txn::TxRuntime &rt) override;
+    std::uint64_t digest(txn::TxRuntime &rt) override;
+    bool verifyStructural(txn::TxRuntime &rt) override;
+
+  private:
+    static constexpr unsigned kNodes = 1u << 13;
+    static constexpr unsigned kCapacity = 32; ///< adjacency slots/node
+
+    PmOff degreeOff_ = kPmNull;  ///< u64[kNodes]
+    PmOff adjOff_ = kPmNull;     ///< u64[kNodes][kCapacity]
+    PmOff rdegreeOff_ = kPmNull; ///< transpose graph degrees
+    PmOff radjOff_ = kPmNull;    ///< transpose adjacency
+    std::uint64_t insertedEdges_ = 0;
+    std::uint64_t insertedRedges_ = 0;
+};
+
+} // namespace specpmt::workloads
+
+#endif // SPECPMT_WORKLOADS_SSCA2_HH

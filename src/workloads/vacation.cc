@@ -1,0 +1,167 @@
+#include "workloads/vacation.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+
+namespace specpmt::workloads
+{
+
+void
+VacationWorkload::setup(txn::TxRuntime &rt)
+{
+    auto &pool = rt.pool();
+    resourcesOff_ = pool.alloc(kTables * kItems * sizeof(Resource));
+    customersOff_ = pool.alloc(kCustomers * sizeof(Customer));
+    pool.setRoot(txn::kAppRootSlotBase, resourcesOff_);
+
+    // Stock every resource with a deterministic inventory.
+    Rng stock_rng(config_.seed ^ 0xACAu);
+    for (unsigned table = 0; table < kTables; ++table) {
+        for (unsigned base = 0; base < kItems; base += 128) {
+            rt.txBegin(0);
+            for (unsigned item = base; item < base + 128; ++item) {
+                const std::uint64_t stock = 120 + stock_rng.below(160);
+                storeT<std::uint64_t>(rt, resourceOff(table, item),
+                                      stock);
+                storeT<std::uint64_t>(rt, resourceOff(table, item) + 8,
+                                      stock);
+                storeT<std::uint64_t>(rt, resourceOff(table, item) + 16,
+                                      0);
+            }
+            rt.txCommit(0);
+        }
+    }
+    for (unsigned base = 0; base < kCustomers; base += 256) {
+        rt.txBegin(0);
+        for (unsigned customer = base; customer < base + 256;
+             ++customer) {
+            storeT<std::uint64_t>(rt, customerOff(customer), 0);
+            storeT<std::uint64_t>(rt, customerOff(customer) + 8, 0);
+        }
+        rt.txCommit(0);
+    }
+}
+
+void
+VacationWorkload::run(txn::TxRuntime &rt)
+{
+    const std::uint64_t sessions = scaled(25000);
+    const unsigned queries = high_ ? 4 : 2;
+    // High contention narrows the item range (STAMP's -q parameter).
+    const unsigned range = high_ ? kItems / 4 : kItems;
+
+    for (std::uint64_t s = 0; s < sessions; ++s) {
+        const auto customer =
+            static_cast<unsigned>(rng_.below(kCustomers));
+
+        rt.compute(0, high_ ? 1900 : 1600); // request parsing + tree lookups
+
+        rt.txBegin(0);
+        std::uint64_t billed = 0;
+        std::uint64_t booked = 0;
+        for (unsigned q = 0; q < queries; ++q) {
+            const auto table =
+                static_cast<unsigned>(rng_.below(kTables));
+            const auto item = static_cast<unsigned>(rng_.below(range));
+            const PmOff free_off = resourceOff(table, item) + 8;
+            const auto free_now = loadT<std::uint64_t>(rt, free_off);
+            if (free_now > 0) {
+                storeT<std::uint64_t>(rt, free_off, free_now - 1);
+                // The reservation record for this unit.
+                const PmOff reserved_off =
+                    resourceOff(table, item) + 16;
+                storeT<std::uint64_t>(
+                    rt, reserved_off,
+                    loadT<std::uint64_t>(rt, reserved_off) + 1);
+                billed += 50 + item % 100;
+                ++booked;
+            }
+        }
+        if (booked > 0) {
+            const PmOff bill_off = customerOff(customer);
+            storeT<std::uint64_t>(
+                rt, bill_off, loadT<std::uint64_t>(rt, bill_off) +
+                                  billed);
+            storeT<std::uint64_t>(
+                rt, bill_off + 8,
+                loadT<std::uint64_t>(rt, bill_off + 8) + booked);
+            reservationsMade_ += booked;
+        }
+        rt.txCommit(0);
+    }
+}
+
+bool
+VacationWorkload::verify(txn::TxRuntime &rt)
+{
+    // Conservation: seats taken from inventory equal seats held by
+    // customers equal the volatile tally.
+    std::uint64_t taken = 0;
+    for (unsigned table = 0; table < kTables; ++table) {
+        for (unsigned item = 0; item < kItems; ++item) {
+            const auto total =
+                loadT<std::uint64_t>(rt, resourceOff(table, item));
+            const auto free_now =
+                loadT<std::uint64_t>(rt, resourceOff(table, item) + 8);
+            const auto reserved =
+                loadT<std::uint64_t>(rt, resourceOff(table, item) + 16);
+            if (free_now > total || reserved != total - free_now)
+                return false;
+            taken += total - free_now;
+        }
+    }
+    std::uint64_t held = 0;
+    for (unsigned customer = 0; customer < kCustomers; ++customer)
+        held += loadT<std::uint64_t>(rt, customerOff(customer) + 8);
+    return taken == held && held == reservationsMade_;
+}
+
+bool
+VacationWorkload::verifyStructural(txn::TxRuntime &rt)
+{
+    // Conservation at any committed boundary: units leave inventory,
+    // enter the reservation ledger, and show up in customer counts
+    // within one transaction.
+    std::uint64_t taken = 0;
+    for (unsigned table = 0; table < kTables; ++table) {
+        for (unsigned item = 0; item < kItems; ++item) {
+            const auto total =
+                loadT<std::uint64_t>(rt, resourceOff(table, item));
+            const auto free_now =
+                loadT<std::uint64_t>(rt, resourceOff(table, item) + 8);
+            const auto reserved =
+                loadT<std::uint64_t>(rt, resourceOff(table, item) + 16);
+            if (free_now > total || reserved != total - free_now)
+                return false;
+            taken += reserved;
+        }
+    }
+    std::uint64_t held = 0;
+    for (unsigned customer = 0; customer < kCustomers; ++customer)
+        held += loadT<std::uint64_t>(rt, customerOff(customer) + 8);
+    return taken == held;
+}
+
+std::uint64_t
+VacationWorkload::digest(txn::TxRuntime &rt)
+{
+    std::uint64_t hash = 0;
+    for (unsigned table = 0; table < kTables; ++table) {
+        for (unsigned item = 0; item < kItems; ++item) {
+            hash = hashCombine(
+                hash,
+                loadT<std::uint64_t>(rt, resourceOff(table, item) + 8));
+        }
+    }
+    for (unsigned customer = 0; customer < kCustomers; ++customer) {
+        hash = hashCombine(hash,
+                           loadT<std::uint64_t>(rt,
+                                                customerOff(customer)));
+        hash = hashCombine(
+            hash, loadT<std::uint64_t>(rt, customerOff(customer) + 8));
+    }
+    return hash;
+}
+
+} // namespace specpmt::workloads

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * vacation: travel reservation system analog. STAMP's vacation runs
+ * an in-memory database of cars, flights and rooms plus a customer
+ * table; each transaction makes a handful of reservations on behalf
+ * of a customer. The high-contention configuration issues more
+ * queries per transaction over a narrower item range (Table 2:
+ * 44.2 B/tx low vs 67.8 B/tx high).
+ */
+
+#ifndef SPECPMT_WORKLOADS_VACATION_HH
+#define SPECPMT_WORKLOADS_VACATION_HH
+
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+
+/** See file comment. */
+class VacationWorkload : public Workload
+{
+  public:
+    VacationWorkload(const WorkloadConfig &config, bool high_contention)
+        : Workload(config), high_(high_contention)
+    {}
+
+    const char *
+    name() const override
+    {
+        return high_ ? "vacation-high" : "vacation-low";
+    }
+
+    void setup(txn::TxRuntime &rt) override;
+    void run(txn::TxRuntime &rt) override;
+    bool verify(txn::TxRuntime &rt) override;
+    std::uint64_t digest(txn::TxRuntime &rt) override;
+    bool verifyStructural(txn::TxRuntime &rt) override;
+
+  private:
+    static constexpr unsigned kTables = 3; ///< cars, flights, rooms
+    static constexpr unsigned kItems = 1024;
+    static constexpr unsigned kCustomers = 4096;
+
+    struct Resource
+    {
+        std::uint64_t total;
+        std::uint64_t free;
+        std::uint64_t reserved;
+        std::uint64_t pad;
+    };
+
+    struct Customer
+    {
+        std::uint64_t bill;
+        std::uint64_t reservations;
+    };
+
+    PmOff
+    resourceOff(unsigned table, unsigned item) const
+    {
+        return resourcesOff_ +
+               (table * kItems + item) * sizeof(Resource);
+    }
+
+    PmOff
+    customerOff(unsigned customer) const
+    {
+        return customersOff_ + customer * sizeof(Customer);
+    }
+
+    bool high_;
+    PmOff resourcesOff_ = kPmNull;
+    PmOff customersOff_ = kPmNull;
+    std::uint64_t reservationsMade_ = 0;
+};
+
+} // namespace specpmt::workloads
+
+#endif // SPECPMT_WORKLOADS_VACATION_HH

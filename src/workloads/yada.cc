@@ -1,0 +1,119 @@
+#include "workloads/yada.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+
+namespace specpmt::workloads
+{
+
+void
+YadaWorkload::setup(txn::TxRuntime &rt)
+{
+    auto &pool = rt.pool();
+    meshOff_ = pool.alloc(kTriangles * sizeof(Triangle));
+    refinedOff_ = pool.alloc(sizeof(std::uint64_t));
+    pool.setRoot(txn::kAppRootSlotBase, meshOff_);
+
+    Rng mesh_rng(config_.seed ^ 0xDADAu);
+    for (unsigned base = 0; base < kTriangles; base += 128) {
+        rt.txBegin(0);
+        for (unsigned t = base; t < base + 128; ++t) {
+            Triangle triangle;
+            triangle.quality =
+                static_cast<std::uint32_t>(10 + mesh_rng.below(90));
+            triangle.generation = 0;
+            triangle.vertexHash = mesh_rng.next();
+            storeT(rt, triangleOff(t), triangle);
+        }
+        rt.txCommit(0);
+    }
+    rt.txBegin(0);
+    storeT<std::uint64_t>(rt, refinedOff_, 0);
+    rt.txCommit(0);
+}
+
+void
+YadaWorkload::run(txn::TxRuntime &rt)
+{
+    const std::uint64_t work_items = scaled(8000);
+    for (std::uint64_t w = 0; w < work_items; ++w) {
+        const auto center =
+            static_cast<unsigned>(rng_.below(kTriangles));
+
+        // Cavity computation: geometric predicates over the
+        // neighbourhood (pure compute, fairly heavy in yada).
+        rt.compute(0, 2600);
+
+        rt.txBegin(0);
+        const auto bad = loadT<Triangle>(rt, triangleOff(center));
+        if (bad.quality < 85) {
+            // Retriangulate: rewrite the cavity around the element.
+            for (unsigned n = 0; n < kCavity; ++n) {
+                const unsigned index =
+                    (center + n * 37) % kTriangles;
+                Triangle neighbour =
+                    loadT<Triangle>(rt, triangleOff(index));
+                neighbour.quality = std::min<std::uint32_t>(
+                    100, neighbour.quality + 10);
+                neighbour.generation += 1;
+                neighbour.vertexHash =
+                    hashCombine(neighbour.vertexHash, center);
+                storeT(rt, triangleOff(index), neighbour);
+                ++cavityWrites_;
+            }
+            storeT<std::uint64_t>(
+                rt, refinedOff_,
+                loadT<std::uint64_t>(rt, refinedOff_) + 1);
+            ++refinements_;
+        }
+        rt.txCommit(0);
+    }
+}
+
+bool
+YadaWorkload::verify(txn::TxRuntime &rt)
+{
+    if (loadT<std::uint64_t>(rt, refinedOff_) != refinements_)
+        return false;
+    // Generations count exactly the cavity rewrites that happened.
+    std::uint64_t generations = 0;
+    for (unsigned t = 0; t < kTriangles; ++t) {
+        const auto triangle = loadT<Triangle>(rt, triangleOff(t));
+        if (triangle.quality > 100)
+            return false;
+        generations += triangle.generation;
+    }
+    return generations == cavityWrites_;
+}
+
+bool
+YadaWorkload::verifyStructural(txn::TxRuntime &rt)
+{
+    // Each refinement transaction bumps exactly kCavity generations
+    // and the refined counter once.
+    std::uint64_t generations = 0;
+    for (unsigned t = 0; t < kTriangles; ++t) {
+        const auto triangle = loadT<Triangle>(rt, triangleOff(t));
+        if (triangle.quality > 100)
+            return false;
+        generations += triangle.generation;
+    }
+    return generations ==
+           loadT<std::uint64_t>(rt, refinedOff_) * kCavity;
+}
+
+std::uint64_t
+YadaWorkload::digest(txn::TxRuntime &rt)
+{
+    std::uint64_t hash = loadT<std::uint64_t>(rt, refinedOff_);
+    for (unsigned t = 0; t < kTriangles; ++t) {
+        const auto triangle = loadT<Triangle>(rt, triangleOff(t));
+        hash = hashCombine(hash, triangle.quality);
+        hash = hashCombine(hash, triangle.generation);
+        hash = hashCombine(hash, triangle.vertexHash);
+    }
+    return hash;
+}
+
+} // namespace specpmt::workloads

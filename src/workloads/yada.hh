@@ -1,0 +1,60 @@
+/**
+ * @file
+ * yada: Delaunay mesh refinement analog. STAMP's yada repeatedly
+ * picks a poor-quality triangle, computes the cavity of elements
+ * around it, and retriangulates the cavity — a transaction that
+ * rewrites a cluster of neighbouring mesh records (Table 2:
+ * ~175.6 B/tx, ~24 updates).
+ */
+
+#ifndef SPECPMT_WORKLOADS_YADA_HH
+#define SPECPMT_WORKLOADS_YADA_HH
+
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+
+/** See file comment. */
+class YadaWorkload : public Workload
+{
+  public:
+    explicit YadaWorkload(const WorkloadConfig &config)
+        : Workload(config)
+    {}
+
+    const char *name() const override { return "yada"; }
+
+    void setup(txn::TxRuntime &rt) override;
+    void run(txn::TxRuntime &rt) override;
+    bool verify(txn::TxRuntime &rt) override;
+    std::uint64_t digest(txn::TxRuntime &rt) override;
+    bool verifyStructural(txn::TxRuntime &rt) override;
+
+  private:
+    static constexpr unsigned kTriangles = 1u << 13;
+    /** Cavity size around the refined element. */
+    static constexpr unsigned kCavity = 12;
+
+    struct Triangle
+    {
+        std::uint32_t quality;    ///< smaller = worse
+        std::uint32_t generation; ///< retriangulation count
+        std::uint64_t vertexHash; ///< stand-in for coordinates
+    };
+
+    PmOff
+    triangleOff(unsigned index) const
+    {
+        return meshOff_ + index * sizeof(Triangle);
+    }
+
+    PmOff meshOff_ = kPmNull;
+    PmOff refinedOff_ = kPmNull; ///< u64 counter
+    std::uint64_t refinements_ = 0;
+    std::uint64_t cavityWrites_ = 0;
+};
+
+} // namespace specpmt::workloads
+
+#endif // SPECPMT_WORKLOADS_YADA_HH

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Shared crash-consistency test harness.
+ *
+ * Drives a randomized transactional workload over a slot array through
+ * any TxRuntime, injecting a simulated power failure after a chosen
+ * number of persistence operations and under a chosen cache-eviction
+ * policy, then re-opens the pool, runs recovery, and checks atomic
+ * durability: the surviving state must equal the committed prefix,
+ * or — when the crash landed inside a commit whose fence may already
+ * have retired — the committed prefix plus the *entire* in-flight
+ * transaction. Any partial transaction is a failure.
+ */
+
+#ifndef SPECPMT_TESTS_CRASH_HARNESS_HH
+#define SPECPMT_TESTS_CRASH_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rand.hh"
+#include "core/spec_tx.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+#include "sim/hybrid_spec_tx.hh"
+#include "txn/spht_tx.hh"
+#include "txn/tx_runtime.hh"
+#include "txn/undo_tx.hh"
+
+namespace specpmt::tests
+{
+
+/** Recoverable runtimes under test. */
+enum class RuntimeKind
+{
+    Pmdk,
+    Spht,
+    Spec,
+    SpecDp,
+    Hybrid, ///< hardware hybrid-logging protocol (functional model)
+};
+
+inline const char *
+runtimeKindName(RuntimeKind kind)
+{
+    switch (kind) {
+      case RuntimeKind::Pmdk:
+        return "pmdk";
+      case RuntimeKind::Spht:
+        return "spht";
+      case RuntimeKind::Spec:
+        return "spec";
+      case RuntimeKind::SpecDp:
+        return "spec_dp";
+      case RuntimeKind::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+/**
+ * Build a runtime configured for deterministic crash testing: no
+ * background threads, small log blocks (to force block chaining and
+ * multi-segment transactions), low reclamation threshold.
+ */
+inline std::unique_ptr<txn::TxRuntime>
+makeRuntime(RuntimeKind kind, pmem::PmemPool &pool, unsigned threads)
+{
+    switch (kind) {
+      case RuntimeKind::Pmdk:
+        return std::make_unique<txn::PmdkUndoTx>(pool, threads);
+      case RuntimeKind::Spht:
+        return std::make_unique<txn::SphtTx>(pool, threads,
+                                             /*start_replayer=*/false);
+      case RuntimeKind::Spec:
+      case RuntimeKind::SpecDp: {
+        core::SpecTxConfig config;
+        config.dataPersistOnCommit = (kind == RuntimeKind::SpecDp);
+        config.backgroundReclaim = false;
+        config.logBlockSize = 256;
+        return std::make_unique<core::SpecTx>(pool, threads, config);
+      }
+      case RuntimeKind::Hybrid: {
+        sim::HybridConfig config;
+        config.hotCounterMax = 3;
+        config.epochMaxBytes = 16 * 1024;
+        config.epochMaxPages = 8;
+        return std::make_unique<sim::HybridSpecTx>(pool, threads,
+                                                   config);
+      }
+    }
+    return nullptr;
+}
+
+/** Harness parameters. */
+struct HarnessConfig
+{
+    unsigned slots = 128;
+    unsigned txCount = 48;
+    unsigned maxStoresPerTx = 6;
+    std::uint64_t seed = 42;
+    /** Run a synchronous reclaim cycle every N transactions (0=off). */
+    unsigned reclaimEvery = 0;
+};
+
+/** A crash-consistency scenario over one runtime kind. */
+class CrashScenario
+{
+  public:
+    CrashScenario(RuntimeKind kind, HarnessConfig config = {})
+        : kind_(kind), config_(config),
+          dev_(16u << 20), pool_(dev_)
+    {
+        runtime_ = makeRuntime(kind_, pool_, 1);
+        // Slot array, published via a root so the scenario is honest
+        // about how a real application would rediscover its data.
+        dataOff_ = pool_.alloc(config_.slots * sizeof(std::uint64_t));
+        pool_.setRoot(txn::kAppRootSlotBase, dataOff_);
+
+        // Initialize every slot through committed transactions so
+        // each datum enters the durable world with a log record.
+        for (unsigned base = 0; base < config_.slots; base += 16) {
+            runtime_->txBegin(0);
+            for (unsigned i = base;
+                 i < std::min(base + 16, config_.slots); ++i) {
+                runtime_->txStoreT<std::uint64_t>(
+                    0, slotOff(i), static_cast<std::uint64_t>(i));
+            }
+            runtime_->txCommit(0);
+        }
+        for (unsigned i = 0; i < config_.slots; ++i)
+            committed_[i] = i;
+    }
+
+    PmOff
+    slotOff(unsigned slot) const
+    {
+        return dataOff_ + slot * sizeof(std::uint64_t);
+    }
+
+    /**
+     * Run the workload with a crash armed after @p crash_after
+     * persistence ops; returns true if the crash fired.
+     */
+    bool
+    runWithCrash(long crash_after)
+    {
+        Rng rng(config_.seed);
+        dev_.armCrash(crash_after);
+        try {
+            for (unsigned t = 0; t < config_.txCount; ++t) {
+                staged_.clear();
+                runtime_->txBegin(0);
+                const unsigned stores =
+                    1 + static_cast<unsigned>(
+                            rng.below(config_.maxStoresPerTx));
+                for (unsigned i = 0; i < stores; ++i) {
+                    const auto slot = static_cast<unsigned>(
+                        rng.below(config_.slots));
+                    const std::uint64_t value = rng.next() | 1;
+                    runtime_->txStoreT<std::uint64_t>(0, slotOff(slot),
+                                                      value);
+                    staged_[slot] = value;
+                }
+                runtime_->txCommit(0);
+                for (const auto &[slot, value] : staged_)
+                    committed_[slot] = value;
+                staged_.clear();
+
+                if (config_.reclaimEvery != 0 &&
+                    (t + 1) % config_.reclaimEvery == 0) {
+                    if (auto *spec =
+                            dynamic_cast<core::SpecTx *>(runtime_.get()))
+                        spec->reclaimNow();
+                }
+            }
+        } catch (const pmem::SimulatedCrash &) {
+            return true;
+        }
+        dev_.armCrash(-1);
+        return false;
+    }
+
+    /** Power-cycle the pool and run recovery on a fresh runtime. */
+    void
+    crashAndRecover(const pmem::CrashPolicy &policy)
+    {
+        dev_.armCrash(-1);
+        runtime_.reset(); // the old process is gone
+        dev_.simulateCrash(policy);
+        pool_.reopenAfterCrash();
+        runtime_ = makeRuntime(kind_, pool_, 1);
+        dataOff_ = pool_.getRoot(txn::kAppRootSlotBase);
+        runtime_->recover();
+    }
+
+    /**
+     * Check atomic durability of the current device state.
+     * @return empty string on success, else a failure description.
+     */
+    std::string
+    verifyAtomicity() const
+    {
+        bool matches_committed = true;
+        bool matches_overlay = true;
+        for (unsigned i = 0; i < config_.slots; ++i) {
+            const auto actual = dev_.loadT<std::uint64_t>(slotOff(i));
+            const std::uint64_t want_committed = committed_.at(i);
+            std::uint64_t want_overlay = want_committed;
+            if (auto it = staged_.find(i); it != staged_.end())
+                want_overlay = it->second;
+            if (actual != want_committed)
+                matches_committed = false;
+            if (actual != want_overlay)
+                matches_overlay = false;
+        }
+        if (matches_committed || matches_overlay)
+            return {};
+        std::string failure = "partial transaction visible: ";
+        for (unsigned i = 0; i < config_.slots; ++i) {
+            const auto actual = dev_.loadT<std::uint64_t>(slotOff(i));
+            if (actual != committed_.at(i)) {
+                failure += "slot " + std::to_string(i) + "=" +
+                           std::to_string(actual) + " (committed " +
+                           std::to_string(committed_.at(i)) + ") ";
+            }
+        }
+        return failure;
+    }
+
+    /**
+     * Accept whichever of the two legal post-crash states actually
+     * survived as the new committed baseline.
+     */
+    void
+    rebaseline()
+    {
+        for (unsigned i = 0; i < config_.slots; ++i)
+            committed_[i] = dev_.loadT<std::uint64_t>(slotOff(i));
+        staged_.clear();
+    }
+
+    /** Run @p count crash-free transactions (post-recovery phase). */
+    void
+    runMore(unsigned count, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        for (unsigned t = 0; t < count; ++t) {
+            runtime_->txBegin(0);
+            const unsigned stores =
+                1 + static_cast<unsigned>(
+                        rng.below(config_.maxStoresPerTx));
+            for (unsigned i = 0; i < stores; ++i) {
+                const auto slot =
+                    static_cast<unsigned>(rng.below(config_.slots));
+                const std::uint64_t value = rng.next() | 1;
+                runtime_->txStoreT<std::uint64_t>(0, slotOff(slot),
+                                                  value);
+                committed_[slot] = value;
+            }
+            runtime_->txCommit(0);
+        }
+        // The redo baseline applies data out of place; drain it so
+        // device reads observe the committed state.
+        if (auto *spht = dynamic_cast<txn::SphtTx *>(runtime_.get()))
+            spht->drainReplayer();
+    }
+
+    /** Exact-state check (crash-free phases). */
+    std::string
+    verifyExact() const
+    {
+        for (unsigned i = 0; i < config_.slots; ++i) {
+            const auto actual = dev_.loadT<std::uint64_t>(slotOff(i));
+            if (actual != committed_.at(i)) {
+                return "slot " + std::to_string(i) + " = " +
+                       std::to_string(actual) + ", expected " +
+                       std::to_string(committed_.at(i));
+            }
+        }
+        return {};
+    }
+
+    pmem::PmemDevice &device() { return dev_; }
+    pmem::PmemPool &pool() { return pool_; }
+    txn::TxRuntime &runtime() { return *runtime_; }
+
+  private:
+    RuntimeKind kind_;
+    HarnessConfig config_;
+    pmem::PmemDevice dev_;
+    pmem::PmemPool pool_;
+    std::unique_ptr<txn::TxRuntime> runtime_;
+    PmOff dataOff_ = kPmNull;
+    std::map<unsigned, std::uint64_t> committed_;
+    std::map<unsigned, std::uint64_t> staged_;
+};
+
+} // namespace specpmt::tests
+
+#endif // SPECPMT_TESTS_CRASH_HARNESS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the set-associative array underlying the TLB and cache
+ * models: hit/miss behaviour, LRU victim selection, eviction
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assoc_array.hh"
+
+namespace specpmt::sim
+{
+namespace
+{
+
+TEST(AssocArray, InsertAndFind)
+{
+    AssocArray<int> array(8, 2);
+    EXPECT_EQ(array.find(42), nullptr);
+    EXPECT_FALSE(array.insert(42, 7).has_value());
+    ASSERT_NE(array.find(42), nullptr);
+    EXPECT_EQ(*array.find(42), 7);
+}
+
+TEST(AssocArray, MetaIsMutableThroughFind)
+{
+    AssocArray<int> array(8, 2);
+    array.insert(1, 10);
+    *array.find(1) = 20;
+    EXPECT_EQ(*array.peek(1), 20);
+}
+
+TEST(AssocArray, EvictsLruWithinSet)
+{
+    // 1 set, 2 ways: keys all map to the same set.
+    AssocArray<int> array(2, 2);
+    array.insert(1, 100);
+    array.insert(2, 200);
+    // Touch key 1 so key 2 becomes LRU.
+    array.find(1);
+    const auto evicted = array.insert(3, 300);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->first, 2u);
+    EXPECT_EQ(evicted->second, 200);
+    EXPECT_NE(array.find(1), nullptr);
+    EXPECT_EQ(array.find(2), nullptr);
+}
+
+TEST(AssocArray, SetsAreIndependent)
+{
+    AssocArray<int> array(4, 2); // 2 sets
+    // Keys 0 and 2 map to set 0; 1 and 3 to set 1.
+    array.insert(0, 1);
+    array.insert(2, 2);
+    array.insert(1, 3);
+    // Filling set 0 further evicts only from set 0.
+    const auto evicted = array.insert(4, 4);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->first % 2, 0u);
+    EXPECT_NE(array.find(1), nullptr);
+}
+
+TEST(AssocArray, EraseReturnsMeta)
+{
+    AssocArray<int> array(8, 2);
+    array.insert(5, 50);
+    const auto meta = array.erase(5);
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(*meta, 50);
+    EXPECT_EQ(array.find(5), nullptr);
+    EXPECT_FALSE(array.erase(5).has_value());
+}
+
+TEST(AssocArray, ForEachVisitsAllValidEntries)
+{
+    AssocArray<int> array(16, 4);
+    for (int i = 0; i < 10; ++i)
+        array.insert(static_cast<std::uint64_t>(i), i);
+    int count = 0, sum = 0;
+    array.forEach([&](std::uint64_t, int &value) {
+        ++count;
+        sum += value;
+    });
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(sum, 45);
+}
+
+TEST(AssocArray, NonMultipleCapacityRoundsDownToWholeSets)
+{
+    // 2MB/64B = 32768 entries at 12 ways: 2730 sets.
+    AssocArray<int> array(32768, 12);
+    EXPECT_EQ(array.numSets(), 32768u / 12);
+    EXPECT_EQ(array.ways(), 12u);
+}
+
+} // namespace
+} // namespace specpmt::sim

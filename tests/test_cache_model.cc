@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the two-level cache model: hit levels, dirty writeback
+ * hooks, PBit/LogBit flag plumbing, and cleaning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.hh"
+
+namespace specpmt::sim
+{
+namespace
+{
+
+SimConfig
+tinyConfig()
+{
+    SimConfig config;
+    config.l1Bytes = 4 * kCacheLineSize; // 4 lines
+    config.l1Ways = 1;
+    config.l2Bytes = 8 * kCacheLineSize;
+    config.l2Ways = 1;
+    return config;
+}
+
+TEST(CacheModel, MissThenHit)
+{
+    CacheModel cache(tinyConfig());
+    EXPECT_EQ(cache.access(10, false), CacheLevel::Memory);
+    EXPECT_EQ(cache.access(10, false), CacheLevel::L1);
+    EXPECT_EQ(cache.memFills(), 1u);
+    EXPECT_EQ(cache.l1Hits(), 1u);
+}
+
+TEST(CacheModel, WriteMarksDirty)
+{
+    CacheModel cache(tinyConfig());
+    cache.access(3, true);
+    ASSERT_NE(cache.l1Meta(3), nullptr);
+    EXPECT_TRUE(cache.l1Meta(3)->dirty);
+}
+
+TEST(CacheModel, EvictionDemotesToL2AndHitsThere)
+{
+    CacheModel cache(tinyConfig());
+    cache.access(0, true);
+    cache.access(4, false); // same L1 set (4 sets, direct-mapped)
+    EXPECT_EQ(cache.l1Meta(0), nullptr);
+    EXPECT_EQ(cache.access(0, false), CacheLevel::L2);
+    EXPECT_TRUE(cache.l1Meta(0)->dirty) << "dirty state must survive";
+}
+
+TEST(CacheModel, L1EvictHookFiresForFlaggedLines)
+{
+    CacheModel cache(tinyConfig());
+    std::vector<std::uint64_t> evicted;
+    CacheModel::Hooks hooks;
+    hooks.onL1Evict = [&](std::uint64_t line, LineMeta &) {
+        evicted.push_back(line);
+    };
+    cache.setHooks(hooks);
+
+    cache.access(0, true); // dirty
+    cache.access(4, false);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0u);
+
+    // Clean lines leave silently.
+    cache.access(8, false);
+    EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST(CacheModel, L2WritebackHookFiresForDirtyLines)
+{
+    CacheModel cache(tinyConfig());
+    std::vector<std::uint64_t> written_back;
+    CacheModel::Hooks hooks;
+    hooks.onL2Writeback = [&](std::uint64_t line, LineMeta &) {
+        written_back.push_back(line);
+    };
+    cache.setHooks(hooks);
+
+    // Dirty line 0; push it to L2, then push it out of L2 (L2 set
+    // count is 8, so lines congruent mod 8 collide; lines congruent
+    // mod 4 collide in L1).
+    cache.access(0, true);
+    cache.access(4, false);  // 0 -> L2
+    cache.access(8, false);  // 4 -> L2 (set 0 in L2 holds 0, 8...)
+    cache.access(16, false); // keep pushing set-0 lines
+    cache.access(24, false);
+    EXPECT_FALSE(written_back.empty());
+    EXPECT_EQ(written_back[0], 0u);
+}
+
+TEST(CacheModel, CleanClearsDirtyAndPbitEverywhere)
+{
+    CacheModel cache(tinyConfig());
+    cache.access(1, true);
+    cache.l1Meta(1)->pBit = true;
+    cache.clean(1);
+    EXPECT_FALSE(cache.l1Meta(1)->dirty);
+    EXPECT_FALSE(cache.l1Meta(1)->pBit);
+
+    // And in L2.
+    cache.access(2, true);
+    cache.access(6, false); // evict 2 into L2
+    cache.clean(2);
+    EXPECT_EQ(cache.access(2, false), CacheLevel::L2);
+    EXPECT_FALSE(cache.l1Meta(2)->dirty);
+}
+
+TEST(CacheModel, CleanIfDirtyReports)
+{
+    CacheModel cache(tinyConfig());
+    EXPECT_FALSE(cache.cleanIfDirty(9));
+    cache.access(9, true);
+    EXPECT_TRUE(cache.cleanIfDirty(9));
+    EXPECT_FALSE(cache.cleanIfDirty(9));
+}
+
+} // namespace
+} // namespace specpmt::sim

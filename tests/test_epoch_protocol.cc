@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests of the Section 5.2.2 multi-threaded epoch reclamation
+ * protocol, including the exact Figure 11 hazard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/epoch_protocol.hh"
+
+namespace specpmt::sim
+{
+namespace
+{
+
+TEST(EpochProtocol, OpenEpochIsNotReclaimable)
+{
+    EpochProtocol protocol;
+    const auto e = protocol.startEpoch(0, 1, 10);
+    EXPECT_FALSE(protocol.canReclaim(e));
+}
+
+TEST(EpochProtocol, ClosedButIdNotReassignedIsStillActive)
+{
+    EpochProtocol protocol;
+    const auto e = protocol.startEpoch(0, 1, 10);
+    protocol.endEpoch(e, 20);
+    // Closed, but its records may still guard data updated by later
+    // transactions of this thread until the ID is reassigned.
+    EXPECT_FALSE(protocol.canReclaim(e));
+}
+
+TEST(EpochProtocol, InactiveEpochWithNoOverlapReclaims)
+{
+    EpochProtocol protocol;
+    const auto e1 = protocol.startEpoch(0, 1, 10);
+    protocol.endEpoch(e1, 20);
+    const auto e2 = protocol.startEpoch(0, 1, 30); // reassigns ID 1
+    EXPECT_TRUE(protocol.span(e1).inactive());
+    EXPECT_TRUE(protocol.canReclaim(e1));
+    (void)e2;
+}
+
+TEST(EpochProtocol, Figure11HazardIsBlocked)
+{
+    // Thread 1 writes w1 inside an epoch that stays active; thread 2
+    // wants to reclaim its own epoch that overlaps thread 1's. If it
+    // did, a crash during thread 1's later w3 could not be revoked.
+    EpochProtocol protocol;
+    const auto t1 = protocol.startEpoch(1, 1, 10); // thread 1, open
+    const auto t2 = protocol.startEpoch(2, 1, 12);
+    protocol.endEpoch(t2, 20);
+    protocol.startEpoch(2, 1, 25); // reassign: t2 inactive
+
+    EXPECT_TRUE(protocol.span(t2).inactive());
+    EXPECT_FALSE(protocol.canReclaim(t2))
+        << "thread 1's epoch started before t2 ended: reclaim unsafe";
+    (void)t1;
+}
+
+TEST(EpochProtocol, ReclaimAllowedOnceAllActiveEpochsStartLater)
+{
+    EpochProtocol protocol;
+    const auto t2 = protocol.startEpoch(2, 1, 12);
+    protocol.endEpoch(t2, 20);
+    protocol.startEpoch(2, 1, 25);
+
+    // A fresh epoch on thread 1 starting after t2 ended is harmless.
+    const auto t1 = protocol.startEpoch(1, 1, 30);
+    EXPECT_TRUE(protocol.canReclaim(t2));
+    (void)t1;
+}
+
+TEST(EpochProtocol, ReassignmentRetiresOnlySameThreadSameId)
+{
+    EpochProtocol protocol;
+    const auto a = protocol.startEpoch(0, 1, 10);
+    protocol.endEpoch(a, 15);
+    const auto b = protocol.startEpoch(0, 2, 16); // different ID
+    protocol.endEpoch(b, 18);
+    EXPECT_FALSE(protocol.span(a).inactive());
+    protocol.startEpoch(1, 1, 20); // different thread, same ID
+    EXPECT_FALSE(protocol.span(a).inactive());
+    protocol.startEpoch(0, 1, 22); // same thread, same ID
+    EXPECT_TRUE(protocol.span(a).inactive());
+}
+
+} // namespace
+} // namespace specpmt::sim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the hardware transaction models: protocol event counts,
+ * relative cost orderings the paper's evaluation relies on, hybrid
+ * logging transitions, and epoch reclamation bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "txn/trace.hh"
+
+namespace specpmt::sim
+{
+namespace
+{
+
+using txn::MemOp;
+using txn::MemOpKind;
+using txn::MemTrace;
+
+/** Build a trace of @p txs transactions, each writing @p lines. */
+MemTrace
+makeTrace(unsigned txs, unsigned lines_per_tx, bool repeat_same_lines,
+          unsigned compute_ns = 500)
+{
+    MemTrace trace;
+    PmOff cursor = 0;
+    for (unsigned t = 0; t < txs; ++t) {
+        trace.ops.push_back(
+            {MemOpKind::Compute, {}, 0, 0, 0, compute_ns});
+        trace.ops.push_back({MemOpKind::TxBegin, {}, 0, 0, 0, 0});
+        for (unsigned i = 0; i < lines_per_tx; ++i) {
+            const PmOff off = repeat_same_lines
+                ? i * kCacheLineSize
+                : (cursor += kCacheLineSize);
+            trace.ops.push_back({MemOpKind::Store, {}, 0, off, 8, 0});
+            ++trace.numUpdates;
+            trace.updateBytes += 8;
+        }
+        trace.ops.push_back({MemOpKind::TxCommit, {}, 0, 0, 0, 0});
+        ++trace.numTx;
+    }
+    return trace;
+}
+
+TEST(HwRuntimes, EveryTxCommitsOneFence)
+{
+    const auto trace = makeTrace(100, 4, false);
+    SimConfig config;
+    for (const auto scheme : allHwSchemes()) {
+        const auto stats = simulate(scheme, config, trace);
+        EXPECT_EQ(stats.txs, 100u) << hwSchemeName(scheme);
+        // 100 commits + the end-of-run drain fence (+1 reclaim slack).
+        EXPECT_GE(stats.fences, 101u) << hwSchemeName(scheme);
+        EXPECT_LE(stats.fences, 110u) << hwSchemeName(scheme);
+    }
+}
+
+TEST(HwRuntimes, NoLogWritesNoLog)
+{
+    const auto trace = makeTrace(50, 4, false);
+    SimConfig config;
+    const auto stats = simulate(HwScheme::NoLog, config, trace);
+    EXPECT_EQ(stats.pmLogLineWrites, 0u);
+    EXPECT_GE(stats.pmDataLineWrites, 200u);
+}
+
+TEST(HwRuntimes, EdeIsNeverFasterThanNoLog)
+{
+    for (const bool repeat : {false, true}) {
+        const auto trace = makeTrace(200, 6, repeat);
+        SimConfig config;
+        const auto ede = simulate(HwScheme::Ede, config, trace);
+        const auto ideal = simulate(HwScheme::NoLog, config, trace);
+        EXPECT_GE(ede.ns, ideal.ns);
+        EXPECT_GT(ede.pmLogLineWrites, 0u);
+    }
+}
+
+TEST(HwRuntimes, SpecHpmtBeatsEdeOnHotData)
+{
+    // Repeatedly updating the same few lines is the hybrid design's
+    // best case: pages go hot, data persistence is elided.
+    const auto trace = makeTrace(3000, 8, /*repeat_same_lines=*/true);
+    SimConfig config;
+    const auto ede = simulate(HwScheme::Ede, config, trace);
+    const auto spec = simulate(HwScheme::SpecHpmt, config, trace);
+    EXPECT_LT(spec.ns, ede.ns);
+    EXPECT_LT(spec.pmDataLineWrites, ede.pmDataLineWrites / 4)
+        << "hot data must coalesce across transactions";
+    EXPECT_GT(spec.pageCopies, 0u);
+}
+
+TEST(HwRuntimes, ColdDataStaysOnUndoPath)
+{
+    // A sweep over fresh pages with a single store each must never
+    // trigger page copies (hotness is a rate, not a lifetime count).
+    MemTrace trace;
+    for (unsigned t = 0; t < 2000; ++t) {
+        trace.ops.push_back({MemOpKind::TxBegin, {}, 0, 0, 0, 0});
+        trace.ops.push_back({MemOpKind::Store, {}, 0,
+                             static_cast<PmOff>(t) * kPageSize, 8, 0});
+        trace.ops.push_back({MemOpKind::TxCommit, {}, 0, 0, 0, 0});
+        ++trace.numTx;
+    }
+    SimConfig config;
+    const auto stats = simulate(HwScheme::SpecHpmt, config, trace);
+    EXPECT_EQ(stats.pageCopies, 0u);
+}
+
+TEST(HwRuntimes, DpVariantPersistsDataAtCommit)
+{
+    const auto trace = makeTrace(500, 8, true);
+    SimConfig config;
+    const auto spec = simulate(HwScheme::SpecHpmt, config, trace);
+    const auto dp = simulate(HwScheme::SpecHpmtDp, config, trace);
+    EXPECT_GT(dp.pmDataLineWrites, spec.pmDataLineWrites);
+    EXPECT_GE(dp.ns, spec.ns);
+}
+
+TEST(HwRuntimes, EpochBudgetBoundsLogMemory)
+{
+    const auto trace = makeTrace(4000, 8, true);
+    SimConfig small_config;
+    small_config.epochMaxBytes = 32 * 1024;
+    small_config.epochMaxPages = 16;
+    SimConfig big_config;
+    big_config.epochMaxBytes = 8u << 20;
+
+    const auto small_run =
+        simulate(HwScheme::SpecHpmt, small_config, trace);
+    const auto big_run = simulate(HwScheme::SpecHpmt, big_config, trace);
+    EXPECT_GT(small_run.epochsReclaimed, big_run.epochsReclaimed);
+    EXPECT_LT(small_run.peakLogBytes, big_run.peakLogBytes);
+    // Memory stays within a couple of epoch budgets plus one page.
+    EXPECT_LE(small_run.peakLogBytes,
+              3 * small_config.epochMaxBytes + kPageSize);
+}
+
+TEST(HwRuntimes, HoopRunsGcAndCoalesces)
+{
+    const auto trace = makeTrace(4000, 8, true);
+    SimConfig config;
+    const auto hoop = simulate(HwScheme::Hoop, config, trace);
+    const auto ede = simulate(HwScheme::Ede, config, trace);
+    EXPECT_GT(hoop.gcRuns, 0u);
+    EXPECT_LT(hoop.pmDataLineWrites, ede.pmDataLineWrites)
+        << "GC coalesces data writes across transactions";
+}
+
+TEST(HwRuntimes, TraceLoadsHitCaches)
+{
+    MemTrace trace;
+    trace.ops.push_back({MemOpKind::TxBegin, {}, 0, 0, 0, 0});
+    trace.ops.push_back({MemOpKind::Store, {}, 0, 0, 8, 0});
+    trace.ops.push_back({MemOpKind::TxCommit, {}, 0, 0, 0, 0});
+    for (int i = 0; i < 10; ++i)
+        trace.ops.push_back({MemOpKind::Load, {}, 0, 0, 8, 0});
+    trace.numTx = 1;
+    SimConfig config;
+    const auto stats = simulate(HwScheme::Ede, config, trace);
+    EXPECT_GE(stats.l1Hits, 10u);
+}
+
+} // namespace
+} // namespace specpmt::sim

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests of the emulated persistence domain: store/flush/fence
+ * semantics, crash policies, crash injection, traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "pmem/pmem_device.hh"
+
+namespace specpmt::pmem
+{
+namespace
+{
+
+TEST(PmemDevice, StoresAreVolatileUntilFencedFlush)
+{
+    PmemDevice dev(1 << 16);
+    dev.storeT<std::uint64_t>(128, 0xABCDu);
+    EXPECT_EQ(dev.loadT<std::uint64_t>(128), 0xABCDu);
+
+    // Adversarial crash: nothing unfenced persists.
+    auto image = dev.crashImage(CrashPolicy::nothing());
+    std::uint64_t persisted;
+    std::memcpy(&persisted, image.data() + 128, 8);
+    EXPECT_EQ(persisted, 0u);
+
+    dev.clwb(128);
+    image = dev.crashImage(CrashPolicy::nothing());
+    std::memcpy(&persisted, image.data() + 128, 8);
+    EXPECT_EQ(persisted, 0u) << "clwb without sfence is not durable";
+
+    dev.sfence();
+    image = dev.crashImage(CrashPolicy::nothing());
+    std::memcpy(&persisted, image.data() + 128, 8);
+    EXPECT_EQ(persisted, 0xABCDu);
+}
+
+TEST(PmemDevice, EverythingDrainsPolicyPersistsDirtyLines)
+{
+    PmemDevice dev(1 << 16);
+    dev.storeT<std::uint64_t>(0, 7);
+    auto image = dev.crashImage(CrashPolicy::everything());
+    std::uint64_t persisted;
+    std::memcpy(&persisted, image.data(), 8);
+    EXPECT_EQ(persisted, 7u);
+}
+
+TEST(PmemDevice, ClwbSnapshotsAtFlushTime)
+{
+    PmemDevice dev(1 << 16);
+    dev.storeT<std::uint64_t>(0, 1);
+    dev.clwb(0);
+    dev.storeT<std::uint64_t>(0, 2); // re-dirty after flush
+    dev.sfence();
+
+    // The fence persists the snapshot taken at clwb time (value 1);
+    // value 2 is still only in the cache.
+    auto image = dev.crashImage(CrashPolicy::nothing());
+    std::uint64_t persisted;
+    std::memcpy(&persisted, image.data(), 8);
+    EXPECT_EQ(persisted, 1u);
+    EXPECT_TRUE(dev.isLineDirty(0));
+}
+
+TEST(PmemDevice, RandomPolicyIsReproducible)
+{
+    PmemDevice dev(1 << 16);
+    for (unsigned i = 0; i < 64; ++i)
+        dev.storeT<std::uint64_t>(i * 64, i + 1);
+    const auto a = dev.crashImage(CrashPolicy::random(99));
+    const auto b = dev.crashImage(CrashPolicy::random(99));
+    const auto c = dev.crashImage(CrashPolicy::random(100));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(PmemDevice, SimulateCrashCollapsesState)
+{
+    PmemDevice dev(1 << 16);
+    dev.storeT<std::uint64_t>(64, 5);
+    dev.clwb(64);
+    dev.sfence();
+    dev.storeT<std::uint64_t>(64, 9); // dirty on top
+
+    dev.simulateCrash(CrashPolicy::nothing());
+    EXPECT_EQ(dev.loadT<std::uint64_t>(64), 5u);
+    EXPECT_EQ(dev.dirtyLineCount(), 0u);
+    EXPECT_EQ(dev.stats().crashes, 1u);
+}
+
+TEST(PmemDevice, NtStoreBypassesCacheButNeedsFence)
+{
+    PmemDevice dev(1 << 16);
+    const std::uint64_t value = 0xF00Du;
+    dev.ntstore(256, &value, sizeof(value));
+    EXPECT_FALSE(dev.isLineDirty(256));
+
+    auto image = dev.crashImage(CrashPolicy::nothing());
+    std::uint64_t persisted;
+    std::memcpy(&persisted, image.data() + 256, 8);
+    EXPECT_EQ(persisted, 0u);
+
+    dev.sfence();
+    image = dev.crashImage(CrashPolicy::nothing());
+    std::memcpy(&persisted, image.data() + 256, 8);
+    EXPECT_EQ(persisted, value);
+}
+
+TEST(PmemDevice, DrainAllPersistsEverything)
+{
+    PmemDevice dev(1 << 16);
+    for (unsigned i = 0; i < 100; ++i)
+        dev.storeT<std::uint64_t>(i * 64, i);
+    dev.drainAll();
+    EXPECT_EQ(dev.dirtyLineCount(), 0u);
+    auto image = dev.crashImage(CrashPolicy::nothing());
+    for (unsigned i = 0; i < 100; ++i) {
+        std::uint64_t persisted;
+        std::memcpy(&persisted, image.data() + i * 64, 8);
+        EXPECT_EQ(persisted, i);
+    }
+}
+
+TEST(PmemDevice, RedundantClwbOfCleanLineIsFree)
+{
+    PmemDevice dev(1 << 16);
+    dev.clwb(0);
+    EXPECT_EQ(dev.stats().totalClwbs(), 0u);
+    dev.storeT<std::uint64_t>(0, 1);
+    dev.clwb(0);
+    dev.clwb(0); // second flush: line already pending, not dirty
+    EXPECT_EQ(dev.stats().totalClwbs(), 1u);
+}
+
+TEST(PmemDevice, TrafficClassesAreSeparated)
+{
+    PmemDevice dev(1 << 16);
+    dev.storeT<std::uint64_t>(0, 1);
+    dev.clwb(0, TrafficClass::Data);
+    dev.storeT<std::uint64_t>(64, 1);
+    dev.clwb(64, TrafficClass::Log);
+    dev.storeT<std::uint64_t>(128, 1);
+    dev.clwb(128, TrafficClass::Meta);
+    const auto &stats = dev.stats();
+    EXPECT_EQ(stats.clwbs[0], 1u);
+    EXPECT_EQ(stats.clwbs[1], 1u);
+    EXPECT_EQ(stats.clwbs[2], 1u);
+}
+
+TEST(PmemDevice, MultiLineStoreDirtiesAllLines)
+{
+    PmemDevice dev(1 << 16);
+    std::uint8_t buffer[200] = {1};
+    dev.store(60, buffer, sizeof(buffer)); // spans lines 0..4
+    EXPECT_EQ(dev.dirtyLineCount(), 5u);
+}
+
+TEST(PmemDevice, CrashInjectionFiresAtExactOp)
+{
+    PmemDevice dev(1 << 16);
+    dev.armCrash(2);
+    dev.storeT<std::uint64_t>(0, 1);  // op 0
+    dev.storeT<std::uint64_t>(8, 2);  // op 1
+    EXPECT_THROW(dev.storeT<std::uint64_t>(16, 3),
+                 SimulatedCrash); // op 2: boom, store not applied
+    EXPECT_EQ(dev.loadT<std::uint64_t>(16), 0u);
+    // Countdown disarms itself after firing.
+    dev.storeT<std::uint64_t>(24, 4);
+    EXPECT_EQ(dev.loadT<std::uint64_t>(24), 4u);
+}
+
+TEST(PmemDevice, CrashInjectionIsThreadLocal)
+{
+    PmemDevice dev(1 << 16);
+    dev.armCrash(0);
+    std::thread other([&] {
+        // A different thread must not trip the armed countdown.
+        for (int i = 0; i < 10; ++i)
+            dev.storeT<std::uint64_t>(512 + i * 8, i);
+    });
+    other.join();
+    EXPECT_EQ(dev.loadT<std::uint64_t>(512), 0u);
+    EXPECT_THROW(dev.storeT<std::uint64_t>(0, 1), SimulatedCrash);
+}
+
+TEST(PmemDevice, ResetFromImageRestoresBothImages)
+{
+    PmemDevice dev(1 << 16);
+    dev.storeT<std::uint64_t>(0, 42);
+    dev.clwb(0);
+    dev.sfence();
+    const auto image = dev.crashImage(CrashPolicy::nothing());
+
+    PmemDevice dev2(1 << 16);
+    dev2.resetFromImage(image);
+    EXPECT_EQ(dev2.loadT<std::uint64_t>(0), 42u);
+    const auto image2 = dev2.crashImage(CrashPolicy::nothing());
+    EXPECT_EQ(image2, image);
+}
+
+TEST(PmemDevice, OutOfRangeAccessDies)
+{
+    PmemDevice dev(1 << 12);
+    EXPECT_DEATH(dev.storeT<std::uint64_t>((1 << 12) - 4, 1), "range");
+}
+
+} // namespace
+} // namespace specpmt::pmem

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the pool allocator and the crash-safe root directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmem/pmem_pool.hh"
+
+namespace specpmt::pmem
+{
+namespace
+{
+
+class PmemPoolTest : public ::testing::Test
+{
+  protected:
+    PmemPoolTest() : dev_(4u << 20), pool_(dev_) {}
+
+    PmemDevice dev_;
+    PmemPool pool_;
+};
+
+TEST_F(PmemPoolTest, AllocationsAreDisjointAndAligned)
+{
+    std::set<std::pair<PmOff, PmOff>> ranges;
+    for (unsigned i = 1; i <= 200; ++i) {
+        const std::size_t size = (i * 13) % 500 + 1;
+        const PmOff off = pool_.alloc(size);
+        EXPECT_NE(off, kPmNull);
+        EXPECT_EQ(off % 16, 0u);
+        EXPECT_GE(off, kPageSize) << "page 0 is the root directory";
+        const PmOff end = off + pool_.allocationSize(off);
+        for (const auto &[s, e] : ranges)
+            EXPECT_TRUE(end <= s || off >= e) << "overlap";
+        ranges.emplace(off, end);
+    }
+}
+
+TEST_F(PmemPoolTest, FreeThenAllocReusesMemory)
+{
+    const PmOff a = pool_.alloc(64);
+    pool_.free(a);
+    const PmOff b = pool_.alloc(64);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(PmemPoolTest, AllocationSizeRoundsToClass)
+{
+    const PmOff a = pool_.alloc(20);
+    EXPECT_EQ(pool_.allocationSize(a), 32u);
+    const PmOff b = pool_.alloc(16);
+    EXPECT_EQ(pool_.allocationSize(b), 16u);
+    const PmOff c = pool_.alloc(4096);
+    EXPECT_EQ(pool_.allocationSize(c), 4096u);
+}
+
+TEST_F(PmemPoolTest, AlignedAllocationHonorsAlignment)
+{
+    for (std::size_t alignment : {64u, 256u, 4096u}) {
+        const PmOff off = pool_.allocAligned(100, alignment);
+        EXPECT_EQ(off % alignment, 0u) << alignment;
+    }
+}
+
+TEST_F(PmemPoolTest, BytesAllocatedTracksLiveness)
+{
+    EXPECT_EQ(pool_.bytesAllocated(), 0u);
+    const PmOff a = pool_.alloc(64);
+    const PmOff b = pool_.alloc(128);
+    EXPECT_EQ(pool_.bytesAllocated(), 192u);
+    pool_.free(a);
+    EXPECT_EQ(pool_.bytesAllocated(), 128u);
+    pool_.free(b);
+    EXPECT_EQ(pool_.bytesAllocated(), 0u);
+    EXPECT_EQ(pool_.peakBytesAllocated(), 192u);
+}
+
+TEST_F(PmemPoolTest, RootsSurviveAdversarialCrash)
+{
+    pool_.setRoot(5, 0x1234560);
+    dev_.simulateCrash(CrashPolicy::nothing());
+    EXPECT_EQ(pool_.getRoot(5), 0x1234560u);
+    EXPECT_EQ(pool_.getRoot(6), kPmNull);
+}
+
+TEST_F(PmemPoolTest, ReopenForgetsAllocationsButKeepsWatermark)
+{
+    const PmOff a = pool_.alloc(256);
+    pool_.reopenAfterCrash();
+    const PmOff b = pool_.alloc(256);
+    EXPECT_NE(a, b) << "fresh allocations must not overwrite old data";
+    EXPECT_GT(b, a);
+}
+
+TEST_F(PmemPoolTest, AdoptRegistersForeignAllocation)
+{
+    const PmOff a = pool_.allocAligned(4096, 64);
+    pool_.reopenAfterCrash();
+    pool_.adopt(a, 4096);
+    EXPECT_EQ(pool_.allocationSize(a), 4096u);
+    pool_.free(a); // must not die
+    const PmOff b = pool_.allocAligned(4096, 16);
+    EXPECT_EQ(b, a) << "adopted-then-freed block is reusable";
+}
+
+TEST_F(PmemPoolTest, AdoptIsIdempotent)
+{
+    const PmOff a = pool_.alloc(64);
+    pool_.adopt(a, 64);
+    EXPECT_EQ(pool_.allocationSize(a), 64u);
+}
+
+TEST_F(PmemPoolTest, ExhaustionIsFatal)
+{
+    PmemDevice small_dev(3 * kPageSize);
+    PmemPool small_pool(small_dev);
+    EXPECT_EXIT(
+        {
+            for (int i = 0; i < 100; ++i)
+                small_pool.alloc(4096);
+        },
+        ::testing::ExitedWithCode(1), "exhausted");
+}
+
+} // namespace
+} // namespace specpmt::pmem

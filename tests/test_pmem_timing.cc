@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the analytic persistent-memory timing model: strict
+ * persist barriers, WPQ back-pressure and merging, multi-channel
+ * drain, XPLine write combining, and background-write bandwidth
+ * sharing — the cost structure both benchmark platforms rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmem/pmem_timing.hh"
+
+namespace specpmt::pmem
+{
+namespace
+{
+
+TEST(PmemTiming, ComputeAdvancesClock)
+{
+    PmemTiming timing;
+    timing.compute(100);
+    EXPECT_EQ(timing.now(), 100u);
+}
+
+TEST(PmemTiming, FenceWaitsForSyncDrainPlusFixedCost)
+{
+    PmemTiming timing;
+    timing.onClwb(0);
+    timing.onSfence();
+    EXPECT_GE(timing.now(),
+              timing.params().pmWriteNs + timing.params().sfenceNs);
+}
+
+TEST(PmemTiming, FenceOnEmptyQueueCostsOnlyTheFixedDrain)
+{
+    PmemTiming timing;
+    timing.onSfence();
+    EXPECT_EQ(timing.now(), timing.params().sfenceNs);
+}
+
+TEST(PmemTiming, WpqMergesRepeatedLine)
+{
+    PmemTiming timing;
+    timing.onClwb(7);
+    timing.onClwb(7); // still pending: merges, no second media write
+    EXPECT_EQ(timing.pmLineWrites(), 1u);
+    timing.onClwb(8);
+    EXPECT_EQ(timing.pmLineWrites(), 2u);
+}
+
+TEST(PmemTiming, SequentialBeatsScattered)
+{
+    // Sequential lines combine within XPLines; scattered lines pay
+    // the full read-modify-write each time.
+    PmemTiming seq;
+    for (std::uint64_t line = 0; line < 64; ++line)
+        seq.onClwb(line);
+    seq.onSfence();
+
+    PmemTiming scattered;
+    for (std::uint64_t line = 0; line < 64; ++line)
+        scattered.onClwb(line * 113);
+    scattered.onSfence();
+
+    EXPECT_GT(seq.combinedWrites(), 0u);
+    EXPECT_EQ(scattered.combinedWrites(), 0u);
+    EXPECT_LT(seq.now(), scattered.now())
+        << "sequential log writes must be cheaper than random writes";
+}
+
+TEST(PmemTiming, ChannelsDrainInParallel)
+{
+    // The same scattered write set drains faster with more channels.
+    TimingParams one_channel;
+    one_channel.pmChannels = 1;
+    PmemTiming serial(one_channel);
+    PmemTiming parallel; // default 4 channels
+    for (std::uint64_t line = 0; line < 32; ++line) {
+        // Distinct XPLines spread across channels (stride 5 XPLines).
+        serial.onClwb(line * 20);
+        parallel.onClwb(line * 20);
+    }
+    serial.onSfence();
+    parallel.onSfence();
+    EXPECT_LT(parallel.now(), serial.now());
+}
+
+TEST(PmemTiming, FullWpqBackpressures)
+{
+    PmemTiming timing;
+    const unsigned depth = timing.params().wpqLines;
+    for (unsigned i = 0; i < depth; ++i)
+        timing.onClwb(i * 100);
+    const SimNs before = timing.now();
+    timing.onClwb(depth * 100);
+    EXPECT_GT(timing.now() - before, timing.params().wpqAcceptNs)
+        << "a full WPQ must stall the core";
+}
+
+TEST(PmemTiming, AsyncWritesConsumeDrainBandwidth)
+{
+    // Background writes fill the queue; the measured thread's next
+    // write stalls on the shared drain.
+    PmemTiming timing;
+    for (unsigned i = 0; i < timing.params().wpqLines; ++i)
+        timing.onClwbAsync(1000 + i * 100);
+    EXPECT_EQ(timing.now(), 0u)
+        << "async writes do not advance the clock";
+    timing.onClwb(5);
+    EXPECT_GT(timing.now(), timing.params().wpqAcceptNs);
+}
+
+TEST(PmemTiming, FenceDoesNotWaitForPureAsyncBacklog)
+{
+    PmemTiming timing;
+    timing.onClwbAsync(1);
+    timing.onSfence();
+    EXPECT_EQ(timing.now(), timing.params().sfenceNs)
+        << "a fence does not wait for other cores' writes";
+}
+
+TEST(PmemTiming, CountsPmLineWrites)
+{
+    PmemTiming timing;
+    for (int i = 0; i < 10; ++i)
+        timing.onClwb(i);
+    EXPECT_EQ(timing.pmLineWrites(), 10u);
+}
+
+TEST(PmemTiming, ResetClearsClockKeepsCounters)
+{
+    PmemTiming timing;
+    timing.onClwb(0);
+    timing.onSfence();
+    timing.reset();
+    EXPECT_EQ(timing.now(), 0u);
+    EXPECT_EQ(timing.pmLineWrites(), 1u);
+}
+
+} // namespace
+} // namespace specpmt::pmem

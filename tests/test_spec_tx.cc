@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Unit tests for software SpecPMT: speculative log format, commit
+ * protocol, recovery, abort, log reclamation/compaction, external
+ * data adoption, and mechanism switching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "core/spec_tx.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+#include "txn/undo_tx.hh"
+
+namespace specpmt::core
+{
+namespace
+{
+
+SpecTxConfig
+testConfig(bool dp = false, std::size_t block = 256)
+{
+    SpecTxConfig config;
+    config.dataPersistOnCommit = dp;
+    config.backgroundReclaim = false;
+    config.logBlockSize = block;
+    return config;
+}
+
+class SpecTxTest : public ::testing::Test
+{
+  protected:
+    SpecTxTest()
+        : dev_(16u << 20), pool_(dev_), tx_(pool_, 1, testConfig())
+    {}
+
+    /** Initialize a slot array through committed transactions. */
+    PmOff
+    initSlots(unsigned count)
+    {
+        const PmOff off = pool_.alloc(count * 8);
+        tx_.txBegin(0);
+        for (unsigned i = 0; i < count; ++i)
+            tx_.txStoreT<std::uint64_t>(0, off + i * 8, i);
+        tx_.txCommit(0);
+        return off;
+    }
+
+    pmem::PmemDevice dev_;
+    pmem::PmemPool pool_;
+    SpecTx tx_;
+};
+
+TEST_F(SpecTxTest, SingleFencePerCommitNoFencePerStore)
+{
+    const PmOff off = initSlots(32);
+    const auto fences_before = dev_.stats().fences;
+    tx_.txBegin(0);
+    for (unsigned i = 0; i < 32; ++i)
+        tx_.txStoreT<std::uint64_t>(0, off + i * 8, i * 10);
+    tx_.txCommit(0);
+    EXPECT_EQ(dev_.stats().fences - fences_before, 1u)
+        << "speculative logging commits with exactly one sfence";
+}
+
+TEST_F(SpecTxTest, DataIsNeverExplicitlyFlushed)
+{
+    const PmOff off = initSlots(8);
+    const auto data_clwbs = dev_.stats().clwbs[0];
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 99);
+    tx_.txCommit(0);
+    EXPECT_EQ(dev_.stats().clwbs[0], data_clwbs)
+        << "SpecSPMT elides data persistence entirely";
+    EXPECT_GT(dev_.stats().clwbs[1], 0u) << "but does flush the log";
+}
+
+TEST_F(SpecTxTest, DpVariantFlushesDataAtCommitStillOneFence)
+{
+    pmem::PmemDevice dev(16u << 20);
+    pmem::PmemPool pool(dev);
+    SpecTx tx(pool, 1, testConfig(/*dp=*/true));
+    const PmOff off = pool.alloc(64);
+
+    const auto fences_before = dev.stats().fences;
+    const auto data_clwbs = dev.stats().clwbs[0];
+    tx.txBegin(0);
+    for (unsigned i = 0; i < 8; ++i)
+        tx.txStoreT<std::uint64_t>(0, off + i * 8, i);
+    tx.txCommit(0);
+    EXPECT_EQ(dev.stats().fences - fences_before, 1u);
+    EXPECT_EQ(dev.stats().clwbs[0] - data_clwbs, 1u)
+        << "8 contiguous u64 = 1 data cache line";
+}
+
+TEST_F(SpecTxTest, CommittedTxSurvivesAdversarialCrashViaReplay)
+{
+    const PmOff off = initSlots(4);
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 1111);
+    tx_.txCommit(0);
+
+    // No data line was flushed; the log alone must reconstruct it.
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 1111u);
+}
+
+TEST_F(SpecTxTest, UncommittedTxIsRevokedEvenIfDataDrained)
+{
+    const PmOff off = initSlots(4);
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 2222);
+    // Everything drains: the uncommitted in-place update hit PM, and
+    // so did torn pieces of its (unchecksummed) log segment.
+    dev_.simulateCrash(pmem::CrashPolicy::everything());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 0u)
+        << "the older committed record must undo the interrupted tx";
+}
+
+TEST_F(SpecTxTest, RepeatedUpdatesProduceOneLogEntry)
+{
+    const PmOff off = initSlots(1);
+    const auto bytes_before = tx_.logBytesInUse();
+    const auto tail_probe = dev_.stats().storeBytes;
+    tx_.txBegin(0);
+    for (unsigned i = 0; i < 100; ++i)
+        tx_.txStoreT<std::uint64_t>(0, off, i);
+    tx_.txCommit(0);
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 99u);
+    // 100 updates, but the log grew by at most one block.
+    EXPECT_LE(tx_.logBytesInUse() - bytes_before, 256u);
+    (void)tail_probe;
+
+    // Recovery replays the last value.
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 99u);
+}
+
+TEST_F(SpecTxTest, ReadOnlyCommitCostsNothing)
+{
+    initSlots(1);
+    const auto fences = dev_.stats().fences;
+    const auto clwbs = dev_.stats().totalClwbs();
+    tx_.txBegin(0);
+    tx_.txCommit(0);
+    EXPECT_EQ(dev_.stats().fences, fences);
+    EXPECT_EQ(dev_.stats().totalClwbs(), clwbs);
+}
+
+TEST_F(SpecTxTest, MultiSegmentTxCommitsAtomically)
+{
+    // 256-byte blocks force a large tx to span several blocks.
+    const PmOff off = initSlots(200);
+    tx_.txBegin(0);
+    for (unsigned i = 0; i < 200; ++i)
+        tx_.txStoreT<std::uint64_t>(0, off + i * 8, i + 1000);
+    tx_.txCommit(0);
+
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    for (unsigned i = 0; i < 200; ++i)
+        EXPECT_EQ(dev_.loadT<std::uint64_t>(off + i * 8), i + 1000);
+}
+
+TEST_F(SpecTxTest, MultiSegmentUncommittedTxFullyRevoked)
+{
+    const PmOff off = initSlots(200);
+    tx_.txBegin(0);
+    for (unsigned i = 0; i < 200; ++i)
+        tx_.txStoreT<std::uint64_t>(0, off + i * 8, i + 5000);
+    // no commit
+    dev_.simulateCrash(pmem::CrashPolicy::everything());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    for (unsigned i = 0; i < 200; ++i)
+        EXPECT_EQ(dev_.loadT<std::uint64_t>(off + i * 8), i);
+}
+
+TEST_F(SpecTxTest, AbortRestoresAndRuntimeStaysUsable)
+{
+    const PmOff off = initSlots(8);
+    tx_.txBegin(0);
+    for (unsigned i = 0; i < 8; ++i)
+        tx_.txStoreT<std::uint64_t>(0, off + i * 8, 777);
+    tx_.txAbort(0);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(dev_.loadT<std::uint64_t>(off + i * 8), i);
+
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 888);
+    tx_.txCommit(0);
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 888u);
+
+    // Post-abort recovery must still be coherent.
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 888u);
+    for (unsigned i = 1; i < 8; ++i)
+        EXPECT_EQ(dev_.loadT<std::uint64_t>(off + i * 8), i);
+}
+
+TEST_F(SpecTxTest, AbortOfMultiBlockTxReleasesBlocks)
+{
+    const PmOff off = initSlots(200);
+    const auto bytes_before = tx_.logBytesInUse();
+    tx_.txBegin(0);
+    for (unsigned i = 0; i < 200; ++i)
+        tx_.txStoreT<std::uint64_t>(0, off + i * 8, 9);
+    tx_.txAbort(0);
+    // At most the (possibly fresh) tail block is retained.
+    EXPECT_LE(tx_.logBytesInUse(), bytes_before + 256);
+}
+
+TEST_F(SpecTxTest, ReclamationRemovesStaleRecordsKeepsNewest)
+{
+    const PmOff off = initSlots(4);
+    // Many committed updates of the same 4 slots -> mostly stale log.
+    for (unsigned round = 0; round < 200; ++round) {
+        tx_.txBegin(0);
+        for (unsigned i = 0; i < 4; ++i)
+            tx_.txStoreT<std::uint64_t>(0, off + i * 8,
+                                        round * 10 + i);
+        tx_.txCommit(0);
+    }
+    const auto before = tx_.logBytesInUse();
+    tx_.reclaimNow();
+    const auto after = tx_.logBytesInUse();
+    EXPECT_LT(after, before / 4) << "compaction must reclaim stale log";
+    EXPECT_GT(tx_.reclaimCycles(), 0u);
+
+    // The newest committed values must still be recoverable.
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(dev_.loadT<std::uint64_t>(off + i * 8), 1990u + i);
+}
+
+TEST_F(SpecTxTest, ReclamationPreservesRevocability)
+{
+    const PmOff off = initSlots(4);
+    for (unsigned round = 0; round < 50; ++round) {
+        tx_.txBegin(0);
+        tx_.txStoreT<std::uint64_t>(0, off, round);
+        tx_.txCommit(0);
+    }
+    tx_.reclaimNow();
+
+    // An uncommitted update after reclamation must still be revocable
+    // by the surviving (compacted) newest record.
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 12345);
+    dev_.simulateCrash(pmem::CrashPolicy::everything());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 49u);
+}
+
+TEST_F(SpecTxTest, BackgroundReclaimerBoundsLogGrowth)
+{
+    pmem::PmemDevice dev(64u << 20);
+    pmem::PmemPool pool(dev);
+    SpecTxConfig config;
+    config.backgroundReclaim = true;
+    config.logBlockSize = 4096;
+    config.reclaimThresholdBytes = 64 * 1024;
+    SpecTx tx(pool, 1, config);
+
+    const PmOff off = pool.alloc(64);
+    tx.txBegin(0);
+    for (unsigned i = 0; i < 8; ++i)
+        tx.txStoreT<std::uint64_t>(0, off + i * 8, 0);
+    tx.txCommit(0);
+
+    for (unsigned round = 0; round < 20000; ++round) {
+        tx.txBegin(0);
+        tx.txStoreT<std::uint64_t>(0, off + (round % 8) * 8, round);
+        tx.txCommit(0);
+    }
+    tx.shutdown();
+    EXPECT_GT(tx.reclaimCycles(), 0u);
+    EXPECT_LT(tx.logBytesInUse(), 4u << 20)
+        << "background reclamation must bound the log";
+    EXPECT_EQ(dev.loadT<std::uint64_t>(off + (19999 % 8) * 8), 19999u);
+}
+
+TEST_F(SpecTxTest, CrashDuringCompactionIsRecoverable)
+{
+    const PmOff off = initSlots(8);
+    for (unsigned round = 0; round < 100; ++round) {
+        tx_.txBegin(0);
+        tx_.txStoreT<std::uint64_t>(0, off + (round % 8) * 8, round);
+        tx_.txCommit(0);
+    }
+    // Crash somewhere inside the compaction cycle: sweep countdowns
+    // until one lands inside it (the cycle's op count varies with the
+    // log contents).
+    bool crashed = false;
+    for (long countdown : {5L, 11L, 23L, 37L, 61L}) {
+        dev_.armCrash(countdown);
+        try {
+            tx_.reclaimNow();
+        } catch (const pmem::SimulatedCrash &) {
+            crashed = true;
+            break;
+        }
+    }
+    dev_.armCrash(-1);
+    EXPECT_TRUE(crashed) << "no countdown landed inside compaction";
+
+    dev_.simulateCrash(pmem::CrashPolicy::random(7, 0.5));
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    for (unsigned i = 0; i < 8; ++i) {
+        // Last committed value of slot i among rounds 0..99.
+        const std::uint64_t expected = 96 + i >= 100 ? 88 + i : 96 + i;
+        EXPECT_EQ(dev_.loadT<std::uint64_t>(off + i * 8), expected);
+    }
+}
+
+TEST_F(SpecTxTest, AdoptExternalMakesForeignDataRevocable)
+{
+    // Simulate external data: written outside any transaction.
+    const PmOff off = pool_.alloc(64);
+    for (unsigned i = 0; i < 8; ++i)
+        dev_.storeT<std::uint64_t>(off + i * 8, 100 + i);
+    dev_.drainAll();
+
+    tx_.adoptExternal(0, off, 64);
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 55555);
+    dev_.simulateCrash(pmem::CrashPolicy::everything());
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 100u)
+        << "snapshot record must revoke the interrupted update";
+}
+
+TEST_F(SpecTxTest, SwitchMechanismHandsOffCleanly)
+{
+    const PmOff off = initSlots(8);
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 321);
+    tx_.txCommit(0);
+    tx_.switchMechanism();
+    EXPECT_EQ(tx_.logBytesInUse(), 0u);
+
+    // Data must be durable without any speculative log left.
+    {
+        auto image = dev_.crashImage(pmem::CrashPolicy::nothing());
+        std::uint64_t persisted;
+        std::memcpy(&persisted, image.data() + off, 8);
+        EXPECT_EQ(persisted, 321u);
+    }
+
+    // An undo-logging runtime takes over the same pool.
+    txn::PmdkUndoTx pmdk(pool_, 1);
+    pmdk.txBegin(0);
+    pmdk.txStoreT<std::uint64_t>(0, off, 654);
+    pmdk.txCommit(0);
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 654u);
+}
+
+TEST_F(SpecTxTest, DoubleCrashDoubleRecovery)
+{
+    const PmOff off = initSlots(4);
+    tx_.txBegin(0);
+    tx_.txStoreT<std::uint64_t>(0, off, 10);
+    tx_.txCommit(0);
+
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    auto second = std::make_unique<SpecTx>(pool_, 1, testConfig());
+    second->recover();
+    second->txBegin(0);
+    second->txStoreT<std::uint64_t>(0, off, 20);
+    second->txCommit(0);
+    second.reset();
+
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    SpecTx third(pool_, 1, testConfig());
+    third.recover();
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 20u);
+}
+
+TEST_F(SpecTxTest, CrashDuringRecoveryThenRecoverAgain)
+{
+    const PmOff off = initSlots(16);
+    tx_.txBegin(0);
+    for (unsigned i = 0; i < 16; ++i)
+        tx_.txStoreT<std::uint64_t>(0, off + i * 8, 900 + i);
+    tx_.txCommit(0);
+
+    dev_.simulateCrash(pmem::CrashPolicy::nothing());
+    pool_.reopenAfterCrash();
+    {
+        SpecTx interrupted(pool_, 1, testConfig());
+        dev_.armCrash(9);
+        EXPECT_THROW(interrupted.recover(), pmem::SimulatedCrash);
+        dev_.armCrash(-1);
+    }
+    dev_.simulateCrash(pmem::CrashPolicy::random(3, 0.5));
+    pool_.reopenAfterCrash();
+    SpecTx fresh(pool_, 1, testConfig());
+    fresh.recover();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(dev_.loadT<std::uint64_t>(off + i * 8), 900 + i);
+}
+
+TEST_F(SpecTxTest, PeakLogBytesTracksGrowth)
+{
+    const PmOff off = initSlots(8);
+    const auto peak0 = tx_.peakLogBytes();
+    for (unsigned round = 0; round < 100; ++round) {
+        tx_.txBegin(0);
+        tx_.txStoreT<std::uint64_t>(0, off, round);
+        tx_.txCommit(0);
+    }
+    EXPECT_GT(tx_.peakLogBytes(), peak0);
+    tx_.reclaimNow();
+    EXPECT_GE(tx_.peakLogBytes(), tx_.logBytesInUse());
+}
+
+} // namespace
+} // namespace specpmt::core

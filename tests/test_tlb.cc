@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests of the two-level TLB model with SpecPMT hotness metadata:
+ * promotion/demotion, metadata loss on L2 eviction, epoch clearing,
+ * and cold-counter decay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/tlb.hh"
+
+namespace specpmt::sim
+{
+namespace
+{
+
+TEST(Tlb, MissInsertsColdEntry)
+{
+    SimConfig config;
+    TlbModel tlb(config);
+    const auto lookup = tlb.lookup(100);
+    EXPECT_FALSE(lookup.hit);
+    ASSERT_NE(lookup.meta, nullptr);
+    EXPECT_FALSE(lookup.meta->epochBit);
+    EXPECT_EQ(lookup.meta->counter, 0);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, HitPreservesMetadata)
+{
+    SimConfig config;
+    TlbModel tlb(config);
+    tlb.lookup(100).meta->counter = 5;
+    const auto lookup = tlb.lookup(100);
+    EXPECT_TRUE(lookup.hit);
+    EXPECT_EQ(lookup.meta->counter, 5);
+}
+
+TEST(Tlb, MetadataSurvivesDemotionToL2)
+{
+    SimConfig config;
+    TlbModel tlb(config);
+    tlb.lookup(1).meta->counter = 3;
+    // Evict vpn 1 from L1 by filling its set (L1: 8 sets x 8 ways;
+    // vpns congruent mod 8 share a set).
+    for (std::uint64_t i = 1; i <= 8; ++i)
+        tlb.lookup(1 + i * 8);
+    // vpn 1 now lives in L2; its metadata must survive the round trip.
+    const auto lookup = tlb.lookup(1);
+    EXPECT_TRUE(lookup.hit);
+    EXPECT_EQ(lookup.meta->counter, 3);
+}
+
+TEST(Tlb, L2EvictionDiscardsMetadata)
+{
+    SimConfig config;
+    config.l1TlbEntries = 8;
+    config.l1TlbWays = 1;
+    config.l2TlbEntries = 8;
+    config.l2TlbWays = 1;
+    TlbModel tlb(config);
+    tlb.lookup(0).meta->counter = 7;
+    // Push vpn 0 out of L1 and then out of L2 (same set: multiples
+    // of 8).
+    tlb.lookup(8);  // evicts 0 from L1 into L2
+    tlb.lookup(16); // evicts 8 into L2, evicting 0 from L2 entirely
+    const auto lookup = tlb.lookup(0);
+    EXPECT_FALSE(lookup.hit) << "page fell out of both levels";
+    EXPECT_EQ(lookup.meta->counter, 0) << "metadata must be lost";
+}
+
+TEST(Tlb, ClearEpochFlipsMatchingPagesCold)
+{
+    SimConfig config;
+    TlbModel tlb(config);
+    auto *a = tlb.lookup(1).meta;
+    a->epochBit = true;
+    a->counter = 3; // epoch 3
+    auto *b = tlb.lookup(2).meta;
+    b->epochBit = true;
+    b->counter = 4; // epoch 4
+
+    tlb.clearEpoch(3);
+    EXPECT_FALSE(tlb.lookup(1).meta->epochBit);
+    EXPECT_TRUE(tlb.lookup(2).meta->epochBit);
+    EXPECT_EQ(tlb.lookup(2).meta->counter, 4);
+}
+
+TEST(Tlb, DecayHalvesOnlyColdCounters)
+{
+    SimConfig config;
+    TlbModel tlb(config);
+    auto *cold = tlb.lookup(1).meta;
+    cold->counter = 6;
+    auto *hot = tlb.lookup(2).meta;
+    hot->epochBit = true;
+    hot->counter = 5; // an epoch ID, not a count
+
+    tlb.decayColdCounters();
+    EXPECT_EQ(tlb.lookup(1).meta->counter, 3);
+    EXPECT_EQ(tlb.lookup(2).meta->counter, 5)
+        << "epoch IDs must not decay";
+}
+
+} // namespace
+} // namespace specpmt::sim

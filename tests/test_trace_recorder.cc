@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the trace recorder (the workload -> hardware-simulator
+ * bridge) and the hash-table-log strawman runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hash_log_tx.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+#include "txn/trace_recorder.hh"
+
+namespace specpmt::txn
+{
+namespace
+{
+
+class TraceRecorderTest : public ::testing::Test
+{
+  protected:
+    TraceRecorderTest() : dev_(8u << 20), pool_(dev_), rec_(pool_, 1) {}
+
+    pmem::PmemDevice dev_;
+    pmem::PmemPool pool_;
+    TraceRecorder rec_;
+};
+
+TEST_F(TraceRecorderTest, SetupPhaseIsNotRecorded)
+{
+    const PmOff off = pool_.alloc(64);
+    rec_.txBegin(0);
+    rec_.txStoreT<std::uint64_t>(0, off, 1);
+    rec_.txCommit(0);
+    EXPECT_TRUE(rec_.trace().ops.empty());
+    EXPECT_EQ(rec_.trace().numTx, 0u);
+    // But the store was applied.
+    EXPECT_EQ(dev_.loadT<std::uint64_t>(off), 1u);
+}
+
+TEST_F(TraceRecorderTest, RecordsOpsInProgramOrder)
+{
+    const PmOff off = pool_.alloc(64);
+    rec_.startRecording();
+    rec_.txBegin(0);
+    rec_.txStoreT<std::uint64_t>(0, off, 2);
+    std::uint64_t value;
+    rec_.txLoad(0, off, &value, 8);
+    rec_.compute(0, 123);
+    rec_.txCommit(0);
+    rec_.stopRecording();
+
+    const auto &trace = rec_.trace();
+    ASSERT_EQ(trace.ops.size(), 5u);
+    EXPECT_EQ(trace.ops[0].kind, MemOpKind::TxBegin);
+    EXPECT_EQ(trace.ops[1].kind, MemOpKind::Store);
+    EXPECT_EQ(trace.ops[1].off, off);
+    EXPECT_EQ(trace.ops[1].size, 8u);
+    EXPECT_EQ(trace.ops[2].kind, MemOpKind::Load);
+    EXPECT_EQ(trace.ops[3].kind, MemOpKind::Compute);
+    EXPECT_EQ(trace.ops[3].computeNs, 123u);
+    EXPECT_EQ(trace.ops[4].kind, MemOpKind::TxCommit);
+    EXPECT_EQ(trace.numTx, 1u);
+    EXPECT_EQ(trace.numUpdates, 1u);
+    EXPECT_EQ(trace.updateBytes, 8u);
+    EXPECT_EQ(value, 2u);
+}
+
+TEST_F(TraceRecorderTest, AvgTxBytesMatchesTable2Definition)
+{
+    const PmOff off = pool_.alloc(256);
+    rec_.startRecording();
+    // Two txs: 24 bytes and 0 bytes -> 12 B/tx average over all txs.
+    rec_.txBegin(0);
+    rec_.txStore(0, off, "abcdefgh", 8);
+    rec_.txStore(0, off + 64, "abcdefgh", 8);
+    rec_.txStore(0, off + 128, "abcdefgh", 8);
+    rec_.txCommit(0);
+    rec_.txBegin(0);
+    rec_.txCommit(0);
+    rec_.stopRecording();
+    EXPECT_DOUBLE_EQ(rec_.trace().avgTxBytes(), 12.0);
+}
+
+TEST(HashLogTx, CommitsAndScattersBuckets)
+{
+    pmem::PmemDevice dev(64u << 20);
+    pmem::PmemPool pool(dev);
+    core::HashLogTx tx(pool, 1, 1u << 10);
+
+    const PmOff off = pool.alloc(256);
+    const auto fences_before = dev.stats().fences;
+    tx.txBegin(0);
+    for (unsigned i = 0; i < 4; ++i)
+        tx.txStoreT<std::uint64_t>(0, off + i * 64, i);
+    tx.txCommit(0);
+    EXPECT_EQ(dev.stats().fences - fences_before, 1u);
+    // One bucket line flushed per chunk, plus nothing else.
+    EXPECT_EQ(dev.stats().clwbs[1], 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(dev.loadT<std::uint64_t>(off + i * 64), i);
+}
+
+TEST(HashLogTx, LargeValuesSplitAcrossBuckets)
+{
+    pmem::PmemDevice dev(64u << 20);
+    pmem::PmemPool pool(dev);
+    core::HashLogTx tx(pool, 1, 1u << 10);
+
+    const PmOff off = pool.alloc(256);
+    std::uint8_t blob[100];
+    for (unsigned i = 0; i < sizeof(blob); ++i)
+        blob[i] = static_cast<std::uint8_t>(i);
+    tx.txBegin(0);
+    tx.txStore(0, off, blob, sizeof(blob));
+    tx.txCommit(0);
+    // 100 bytes / 40-byte chunks = 3 bucket lines.
+    EXPECT_EQ(dev.stats().clwbs[1], 3u);
+}
+
+TEST(HashLogTx, RepeatedUpdatesReuseTheSameBucket)
+{
+    pmem::PmemDevice dev(64u << 20);
+    pmem::PmemPool pool(dev);
+    core::HashLogTx tx(pool, 1, 1u << 10);
+
+    const PmOff off = pool.alloc(64);
+    for (unsigned round = 0; round < 50; ++round) {
+        tx.txBegin(0);
+        tx.txStoreT<std::uint64_t>(0, off, round);
+        tx.txCommit(0);
+    }
+    // One record per datum: exactly one bucket line is ever used, so
+    // every commit re-flushes that same line.
+    EXPECT_EQ(dev.stats().clwbs[1], 50u);
+}
+
+} // namespace
+} // namespace specpmt::txn

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Workload correctness: every STAMP-analog kernel must satisfy its
+ * application invariant, be deterministic per seed, and produce the
+ * identical logical state under every crash-consistency runtime
+ * (no-consistency baseline, PMDK undo, SPHT redo, SpecSPMT).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/spec_tx.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+#include "txn/spht_tx.hh"
+#include "txn/undo_tx.hh"
+#include "workloads/workload.hh"
+
+namespace specpmt::workloads
+{
+namespace
+{
+
+constexpr double kTestScale = 0.03;
+
+enum class Scheme
+{
+    Direct,
+    Pmdk,
+    Spht,
+    Spec,
+};
+
+std::unique_ptr<txn::TxRuntime>
+makeRuntime(Scheme scheme, pmem::PmemPool &pool)
+{
+    switch (scheme) {
+      case Scheme::Direct:
+        return std::make_unique<txn::DirectTx>(pool, 1);
+      case Scheme::Pmdk:
+        return std::make_unique<txn::PmdkUndoTx>(pool, 1);
+      case Scheme::Spht:
+        return std::make_unique<txn::SphtTx>(pool, 1, false);
+      case Scheme::Spec: {
+        core::SpecTxConfig config;
+        config.backgroundReclaim = false;
+        return std::make_unique<core::SpecTx>(pool, 1, config);
+      }
+    }
+    return nullptr;
+}
+
+struct RunOutput
+{
+    bool verified;
+    bool structural;
+    std::uint64_t digest;
+};
+
+RunOutput
+runOnce(WorkloadKind kind, Scheme scheme, std::uint64_t seed)
+{
+    pmem::PmemDevice dev(192u << 20);
+    pmem::PmemPool pool(dev);
+    auto runtime = makeRuntime(scheme, pool);
+    WorkloadConfig config;
+    config.seed = seed;
+    config.scale = kTestScale;
+    auto workload = makeWorkload(kind, config);
+    workload->setup(*runtime);
+    workload->run(*runtime);
+    runtime->shutdown();
+    return {workload->verify(*runtime),
+            workload->verifyStructural(*runtime),
+            workload->digest(*runtime)};
+}
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadKind>
+{
+};
+
+TEST_P(WorkloadTest, InvariantHoldsAndDigestIsDeterministic)
+{
+    const auto first = runOnce(GetParam(), Scheme::Direct, 5);
+    EXPECT_TRUE(first.verified);
+    EXPECT_TRUE(first.structural);
+    EXPECT_NE(first.digest, 0u);
+
+    const auto again = runOnce(GetParam(), Scheme::Direct, 5);
+    EXPECT_EQ(again.digest, first.digest) << "same seed, same state";
+
+    const auto other_seed = runOnce(GetParam(), Scheme::Direct, 6);
+    EXPECT_NE(other_seed.digest, first.digest)
+        << "different seed must change the state";
+}
+
+TEST_P(WorkloadTest, AllRuntimesProduceIdenticalLogicalState)
+{
+    const auto reference = runOnce(GetParam(), Scheme::Direct, 9);
+    ASSERT_TRUE(reference.verified);
+    for (const Scheme scheme :
+         {Scheme::Pmdk, Scheme::Spht, Scheme::Spec}) {
+        const auto result = runOnce(GetParam(), scheme, 9);
+        EXPECT_TRUE(result.verified)
+            << "scheme " << static_cast<int>(scheme);
+        EXPECT_EQ(result.digest, reference.digest)
+            << "scheme " << static_cast<int>(scheme)
+            << " diverged from the no-consistency baseline";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadKind> &info) {
+        std::string name = workloadKindName(info.param);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace specpmt::workloads

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests of the merged-interval write set used for first-update
+ * logging and commit-time line flushing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rand.hh"
+#include "txn/write_set.hh"
+
+namespace specpmt::txn
+{
+namespace
+{
+
+TEST(WriteSet, EmptyCoversNothing)
+{
+    WriteSet ws;
+    EXPECT_TRUE(ws.empty());
+    EXPECT_FALSE(ws.covered(0, 1));
+    EXPECT_TRUE(ws.covered(10, 0)) << "empty range is trivially covered";
+}
+
+TEST(WriteSet, BasicAddAndCover)
+{
+    WriteSet ws;
+    ws.add(100, 50);
+    EXPECT_TRUE(ws.covered(100, 50));
+    EXPECT_TRUE(ws.covered(120, 10));
+    EXPECT_FALSE(ws.covered(99, 2));
+    EXPECT_FALSE(ws.covered(149, 2));
+}
+
+TEST(WriteSet, AdjacentIntervalsMerge)
+{
+    WriteSet ws;
+    ws.add(0, 10);
+    ws.add(10, 10);
+    EXPECT_EQ(ws.intervalCount(), 1u);
+    EXPECT_TRUE(ws.covered(0, 20));
+}
+
+TEST(WriteSet, OverlappingIntervalsMerge)
+{
+    WriteSet ws;
+    ws.add(0, 10);
+    ws.add(20, 10);
+    ws.add(5, 20); // bridges both
+    EXPECT_EQ(ws.intervalCount(), 1u);
+    EXPECT_TRUE(ws.covered(0, 30));
+}
+
+TEST(WriteSet, UncoveredFindsGaps)
+{
+    WriteSet ws;
+    ws.add(10, 10); // [10,20)
+    ws.add(30, 10); // [30,40)
+
+    const auto gaps = ws.uncovered(5, 40); // [5,45)
+    ASSERT_EQ(gaps.size(), 3u);
+    EXPECT_EQ(gaps[0], std::make_pair(PmOff{5}, std::size_t{5}));
+    EXPECT_EQ(gaps[1], std::make_pair(PmOff{20}, std::size_t{10}));
+    EXPECT_EQ(gaps[2], std::make_pair(PmOff{40}, std::size_t{5}));
+}
+
+TEST(WriteSet, UncoveredOfCoveredRangeIsEmpty)
+{
+    WriteSet ws;
+    ws.add(0, 100);
+    EXPECT_TRUE(ws.uncovered(10, 50).empty());
+}
+
+TEST(WriteSet, UncoveredOfDisjointRangeIsWhole)
+{
+    WriteSet ws;
+    ws.add(1000, 10);
+    const auto gaps = ws.uncovered(0, 8);
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0], std::make_pair(PmOff{0}, std::size_t{8}));
+}
+
+TEST(WriteSet, LineCountDeduplicatesWithinLine)
+{
+    WriteSet ws;
+    ws.add(0, 8);
+    ws.add(16, 8);
+    ws.add(32, 8); // all in line 0
+    EXPECT_EQ(ws.lineCount(), 1u);
+    ws.add(64, 8);
+    EXPECT_EQ(ws.lineCount(), 2u);
+    ws.add(60, 8); // straddles lines 0 and 1
+    EXPECT_EQ(ws.lineCount(), 2u);
+}
+
+TEST(WriteSet, ByteCount)
+{
+    WriteSet ws;
+    ws.add(0, 10);
+    ws.add(5, 10); // overlap
+    ws.add(100, 1);
+    EXPECT_EQ(ws.byteCount(), 16u);
+}
+
+/** Randomized differential test against a per-byte bitmap oracle. */
+class WriteSetRandomTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(WriteSetRandomTest, MatchesBitmapOracle)
+{
+    constexpr std::size_t kSpace = 2048;
+    Rng rng(GetParam());
+    WriteSet ws;
+    std::vector<bool> oracle(kSpace, false);
+
+    for (int step = 0; step < 300; ++step) {
+        const PmOff off = rng.below(kSpace - 64);
+        const std::size_t size = 1 + rng.below(64);
+        if (rng.chance(0.6)) {
+            ws.add(off, size);
+            for (std::size_t i = 0; i < size; ++i)
+                oracle[off + i] = true;
+        } else {
+            // Check coverage & gaps against the oracle.
+            bool all = true;
+            for (std::size_t i = 0; i < size; ++i)
+                all = all && oracle[off + i];
+            EXPECT_EQ(ws.covered(off, size), all);
+
+            std::size_t oracle_gap_bytes = 0;
+            for (std::size_t i = 0; i < size; ++i)
+                oracle_gap_bytes += oracle[off + i] ? 0 : 1;
+            std::size_t ws_gap_bytes = 0;
+            for (const auto &[gap_off, gap_size] : ws.uncovered(off,
+                                                                size)) {
+                ws_gap_bytes += gap_size;
+                for (std::size_t i = 0; i < gap_size; ++i)
+                    EXPECT_FALSE(oracle[gap_off + i]);
+            }
+            EXPECT_EQ(ws_gap_bytes, oracle_gap_bytes);
+        }
+    }
+
+    // Final line-count check.
+    std::uint64_t oracle_lines = 0;
+    for (std::size_t line = 0; line < kSpace / 64; ++line) {
+        for (std::size_t i = 0; i < 64; ++i) {
+            if (oracle[line * 64 + i]) {
+                ++oracle_lines;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(ws.lineCount(), oracle_lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteSetRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace specpmt::txn

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_splog.dir/bench_ablation_splog.cc.o"
+  "CMakeFiles/bench_ablation_splog.dir/bench_ablation_splog.cc.o.d"
+  "bench_ablation_splog"
+  "bench_ablation_splog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_splog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

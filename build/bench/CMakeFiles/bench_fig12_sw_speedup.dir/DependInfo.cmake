@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_sw_speedup.cc" "bench/CMakeFiles/bench_fig12_sw_speedup.dir/bench_fig12_sw_speedup.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_sw_speedup.dir/bench_fig12_sw_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/specpmt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/specpmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specpmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specpmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/specpmt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/specpmt_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/specpmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

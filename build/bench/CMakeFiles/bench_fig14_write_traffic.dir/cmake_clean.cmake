@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_write_traffic.dir/bench_fig14_write_traffic.cc.o"
+  "CMakeFiles/bench_fig14_write_traffic.dir/bench_fig14_write_traffic.cc.o.d"
+  "bench_fig14_write_traffic"
+  "bench_fig14_write_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_write_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_mem_sweep.dir/bench_fig15_mem_sweep.cc.o"
+  "CMakeFiles/bench_fig15_mem_sweep.dir/bench_fig15_mem_sweep.cc.o.d"
+  "bench_fig15_mem_sweep"
+  "bench_fig15_mem_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_mem_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

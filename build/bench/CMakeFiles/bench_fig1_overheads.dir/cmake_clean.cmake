@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_overheads.dir/bench_fig1_overheads.cc.o"
+  "CMakeFiles/bench_fig1_overheads.dir/bench_fig1_overheads.cc.o.d"
+  "bench_fig1_overheads"
+  "bench_fig1_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_logging.dir/bench_micro_logging.cc.o"
+  "CMakeFiles/bench_micro_logging.dir/bench_micro_logging.cc.o.d"
+  "bench_micro_logging"
+  "bench_micro_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_vs_hash_log.dir/bench_seq_vs_hash_log.cc.o"
+  "CMakeFiles/bench_seq_vs_hash_log.dir/bench_seq_vs_hash_log.cc.o.d"
+  "bench_seq_vs_hash_log"
+  "bench_seq_vs_hash_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_vs_hash_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpmt_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/specpmt_bench_util.dir/bench_util.cc.o.d"
+  "libspecpmt_bench_util.a"
+  "libspecpmt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpmt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspecpmt_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstats.dir/logstats.cc.o"
+  "CMakeFiles/logstats.dir/logstats.cc.o.d"
+  "logstats"
+  "logstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for logstats.
+# This may be replaced when dependencies are built.

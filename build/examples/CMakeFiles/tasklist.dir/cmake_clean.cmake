@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklist.dir/tasklist.cc.o"
+  "CMakeFiles/tasklist.dir/tasklist.cc.o.d"
+  "tasklist"
+  "tasklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpmt_common.dir/crc32.cc.o"
+  "CMakeFiles/specpmt_common.dir/crc32.cc.o.d"
+  "CMakeFiles/specpmt_common.dir/logging.cc.o"
+  "CMakeFiles/specpmt_common.dir/logging.cc.o.d"
+  "CMakeFiles/specpmt_common.dir/stats.cc.o"
+  "CMakeFiles/specpmt_common.dir/stats.cc.o.d"
+  "libspecpmt_common.a"
+  "libspecpmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

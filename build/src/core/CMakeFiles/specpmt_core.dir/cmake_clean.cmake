@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpmt_core.dir/hash_log_tx.cc.o"
+  "CMakeFiles/specpmt_core.dir/hash_log_tx.cc.o.d"
+  "CMakeFiles/specpmt_core.dir/spec_tx.cc.o"
+  "CMakeFiles/specpmt_core.dir/spec_tx.cc.o.d"
+  "CMakeFiles/specpmt_core.dir/splog_format.cc.o"
+  "CMakeFiles/specpmt_core.dir/splog_format.cc.o.d"
+  "libspecpmt_core.a"
+  "libspecpmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

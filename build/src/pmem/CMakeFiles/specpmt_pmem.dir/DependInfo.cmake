@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/pmem_device.cc" "src/pmem/CMakeFiles/specpmt_pmem.dir/pmem_device.cc.o" "gcc" "src/pmem/CMakeFiles/specpmt_pmem.dir/pmem_device.cc.o.d"
+  "/root/repo/src/pmem/pmem_pool.cc" "src/pmem/CMakeFiles/specpmt_pmem.dir/pmem_pool.cc.o" "gcc" "src/pmem/CMakeFiles/specpmt_pmem.dir/pmem_pool.cc.o.d"
+  "/root/repo/src/pmem/pmem_timing.cc" "src/pmem/CMakeFiles/specpmt_pmem.dir/pmem_timing.cc.o" "gcc" "src/pmem/CMakeFiles/specpmt_pmem.dir/pmem_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/specpmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

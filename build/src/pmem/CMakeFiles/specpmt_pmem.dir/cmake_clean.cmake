@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpmt_pmem.dir/pmem_device.cc.o"
+  "CMakeFiles/specpmt_pmem.dir/pmem_device.cc.o.d"
+  "CMakeFiles/specpmt_pmem.dir/pmem_pool.cc.o"
+  "CMakeFiles/specpmt_pmem.dir/pmem_pool.cc.o.d"
+  "CMakeFiles/specpmt_pmem.dir/pmem_timing.cc.o"
+  "CMakeFiles/specpmt_pmem.dir/pmem_timing.cc.o.d"
+  "libspecpmt_pmem.a"
+  "libspecpmt_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpmt_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/hw_runtime.cc" "src/sim/CMakeFiles/specpmt_sim.dir/hw_runtime.cc.o" "gcc" "src/sim/CMakeFiles/specpmt_sim.dir/hw_runtime.cc.o.d"
+  "/root/repo/src/sim/hybrid_spec_tx.cc" "src/sim/CMakeFiles/specpmt_sim.dir/hybrid_spec_tx.cc.o" "gcc" "src/sim/CMakeFiles/specpmt_sim.dir/hybrid_spec_tx.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/specpmt_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/specpmt_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/sim_config.cc" "src/sim/CMakeFiles/specpmt_sim.dir/sim_config.cc.o" "gcc" "src/sim/CMakeFiles/specpmt_sim.dir/sim_config.cc.o.d"
+  "/root/repo/src/sim/spec_hpmt_hw.cc" "src/sim/CMakeFiles/specpmt_sim.dir/spec_hpmt_hw.cc.o" "gcc" "src/sim/CMakeFiles/specpmt_sim.dir/spec_hpmt_hw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/specpmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/specpmt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/specpmt_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/specpmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpmt_sim.dir/hw_runtime.cc.o"
+  "CMakeFiles/specpmt_sim.dir/hw_runtime.cc.o.d"
+  "CMakeFiles/specpmt_sim.dir/hybrid_spec_tx.cc.o"
+  "CMakeFiles/specpmt_sim.dir/hybrid_spec_tx.cc.o.d"
+  "CMakeFiles/specpmt_sim.dir/machine.cc.o"
+  "CMakeFiles/specpmt_sim.dir/machine.cc.o.d"
+  "CMakeFiles/specpmt_sim.dir/sim_config.cc.o"
+  "CMakeFiles/specpmt_sim.dir/sim_config.cc.o.d"
+  "CMakeFiles/specpmt_sim.dir/spec_hpmt_hw.cc.o"
+  "CMakeFiles/specpmt_sim.dir/spec_hpmt_hw.cc.o.d"
+  "libspecpmt_sim.a"
+  "libspecpmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpmt_txn.dir/spht_tx.cc.o"
+  "CMakeFiles/specpmt_txn.dir/spht_tx.cc.o.d"
+  "CMakeFiles/specpmt_txn.dir/undo_tx.cc.o"
+  "CMakeFiles/specpmt_txn.dir/undo_tx.cc.o.d"
+  "CMakeFiles/specpmt_txn.dir/write_set.cc.o"
+  "CMakeFiles/specpmt_txn.dir/write_set.cc.o.d"
+  "libspecpmt_txn.a"
+  "libspecpmt_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpmt_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/genome.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/genome.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/genome.cc.o.d"
+  "/root/repo/src/workloads/intruder.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/intruder.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/intruder.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/labyrinth.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/labyrinth.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/labyrinth.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/ssca2.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/ssca2.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/ssca2.cc.o.d"
+  "/root/repo/src/workloads/vacation.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/vacation.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/vacation.cc.o.d"
+  "/root/repo/src/workloads/yada.cc" "src/workloads/CMakeFiles/specpmt_workloads.dir/yada.cc.o" "gcc" "src/workloads/CMakeFiles/specpmt_workloads.dir/yada.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/specpmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/specpmt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/specpmt_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/specpmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpmt_workloads.dir/genome.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/genome.cc.o.d"
+  "CMakeFiles/specpmt_workloads.dir/intruder.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/intruder.cc.o.d"
+  "CMakeFiles/specpmt_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/specpmt_workloads.dir/labyrinth.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/labyrinth.cc.o.d"
+  "CMakeFiles/specpmt_workloads.dir/registry.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/specpmt_workloads.dir/ssca2.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/ssca2.cc.o.d"
+  "CMakeFiles/specpmt_workloads.dir/vacation.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/vacation.cc.o.d"
+  "CMakeFiles/specpmt_workloads.dir/yada.cc.o"
+  "CMakeFiles/specpmt_workloads.dir/yada.cc.o.d"
+  "libspecpmt_workloads.a"
+  "libspecpmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

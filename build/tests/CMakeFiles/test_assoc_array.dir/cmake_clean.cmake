@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assoc_array.dir/test_assoc_array.cc.o"
+  "CMakeFiles/test_assoc_array.dir/test_assoc_array.cc.o.d"
+  "test_assoc_array"
+  "test_assoc_array.pdb"
+  "test_assoc_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assoc_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

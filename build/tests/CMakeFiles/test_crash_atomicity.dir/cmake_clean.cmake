@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_atomicity.dir/test_crash_atomicity.cc.o"
+  "CMakeFiles/test_crash_atomicity.dir/test_crash_atomicity.cc.o.d"
+  "test_crash_atomicity"
+  "test_crash_atomicity.pdb"
+  "test_crash_atomicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_protocol.dir/test_epoch_protocol.cc.o"
+  "CMakeFiles/test_epoch_protocol.dir/test_epoch_protocol.cc.o.d"
+  "test_epoch_protocol"
+  "test_epoch_protocol.pdb"
+  "test_epoch_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

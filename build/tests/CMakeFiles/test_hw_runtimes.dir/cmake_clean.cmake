@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_runtimes.dir/test_hw_runtimes.cc.o"
+  "CMakeFiles/test_hw_runtimes.dir/test_hw_runtimes.cc.o.d"
+  "test_hw_runtimes"
+  "test_hw_runtimes.pdb"
+  "test_hw_runtimes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

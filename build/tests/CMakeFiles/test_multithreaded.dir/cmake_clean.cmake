@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multithreaded.dir/test_multithreaded.cc.o"
+  "CMakeFiles/test_multithreaded.dir/test_multithreaded.cc.o.d"
+  "test_multithreaded"
+  "test_multithreaded.pdb"
+  "test_multithreaded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmds.dir/test_pmds.cc.o"
+  "CMakeFiles/test_pmds.dir/test_pmds.cc.o.d"
+  "test_pmds"
+  "test_pmds.pdb"
+  "test_pmds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmem_device.dir/test_pmem_device.cc.o"
+  "CMakeFiles/test_pmem_device.dir/test_pmem_device.cc.o.d"
+  "test_pmem_device"
+  "test_pmem_device.pdb"
+  "test_pmem_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmem_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmem_pool.dir/test_pmem_pool.cc.o"
+  "CMakeFiles/test_pmem_pool.dir/test_pmem_pool.cc.o.d"
+  "test_pmem_pool"
+  "test_pmem_pool.pdb"
+  "test_pmem_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmem_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

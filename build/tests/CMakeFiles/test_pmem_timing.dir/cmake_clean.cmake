@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmem_timing.dir/test_pmem_timing.cc.o"
+  "CMakeFiles/test_pmem_timing.dir/test_pmem_timing.cc.o.d"
+  "test_pmem_timing"
+  "test_pmem_timing.pdb"
+  "test_pmem_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmem_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

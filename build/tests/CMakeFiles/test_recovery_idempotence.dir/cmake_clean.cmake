@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_idempotence.dir/test_recovery_idempotence.cc.o"
+  "CMakeFiles/test_recovery_idempotence.dir/test_recovery_idempotence.cc.o.d"
+  "test_recovery_idempotence"
+  "test_recovery_idempotence.pdb"
+  "test_recovery_idempotence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_idempotence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

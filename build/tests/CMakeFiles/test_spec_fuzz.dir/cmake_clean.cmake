@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_fuzz.dir/test_spec_fuzz.cc.o"
+  "CMakeFiles/test_spec_fuzz.dir/test_spec_fuzz.cc.o.d"
+  "test_spec_fuzz"
+  "test_spec_fuzz.pdb"
+  "test_spec_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

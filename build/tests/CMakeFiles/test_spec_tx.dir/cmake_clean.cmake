@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_tx.dir/test_spec_tx.cc.o"
+  "CMakeFiles/test_spec_tx.dir/test_spec_tx.cc.o.d"
+  "test_spec_tx"
+  "test_spec_tx.pdb"
+  "test_spec_tx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spht_tx.dir/test_spht_tx.cc.o"
+  "CMakeFiles/test_spht_tx.dir/test_spht_tx.cc.o.d"
+  "test_spht_tx"
+  "test_spht_tx.pdb"
+  "test_spht_tx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spht_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splog_format.dir/test_splog_format.cc.o"
+  "CMakeFiles/test_splog_format.dir/test_splog_format.cc.o.d"
+  "test_splog_format"
+  "test_splog_format.pdb"
+  "test_splog_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splog_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

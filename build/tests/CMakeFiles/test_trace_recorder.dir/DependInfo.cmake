@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace_recorder.cc" "tests/CMakeFiles/test_trace_recorder.dir/test_trace_recorder.cc.o" "gcc" "tests/CMakeFiles/test_trace_recorder.dir/test_trace_recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/specpmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specpmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specpmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/specpmt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/specpmt_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/specpmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

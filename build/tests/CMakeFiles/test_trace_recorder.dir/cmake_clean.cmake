@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_recorder.dir/test_trace_recorder.cc.o"
+  "CMakeFiles/test_trace_recorder.dir/test_trace_recorder.cc.o.d"
+  "test_trace_recorder"
+  "test_trace_recorder.pdb"
+  "test_trace_recorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

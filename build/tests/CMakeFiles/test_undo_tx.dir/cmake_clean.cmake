@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_undo_tx.dir/test_undo_tx.cc.o"
+  "CMakeFiles/test_undo_tx.dir/test_undo_tx.cc.o.d"
+  "test_undo_tx"
+  "test_undo_tx.pdb"
+  "test_undo_tx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_undo_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_crash.dir/test_workload_crash.cc.o"
+  "CMakeFiles/test_workload_crash.dir/test_workload_crash.cc.o.d"
+  "test_workload_crash"
+  "test_workload_crash.pdb"
+  "test_workload_crash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_set.dir/test_write_set.cc.o"
+  "CMakeFiles/test_write_set.dir/test_write_set.cc.o.d"
+  "test_write_set"
+  "test_write_set.pdb"
+  "test_write_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_pmem_device[1]_include.cmake")
+include("/root/repo/build/tests/test_pmem_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_pmem_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_write_set[1]_include.cmake")
+include("/root/repo/build/tests/test_undo_tx[1]_include.cmake")
+include("/root/repo/build/tests/test_spht_tx[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_tx[1]_include.cmake")
+include("/root/repo/build/tests/test_crash_atomicity[1]_include.cmake")
+include("/root/repo/build/tests/test_assoc_array[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_model[1]_include.cmake")
+include("/root/repo/build/tests/test_epoch_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_hw_runtimes[1]_include.cmake")
+include("/root/repo/build/tests/test_splog_format[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_crash[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_spec_tx[1]_include.cmake")
+include("/root/repo/build/tests/test_pmds[1]_include.cmake")
+include("/root/repo/build/tests/test_multithreaded[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_recorder[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery_idempotence[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_fuzz[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splog_dump.dir/splog_dump.cc.o"
+  "CMakeFiles/splog_dump.dir/splog_dump.cc.o.d"
+  "splog_dump"
+  "splog_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splog_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

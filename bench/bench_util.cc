@@ -3,11 +3,9 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "core/hash_log_tx.hh"
 #include "core/spec_tx.hh"
-#include "txn/spht_tx.hh"
+#include "txn/runtime_factory.hh"
 #include "txn/trace_recorder.hh"
-#include "txn/undo_tx.hh"
 
 namespace specpmt::bench
 {
@@ -17,36 +15,32 @@ namespace
 
 constexpr std::size_t kBenchPoolBytes = 320u << 20;
 
-std::unique_ptr<txn::TxRuntime>
-makeSwRuntime(SwScheme scheme, pmem::PmemPool &pool)
+const char *
+swSchemeRuntimeName(SwScheme scheme)
 {
     switch (scheme) {
       case SwScheme::Direct:
-        return std::make_unique<txn::DirectTx>(pool, 1);
+        return "direct";
       case SwScheme::Pmdk:
-        return std::make_unique<txn::PmdkUndoTx>(pool, 1);
+        return "pmdk";
       case SwScheme::KaminoTx:
-        return std::make_unique<txn::KaminoTx>(pool, 1);
+        return "kamino";
       case SwScheme::Spht:
-        return std::make_unique<txn::SphtTx>(pool, 1,
-                                             /*start_replayer=*/true);
-      case SwScheme::SpecSpmtDp: {
-        core::SpecTxConfig config;
-        config.dataPersistOnCommit = true;
-        config.backgroundReclaim = true;
-        config.reclaimThresholdBytes = 8u << 20;
-        return std::make_unique<core::SpecTx>(pool, 1, config);
-      }
-      case SwScheme::SpecSpmt: {
-        core::SpecTxConfig config;
-        config.backgroundReclaim = true;
-        config.reclaimThresholdBytes = 8u << 20;
-        return std::make_unique<core::SpecTx>(pool, 1, config);
-      }
+        return "spht";
+      case SwScheme::SpecSpmtDp:
+        return "spec-dp";
+      case SwScheme::SpecSpmt:
+        return "spec";
       case SwScheme::HashLog:
-        return std::make_unique<core::HashLogTx>(pool, 1, 1u << 18);
+        return "hashlog";
     }
     SPECPMT_PANIC("unknown software scheme");
+}
+
+std::unique_ptr<txn::TxRuntime>
+makeSwRuntime(SwScheme scheme, pmem::PmemPool &pool)
+{
+    return txn::makeRuntime(swSchemeRuntimeName(scheme), pool, 1);
 }
 
 } // namespace

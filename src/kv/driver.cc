@@ -1,0 +1,237 @@
+#include "kv/driver.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace specpmt::kv
+{
+
+namespace
+{
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+const char *
+mixName(Mix mix)
+{
+    switch (mix) {
+      case Mix::A:
+        return "A";
+      case Mix::B:
+        return "B";
+      case Mix::C:
+        return "C";
+    }
+    return "?";
+}
+
+const char *
+keyDistName(KeyDist dist)
+{
+    switch (dist) {
+      case KeyDist::Uniform:
+        return "uniform";
+      case KeyDist::Zipfian:
+        return "zipfian";
+    }
+    return "?";
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta), zetan_(zeta(n, theta)),
+      alpha_(1.0 / (1.0 - theta)),
+      eta_((1.0 - std::pow(2.0 / static_cast<double>(n),
+                           1.0 - theta)) /
+           (1.0 - zeta(2, theta) / zetan_))
+{
+    SPECPMT_ASSERT(n >= 2);
+    SPECPMT_ASSERT(theta > 0.0 && theta < 1.0);
+}
+
+std::uint64_t
+ZipfianGenerator::next(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return std::min(rank, n_ - 1);
+}
+
+std::uint64_t
+rankToKey(std::uint64_t rank, std::uint64_t keys)
+{
+    return 1 + mix64(rank + 1) % keys;
+}
+
+void
+loadKeyspace(KvService &service, const DriverConfig &config)
+{
+    constexpr unsigned kLoadBatch = 64;
+    std::vector<std::pair<KvKey, KvValue>> batch;
+    batch.reserve(kLoadBatch);
+    for (std::uint64_t key = 1; key <= config.keys; ++key) {
+        batch.emplace_back(key, KvValue::tagged(key, 0));
+        if (batch.size() == kLoadBatch || key == config.keys) {
+            const bool ok = service.multiPut(0, batch);
+            SPECPMT_ASSERT(ok);
+            batch.clear();
+        }
+    }
+}
+
+DriverResult
+runClosedLoop(KvService &service, const DriverConfig &config)
+{
+    service.clearStats();
+    // timing().reset() keeps the media-write counters; remember the
+    // baseline so the result reports run-phase line writes only.
+    std::vector<std::uint64_t> base_line_writes;
+    for (unsigned s = 0; s < service.numShards(); ++s) {
+        base_line_writes.push_back(
+            service.shardSnapshot(s).pmLineWrites);
+    }
+
+    const double update_fraction =
+        config.mix == Mix::A ? 0.5 : config.mix == Mix::B ? 0.05 : 0.0;
+    // Zipf construction is O(keys); build once, share read-only.
+    const ZipfianGenerator zipf(config.keys, config.zipfTheta);
+
+    struct WorkerOut
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t updates = 0;
+        std::uint64_t multiPuts = 0;
+        std::uint64_t failed = 0;
+        LatencyHistogram readLatency;
+        LatencyHistogram updateLatency;
+    };
+    std::vector<WorkerOut> outs(config.threads);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> crashed{false};
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(config.threads);
+    for (unsigned t = 0; t < config.threads; ++t) {
+        workers.emplace_back([&, t] {
+            WorkerOut &out = outs[t];
+            Rng rng(config.seed * 0x9E3779B9u + t);
+            if (t == 0 && config.armCrashAfter >= 0)
+                service.armCrashAll(config.armCrashAfter);
+            try {
+                for (std::uint64_t i = 0;
+                     i < config.opsPerThread &&
+                     !stop.load(std::memory_order_relaxed);
+                     ++i) {
+                    const std::uint64_t rank =
+                        config.dist == KeyDist::Zipfian
+                            ? zipf.next(rng)
+                            : rng.below(config.keys);
+                    const KvKey key = rankToKey(rank, config.keys);
+                    const bool update =
+                        rng.uniform() < update_fraction;
+                    const std::uint64_t begin = nowNs();
+                    if (!update) {
+                        const auto value = service.get(t, key);
+                        out.readLatency.record(nowNs() - begin);
+                        if (!value || !value->checkTag(key))
+                            ++out.failed;
+                        ++out.reads;
+                    } else if (config.multiPutFraction > 0.0 &&
+                               rng.uniform() <
+                                   config.multiPutFraction) {
+                        std::vector<std::pair<KvKey, KvValue>> batch;
+                        batch.reserve(config.multiPutBatch);
+                        batch.emplace_back(
+                            key, KvValue::tagged(key, rng.next()));
+                        for (unsigned b = 1;
+                             b < config.multiPutBatch; ++b) {
+                            const KvKey extra = rankToKey(
+                                rng.below(config.keys), config.keys);
+                            batch.emplace_back(
+                                extra,
+                                KvValue::tagged(extra, rng.next()));
+                        }
+                        if (!service.multiPut(t, batch))
+                            ++out.failed;
+                        out.updateLatency.record(nowNs() - begin);
+                        ++out.multiPuts;
+                    } else {
+                        const auto value =
+                            KvValue::tagged(key, rng.next());
+                        if (!service.put(t, key, value))
+                            ++out.failed;
+                        out.updateLatency.record(nowNs() - begin);
+                        ++out.updates;
+                    }
+                }
+            } catch (const pmem::SimulatedCrash &) {
+                crashed.store(true);
+                stop.store(true);
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    DriverResult result;
+    for (const auto &out : outs) {
+        result.reads += out.reads;
+        result.updates += out.updates;
+        result.multiPuts += out.multiPuts;
+        result.failed += out.failed;
+        result.readLatency.merge(out.readLatency);
+        result.updateLatency.merge(out.updateLatency);
+    }
+    result.crashed = crashed.load();
+    result.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    if (result.wallSeconds > 0.0) {
+        result.throughputOps =
+            static_cast<double>(result.totalOps()) /
+            result.wallSeconds;
+    }
+    for (unsigned s = 0; s < service.numShards(); ++s) {
+        result.shards.push_back(service.shardSnapshot(s));
+        result.shards.back().pmLineWrites -= base_line_writes[s];
+        result.simNs = std::max(result.simNs, result.shards.back().simNs);
+    }
+    if (result.simNs > 0) {
+        result.simThroughputOps =
+            static_cast<double>(result.totalOps()) * 1e9 /
+            static_cast<double>(result.simNs);
+    }
+    return result;
+}
+
+} // namespace specpmt::kv

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Closed-loop multi-threaded load driver for the KV service.
+ *
+ * Implements the YCSB core-workload shapes the PM-transaction papers
+ * evaluate with (A: 50/50 read/update, B: 95/5, C: read-only) over
+ * uniform or zipfian key popularity, with per-operation wall-clock
+ * latency recorded into thread-local LatencyHistograms (merged after
+ * the run) and per-shard PM traffic pulled from the emulated devices.
+ * Throughput is reported on both clocks: real wall time of the
+ * emulation, and the shards' virtual ADR clocks (max over shards =
+ * the simulated makespan, the number the paper's figures correspond
+ * to).
+ */
+
+#ifndef SPECPMT_KV_DRIVER_HH
+#define SPECPMT_KV_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rand.hh"
+#include "common/stats.hh"
+#include "kv/kv_service.hh"
+
+namespace specpmt::kv
+{
+
+/** YCSB core workload mixes. */
+enum class Mix
+{
+    A, ///< 50% read / 50% update
+    B, ///< 95% read / 5% update
+    C, ///< 100% read
+};
+
+const char *mixName(Mix mix);
+
+/** Key popularity distributions. */
+enum class KeyDist
+{
+    Uniform,
+    Zipfian,
+};
+
+const char *keyDistName(KeyDist dist);
+
+/**
+ * The YCSB zipfian rank generator (Gray et al.'s algorithm): ranks in
+ * [0, n) with P(rank) ∝ 1/(rank+1)^theta. Construction is O(n) (zeta
+ * precomputation); next() is O(1).
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(std::uint64_t n, double theta);
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    std::uint64_t next(Rng &rng) const;
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+/** Driver parameters. */
+struct DriverConfig
+{
+    unsigned threads = 4;
+    /** Keyspace: keys 1..keys are loaded before the run. */
+    std::uint64_t keys = 1u << 14;
+    std::uint64_t opsPerThread = 10000;
+    Mix mix = Mix::A;
+    KeyDist dist = KeyDist::Zipfian;
+    double zipfTheta = 0.99;
+    std::uint64_t seed = 1;
+    /** Issue this fraction of updates as multiPut batches (0 = off). */
+    double multiPutFraction = 0.0;
+    /** Keys per multiPut batch. */
+    unsigned multiPutBatch = 4;
+    /**
+     * Arm a simulated power failure after this many persistence ops
+     * from worker 0 on every shard device (<0 = none). On failure the
+     * run stops and DriverResult::crashed is set.
+     */
+    long armCrashAfter = -1;
+};
+
+/** Aggregated outcome of one closed-loop run. */
+struct DriverResult
+{
+    std::uint64_t reads = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t multiPuts = 0; ///< batches (each counts 1 op)
+    std::uint64_t failed = 0;
+    bool crashed = false;
+    double wallSeconds = 0.0;
+    /** Wall-clock throughput of the emulation, ops/second. */
+    double throughputOps = 0.0;
+    /** Simulated makespan: max over shards of the virtual clock. */
+    SimNs simNs = 0;
+    /** Throughput on the virtual ADR clock, ops/second. */
+    double simThroughputOps = 0.0;
+    /** Per-op wall-clock latency, nanoseconds. */
+    LatencyHistogram readLatency;
+    LatencyHistogram updateLatency;
+    /** Per-shard accounting over the run phase. */
+    std::vector<ShardSnapshot> shards;
+
+    std::uint64_t
+    totalOps() const
+    {
+        return reads + updates + multiPuts;
+    }
+};
+
+/**
+ * Map a popularity rank to a key in [1, keys]: ranks are scrambled
+ * with a 64-bit mix so hot keys spread across shards, as YCSB does.
+ */
+std::uint64_t rankToKey(std::uint64_t rank, std::uint64_t keys);
+
+/** Insert keys 1..config.keys via multiPut batches (load phase). */
+void loadKeyspace(KvService &service, const DriverConfig &config);
+
+/**
+ * Run the closed loop: config.threads workers, each issuing
+ * config.opsPerThread operations against @p service. Shard stats are
+ * zeroed at the start so the result reflects the run phase only.
+ */
+DriverResult runClosedLoop(KvService &service,
+                           const DriverConfig &config);
+
+} // namespace specpmt::kv
+
+#endif // SPECPMT_KV_DRIVER_HH

@@ -1,0 +1,259 @@
+#include "kv/kv_service.hh"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace specpmt::kv
+{
+
+namespace
+{
+
+/** Tag mixed into word 0 of tagged values ("KVTA"). */
+constexpr std::uint64_t kValueTag = 0x4B565441'5EC9417ull;
+
+} // namespace
+
+KvValue
+KvValue::tagged(KvKey key, std::uint64_t payload)
+{
+    KvValue value;
+    value.words[0] = key ^ kValueTag;
+    value.words[1] = payload;
+    for (unsigned i = 2; i < 8; ++i)
+        value.words[i] = mix64(payload + i);
+    return value;
+}
+
+bool
+KvValue::checkTag(KvKey key) const
+{
+    if (words[0] != (key ^ kValueTag))
+        return false;
+    for (unsigned i = 2; i < 8; ++i) {
+        if (words[i] != mix64(words[1] + i))
+            return false;
+    }
+    return true;
+}
+
+KvService::KvService(const KvServiceConfig &config) : config_(config)
+{
+    SPECPMT_ASSERT(config_.shards > 0);
+    SPECPMT_ASSERT(config_.threads > 0);
+    SPECPMT_ASSERT((config_.bucketsPerShard &
+                    (config_.bucketsPerShard - 1)) == 0);
+    SPECPMT_ASSERT(txn::isRuntimeName(config_.runtime));
+
+    shards_.reserve(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->device =
+            std::make_unique<pmem::PmemDevice>(config_.shardPoolBytes);
+        shard->pool = std::make_unique<pmem::PmemPool>(*shard->device);
+        shard->runtime =
+            txn::makeRuntime(config_.runtime, *shard->pool,
+                             config_.threads, config_.runtimeOptions);
+        shard->map.emplace(
+            Map::create(*shard->runtime, config_.bucketsPerShard));
+        shard->pool->setRoot(txn::kAppRootSlotBase,
+                             shard->map->base());
+        shard->locks =
+            std::make_unique<txn::LockTable>(config_.lockStripes);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+KvService::~KvService() = default;
+
+unsigned
+KvService::shardOf(KvKey key) const
+{
+    return static_cast<unsigned>(mix64(key + 0x5AD0) % config_.shards);
+}
+
+PmOff
+KvService::lockAddr(KvKey key)
+{
+    // One pseudo cache line per key; the lock table stripes by line.
+    return key * kCacheLineSize;
+}
+
+std::optional<KvValue>
+KvService::get(ThreadId tid, KvKey key)
+{
+    Shard &shard = *shards_[shardOf(key)];
+    return shard.map->get(tid, key);
+}
+
+bool
+KvService::put(ThreadId tid, KvKey key, const KvValue &value)
+{
+    Shard &shard = *shards_[shardOf(key)];
+    auto guard = shard.locks->lockAll({lockAddr(key)});
+    bool ok;
+    if (shard.map->get(tid, key)) {
+        // Pure update: only this stripe's holders write this bucket.
+        shard.runtime->txBegin(tid);
+        ok = shard.map->putInTx(tid, key, value);
+        shard.runtime->txCommit(tid);
+    } else {
+        // Insert: claims a bucket somewhere in the probe chain, which
+        // may cross stripes — serialize against other claimers.
+        std::lock_guard<std::mutex> structure(shard.structureLock);
+        shard.runtime->txBegin(tid);
+        ok = shard.map->putInTx(tid, key, value);
+        shard.runtime->txCommit(tid);
+    }
+    if (ok)
+        shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+}
+
+bool
+KvService::erase(ThreadId tid, KvKey key)
+{
+    Shard &shard = *shards_[shardOf(key)];
+    auto guard = shard.locks->lockAll({lockAddr(key)});
+    shard.runtime->txBegin(tid);
+    const bool erased = shard.map->eraseInTx(tid, key);
+    shard.runtime->txCommit(tid);
+    if (erased)
+        shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
+    return erased;
+}
+
+bool
+KvService::putBatchLocked(Shard &shard, ThreadId tid,
+                          const std::vector<std::pair<KvKey, KvValue>>
+                              &items)
+{
+    shard.runtime->txBegin(tid);
+    bool all_ok = true;
+    for (const auto &[key, value] : items)
+        all_ok = shard.map->putInTx(tid, key, value) && all_ok;
+    shard.runtime->txCommit(tid);
+    shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
+    return all_ok;
+}
+
+bool
+KvService::multiPut(ThreadId tid,
+                    const std::vector<std::pair<KvKey, KvValue>>
+                        &items)
+{
+    // Ascending shard order; commit each shard's part before moving
+    // on, holding locks only within the shard being written.
+    std::map<unsigned, std::vector<std::pair<KvKey, KvValue>>>
+        by_shard;
+    for (const auto &item : items)
+        by_shard[shardOf(item.first)].push_back(item);
+
+    bool all_ok = true;
+    for (auto &[index, shard_items] : by_shard) {
+        Shard &shard = *shards_[index];
+        std::vector<PmOff> addrs;
+        addrs.reserve(shard_items.size());
+        for (const auto &[key, value] : shard_items)
+            addrs.push_back(lockAddr(key));
+        auto guard = shard.locks->lockAll(std::move(addrs));
+        // The batch may insert, so always take the structure lock
+        // (stripes first, then structure — same order as put()).
+        std::lock_guard<std::mutex> structure(shard.structureLock);
+        all_ok = putBatchLocked(shard, tid, shard_items) && all_ok;
+    }
+    return all_ok;
+}
+
+void
+KvService::crash(const pmem::CrashPolicy &policy)
+{
+    // Disarm any pending countdowns first so teardown device traffic
+    // cannot trip a second simulated failure.
+    for (auto &shard : shards_)
+        shard->device->armCrash(-1);
+    for (auto &shard : shards_) {
+        shard->map.reset();
+        shard->runtime.reset(); // the old process is gone
+        shard->device->simulateCrash(policy);
+        shard->pool->reopenAfterCrash();
+    }
+}
+
+void
+KvService::recover()
+{
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (auto &shard_ptr : shards_) {
+        workers.emplace_back([this, &shard_ptr] {
+            Shard &shard = *shard_ptr;
+            shard.runtime = txn::makeRuntime(config_.runtime,
+                                             *shard.pool,
+                                             config_.threads,
+                                             config_.runtimeOptions);
+            shard.runtime->recover();
+            const PmOff base =
+                shard.pool->getRoot(txn::kAppRootSlotBase);
+            SPECPMT_ASSERT(base != kPmNull);
+            shard.map.emplace(Map::attach(*shard.runtime, base));
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+KvService::shutdown()
+{
+    for (auto &shard : shards_)
+        shard->runtime->shutdown();
+}
+
+void
+KvService::armCrashAll(long ops)
+{
+    for (auto &shard : shards_)
+        shard->device->armCrash(ops);
+}
+
+ShardSnapshot
+KvService::shardSnapshot(unsigned shard_index) const
+{
+    const Shard &shard = *shards_.at(shard_index);
+    ShardSnapshot snapshot;
+    snapshot.device = shard.device->stats();
+    snapshot.pmLineWrites = shard.device->timing().pmLineWrites();
+    snapshot.simNs = shard.device->timing().now();
+    snapshot.committedTxs =
+        shard.committedTxs.load(std::memory_order_relaxed);
+    return snapshot;
+}
+
+void
+KvService::clearStats()
+{
+    for (auto &shard : shards_) {
+        shard->device->clearStats();
+        shard->device->timing().reset();
+        shard->committedTxs.store(0, std::memory_order_relaxed);
+    }
+}
+
+pmem::PmemDevice &
+KvService::shardDevice(unsigned shard)
+{
+    return *shards_.at(shard)->device;
+}
+
+txn::TxRuntime &
+KvService::shardRuntime(unsigned shard)
+{
+    return *shards_.at(shard)->runtime;
+}
+
+} // namespace specpmt::kv

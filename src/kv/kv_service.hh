@@ -1,0 +1,216 @@
+/**
+ * @file
+ * A sharded, multi-threaded, crash-consistent key-value service — the
+ * first serving-shaped layer over the transaction runtimes.
+ *
+ * The keyspace is hash-partitioned across N independent shards. Each
+ * shard owns a full persistence stack: an emulated PmemDevice, a
+ * PmemPool, a pluggable TxRuntime (any name the runtime factory
+ * accepts: SpecTx, PMDK-style undo, SPHT, ...) and a PmHashMap
+ * backing store. Every mutation is one shard-local transaction, so it
+ * is crash-atomic under any recoverable runtime; multiPut() spans
+ * shards as one transaction per touched shard, committed shard-
+ * locally in ascending shard order.
+ *
+ * Isolation follows the paper's Section 4.3.3 contract (the runtime
+ * provides atomic durability, the application de-conflicts): each
+ * shard has a striped LockTable, and every mutation holds the stripes
+ * of the keys it touches. Because the backing store is open-
+ * addressing, a probe chain can cross stripe boundaries, so mutations
+ * that claim a new bucket (inserts) additionally serialize on a
+ * per-shard structure lock; pure updates and tombstoning deletes only
+ * ever write the key's own live bucket, which no other stripe holder
+ * touches, so they need just their stripe. Reads probe without locks:
+ * bucket loads and stores are individually atomic at the device
+ * level, so a racing get() observes each bucket entirely before or
+ * entirely after a concurrent mutation.
+ *
+ * After a simulated power failure, recover() rebuilds every shard in
+ * parallel (one recovery thread per shard — the shards' logs are
+ * fully independent).
+ */
+
+#ifndef SPECPMT_KV_KV_SERVICE_HH
+#define SPECPMT_KV_KV_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "pmds/pm_hash_map.hh"
+#include "pmem/crash_policy.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+#include "txn/lock_table.hh"
+#include "txn/runtime_factory.hh"
+
+namespace specpmt::kv
+{
+
+/** Keys are 64-bit; key 0 is valid. */
+using KvKey = std::uint64_t;
+
+/** Fixed-size value payload: one cache line. */
+struct KvValue
+{
+    std::uint64_t words[8];
+
+    bool
+    operator==(const KvValue &other) const
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            if (words[i] != other.words[i])
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * A self-describing value: word 0 ties the value to its key so
+     * verification can detect cross-key corruption, the rest derive
+     * from @p payload so torn values are detectable too.
+     */
+    static KvValue tagged(KvKey key, std::uint64_t payload);
+
+    /** True if this value was built by tagged() for @p key. */
+    bool checkTag(KvKey key) const;
+};
+
+/** Service construction parameters. */
+struct KvServiceConfig
+{
+    /** Number of independent shards (each with its own pool+runtime). */
+    unsigned shards = 4;
+    /** Client threads that will call the service (thread ids 0..n-1). */
+    unsigned threads = 4;
+    /** Runtime scheme name (see txn::runtimeNames()). */
+    std::string runtime = "spec";
+    /** Buckets per shard hash map (a power of two). */
+    std::uint64_t bucketsPerShard = 1u << 14;
+    /** Emulated device capacity per shard. */
+    std::size_t shardPoolBytes = 64u << 20;
+    /** Lock stripes per shard. */
+    unsigned lockStripes = 64;
+    /** Options forwarded to the runtime factory. */
+    txn::RuntimeOptions runtimeOptions;
+};
+
+/** Point-in-time per-shard accounting. */
+struct ShardSnapshot
+{
+    pmem::DeviceStats device;       ///< stores/clwbs/fences since clear
+    std::uint64_t pmLineWrites = 0; ///< media line writes
+    SimNs simNs = 0;                ///< shard device virtual clock
+    std::uint64_t committedTxs = 0; ///< transactions committed
+};
+
+/** The sharded KV service; see file comment. */
+class KvService
+{
+  public:
+    explicit KvService(const KvServiceConfig &config);
+    ~KvService();
+
+    KvService(const KvService &) = delete;
+    KvService &operator=(const KvService &) = delete;
+
+    unsigned numShards() const { return config_.shards; }
+    unsigned numThreads() const { return config_.threads; }
+    const KvServiceConfig &config() const { return config_; }
+
+    /** Shard responsible for @p key. */
+    unsigned shardOf(KvKey key) const;
+
+    /** Point lookup on client thread @p tid. */
+    std::optional<KvValue> get(ThreadId tid, KvKey key);
+
+    /**
+     * Insert or update; one crash-atomic shard transaction. Returns
+     * false (without staging anything) when the shard map is full —
+     * size bucketsPerShard for the keyspace.
+     */
+    bool put(ThreadId tid, KvKey key, const KvValue &value);
+
+    /** Delete; one crash-atomic shard transaction. True if present. */
+    bool erase(ThreadId tid, KvKey key);
+
+    /**
+     * Write a batch of pairs: one transaction per touched shard,
+     * committed shard-locally in ascending shard order. Each shard's
+     * part is all-or-nothing under a crash; the batch as a whole is
+     * not atomic across shards (a crash can persist a prefix of the
+     * shard commits). Returns false if any shard map was full.
+     */
+    bool multiPut(ThreadId tid,
+                  const std::vector<std::pair<KvKey, KvValue>> &items);
+
+    /**
+     * Simulated power failure on every shard: drops the runtimes,
+     * collapses each device to its crash image under @p policy, and
+     * re-opens the pools. Call recover() before serving again.
+     */
+    void crash(const pmem::CrashPolicy &policy);
+
+    /**
+     * Post-crash recovery: rebuild every shard's runtime and replay
+     * its logs, one recovery thread per shard.
+     */
+    void recover();
+
+    /** Clean shutdown of every shard runtime. */
+    void shutdown();
+
+    /**
+     * Arm a crash countdown on every shard device for the calling
+     * thread (see PmemDevice::armCrash); negative disarms.
+     */
+    void armCrashAll(long ops);
+
+    /** Per-shard accounting snapshot. */
+    ShardSnapshot shardSnapshot(unsigned shard) const;
+
+    /** Zero every shard's device counters and virtual clock. */
+    void clearStats();
+
+    /** Direct device access (tests arm crashes / inspect images). */
+    pmem::PmemDevice &shardDevice(unsigned shard);
+
+    /** Direct runtime access (tests drain background helpers). */
+    txn::TxRuntime &shardRuntime(unsigned shard);
+
+  private:
+    using Map = pmds::PmHashMap<KvKey, KvValue>;
+
+    struct Shard
+    {
+        std::unique_ptr<pmem::PmemDevice> device;
+        std::unique_ptr<pmem::PmemPool> pool;
+        std::unique_ptr<txn::TxRuntime> runtime;
+        std::optional<Map> map;
+        std::unique_ptr<txn::LockTable> locks;
+        /** Serializes bucket-claiming mutations (see file comment). */
+        std::mutex structureLock;
+        std::atomic<std::uint64_t> committedTxs{0};
+    };
+
+    /** Pseudo-address used to stripe-lock @p key. */
+    static PmOff lockAddr(KvKey key);
+
+    /** Upsert @p items into @p shard as one transaction. */
+    bool putBatchLocked(Shard &shard, ThreadId tid,
+                        const std::vector<std::pair<KvKey, KvValue>>
+                            &items);
+
+    KvServiceConfig config_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace specpmt::kv
+
+#endif // SPECPMT_KV_KV_SERVICE_HH

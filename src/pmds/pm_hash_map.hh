@@ -92,68 +92,94 @@ class PmHashMap
     /** The base offset (publish it via a pool root). */
     PmOff base() const { return base_; }
 
-    /** Insert or update inside its own transaction. */
+    /**
+     * Insert or update inside its own transaction on thread @p tid
+     * (concurrent callers must de-conflict with their own locking, as
+     * everywhere else on the TxRuntime API).
+     */
     bool
-    put(const Key &key, const Value &value)
+    put(ThreadId tid, const Key &key, const Value &value)
     {
-        rt_->txBegin(0);
-        const bool ok = putInTx(key, value);
-        rt_->txCommit(0);
+        rt_->txBegin(tid);
+        const bool ok = putInTx(tid, key, value);
+        rt_->txCommit(tid);
         return ok;
+    }
+
+    /** Single-threaded convenience overload (thread 0). */
+    bool put(const Key &key, const Value &value)
+    {
+        return put(0, key, value);
     }
 
     /** Insert or update inside the caller's open transaction. */
     bool
-    putInTx(const Key &key, const Value &value)
+    putInTx(ThreadId tid, const Key &key, const Value &value)
     {
-        const auto slot = findSlot(key, true);
+        const auto slot = findSlot(tid, key, true);
         if (!slot)
             return false;
         Bucket bucket;
         bucket.state = 1;
         bucket.key = key;
         bucket.value = value;
-        rt_->txStoreT<Bucket>(0, bucketOff(*slot), bucket);
+        rt_->txStoreT<Bucket>(tid, bucketOff(*slot), bucket);
         return true;
+    }
+
+    /** Single-threaded convenience overload (thread 0). */
+    bool putInTx(const Key &key, const Value &value)
+    {
+        return putInTx(0, key, value);
     }
 
     /** Point lookup (usable inside or outside a transaction). */
     std::optional<Value>
-    get(const Key &key)
+    get(ThreadId tid, const Key &key)
     {
-        const auto slot = findSlot(key, false);
+        const auto slot = findSlot(tid, key, false);
         if (!slot)
             return std::nullopt;
-        const auto bucket = rt_->txLoadT<Bucket>(0, bucketOff(*slot));
+        const auto bucket = rt_->txLoadT<Bucket>(tid,
+                                                 bucketOff(*slot));
         if (bucket.state == 1 && bucket.key == key)
             return bucket.value;
         return std::nullopt;
     }
 
+    /** Single-threaded convenience overload (thread 0). */
+    std::optional<Value> get(const Key &key) { return get(0, key); }
+
     /** Remove inside its own transaction; true if it was present. */
     bool
-    erase(const Key &key)
+    erase(ThreadId tid, const Key &key)
     {
-        rt_->txBegin(0);
-        const bool erased = eraseInTx(key);
-        rt_->txCommit(0);
+        rt_->txBegin(tid);
+        const bool erased = eraseInTx(tid, key);
+        rt_->txCommit(tid);
         return erased;
     }
 
+    /** Single-threaded convenience overload (thread 0). */
+    bool erase(const Key &key) { return erase(0, key); }
+
     /** Remove inside the caller's open transaction. */
     bool
-    eraseInTx(const Key &key)
+    eraseInTx(ThreadId tid, const Key &key)
     {
-        const auto slot = findSlot(key, false);
+        const auto slot = findSlot(tid, key, false);
         if (!slot)
             return false;
-        auto bucket = rt_->txLoadT<Bucket>(0, bucketOff(*slot));
+        auto bucket = rt_->txLoadT<Bucket>(tid, bucketOff(*slot));
         if (bucket.state != 1 || !(bucket.key == key))
             return false;
         bucket.state = 2;
-        rt_->txStoreT<Bucket>(0, bucketOff(*slot), bucket);
+        rt_->txStoreT<Bucket>(tid, bucketOff(*slot), bucket);
         return true;
     }
+
+    /** Single-threaded convenience overload (thread 0). */
+    bool eraseInTx(const Key &key) { return eraseInTx(0, key); }
 
     /** Visit every live (key, value) pair. */
     template <typename Fn>
@@ -188,12 +214,12 @@ class PmHashMap
     }
 
     std::optional<std::uint64_t>
-    findSlot(const Key &key, bool for_insert)
+    findSlot(ThreadId tid, const Key &key, bool for_insert)
     {
         std::uint64_t index = mix64(hashKey(key)) & (buckets_ - 1);
         std::optional<std::uint64_t> first_free;
         for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
-            const auto bucket = rt_->txLoadT<Bucket>(0,
+            const auto bucket = rt_->txLoadT<Bucket>(tid,
                                                      bucketOff(index));
             if (bucket.state == 1 && bucket.key == key)
                 return index;

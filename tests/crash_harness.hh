@@ -27,6 +27,7 @@
 #include "pmem/pmem_device.hh"
 #include "pmem/pmem_pool.hh"
 #include "sim/hybrid_spec_tx.hh"
+#include "txn/runtime_factory.hh"
 #include "txn/spht_tx.hh"
 #include "txn/tx_runtime.hh"
 #include "txn/undo_tx.hh"
@@ -70,20 +71,20 @@ runtimeKindName(RuntimeKind kind)
 inline std::unique_ptr<txn::TxRuntime>
 makeRuntime(RuntimeKind kind, pmem::PmemPool &pool, unsigned threads)
 {
+    // Deterministic crash-test options: no background threads, small
+    // log blocks to force block chaining inside the crash window.
+    txn::RuntimeOptions options;
+    options.backgroundWorkers = false;
+    options.specLogBlockSize = 256;
     switch (kind) {
       case RuntimeKind::Pmdk:
-        return std::make_unique<txn::PmdkUndoTx>(pool, threads);
+        return txn::makeRuntime("pmdk", pool, threads, options);
       case RuntimeKind::Spht:
-        return std::make_unique<txn::SphtTx>(pool, threads,
-                                             /*start_replayer=*/false);
+        return txn::makeRuntime("spht", pool, threads, options);
       case RuntimeKind::Spec:
-      case RuntimeKind::SpecDp: {
-        core::SpecTxConfig config;
-        config.dataPersistOnCommit = (kind == RuntimeKind::SpecDp);
-        config.backgroundReclaim = false;
-        config.logBlockSize = 256;
-        return std::make_unique<core::SpecTx>(pool, threads, config);
-      }
+        return txn::makeRuntime("spec", pool, threads, options);
+      case RuntimeKind::SpecDp:
+        return txn::makeRuntime("spec-dp", pool, threads, options);
       case RuntimeKind::Hybrid: {
         sim::HybridConfig config;
         config.hotCounterMax = 3;

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the fixed-bucket log-linear latency histogram:
+ * bucket geometry, percentile accuracy on known distributions, and
+ * merging of per-thread histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rand.hh"
+#include "common/stats.hh"
+
+namespace specpmt
+{
+namespace
+{
+
+TEST(LatencyHistogram, SmallValuesGetExactBuckets)
+{
+    // Values below kSubBuckets are their own bucket.
+    for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketIndex(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketLowerBound(
+                      static_cast<unsigned>(v)),
+                  v);
+        EXPECT_EQ(LatencyHistogram::bucketUpperBound(
+                      static_cast<unsigned>(v)),
+                  v);
+    }
+}
+
+TEST(LatencyHistogram, BucketBoundsBracketTheirValues)
+{
+    // Sweep representative values across the whole 64-bit range: every
+    // value must fall inside its bucket's [lower, upper] bounds, and
+    // bucket indices must be monotone in the value.
+    std::vector<std::uint64_t> values;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        for (std::uint64_t delta : {0ull, 1ull, 3ull})
+            values.push_back((1ull << bit) + delta);
+    }
+    std::sort(values.begin(), values.end());
+    unsigned last_index = 0;
+    for (const std::uint64_t v : values) {
+        const unsigned index = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(index, LatencyHistogram::kBuckets);
+        EXPECT_LE(LatencyHistogram::bucketLowerBound(index), v);
+        EXPECT_GE(LatencyHistogram::bucketUpperBound(index), v);
+        EXPECT_GE(index, last_index) << "value " << v;
+        last_index = index;
+    }
+    // Spot-check the log-linear layout: octave [8, 16) splits into 8
+    // sub-buckets of width 1; octave [16, 32) into 8 of width 2.
+    EXPECT_EQ(LatencyHistogram::bucketIndex(8), 8u);
+    EXPECT_EQ(LatencyHistogram::bucketIndex(15), 15u);
+    EXPECT_EQ(LatencyHistogram::bucketIndex(16),
+              LatencyHistogram::bucketIndex(17));
+    EXPECT_NE(LatencyHistogram::bucketIndex(17),
+              LatencyHistogram::bucketIndex(18));
+}
+
+TEST(LatencyHistogram, QuantizationErrorIsBounded)
+{
+    // The log-linear layout bounds relative bucket width by
+    // 1/kSubBuckets of the value.
+    for (std::uint64_t v : {100ull, 999ull, 12345ull, 1048576ull,
+                            0xDEADBEEFull}) {
+        const unsigned index = LatencyHistogram::bucketIndex(v);
+        const auto width = LatencyHistogram::bucketUpperBound(index) -
+                           LatencyHistogram::bucketLowerBound(index) +
+                           1;
+        EXPECT_LE(width,
+                  v / LatencyHistogram::kSubBuckets + 1)
+            << "value " << v;
+    }
+}
+
+TEST(LatencyHistogram, PercentilesOnKnownDistribution)
+{
+    // Record 1..1000 once each: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990, all
+    // within the 12.5% quantization bound; extremes are exact.
+    LatencyHistogram histogram;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        histogram.record(v);
+    EXPECT_EQ(histogram.count(), 1000u);
+    EXPECT_EQ(histogram.max(), 1000u);
+    EXPECT_EQ(histogram.sum(), 500500u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 500.5);
+
+    EXPECT_EQ(histogram.percentile(0), 1u);
+    EXPECT_EQ(histogram.percentile(100), 1000u);
+    EXPECT_NEAR(static_cast<double>(histogram.percentile(50)), 500.0,
+                500.0 / 8 + 1);
+    EXPECT_NEAR(static_cast<double>(histogram.percentile(95)), 950.0,
+                950.0 / 8 + 1);
+    EXPECT_NEAR(static_cast<double>(histogram.percentile(99)), 990.0,
+                990.0 / 8 + 1);
+    // Percentiles never exceed the recorded maximum.
+    EXPECT_LE(histogram.percentile(99.9), 1000u);
+}
+
+TEST(LatencyHistogram, PercentileOfConstantStream)
+{
+    LatencyHistogram histogram;
+    for (int i = 0; i < 100; ++i)
+        histogram.record(777);
+    const unsigned index = LatencyHistogram::bucketIndex(777);
+    for (double p : {0.0, 50.0, 99.0, 99.9, 100.0}) {
+        EXPECT_GE(histogram.percentile(p),
+                  LatencyHistogram::bucketLowerBound(index));
+        EXPECT_LE(histogram.percentile(p), 777u);
+    }
+}
+
+TEST(LatencyHistogram, EmptyHistogramReadsZero)
+{
+    LatencyHistogram histogram;
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.max(), 0u);
+    EXPECT_EQ(histogram.percentile(99), 0u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording)
+{
+    // Per-thread histograms merged must be bucket-identical to one
+    // histogram that saw every sample — the driver relies on this.
+    Rng rng(7);
+    LatencyHistogram parts[4];
+    LatencyHistogram whole;
+    for (unsigned t = 0; t < 4; ++t) {
+        for (int i = 0; i < 5000; ++i) {
+            // Heavy-tailed synthetic latencies.
+            const std::uint64_t v = 50 + (rng.next() % (1u << (8 + t)));
+            parts[t].record(v);
+            whole.record(v);
+        }
+    }
+    LatencyHistogram merged;
+    for (const auto &part : parts)
+        merged.merge(part);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.sum(), whole.sum());
+    EXPECT_EQ(merged.max(), whole.max());
+    EXPECT_EQ(merged.buckets(), whole.buckets());
+    for (double p : {50.0, 95.0, 99.0, 99.9})
+        EXPECT_EQ(merged.percentile(p), whole.percentile(p));
+}
+
+TEST(LatencyHistogram, ClearResets)
+{
+    LatencyHistogram histogram;
+    histogram.record(123);
+    histogram.clear();
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.percentile(50), 0u);
+}
+
+} // namespace
+} // namespace specpmt

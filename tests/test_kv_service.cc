@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Crash-consistency and concurrency tests for the sharded KV service:
+ * a crash-at-every-point × eviction-policy sweep during a YCSB-A-style
+ * mixed workload (after recovery every shard must equal a prefix of
+ * its committed transactions — no acknowledged put may be lost and no
+ * partial transaction may be visible), plus multi-threaded smoke and
+ * recovery tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/rand.hh"
+#include "kv/driver.hh"
+#include "kv/kv_service.hh"
+
+namespace specpmt::kv
+{
+namespace
+{
+
+constexpr std::uint64_t kKeys = 256;
+
+KvServiceConfig
+crashTestConfig(const std::string &runtime)
+{
+    KvServiceConfig config;
+    config.shards = 4;
+    config.threads = 1;
+    config.runtime = runtime;
+    config.bucketsPerShard = 512;
+    config.shardPoolBytes = 8u << 20;
+    // Deterministic crash testing: no background threads, small log
+    // blocks so transactions span block boundaries.
+    config.runtimeOptions.backgroundWorkers = false;
+    config.runtimeOptions.specLogBlockSize = 256;
+    return config;
+}
+
+/**
+ * A single-client YCSB-A-style scenario (50% reads, 40% puts, 10%
+ * cross-shard multiPuts over a zipfian-free uniform keyspace) with a
+ * shadow of every acknowledged mutation, crash injection, and
+ * per-shard prefix-consistency verification.
+ */
+class KvCrashScenario
+{
+  public:
+    explicit KvCrashScenario(const std::string &runtime)
+        : service_(crashTestConfig(runtime))
+    {
+        for (KvKey key = 1; key <= kKeys; ++key) {
+            const auto value = KvValue::tagged(key, 0);
+            EXPECT_TRUE(service_.put(0, key, value));
+            committed_[key] = value;
+        }
+    }
+
+    /**
+     * Run @p ops mixed operations with a crash armed after
+     * @p crash_after persistence ops on every shard device; returns
+     * true if the power failure fired.
+     */
+    bool
+    runWithCrash(long crash_after, unsigned ops, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        service_.armCrashAll(crash_after);
+        try {
+            for (unsigned i = 0; i < ops; ++i) {
+                staged_.clear();
+                const double dice = rng.uniform();
+                if (dice < 0.5) {
+                    const KvKey key = 1 + rng.below(kKeys);
+                    const auto value = service_.get(0, key);
+                    if (value) {
+                        EXPECT_TRUE(value->checkTag(key));
+                    }
+                } else if (dice < 0.9) {
+                    const KvKey key = 1 + rng.below(kKeys);
+                    const auto value =
+                        KvValue::tagged(key, rng.next() | 1);
+                    staged_[key] = value;
+                    if (service_.put(0, key, value))
+                        committed_[key] = value;
+                    staged_.clear();
+                } else {
+                    std::vector<std::pair<KvKey, KvValue>> batch;
+                    for (unsigned b = 0; b < 4; ++b) {
+                        const KvKey key = 1 + rng.below(kKeys);
+                        const auto value =
+                            KvValue::tagged(key, rng.next() | 1);
+                        batch.emplace_back(key, value);
+                        staged_[key] = value;
+                    }
+                    if (service_.multiPut(0, batch)) {
+                        for (const auto &[key, value] : batch)
+                            committed_[key] = value;
+                    }
+                    staged_.clear();
+                }
+            }
+        } catch (const pmem::SimulatedCrash &) {
+            return true;
+        }
+        service_.armCrashAll(-1);
+        return false;
+    }
+
+    void
+    crashAndRecover(const pmem::CrashPolicy &policy)
+    {
+        service_.crash(policy);
+        service_.recover();
+    }
+
+    /**
+     * Atomic-durability check: per shard, the surviving state must be
+     * the acknowledged (committed) state, possibly plus the *whole*
+     * shard-local part of the one in-flight transaction. Any torn
+     * value, lost acknowledged put, or partially applied shard
+     * transaction is a failure.
+     */
+    std::string
+    verifyAtomicity()
+    {
+        for (unsigned s = 0; s < service_.numShards(); ++s) {
+            bool matches_committed = true;
+            bool matches_overlay = true;
+            std::string detail;
+            for (KvKey key = 1; key <= kKeys; ++key) {
+                if (service_.shardOf(key) != s)
+                    continue;
+                const auto actual = service_.get(0, key);
+                const auto committed = lookup(committed_, key);
+                auto overlay = committed;
+                if (auto it = staged_.find(key); it != staged_.end())
+                    overlay = it->second;
+                if (!same(actual, committed)) {
+                    matches_committed = false;
+                    detail += " key " + std::to_string(key);
+                }
+                if (!same(actual, overlay))
+                    matches_overlay = false;
+            }
+            if (!matches_committed && !matches_overlay) {
+                return "shard " + std::to_string(s) +
+                       " holds a partial transaction:" + detail;
+            }
+        }
+        return {};
+    }
+
+    /** Adopt the surviving state as the new acknowledged baseline. */
+    void
+    rebaseline()
+    {
+        committed_.clear();
+        for (KvKey key = 1; key <= kKeys; ++key) {
+            if (const auto value = service_.get(0, key))
+                committed_[key] = *value;
+        }
+        staged_.clear();
+    }
+
+    /** Exact-state check (crash-free phases). */
+    std::string
+    verifyExact()
+    {
+        for (KvKey key = 1; key <= kKeys; ++key) {
+            const auto actual = service_.get(0, key);
+            if (!same(actual, lookup(committed_, key)))
+                return "key " + std::to_string(key) + " diverges";
+        }
+        return {};
+    }
+
+    KvService &service() { return service_; }
+
+  private:
+    static std::optional<KvValue>
+    lookup(const std::map<KvKey, KvValue> &map, KvKey key)
+    {
+        const auto it = map.find(key);
+        return it == map.end() ? std::nullopt
+                               : std::optional(it->second);
+    }
+
+    static bool
+    same(const std::optional<KvValue> &a,
+         const std::optional<KvValue> &b)
+    {
+        if (a.has_value() != b.has_value())
+            return false;
+        return !a || *a == *b;
+    }
+
+    KvService service_;
+    std::map<KvKey, KvValue> committed_;
+    std::map<KvKey, KvValue> staged_;
+};
+
+enum class PolicyKind
+{
+    Nothing,
+    Everything,
+    Random,
+};
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Nothing:
+        return "nothing";
+      case PolicyKind::Everything:
+        return "everything";
+      case PolicyKind::Random:
+        return "random";
+    }
+    return "?";
+}
+
+pmem::CrashPolicy
+makePolicy(PolicyKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case PolicyKind::Nothing:
+        return pmem::CrashPolicy::nothing();
+      case PolicyKind::Everything:
+        return pmem::CrashPolicy::everything();
+      case PolicyKind::Random:
+        return pmem::CrashPolicy::random(seed, 0.5);
+    }
+    return pmem::CrashPolicy::nothing();
+}
+
+using Param = std::tuple<std::string, long, PolicyKind>;
+
+class KvCrashTest : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(KvCrashTest, ShardsRecoverToCommittedPrefix)
+{
+    const auto &[runtime, crash_after, policy_kind] = GetParam();
+
+    KvCrashScenario scenario(runtime);
+    const bool crashed = scenario.runWithCrash(
+        crash_after, /*ops=*/64,
+        /*seed=*/2000 + static_cast<std::uint64_t>(crash_after));
+
+    scenario.crashAndRecover(makePolicy(
+        policy_kind, static_cast<std::uint64_t>(crash_after) * 13 + 5));
+
+    const std::string failure = scenario.verifyAtomicity();
+    EXPECT_TRUE(failure.empty())
+        << runtime << " crash_after=" << crash_after
+        << " policy=" << policyName(policy_kind)
+        << " crashed=" << crashed << ": " << failure;
+
+    // The recovered service must keep serving and survive a second,
+    // adversarial crash.
+    scenario.rebaseline();
+    const bool crashed_again =
+        scenario.runWithCrash(-1, /*ops=*/24, /*seed=*/99);
+    EXPECT_FALSE(crashed_again);
+    ASSERT_EQ(scenario.verifyExact(), "");
+
+    scenario.crashAndRecover(pmem::CrashPolicy::nothing());
+    EXPECT_EQ(scenario.verifyExact(), "") << "second crash";
+}
+
+constexpr long kCrashPoints[] = {1,   3,   7,   15,  31,   63,
+                                 127, 255, 511, 1023, 1u << 20};
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    const auto &[runtime, crash_after, policy] = info.param;
+    std::string name = runtime;
+    for (auto &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name + "_c" + std::to_string(crash_after) + "_" +
+           policyName(policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KvCrashTest,
+    ::testing::Combine(::testing::Values("spec", "spec-dp", "pmdk",
+                                         "spht"),
+                       ::testing::ValuesIn(kCrashPoints),
+                       ::testing::Values(PolicyKind::Nothing,
+                                         PolicyKind::Everything,
+                                         PolicyKind::Random)),
+    paramName);
+
+TEST(KvService, RoutesAndBasicOps)
+{
+    KvService service(crashTestConfig("spec"));
+    EXPECT_FALSE(service.get(0, 42).has_value());
+    EXPECT_TRUE(service.put(0, 42, KvValue::tagged(42, 7)));
+    const auto value = service.get(0, 42);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_TRUE(value->checkTag(42));
+    EXPECT_EQ(value->words[1], 7u);
+    EXPECT_TRUE(service.erase(0, 42));
+    EXPECT_FALSE(service.erase(0, 42));
+    EXPECT_FALSE(service.get(0, 42).has_value());
+
+    // Keys spread over all shards.
+    std::vector<bool> hit(service.numShards(), false);
+    for (KvKey key = 0; key < 64; ++key)
+        hit[service.shardOf(key)] = true;
+    for (unsigned s = 0; s < service.numShards(); ++s)
+        EXPECT_TRUE(hit[s]) << "shard " << s << " never selected";
+    service.shutdown();
+}
+
+TEST(KvService, MultiPutSpansShards)
+{
+    KvService service(crashTestConfig("spec"));
+    std::vector<std::pair<KvKey, KvValue>> batch;
+    for (KvKey key = 1; key <= 64; ++key)
+        batch.emplace_back(key, KvValue::tagged(key, key * 3));
+    EXPECT_TRUE(service.multiPut(0, batch));
+    std::uint64_t txs = 0;
+    for (unsigned s = 0; s < service.numShards(); ++s)
+        txs += service.shardSnapshot(s).committedTxs;
+    // One shard-local transaction per touched shard, not per key.
+    EXPECT_EQ(txs, service.numShards());
+    for (KvKey key = 1; key <= 64; ++key) {
+        const auto value = service.get(0, key);
+        ASSERT_TRUE(value.has_value()) << "key " << key;
+        EXPECT_EQ(value->words[1], key * 3);
+    }
+    service.shutdown();
+}
+
+TEST(KvService, ConcurrentClientsPreserveEveryAcknowledgedPut)
+{
+    KvServiceConfig config = crashTestConfig("spec");
+    config.threads = 4;
+    KvService service(config);
+
+    // Each thread owns a key range and also hammers a shared hot set,
+    // exercising stripe locking and the insert structure lock.
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kPerThread = 400;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&service, t] {
+            Rng rng(t + 1);
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                const KvKey own = 1000 + t * kPerThread + i;
+                ASSERT_TRUE(service.put(
+                    t, own, KvValue::tagged(own, rng.next())));
+                const KvKey hot = 1 + rng.below(16);
+                ASSERT_TRUE(service.put(
+                    t, hot, KvValue::tagged(hot, rng.next())));
+                const auto read = service.get(t, hot);
+                if (read) {
+                    EXPECT_TRUE(read->checkTag(hot));
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    // Every thread-owned key must be present and intact; hot keys
+    // must hold some thread's complete write (no torn values).
+    for (unsigned t = 0; t < kThreads; ++t) {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+            const KvKey own = 1000 + t * kPerThread + i;
+            const auto value = service.get(0, own);
+            ASSERT_TRUE(value.has_value()) << "lost key " << own;
+            EXPECT_TRUE(value->checkTag(own));
+        }
+    }
+    for (KvKey hot = 1; hot <= 16; ++hot) {
+        const auto value = service.get(0, hot);
+        ASSERT_TRUE(value.has_value());
+        EXPECT_TRUE(value->checkTag(hot));
+    }
+    service.shutdown();
+}
+
+TEST(KvService, ParallelRecoveryAfterConcurrentRun)
+{
+    KvServiceConfig config = crashTestConfig("spec");
+    config.threads = 4;
+    KvService service(config);
+
+    DriverConfig driver;
+    driver.threads = 4;
+    driver.keys = kKeys;
+    driver.opsPerThread = 500;
+    driver.mix = Mix::A;
+    driver.multiPutFraction = 0.1;
+    loadKeyspace(service, driver);
+    const auto result = runClosedLoop(service, driver);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_FALSE(result.crashed);
+    EXPECT_EQ(result.totalOps(),
+              driver.threads * driver.opsPerThread);
+    EXPECT_GT(result.readLatency.count(), 0u);
+    EXPECT_GT(result.updateLatency.count(), 0u);
+
+    // Power-fail everything, recover all shards in parallel, and
+    // check no loaded key was lost and no value is torn.
+    service.crash(pmem::CrashPolicy::random(3, 0.5));
+    service.recover();
+    for (KvKey key = 1; key <= kKeys; ++key) {
+        const auto value = service.get(0, key);
+        ASSERT_TRUE(value.has_value()) << "lost key " << key;
+        EXPECT_TRUE(value->checkTag(key));
+    }
+    service.shutdown();
+}
+
+TEST(ZipfianGenerator, SkewsTowardLowRanks)
+{
+    ZipfianGenerator zipf(1000, 0.99);
+    Rng rng(11);
+    unsigned top10 = 0;
+    constexpr unsigned kDraws = 20000;
+    for (unsigned i = 0; i < kDraws; ++i) {
+        const auto rank = zipf.next(rng);
+        ASSERT_LT(rank, 1000u);
+        if (rank < 10)
+            ++top10;
+    }
+    // Under uniform the top-10 share would be 1%; zipf(0.99) puts
+    // roughly a third of the mass there.
+    EXPECT_GT(top10, kDraws / 10);
+}
+
+} // namespace
+} // namespace specpmt::kv

@@ -255,7 +255,13 @@ SpecTx::txCommit(ThreadId tid)
         SegHead head;
         head.sizeBytes = static_cast<std::uint32_t>(seg.bytes);
         head.timestamp = ts;
-        head.flags = (i + 1 == log.openSegs.size()) ? kSegFinal : 0;
+        // The final seal attests to the whole transaction's shape so
+        // recovery can detect a missing intermediate segment.
+        head.flags = (i + 1 == log.openSegs.size())
+                         ? segFlagsWithCount(
+                               kSegFinal, static_cast<std::uint32_t>(
+                                              log.openSegs.size()))
+                         : 0;
         head.numEntries = seg.numEntries;
         head.crc = segmentCrc(dev_, seg.pos, head);
         dev_.storeT(seg.pos, head);
@@ -477,6 +483,15 @@ SpecTx::recover()
                 }
                 open.push_back(seg);
                 if (seg.final) {
+                    // A final seal alone is not a commit: if any of
+                    // the transaction's earlier segments is missing
+                    // (its header line never drained and reads back
+                    // as tail poison), the run is shorter than the
+                    // count the seal attests to — torn commit, undo.
+                    if (seg.txSegments != open.size()) {
+                        open.clear();
+                        return;
+                    }
                     CommittedTx tx;
                     tx.ts = seg.timestamp;
                     for (const auto &part : open) {
@@ -668,6 +683,10 @@ SpecTx::reclaimCycle()
                           }
                           open.push_back({seg, i});
                           if (seg.final) {
+                              if (seg.txSegments != open.size()) {
+                                  open.clear(); // torn commit debris
+                                  return;
+                              }
                               groups[tid].push_back(
                                   {seg.timestamp, std::move(open)});
                               open.clear();
@@ -800,7 +819,7 @@ SpecTx::reclaimCycle()
             SegHead head;
             head.sizeBytes = static_cast<std::uint32_t>(seg_bytes);
             head.timestamp = seg.timestamp;
-            head.flags = kSegFinal;
+            head.flags = segFlagsWithCount(kSegFinal, 1);
             head.numEntries =
                 static_cast<std::uint32_t>(seg.entries.size());
             head.crc = segmentCrc(dev_, seg_pos, head);

@@ -77,6 +77,7 @@ parseBlock(const pmem::PmemDevice &dev, PmOff block,
         seg.timestamp = head.timestamp;
         seg.final = (head.flags & kSegFinal) != 0;
         seg.flags = head.flags;
+        seg.txSegments = segCountFromFlags(head.flags);
         seg.sizeBytes = head.sizeBytes;
 
         PmOff cursor = pos + sizeof(SegHead);

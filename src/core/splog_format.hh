@@ -53,13 +53,42 @@ struct SegHead
     std::uint32_t crc;
     std::uint32_t sizeBytes; ///< whole segment, including this header
     std::uint64_t timestamp;
-    std::uint32_t flags;     ///< kSegFinal on a tx's last segment
+    std::uint32_t flags;     ///< kSeg* bits; final seals also carry
+                             ///< the tx's segment count (see below)
     std::uint32_t numEntries;
 };
 static_assert(sizeof(SegHead) == 24);
 
 /** Flag: this segment completes its transaction. */
 constexpr std::uint32_t kSegFinal = 0x1;
+
+/**
+ * A transaction whose entries overflow a block spans several segments,
+ * each sealed with its own checksum. The final seal alone cannot prove
+ * the earlier segments reached the media: an intermediate segment
+ * whose header line never drained reads back as tail poison, so the
+ * walker skips it and follows the (persisted) chain pointer straight
+ * to a valid final seal — silently committing a subset of the
+ * transaction. To close that hole, the final segment's flags carry the
+ * transaction's total segment count in the bits above
+ * kSegCountShift; recovery only accepts a transaction whose run of
+ * same-timestamp segments is exactly that long.
+ */
+constexpr unsigned kSegCountShift = 8;
+
+/** Final-segment flags carrying @p count total segments. */
+constexpr std::uint32_t
+segFlagsWithCount(std::uint32_t flags, std::uint32_t count)
+{
+    return flags | (count << kSegCountShift);
+}
+
+/** Total segments of the transaction a final seal attests to. */
+constexpr std::uint32_t
+segCountFromFlags(std::uint32_t flags)
+{
+    return flags >> kSegCountShift;
+}
 
 /**
  * Flags used by the hybrid (hardware-protocol) log, Section 5: an
@@ -114,6 +143,9 @@ struct DecodedSegment
     TxTimestamp timestamp = 0;
     bool final = false;         ///< completes its transaction
     std::uint32_t flags = 0;    ///< raw SegHead flags
+    /** On a final segment: the tx's total segment count (0 if the
+     * writer predates the count encoding, e.g. hand-built fixtures). */
+    std::uint32_t txSegments = 0;
     std::uint32_t sizeBytes = 0;
     std::vector<DecodedEntry> entries;
 };

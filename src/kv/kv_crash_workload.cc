@@ -1,0 +1,287 @@
+#include "kv/kv_crash_workload.hh"
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/rand.hh"
+#include "kv/kv_service.hh"
+
+namespace specpmt::kv
+{
+
+namespace
+{
+
+KvServiceConfig
+serviceConfig(const sim::CrashCell &cell)
+{
+    KvServiceConfig config;
+    config.shards = cell.kvShards;
+    config.threads = 1;
+    config.runtime = cell.runtime;
+    config.bucketsPerShard = 512;
+    config.shardPoolBytes = 8u << 20;
+    // Deterministic crash testing: no background threads, small log
+    // blocks so transactions span block boundaries.
+    config.runtimeOptions.backgroundWorkers = false;
+    config.runtimeOptions.specLogBlockSize = 256;
+    return config;
+}
+
+class KvCrashWorkload final : public sim::CrashWorkload
+{
+  public:
+    explicit KvCrashWorkload(const sim::CrashCell &cell)
+        : cell_(cell), service_(serviceConfig(cell))
+    {
+        for (KvKey key = 1; key <= cell_.kvKeys; ++key) {
+            const auto value = KvValue::tagged(key, 0);
+            if (!service_.put(0, key, value))
+                throw std::runtime_error("kv setup put failed");
+            committed_[key] = value;
+        }
+        if (cell_.fault == "drop-fences") {
+            for (unsigned s = 0; s < service_.numShards(); ++s) {
+                service_.shardDevice(s).injectFault(
+                    pmem::DeviceFault::DropFences);
+            }
+        }
+    }
+
+    bool
+    run(long crash_after) override
+    {
+        Rng rng(cell_.seed);
+        armed_ = crash_after;
+        countdown_ = service_.armCrashAll(crash_after);
+        try {
+            for (unsigned i = 0; i < cell_.kvOps; ++i) {
+                staged_.clear();
+                const double dice = rng.uniform();
+                if (dice < 0.5) {
+                    const KvKey key = 1 + rng.below(cell_.kvKeys);
+                    service_.get(0, key);
+                } else if (dice < 0.9) {
+                    const KvKey key = 1 + rng.below(cell_.kvKeys);
+                    const auto value =
+                        KvValue::tagged(key, rng.next() | 1);
+                    staged_[key] = value;
+                    if (service_.put(0, key, value))
+                        committed_[key] = value;
+                    staged_.clear();
+                } else {
+                    std::vector<std::pair<KvKey, KvValue>> batch;
+                    for (unsigned b = 0; b < 4; ++b) {
+                        const KvKey key = 1 + rng.below(cell_.kvKeys);
+                        const auto value =
+                            KvValue::tagged(key, rng.next() | 1);
+                        batch.emplace_back(key, value);
+                        staged_[key] = value;
+                    }
+                    if (service_.multiPut(0, batch)) {
+                        for (const auto &[key, value] : batch)
+                            committed_[key] = value;
+                    }
+                    staged_.clear();
+                }
+            }
+        } catch (const pmem::SimulatedCrash &) {
+            return true;
+        }
+        service_.armCrashAll(-1);
+        return false;
+    }
+
+    std::uint64_t
+    eventsConsumed() const override
+    {
+        if (!countdown_)
+            return 0;
+        if (countdown_->fired.load(std::memory_order_relaxed))
+            return static_cast<std::uint64_t>(armed_);
+        const long remaining =
+            countdown_->remaining.load(std::memory_order_relaxed);
+        return static_cast<std::uint64_t>(
+            armed_ - (remaining < 0 ? 0 : remaining));
+    }
+
+    std::uint64_t
+    pruneKey(const pmem::CrashPolicy &policy) const override
+    {
+        // Hash exactly what powerCycle() will materialize:
+        // KvService::crash() hands every shard the same policy.
+        std::uint64_t hash = 0xC4A54ull;
+        for (unsigned s = 0; s < service_.numShards(); ++s) {
+            hash = hashCombine(
+                hash, sim::hashCrashImage(
+                          service_.shardDevice(s).crashImage(policy)));
+        }
+        hash = hashCombine(hash, shadowHash());
+        return hash;
+    }
+
+    void
+    powerCycle(const pmem::CrashPolicy &policy) override
+    {
+        service_.crash(policy);
+        service_.recover();
+    }
+
+    std::string
+    check() override
+    {
+        return verifyAtomicity();
+    }
+
+    std::string
+    checkContinuation() override
+    {
+        rebaseline();
+        if (run(kNoCrash))
+            return "continuation: unexpected crash";
+        if (auto msg = verifyExact(); !msg.empty())
+            return "continuation: " + msg;
+        powerCycle(pmem::CrashPolicy::nothing());
+        if (auto msg = verifyExact(); !msg.empty())
+            return "second crash: " + msg;
+        return {};
+    }
+
+  private:
+    static constexpr long kNoCrash = 1L << 40;
+
+    static std::optional<KvValue>
+    lookup(const std::map<KvKey, KvValue> &map, KvKey key)
+    {
+        const auto it = map.find(key);
+        return it == map.end() ? std::nullopt
+                               : std::optional(it->second);
+    }
+
+    static bool
+    same(const std::optional<KvValue> &a,
+         const std::optional<KvValue> &b)
+    {
+        if (a.has_value() != b.has_value())
+            return false;
+        return !a || *a == *b;
+    }
+
+    /**
+     * Per shard, the surviving state must be the acknowledged
+     * (committed) state, possibly plus the *whole* shard-local part
+     * of the one in-flight transaction. Any torn value, lost
+     * acknowledged put, or partially applied shard transaction is a
+     * failure.
+     */
+    std::string
+    verifyAtomicity()
+    {
+        for (unsigned s = 0; s < service_.numShards(); ++s) {
+            bool matches_committed = true;
+            bool matches_overlay = true;
+            std::string detail;
+            for (KvKey key = 1; key <= cell_.kvKeys; ++key) {
+                if (service_.shardOf(key) != s)
+                    continue;
+                const auto actual = service_.get(0, key);
+                const auto committed = lookup(committed_, key);
+                auto overlay = committed;
+                if (auto it = staged_.find(key); it != staged_.end())
+                    overlay = it->second;
+                if (!same(actual, committed)) {
+                    matches_committed = false;
+                    detail += " key " + std::to_string(key);
+                }
+                if (!same(actual, overlay))
+                    matches_overlay = false;
+            }
+            if (!matches_committed && !matches_overlay) {
+                return "shard " + std::to_string(s) +
+                       " holds a partial transaction:" + detail;
+            }
+        }
+        return {};
+    }
+
+    /** Adopt the surviving state as the new acknowledged baseline. */
+    void
+    rebaseline()
+    {
+        committed_.clear();
+        for (KvKey key = 1; key <= cell_.kvKeys; ++key) {
+            if (const auto value = service_.get(0, key))
+                committed_[key] = *value;
+        }
+        staged_.clear();
+    }
+
+    /** Exact-state check (crash-free phases). */
+    std::string
+    verifyExact()
+    {
+        for (KvKey key = 1; key <= cell_.kvKeys; ++key) {
+            const auto actual = service_.get(0, key);
+            if (!same(actual, lookup(committed_, key)))
+                return "key " + std::to_string(key) + " diverges";
+        }
+        return {};
+    }
+
+    std::uint64_t
+    shadowHash() const
+    {
+        std::uint64_t hash = 0x1C55ADEull;
+        auto fold = [&hash](const std::map<KvKey, KvValue> &map) {
+            for (const auto &[key, value] : map) {
+                std::uint64_t h = key;
+                for (unsigned i = 0; i < 8; ++i)
+                    h = hashCombine(h, value.words[i]);
+                hash = hashCombine(hash, h);
+            }
+        };
+        fold(committed_);
+        hash = hashCombine(hash, 0x57A6EDull);
+        fold(staged_);
+        return hash;
+    }
+
+    sim::CrashCell cell_;
+    KvService service_;
+    std::map<KvKey, KvValue> committed_;
+    std::map<KvKey, KvValue> staged_;
+    std::shared_ptr<pmem::CrashCountdown> countdown_;
+    long armed_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<sim::CrashWorkload>
+makeKvCrashWorkload(const sim::CrashCell &cell)
+{
+    if (!txn::isRecoverableRuntimeName(cell.runtime)) {
+        throw std::runtime_error(
+            "kv crash workload needs a factory-constructible "
+            "recoverable runtime, got: " +
+            cell.runtime);
+    }
+    return std::make_unique<KvCrashWorkload>(cell);
+}
+
+sim::CrashWorkloadFactory
+kvCrashWorkloadFactory()
+{
+    return [](const sim::CrashCell &cell)
+               -> std::unique_ptr<sim::CrashWorkload> {
+        if (cell.workload == "kv")
+            return makeKvCrashWorkload(cell);
+        return sim::builtinCrashWorkloadFactory()(cell);
+    };
+}
+
+} // namespace specpmt::kv

@@ -214,11 +214,19 @@ KvService::shutdown()
         shard->runtime->shutdown();
 }
 
-void
+std::shared_ptr<pmem::CrashCountdown>
 KvService::armCrashAll(long ops)
 {
+    if (ops < 0) {
+        for (auto &shard : shards_)
+            shard->device->armCrash(-1);
+        return nullptr;
+    }
+    auto countdown = std::make_shared<pmem::CrashCountdown>();
+    countdown->remaining.store(ops, std::memory_order_relaxed);
     for (auto &shard : shards_)
-        shard->device->armCrash(ops);
+        shard->device->armCrash(countdown);
+    return countdown;
 }
 
 ShardSnapshot
@@ -246,6 +254,12 @@ KvService::clearStats()
 
 pmem::PmemDevice &
 KvService::shardDevice(unsigned shard)
+{
+    return *shards_.at(shard)->device;
+}
+
+const pmem::PmemDevice &
+KvService::shardDevice(unsigned shard) const
 {
     return *shards_.at(shard)->device;
 }

@@ -167,10 +167,14 @@ class KvService
     void shutdown();
 
     /**
-     * Arm a crash countdown on every shard device for the calling
-     * thread (see PmemDevice::armCrash); negative disarms.
+     * Arm one crash countdown *shared by every shard device* for the
+     * calling thread, so @p ops indexes the service-global
+     * persistence-event sequence (the space crash-schedule
+     * exploration enumerates). Negative disarms and returns null;
+     * otherwise returns the countdown so callers can read back how
+     * many events a run consumed.
      */
-    void armCrashAll(long ops);
+    std::shared_ptr<pmem::CrashCountdown> armCrashAll(long ops);
 
     /** Per-shard accounting snapshot. */
     ShardSnapshot shardSnapshot(unsigned shard) const;
@@ -180,6 +184,7 @@ class KvService
 
     /** Direct device access (tests arm crashes / inspect images). */
     pmem::PmemDevice &shardDevice(unsigned shard);
+    const pmem::PmemDevice &shardDevice(unsigned shard) const;
 
     /** Direct runtime access (tests drain background helpers). */
     txn::TxRuntime &shardRuntime(unsigned shard);

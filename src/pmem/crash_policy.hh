@@ -15,6 +15,7 @@
 #define SPECPMT_PMEM_CRASH_POLICY_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace specpmt::pmem
 {
@@ -57,6 +58,37 @@ struct CrashPolicy
         return {CrashMode::RandomSubset, p, seed};
     }
 };
+
+/** Stable textual name of @p mode ("nothing"/"everything"/"random"). */
+inline const char *
+crashModeName(CrashMode mode)
+{
+    switch (mode) {
+      case CrashMode::NothingExtra:
+        return "nothing";
+      case CrashMode::EverythingDrains:
+        return "everything";
+      case CrashMode::RandomSubset:
+        return "random";
+    }
+    return "?";
+}
+
+/** Parse a crashModeName() string; false if @p name is unknown. */
+inline bool
+parseCrashMode(std::string_view name, CrashMode &mode)
+{
+    if (name == "nothing") {
+        mode = CrashMode::NothingExtra;
+    } else if (name == "everything") {
+        mode = CrashMode::EverythingDrains;
+    } else if (name == "random") {
+        mode = CrashMode::RandomSubset;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 } // namespace specpmt::pmem
 

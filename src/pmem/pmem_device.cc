@@ -32,26 +32,73 @@ void
 PmemDevice::armCrash(long ops)
 {
     std::lock_guard<std::mutex> guard(mutex_);
-    crashCountdown_ = ops;
+    if (ops < 0) {
+        countdown_.reset();
+        return;
+    }
+    countdown_ = std::make_shared<CrashCountdown>();
+    countdown_->remaining.store(ops, std::memory_order_relaxed);
     crashThread_ = std::this_thread::get_id();
+}
+
+void
+PmemDevice::armCrash(std::shared_ptr<CrashCountdown> countdown)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    countdown_ = std::move(countdown);
+    crashThread_ = std::this_thread::get_id();
+}
+
+std::shared_ptr<CrashCountdown>
+PmemDevice::crashCountdown() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return countdown_;
+}
+
+void
+PmemDevice::injectFault(DeviceFault fault)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    fault_ = fault;
+}
+
+std::uint64_t
+PmemDevice::persistEventId() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return persistEvents_;
 }
 
 void
 PmemDevice::maybeCrash()
 {
-    if (crashCountdown_ < 0 ||
-        std::this_thread::get_id() != crashThread_) {
+    ++persistEvents_;
+    if (!countdown_ || std::this_thread::get_id() != crashThread_)
         return;
-    }
-    if (crashCountdown_-- == 0) {
-        crashCountdown_ = -1;
+    // Only the arming thread reaches this point, so plain relaxed
+    // load/store on the (possibly device-shared) counter is race-free.
+    const long remaining =
+        countdown_->remaining.load(std::memory_order_relaxed);
+    if (remaining < 0)
+        return;
+    if (remaining == 0) {
+        countdown_->remaining.store(-1, std::memory_order_relaxed);
+        countdown_->fired.store(true, std::memory_order_relaxed);
+        countdown_->firedEventId.store(persistEvents_,
+                                       std::memory_order_relaxed);
+        countdown_.reset();
         throw SimulatedCrash();
     }
+    countdown_->remaining.store(remaining - 1,
+                                std::memory_order_relaxed);
 }
 
 void
 PmemDevice::store(PmOff off, const void *src, std::size_t size)
 {
+    if (size == 0)
+        return; // avoid memcpy(nullptr) UB and line-index underflow
     std::lock_guard<std::mutex> guard(mutex_);
     maybeCrash();
     checkRange(off, size);
@@ -69,6 +116,8 @@ PmemDevice::store(PmOff off, const void *src, std::size_t size)
 void
 PmemDevice::load(PmOff off, void *dst, std::size_t size) const
 {
+    if (size == 0)
+        return; // zero-length reads may pass a null buffer
     std::lock_guard<std::mutex> guard(mutex_);
     checkRange(off, size);
     std::memcpy(dst, volatileImage_.data() + off, size);
@@ -126,11 +175,14 @@ PmemDevice::sfence()
 {
     std::lock_guard<std::mutex> guard(mutex_);
     maybeCrash();
-    for (const auto &[line, snapshot] : pendingLines_) {
-        std::memcpy(persistentImage_.data() + line * kCacheLineSize,
-                    snapshot.data(), kCacheLineSize);
+    if (fault_ != DeviceFault::DropFences) {
+        for (const auto &[line, snapshot] : pendingLines_) {
+            std::memcpy(persistentImage_.data() +
+                            line * kCacheLineSize,
+                        snapshot.data(), kCacheLineSize);
+        }
+        pendingLines_.clear();
     }
-    pendingLines_.clear();
     ++stats_.fences;
     if (timed())
         timing_.onSfence();

@@ -30,8 +30,10 @@
 #define SPECPMT_PMEM_PMEM_DEVICE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -67,6 +69,44 @@ class SimulatedCrash : public std::exception
     {
         return "simulated power failure";
     }
+};
+
+/**
+ * A crash countdown shared between the arming code and one or more
+ * devices. Every persistence event performed by the arming thread
+ * decrements @c remaining; the event that observes zero throws
+ * SimulatedCrash and records its device-local event id.
+ *
+ * Sharing one countdown across several devices (the sharded KV
+ * service's per-shard devices) makes the countdown index into the
+ * *global* persistence-event sequence of the run, which is what
+ * exhaustive crash-schedule exploration enumerates. After a run the
+ * explorer reads back how many events were consumed, so one counted
+ * pass bounds the whole crash-point space.
+ */
+struct CrashCountdown
+{
+    /** Events still allowed before the crash fires; < 0 = disarmed. */
+    std::atomic<long> remaining{-1};
+    /** Set once the countdown expired and the crash was thrown. */
+    std::atomic<bool> fired{false};
+    /** Device-local persistence-event id at the firing operation. */
+    std::atomic<std::uint64_t> firedEventId{0};
+};
+
+/**
+ * Device-level fault injection, for validating that the crash
+ * explorer actually catches consistency regressions (test-the-tester).
+ */
+enum class DeviceFault : std::uint8_t
+{
+    None = 0,
+    /**
+     * sfence retires (counts, advances the clock, can trip an armed
+     * crash) but promotes nothing into the persistence domain —
+     * the "dropped commit fence" regression.
+     */
+    DropFences,
 };
 
 /** Aggregate event counters exposed by the device. */
@@ -224,6 +264,24 @@ class PmemDevice
      */
     void armCrash(long ops);
 
+    /**
+     * Arm with an external countdown, which may be shared with other
+     * devices so it indexes the combined persistence-event sequence
+     * (see CrashCountdown). Only events from the calling thread
+     * decrement it. Pass nullptr to disarm.
+     */
+    void armCrash(std::shared_ptr<CrashCountdown> countdown);
+
+    /** The countdown currently armed on this device (may be null). */
+    std::shared_ptr<CrashCountdown> crashCountdown() const;
+
+    /**
+     * Inject a persistence fault (see DeviceFault). Used by the crash
+     * explorer's self-test to prove injected consistency regressions
+     * are detected; production code paths never call this.
+     */
+    void injectFault(DeviceFault fault);
+
     /** @name Introspection */
     /// @{
 
@@ -242,6 +300,15 @@ class PmemDevice
 
     /** Number of currently dirty lines. */
     std::size_t dirtyLineCount() const;
+
+    /**
+     * Monotonically increasing persistence-event id: the number of
+     * persistence-relevant operations (stores, effective flushes,
+     * fences, nt-stores, hardware persists) the device has executed,
+     * from any thread. Crash-schedule exploration keys replay tokens
+     * off this sequence.
+     */
+    std::uint64_t persistEventId() const;
 
     /** Event counters. */
     const DeviceStats &stats() const { return stats_; }
@@ -279,9 +346,13 @@ class PmemDevice
     std::unordered_map<std::uint64_t, Line> pendingLines_;
     DeviceStats stats_;
     PmemTiming timing_;
-    /** Crash-injection countdown; negative = disarmed. */
-    long crashCountdown_ = -1;
+    /** Crash-injection countdown; null = disarmed. */
+    std::shared_ptr<CrashCountdown> countdown_;
     std::thread::id crashThread_;
+    /** Persistence-event id counter (see persistEventId()). */
+    std::uint64_t persistEvents_ = 0;
+    /** Injected persistence fault (DeviceFault::None normally). */
+    DeviceFault fault_ = DeviceFault::None;
     /** Virtual-clock thread filter (see timeOnlyCallingThread). */
     bool timedThreadOnly_ = false;
     std::thread::id timedThread_;

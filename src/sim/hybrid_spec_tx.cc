@@ -248,8 +248,9 @@ HybridSpecTx::txCommit(ThreadId tid)
         seg_bytes += entryBytes(size);
 
     const TxTimestamp ts = nextTimestamp();
-    const PmOff pos = emitSegment(log, kSegFinal, ts, ranges,
-                                  /*persist_now=*/false);
+    const PmOff pos =
+        emitSegment(log, core::segFlagsWithCount(kSegFinal, 1), ts,
+                    ranges, /*persist_now=*/false);
 
     // One flush batch + one fence: the commit record (checksum = the
     // commit flag) plus the cold write set's data lines.

@@ -28,6 +28,22 @@ isRuntimeName(std::string_view name)
     return std::find(names.begin(), names.end(), name) != names.end();
 }
 
+const std::vector<std::string> &
+recoverableRuntimeNames()
+{
+    static const std::vector<std::string> names = {
+        "pmdk", "spht", "spec", "spec-dp",
+    };
+    return names;
+}
+
+bool
+isRecoverableRuntimeName(std::string_view name)
+{
+    const auto &names = recoverableRuntimeNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
 std::unique_ptr<TxRuntime>
 makeRuntime(std::string_view name, pmem::PmemPool &pool,
             unsigned num_threads, const RuntimeOptions &options)

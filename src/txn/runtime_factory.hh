@@ -50,6 +50,19 @@ const std::vector<std::string> &runtimeNames();
 bool isRuntimeName(std::string_view name);
 
 /**
+ * The subset of runtimeNames() whose recover() restores atomic
+ * durability after a power failure: "pmdk", "spht", "spec",
+ * "spec-dp". The others are performance baselines ("direct",
+ * "kamino") or a rejected design strawman ("hashlog") and must not be
+ * offered where crash recovery is relied upon (crash exploration,
+ * serving state).
+ */
+const std::vector<std::string> &recoverableRuntimeNames();
+
+/** True if @p name names a recoverable scheme. */
+bool isRecoverableRuntimeName(std::string_view name);
+
+/**
  * Construct the runtime named @p name over @p pool for
  * @p num_threads workers. Panics on an unknown name — validate user
  * input with isRuntimeName() first.

@@ -1,131 +1,86 @@
 /**
  * @file
- * The central crash-consistency property suite: for every recoverable
- * runtime, for a sweep of crash points and cache-eviction policies,
- * a randomized transactional workload interrupted by a simulated
- * power failure must recover to an atomically consistent state, and
- * the recovered pool must keep working (including surviving a second
- * crash).
+ * The central crash-consistency property suite, explorer-backed: for
+ * every recoverable runtime and cache-eviction policy, *every*
+ * persistence-event crash point of a randomized transactional
+ * workload is enumerated (not sampled), recovered, checked for atomic
+ * durability, and the recovered pool must keep working — including
+ * surviving a second crash. Any failing schedule is reported with a
+ * crashmatrix replay token.
  */
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
-#include "crash_harness.hh"
+#include "sim/crash_explorer.hh"
 
-namespace specpmt::tests
+namespace specpmt::sim
 {
 namespace
 {
 
-enum class PolicyKind
-{
-    Nothing,
-    Everything,
-    Random,
-};
-
-const char *
-policyName(PolicyKind kind)
-{
-    switch (kind) {
-      case PolicyKind::Nothing:
-        return "nothing";
-      case PolicyKind::Everything:
-        return "everything";
-      case PolicyKind::Random:
-        return "random";
-    }
-    return "?";
-}
-
-pmem::CrashPolicy
-makePolicy(PolicyKind kind, std::uint64_t seed)
-{
-    switch (kind) {
-      case PolicyKind::Nothing:
-        return pmem::CrashPolicy::nothing();
-      case PolicyKind::Everything:
-        return pmem::CrashPolicy::everything();
-      case PolicyKind::Random:
-        return pmem::CrashPolicy::random(seed, 0.5);
-    }
-    return pmem::CrashPolicy::nothing();
-}
-
-using Param = std::tuple<RuntimeKind, long, PolicyKind>;
+using Param = std::tuple<const char *, const char *>;
 
 class CrashAtomicityTest : public ::testing::TestWithParam<Param>
 {
 };
 
-TEST_P(CrashAtomicityTest, RecoversToConsistentStateAndKeepsWorking)
+TEST_P(CrashAtomicityTest, EveryCrashPointRecoversConsistently)
 {
-    const auto [kind, crash_after, policy_kind] = GetParam();
+    const auto [runtime, policy] = GetParam();
 
-    HarnessConfig config;
-    config.seed = 1000 + static_cast<std::uint64_t>(crash_after);
+    CrashCell cell;
+    cell.runtime = runtime;
+    cell.workload = "slots";
+    cell.policy = policy;
+    cell.seed = 1000;
+    cell.txCount = 12;
     // Exercise reclamation/compaction inside the crash window for the
     // speculative runtimes.
-    if (kind == RuntimeKind::Spec || kind == RuntimeKind::SpecDp)
-        config.reclaimEvery = 7;
+    if (cell.runtime == "spec" || cell.runtime == "spec-dp")
+        cell.reclaimEvery = 7;
 
-    CrashScenario scenario(kind, config);
-    const bool crashed = scenario.runWithCrash(crash_after);
+    CrashExplorer explorer(cell, builtinCrashWorkloadFactory());
+    ExploreOptions options;
+    options.jobs = 2;
+    options.verifyContinuation = true;
+    const auto report = explorer.explore(options);
 
-    const auto policy = makePolicy(
-        policy_kind, static_cast<std::uint64_t>(crash_after) * 31 + 7);
-    scenario.crashAndRecover(policy);
-
-    if (crashed) {
-        const std::string failure = scenario.verifyAtomicity();
-        EXPECT_TRUE(failure.empty())
-            << runtimeKindName(kind) << " crash_after=" << crash_after
-            << " policy=" << policyName(policy_kind) << ": " << failure;
-    } else {
-        // The countdown outlived the workload: everything committed.
-        const std::string failure = scenario.verifyAtomicity();
-        EXPECT_TRUE(failure.empty()) << failure;
+    ASSERT_EQ(report.error, "");
+    EXPECT_GT(report.totalEvents, 0u);
+    EXPECT_EQ(report.explored + report.pruned, report.candidatePoints)
+        << "crash points unaccounted for";
+    EXPECT_EQ(report.candidatePoints, report.totalEvents)
+        << "unsharded exploration must cover the whole point space";
+    for (const auto &failure : report.failures) {
+        ADD_FAILURE() << failure.message
+                      << "\n  replay: crashmatrix --replay='"
+                      << failure.token << "'";
     }
-
-    // Phase 2: the recovered pool must continue to work and survive a
-    // second adversarial crash.
-    scenario.rebaseline();
-    scenario.runMore(16, /*seed=*/99);
-    ASSERT_EQ(scenario.verifyExact(), "");
-
-    scenario.crashAndRecover(pmem::CrashPolicy::nothing());
-    EXPECT_EQ(scenario.verifyExact(), "")
-        << "second crash after recovery";
 }
-
-constexpr long kCrashPoints[] = {1,   3,   7,    15,   31,   63,
-                                 127, 255, 511,  1023, 2047, 4095,
-                                 8191, 1u << 20 /* = no crash */};
 
 std::string
 paramName(const ::testing::TestParamInfo<Param> &info)
 {
-    const auto kind = std::get<0>(info.param);
-    const auto crash_after = std::get<1>(info.param);
-    const auto policy = std::get<2>(info.param);
-    return std::string(runtimeKindName(kind)) + "_c" +
-           std::to_string(crash_after) + "_" + policyName(policy);
+    std::string name = std::get<0>(info.param);
+    name += "_";
+    name += std::get<1>(info.param);
+    for (auto &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, CrashAtomicityTest,
-    ::testing::Combine(::testing::Values(RuntimeKind::Pmdk,
-                                         RuntimeKind::Spht,
-                                         RuntimeKind::Spec,
-                                         RuntimeKind::SpecDp,
-                                         RuntimeKind::Hybrid),
-                       ::testing::ValuesIn(kCrashPoints),
-                       ::testing::Values(PolicyKind::Nothing,
-                                         PolicyKind::Everything,
-                                         PolicyKind::Random)),
+    Matrix, CrashAtomicityTest,
+    ::testing::Combine(::testing::Values("pmdk", "spht", "spec",
+                                         "spec-dp", "hybrid"),
+                       ::testing::Values("nothing", "everything",
+                                         "random")),
     paramName);
 
 } // namespace
-} // namespace specpmt::tests
+} // namespace specpmt::sim

@@ -1,17 +1,16 @@
 /**
  * @file
- * Crash-consistency and concurrency tests for the sharded KV service:
- * a crash-at-every-point × eviction-policy sweep during a YCSB-A-style
- * mixed workload (after recovery every shard must equal a prefix of
- * its committed transactions — no acknowledged put may be lost and no
- * partial transaction may be visible), plus multi-threaded smoke and
- * recovery tests.
+ * Crash-consistency and concurrency tests for the sharded KV service.
+ * Crash coverage is explorer-backed: every persistence-event crash
+ * point of a YCSB-A-style mixed run is enumerated per runtime ×
+ * eviction-policy cell (after recovery every shard must equal a
+ * prefix of its committed transactions — no acknowledged put may be
+ * lost and no partial transaction may be visible), plus
+ * multi-threaded smoke and recovery tests.
  */
 
 #include <gtest/gtest.h>
 
-#include <map>
-#include <optional>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -19,6 +18,7 @@
 
 #include "common/rand.hh"
 #include "kv/driver.hh"
+#include "kv/kv_crash_workload.hh"
 #include "kv/kv_service.hh"
 
 namespace specpmt::kv
@@ -44,264 +44,61 @@ crashTestConfig(const std::string &runtime)
     return config;
 }
 
-/**
- * A single-client YCSB-A-style scenario (50% reads, 40% puts, 10%
- * cross-shard multiPuts over a zipfian-free uniform keyspace) with a
- * shadow of every acknowledged mutation, crash injection, and
- * per-shard prefix-consistency verification.
- */
-class KvCrashScenario
-{
-  public:
-    explicit KvCrashScenario(const std::string &runtime)
-        : service_(crashTestConfig(runtime))
-    {
-        for (KvKey key = 1; key <= kKeys; ++key) {
-            const auto value = KvValue::tagged(key, 0);
-            EXPECT_TRUE(service_.put(0, key, value));
-            committed_[key] = value;
-        }
-    }
-
-    /**
-     * Run @p ops mixed operations with a crash armed after
-     * @p crash_after persistence ops on every shard device; returns
-     * true if the power failure fired.
-     */
-    bool
-    runWithCrash(long crash_after, unsigned ops, std::uint64_t seed)
-    {
-        Rng rng(seed);
-        service_.armCrashAll(crash_after);
-        try {
-            for (unsigned i = 0; i < ops; ++i) {
-                staged_.clear();
-                const double dice = rng.uniform();
-                if (dice < 0.5) {
-                    const KvKey key = 1 + rng.below(kKeys);
-                    const auto value = service_.get(0, key);
-                    if (value) {
-                        EXPECT_TRUE(value->checkTag(key));
-                    }
-                } else if (dice < 0.9) {
-                    const KvKey key = 1 + rng.below(kKeys);
-                    const auto value =
-                        KvValue::tagged(key, rng.next() | 1);
-                    staged_[key] = value;
-                    if (service_.put(0, key, value))
-                        committed_[key] = value;
-                    staged_.clear();
-                } else {
-                    std::vector<std::pair<KvKey, KvValue>> batch;
-                    for (unsigned b = 0; b < 4; ++b) {
-                        const KvKey key = 1 + rng.below(kKeys);
-                        const auto value =
-                            KvValue::tagged(key, rng.next() | 1);
-                        batch.emplace_back(key, value);
-                        staged_[key] = value;
-                    }
-                    if (service_.multiPut(0, batch)) {
-                        for (const auto &[key, value] : batch)
-                            committed_[key] = value;
-                    }
-                    staged_.clear();
-                }
-            }
-        } catch (const pmem::SimulatedCrash &) {
-            return true;
-        }
-        service_.armCrashAll(-1);
-        return false;
-    }
-
-    void
-    crashAndRecover(const pmem::CrashPolicy &policy)
-    {
-        service_.crash(policy);
-        service_.recover();
-    }
-
-    /**
-     * Atomic-durability check: per shard, the surviving state must be
-     * the acknowledged (committed) state, possibly plus the *whole*
-     * shard-local part of the one in-flight transaction. Any torn
-     * value, lost acknowledged put, or partially applied shard
-     * transaction is a failure.
-     */
-    std::string
-    verifyAtomicity()
-    {
-        for (unsigned s = 0; s < service_.numShards(); ++s) {
-            bool matches_committed = true;
-            bool matches_overlay = true;
-            std::string detail;
-            for (KvKey key = 1; key <= kKeys; ++key) {
-                if (service_.shardOf(key) != s)
-                    continue;
-                const auto actual = service_.get(0, key);
-                const auto committed = lookup(committed_, key);
-                auto overlay = committed;
-                if (auto it = staged_.find(key); it != staged_.end())
-                    overlay = it->second;
-                if (!same(actual, committed)) {
-                    matches_committed = false;
-                    detail += " key " + std::to_string(key);
-                }
-                if (!same(actual, overlay))
-                    matches_overlay = false;
-            }
-            if (!matches_committed && !matches_overlay) {
-                return "shard " + std::to_string(s) +
-                       " holds a partial transaction:" + detail;
-            }
-        }
-        return {};
-    }
-
-    /** Adopt the surviving state as the new acknowledged baseline. */
-    void
-    rebaseline()
-    {
-        committed_.clear();
-        for (KvKey key = 1; key <= kKeys; ++key) {
-            if (const auto value = service_.get(0, key))
-                committed_[key] = *value;
-        }
-        staged_.clear();
-    }
-
-    /** Exact-state check (crash-free phases). */
-    std::string
-    verifyExact()
-    {
-        for (KvKey key = 1; key <= kKeys; ++key) {
-            const auto actual = service_.get(0, key);
-            if (!same(actual, lookup(committed_, key)))
-                return "key " + std::to_string(key) + " diverges";
-        }
-        return {};
-    }
-
-    KvService &service() { return service_; }
-
-  private:
-    static std::optional<KvValue>
-    lookup(const std::map<KvKey, KvValue> &map, KvKey key)
-    {
-        const auto it = map.find(key);
-        return it == map.end() ? std::nullopt
-                               : std::optional(it->second);
-    }
-
-    static bool
-    same(const std::optional<KvValue> &a,
-         const std::optional<KvValue> &b)
-    {
-        if (a.has_value() != b.has_value())
-            return false;
-        return !a || *a == *b;
-    }
-
-    KvService service_;
-    std::map<KvKey, KvValue> committed_;
-    std::map<KvKey, KvValue> staged_;
-};
-
-enum class PolicyKind
-{
-    Nothing,
-    Everything,
-    Random,
-};
-
-const char *
-policyName(PolicyKind kind)
-{
-    switch (kind) {
-      case PolicyKind::Nothing:
-        return "nothing";
-      case PolicyKind::Everything:
-        return "everything";
-      case PolicyKind::Random:
-        return "random";
-    }
-    return "?";
-}
-
-pmem::CrashPolicy
-makePolicy(PolicyKind kind, std::uint64_t seed)
-{
-    switch (kind) {
-      case PolicyKind::Nothing:
-        return pmem::CrashPolicy::nothing();
-      case PolicyKind::Everything:
-        return pmem::CrashPolicy::everything();
-      case PolicyKind::Random:
-        return pmem::CrashPolicy::random(seed, 0.5);
-    }
-    return pmem::CrashPolicy::nothing();
-}
-
-using Param = std::tuple<std::string, long, PolicyKind>;
+using Param = std::tuple<const char *, const char *>;
 
 class KvCrashTest : public ::testing::TestWithParam<Param>
 {
 };
 
-TEST_P(KvCrashTest, ShardsRecoverToCommittedPrefix)
+TEST_P(KvCrashTest, ShardsRecoverToCommittedPrefixAtEveryCrashPoint)
 {
-    const auto &[runtime, crash_after, policy_kind] = GetParam();
+    const auto [runtime, policy] = GetParam();
 
-    KvCrashScenario scenario(runtime);
-    const bool crashed = scenario.runWithCrash(
-        crash_after, /*ops=*/64,
-        /*seed=*/2000 + static_cast<std::uint64_t>(crash_after));
+    sim::CrashCell cell;
+    cell.runtime = runtime;
+    cell.workload = "kv";
+    cell.policy = policy;
+    cell.seed = 2000;
+    cell.kvShards = 2;
+    cell.kvKeys = 48;
+    cell.kvOps = 16;
 
-    scenario.crashAndRecover(makePolicy(
-        policy_kind, static_cast<std::uint64_t>(crash_after) * 13 + 5));
+    sim::CrashExplorer explorer(cell, kvCrashWorkloadFactory());
+    sim::ExploreOptions options;
+    options.jobs = 2;
+    options.verifyContinuation = true;
+    const auto report = explorer.explore(options);
 
-    const std::string failure = scenario.verifyAtomicity();
-    EXPECT_TRUE(failure.empty())
-        << runtime << " crash_after=" << crash_after
-        << " policy=" << policyName(policy_kind)
-        << " crashed=" << crashed << ": " << failure;
-
-    // The recovered service must keep serving and survive a second,
-    // adversarial crash.
-    scenario.rebaseline();
-    const bool crashed_again =
-        scenario.runWithCrash(-1, /*ops=*/24, /*seed=*/99);
-    EXPECT_FALSE(crashed_again);
-    ASSERT_EQ(scenario.verifyExact(), "");
-
-    scenario.crashAndRecover(pmem::CrashPolicy::nothing());
-    EXPECT_EQ(scenario.verifyExact(), "") << "second crash";
+    ASSERT_EQ(report.error, "");
+    EXPECT_GT(report.totalEvents, 0u);
+    EXPECT_EQ(report.explored + report.pruned, report.candidatePoints);
+    EXPECT_EQ(report.candidatePoints, report.totalEvents);
+    for (const auto &failure : report.failures) {
+        ADD_FAILURE() << failure.message
+                      << "\n  replay: crashmatrix --replay='"
+                      << failure.token << "'";
+    }
 }
-
-constexpr long kCrashPoints[] = {1,   3,   7,   15,  31,   63,
-                                 127, 255, 511, 1023, 1u << 20};
 
 std::string
 paramName(const ::testing::TestParamInfo<Param> &info)
 {
-    const auto &[runtime, crash_after, policy] = info.param;
-    std::string name = runtime;
+    std::string name = std::get<0>(info.param);
+    name += "_";
+    name += std::get<1>(info.param);
     for (auto &c : name) {
         if (c == '-')
             c = '_';
     }
-    return name + "_c" + std::to_string(crash_after) + "_" +
-           policyName(policy);
+    return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, KvCrashTest,
+    Matrix, KvCrashTest,
     ::testing::Combine(::testing::Values("spec", "spec-dp", "pmdk",
                                          "spht"),
-                       ::testing::ValuesIn(kCrashPoints),
-                       ::testing::Values(PolicyKind::Nothing,
-                                         PolicyKind::Everything,
-                                         PolicyKind::Random)),
+                       ::testing::Values("nothing", "everything",
+                                         "random")),
     paramName);
 
 TEST(KvService, RoutesAndBasicOps)

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the name-based runtime factory: every advertised name
+ * constructs a working runtime, the recoverable subset is exactly the
+ * schemes with a recovery story, and error paths (unknown names,
+ * non-recoverable selection where recovery is relied upon) fail the
+ * way the contracts promise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+#include "sim/crash_explorer.hh"
+#include "txn/runtime_factory.hh"
+
+namespace specpmt::txn
+{
+namespace
+{
+
+// Big enough for every scheme's metadata (hashlog pre-sizes a 16MB
+// table at the default slot count).
+constexpr std::size_t kPoolBytes = 64u << 20;
+
+TEST(RuntimeFactory, EveryAdvertisedNameConstructsAndCommits)
+{
+    for (const auto &name : runtimeNames()) {
+        pmem::PmemDevice dev(kPoolBytes);
+        pmem::PmemPool pool(dev);
+        RuntimeOptions options;
+        options.backgroundWorkers = false;
+        auto runtime = makeRuntime(name, pool, 1, options);
+        ASSERT_NE(runtime, nullptr) << name;
+
+        const PmOff off = pool.alloc(64);
+        runtime->txBegin(0);
+        runtime->txStoreT<std::uint64_t>(0, off, 0xABCDu);
+        runtime->txCommit(0);
+        EXPECT_EQ(runtime->txLoadT<std::uint64_t>(0, off), 0xABCDu)
+            << name;
+        runtime->shutdown();
+    }
+}
+
+TEST(RuntimeFactory, RejectsUnknownNames)
+{
+    EXPECT_FALSE(isRuntimeName(""));
+    EXPECT_FALSE(isRuntimeName("specx"));
+    EXPECT_FALSE(isRuntimeName("SPEC"));
+    EXPECT_FALSE(isRuntimeName("undo"));
+    for (const auto &name : runtimeNames())
+        EXPECT_TRUE(isRuntimeName(name));
+}
+
+TEST(RuntimeFactoryDeathTest, PanicsOnUnknownName)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    pmem::PmemDevice dev(kPoolBytes);
+    pmem::PmemPool pool(dev);
+    EXPECT_DEATH(
+        { makeRuntime("not-a-runtime", pool, 1); },
+        "unknown runtime name");
+}
+
+TEST(RuntimeFactory, RecoverableSubsetIsExact)
+{
+    const auto &recoverable = recoverableRuntimeNames();
+    EXPECT_EQ(recoverable.size(), 4u);
+    for (const char *name : {"pmdk", "spht", "spec", "spec-dp"}) {
+        EXPECT_TRUE(isRecoverableRuntimeName(name)) << name;
+        EXPECT_NE(std::find(recoverable.begin(), recoverable.end(),
+                            name),
+                  recoverable.end());
+    }
+    // Performance baselines and the rejected strawman must not be
+    // offered where recovery is relied upon.
+    for (const char *name : {"direct", "kamino", "hashlog"}) {
+        EXPECT_TRUE(isRuntimeName(name)) << name;
+        EXPECT_FALSE(isRecoverableRuntimeName(name)) << name;
+    }
+    EXPECT_FALSE(isRecoverableRuntimeName("not-a-runtime"));
+}
+
+TEST(RuntimeFactory, CrashRuntimesAreRecoverablePlusHybrid)
+{
+    for (const auto &name : sim::crashRuntimeNames()) {
+        EXPECT_TRUE(name == "hybrid" || isRecoverableRuntimeName(name))
+            << name;
+        EXPECT_TRUE(sim::isCrashRuntimeName(name)) << name;
+
+        pmem::PmemDevice dev(kPoolBytes);
+        pmem::PmemPool pool(dev);
+        auto runtime = sim::makeCrashRuntime(name, pool, 1);
+        ASSERT_NE(runtime, nullptr) << name;
+        runtime->shutdown();
+    }
+    EXPECT_FALSE(sim::isCrashRuntimeName("direct"));
+    EXPECT_FALSE(sim::isCrashRuntimeName("hashlog"));
+}
+
+TEST(RuntimeFactory, MakeCrashRuntimeThrowsOnNonRecoverable)
+{
+    pmem::PmemDevice dev(kPoolBytes);
+    pmem::PmemPool pool(dev);
+    EXPECT_THROW(sim::makeCrashRuntime("direct", pool, 1),
+                 std::runtime_error);
+    EXPECT_THROW(sim::makeCrashRuntime("hashlog", pool, 1),
+                 std::runtime_error);
+    EXPECT_THROW(sim::makeCrashRuntime("nope", pool, 1),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace specpmt::txn

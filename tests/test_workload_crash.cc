@@ -1,21 +1,21 @@
 /**
  * @file
- * Integration crash tests: a STAMP-analog workload running under a
- * recoverable runtime is killed by a simulated power failure mid-run
- * (random cache-eviction outcome), the pool is re-opened, recovery
- * runs, and the application's structural invariant — which holds at
- * every committed boundary — must hold on the recovered state.
+ * Integration crash tests, explorer-backed: each STAMP-analog
+ * workload's persistence-event space is measured by a counting pass,
+ * then a bounded set of crash points spread evenly across the run
+ * (setup tail, steady state, teardown) is explored under the random
+ * cache-eviction policy. After recovery the application's structural
+ * invariant — which holds at every committed boundary — must hold,
+ * and a clean second power cycle must preserve it. Failing schedules
+ * are reported with crashmatrix replay tokens.
  */
 
 #include <gtest/gtest.h>
 
-#include <memory>
+#include <string>
 #include <tuple>
 
-#include "core/spec_tx.hh"
-#include "pmem/pmem_device.hh"
-#include "pmem/pmem_pool.hh"
-#include "txn/undo_tx.hh"
+#include "workloads/stamp_crash_workload.hh"
 #include "workloads/workload.hh"
 
 namespace specpmt::workloads
@@ -23,24 +23,7 @@ namespace specpmt::workloads
 namespace
 {
 
-enum class Scheme
-{
-    Pmdk,
-    Spec,
-};
-
-std::unique_ptr<txn::TxRuntime>
-makeRuntime(Scheme scheme, pmem::PmemPool &pool)
-{
-    if (scheme == Scheme::Pmdk)
-        return std::make_unique<txn::PmdkUndoTx>(pool, 1);
-    core::SpecTxConfig config;
-    config.backgroundReclaim = false;
-    config.reclaimThresholdBytes = 1u << 30;
-    return std::make_unique<core::SpecTx>(pool, 1, config);
-}
-
-using Param = std::tuple<WorkloadKind, Scheme, long>;
+using Param = std::tuple<WorkloadKind, const char *>;
 
 class WorkloadCrashTest : public ::testing::TestWithParam<Param>
 {
@@ -48,58 +31,52 @@ class WorkloadCrashTest : public ::testing::TestWithParam<Param>
 
 TEST_P(WorkloadCrashTest, StructuralInvariantSurvivesCrash)
 {
-    const auto [kind, scheme, crash_after] = GetParam();
+    const auto [kind, runtime] = GetParam();
 
-    pmem::PmemDevice dev(192u << 20);
-    pmem::PmemPool pool(dev);
-    auto runtime = makeRuntime(scheme, pool);
-    WorkloadConfig config;
-    config.seed = 11;
-    config.scale = 0.05;
-    auto workload = makeWorkload(kind, config);
-    workload->setup(*runtime);
+    sim::CrashCell cell;
+    cell.runtime = runtime;
+    cell.workload = workloadKindName(kind);
+    cell.policy = "random";
+    cell.persistProbability = 0.5;
+    cell.seed = 11;
+    cell.scale = 0.02;
 
-    dev.armCrash(crash_after);
-    bool crashed = false;
-    try {
-        workload->run(*runtime);
-    } catch (const pmem::SimulatedCrash &) {
-        crashed = true;
+    sim::CrashExplorer explorer(cell, stampCrashWorkloadFactory());
+    sim::ExploreOptions options;
+    options.jobs = 2;
+    options.maxPoints = 5;
+    options.verifyContinuation = true;
+    const auto report = explorer.explore(options);
+
+    ASSERT_EQ(report.error, "");
+    EXPECT_GT(report.totalEvents, 0u);
+    EXPECT_LE(report.candidatePoints, options.maxPoints);
+    EXPECT_EQ(report.explored + report.pruned, report.candidatePoints);
+    for (const auto &failure : report.failures) {
+        ADD_FAILURE() << workloadKindName(kind) << ": "
+                      << failure.message
+                      << "\n  replay: crashmatrix --replay='"
+                      << failure.token << "'";
     }
-    dev.armCrash(-1);
-
-    // Power-cycle with a random subset of unfenced lines surviving.
-    runtime.reset();
-    dev.simulateCrash(pmem::CrashPolicy::random(
-        static_cast<std::uint64_t>(crash_after) * 13 + 1, 0.5));
-    pool.reopenAfterCrash();
-
-    auto recovered = makeRuntime(scheme, pool);
-    recovered->recover();
-
-    EXPECT_TRUE(workload->verifyStructural(*recovered))
-        << workloadKindName(kind)
-        << (crashed ? " (crashed mid-run)" : " (ran to completion)");
 }
 
 std::string
 paramName(const ::testing::TestParamInfo<Param> &info)
 {
     std::string name = workloadKindName(std::get<0>(info.param));
+    name += "_";
+    name += std::get<1>(info.param);
     for (auto &c : name) {
         if (c == '-')
             c = '_';
     }
-    name += std::get<1>(info.param) == Scheme::Pmdk ? "_pmdk" : "_spec";
-    name += "_c" + std::to_string(std::get<2>(info.param));
     return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, WorkloadCrashTest,
     ::testing::Combine(::testing::ValuesIn(allWorkloads()),
-                       ::testing::Values(Scheme::Pmdk, Scheme::Spec),
-                       ::testing::Values(500L, 5000L, 50000L)),
+                       ::testing::Values("pmdk", "spec")),
     paramName);
 
 } // namespace

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * crashmatrix — exhaustive crash-schedule exploration driver.
+ *
+ * Enumerates every persistence-event crash point of one cell
+ * (runtime x workload x crash policy x seed), or replays a single
+ * failing schedule from its token. See src/sim/crash_explorer.hh for
+ * the engine; this tool adds cell selection, sharding for CI
+ * parallelism, and a JSON report whose failures carry replay tokens.
+ *
+ * Exit status: 0 = every candidate point explored or pruned and none
+ * failed; 1 = at least one failing schedule (tokens printed); 2 = the
+ * cell itself was invalid or could not run.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kv/kv_crash_workload.hh"
+#include "sim/crash_explorer.hh"
+#include "workloads/stamp_crash_workload.hh"
+
+namespace
+{
+
+using namespace specpmt;
+
+/** Every workload any layer of the repo can plug into the explorer. */
+sim::CrashWorkloadFactory
+fullWorkloadFactory()
+{
+    return [](const sim::CrashCell &cell)
+               -> std::unique_ptr<sim::CrashWorkload> {
+        if (cell.workload == "kv")
+            return kv::makeKvCrashWorkload(cell);
+        if (workloads::isStampWorkloadName(cell.workload))
+            return workloads::makeStampCrashWorkload(cell);
+        return sim::builtinCrashWorkloadFactory()(cell);
+    };
+}
+
+void
+usage(std::FILE *out)
+{
+    std::fputs(
+        "usage: crashmatrix [cell options] [driver options]\n"
+        "       crashmatrix --replay=<token> [--continue]\n"
+        "\n"
+        "Explores every persistence-event crash point of one cell of\n"
+        "the crash matrix, or replays one schedule from its token.\n"
+        "\n"
+        "cell options\n"
+        "  --runtime=NAME   pmdk|spht|spec|spec-dp|hybrid    [spec]\n"
+        "  --workload=NAME  slots|kv|genome|intruder|...     [slots]\n"
+        "  --policy=NAME    nothing|everything|random        [nothing]\n"
+        "  --p=FLOAT        random-policy line survival prob [0.5]\n"
+        "  --seed=N         workload RNG seed                [42]\n"
+        "  --fault=NAME     none|drop-fences                 [none]\n"
+        "  --slots=N --tx=N --stores=N --reclaim-every=N\n"
+        "                   slots workload sizing\n"
+        "  --kv-shards=N --kv-keys=N --kv-ops=N\n"
+        "                   kv workload sizing\n"
+        "  --scale=FLOAT    STAMP-analog workload scale      [0.05]\n"
+        "\n"
+        "driver options (never part of replay tokens)\n"
+        "  --shard=K/N      explore points with id%%N == K    [0/1]\n"
+        "  --jobs=N         worker threads (0 = hardware)    [1]\n"
+        "  --max-points=N   bound points per run (0 = all)   [0]\n"
+        "  --continue       verify post-recovery continuation\n"
+        "  --json=PATH      write the JSON report (- = stdout)\n"
+        "  --replay=TOKEN   replay one schedule and exit\n"
+        "  --help           this text\n",
+        out);
+}
+
+int
+replayToken(const std::string &token, bool verify_continuation)
+{
+    const auto result = sim::CrashExplorer::replay(
+        token, fullWorkloadFactory(), verify_continuation);
+    if (!result.error.empty()) {
+        std::fprintf(stderr, "crashmatrix: bad token: %s\n",
+                     result.error.c_str());
+        return 2;
+    }
+    std::printf("replay %s\n", token.c_str());
+    std::printf("  crash point %llu %s\n",
+                static_cast<unsigned long long>(result.point),
+                result.fired ? "fired" : "did not fire (run too short)");
+    if (!result.failure.empty()) {
+        std::printf("  FAIL: %s\n", result.failure.c_str());
+        return 1;
+    }
+    std::printf("  recovered state consistent\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::CrashCell cell;
+    sim::ExploreOptions options;
+    std::string json_path;
+    std::string replay_token;
+    bool verify_continuation = false;
+
+    // Accept both --flag=value and --flag value.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view raw = argv[i];
+        const bool boolean = raw == "--continue" || raw == "--help" ||
+                             raw == "-h";
+        if (raw.substr(0, 2) == "--" &&
+            raw.find('=') == std::string_view::npos && !boolean &&
+            i + 1 < argc) {
+            args.push_back(std::string(raw) + "=" + argv[++i]);
+        } else {
+            args.emplace_back(raw);
+        }
+    }
+
+    for (const std::string &arg_string : args) {
+        const std::string_view arg = arg_string;
+        auto value = [&arg](std::string_view prefix,
+                            std::string_view &out) {
+            if (arg.substr(0, prefix.size()) != prefix)
+                return false;
+            out = arg.substr(prefix.size());
+            return true;
+        };
+        std::string_view v;
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--continue") {
+            verify_continuation = true;
+        } else if (value("--runtime=", v)) {
+            cell.runtime = v;
+        } else if (value("--workload=", v)) {
+            cell.workload = v;
+        } else if (value("--policy=", v)) {
+            cell.policy = v;
+        } else if (value("--p=", v)) {
+            cell.persistProbability = std::atof(std::string(v).c_str());
+        } else if (value("--seed=", v)) {
+            cell.seed = std::strtoull(std::string(v).c_str(), nullptr, 10);
+        } else if (value("--fault=", v)) {
+            cell.fault = v;
+        } else if (value("--slots=", v)) {
+            cell.slots = std::atoi(std::string(v).c_str());
+        } else if (value("--tx=", v)) {
+            cell.txCount = std::atoi(std::string(v).c_str());
+        } else if (value("--stores=", v)) {
+            cell.maxStoresPerTx = std::atoi(std::string(v).c_str());
+        } else if (value("--reclaim-every=", v)) {
+            cell.reclaimEvery = std::atoi(std::string(v).c_str());
+        } else if (value("--kv-shards=", v)) {
+            cell.kvShards = std::atoi(std::string(v).c_str());
+        } else if (value("--kv-keys=", v)) {
+            cell.kvKeys =
+                std::strtoull(std::string(v).c_str(), nullptr, 10);
+        } else if (value("--kv-ops=", v)) {
+            cell.kvOps = std::atoi(std::string(v).c_str());
+        } else if (value("--scale=", v)) {
+            cell.scale = std::atof(std::string(v).c_str());
+        } else if (value("--shard=", v)) {
+            const std::string spec(v);
+            unsigned index = 0, count = 0;
+            if (std::sscanf(spec.c_str(), "%u/%u", &index, &count) != 2 ||
+                count == 0 || index >= count) {
+                std::fprintf(stderr,
+                             "crashmatrix: bad --shard=%s (want K/N, "
+                             "K < N)\n",
+                             spec.c_str());
+                return 2;
+            }
+            options.shardIndex = index;
+            options.shardCount = count;
+        } else if (value("--jobs=", v)) {
+            options.jobs = std::atoi(std::string(v).c_str());
+        } else if (value("--max-points=", v)) {
+            options.maxPoints =
+                std::strtoull(std::string(v).c_str(), nullptr, 10);
+        } else if (value("--json=", v)) {
+            json_path = v;
+        } else if (value("--replay=", v)) {
+            replay_token = v;
+        } else {
+            std::fprintf(stderr, "crashmatrix: unknown option: %s\n",
+                         std::string(arg).c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (!replay_token.empty())
+        return replayToken(replay_token, verify_continuation);
+
+    options.verifyContinuation = verify_continuation;
+    sim::CrashExplorer explorer(cell, fullWorkloadFactory());
+    const auto report = explorer.explore(options);
+
+    if (!report.error.empty()) {
+        std::fprintf(stderr, "crashmatrix: %s\n", report.error.c_str());
+        return 2;
+    }
+
+    std::printf(
+        "cell %s/%s policy=%s seed=%llu fault=%s\n",
+        cell.runtime.c_str(), cell.workload.c_str(),
+        cell.policy.c_str(), static_cast<unsigned long long>(cell.seed),
+        cell.fault.c_str());
+    std::printf(
+        "  %llu persistence events, shard %u/%u -> %llu candidate "
+        "points\n",
+        static_cast<unsigned long long>(report.totalEvents),
+        options.shardIndex, options.shardCount,
+        static_cast<unsigned long long>(report.candidatePoints));
+    std::printf(
+        "  explored %llu, pruned %llu (bit-identical post-crash "
+        "state), failures %zu\n",
+        static_cast<unsigned long long>(report.explored),
+        static_cast<unsigned long long>(report.pruned),
+        report.failures.size());
+    for (const auto &failure : report.failures) {
+        std::printf("  FAIL point %llu: %s\n",
+                    static_cast<unsigned long long>(failure.point),
+                    failure.message.c_str());
+        std::printf("    replay: crashmatrix --replay='%s'\n",
+                    failure.token.c_str());
+    }
+
+    if (!json_path.empty()) {
+        const std::string json = report.toJson(cell);
+        if (json_path == "-") {
+            std::printf("%s\n", json.c_str());
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::fprintf(stderr,
+                             "crashmatrix: cannot write %s\n",
+                             json_path.c_str());
+                return 2;
+            }
+            out << json << '\n';
+        }
+    }
+
+    return report.ok() ? 0 : 1;
+}

@@ -63,6 +63,7 @@ runConfigured(workloads::WorkloadKind kind, double scale,
 int
 main(int argc, char **argv)
 {
+    const ObsSession obs_session(argc, argv);
     const double scale = parseScale(argc, argv, 0.3);
     const workloads::WorkloadKind kinds[] = {
         workloads::WorkloadKind::KmeansHigh,

@@ -20,6 +20,7 @@ using namespace specpmt::bench;
 int
 main(int argc, char **argv)
 {
+    const ObsSession obs_session(argc, argv);
     const double scale = parseScale(argc, argv);
 
     printHeader("Figure 13: speedup over EDE",

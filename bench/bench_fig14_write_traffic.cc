@@ -19,6 +19,7 @@ using namespace specpmt::bench;
 int
 main(int argc, char **argv)
 {
+    const ObsSession obs_session(argc, argv);
     const double scale = parseScale(argc, argv);
 
     printHeader("Figure 14: write-traffic reduction over EDE, percent",

@@ -21,6 +21,7 @@ using namespace specpmt::bench;
 int
 main(int argc, char **argv)
 {
+    const ObsSession obs_session(argc, argv);
     const double scale = parseScale(argc, argv);
 
     // Record all traces and EDE baselines once.

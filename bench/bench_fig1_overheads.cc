@@ -24,6 +24,7 @@ using namespace specpmt::bench;
 int
 main(int argc, char **argv)
 {
+    const ObsSession obs_session(argc, argv);
     const double scale = parseScale(argc, argv);
 
     printHeader("Figure 1 (software): overhead over no-tx, percent",

@@ -15,8 +15,13 @@
  *                 [--threads=4] [--shards=4] [--keys=8192]
  *                 [--ops=4000] [--dist=zipfian|uniform]
  *                 [--multiput=0.1]
+ *                 [--metrics-out=m.prom] [--trace-out=t.json]
  *
  * The final stdout line is a BENCH_kv.json-compatible JSON summary.
+ * --metrics-out dumps the process-wide registry (Prometheus text, or
+ * JSON when the path ends in .json); --trace-out enables the tracer
+ * and dumps a Chrome trace-event file, appending a small
+ * crash+recover+reclaim probe so every span category is witnessed.
  */
 
 #include <cstdio>
@@ -25,8 +30,11 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "core/spec_tx.hh"
 #include "kv/driver.hh"
 #include "kv/kv_service.hh"
+#include "obs/artifacts.hh"
+#include "pmem/crash_policy.hh"
 
 using namespace specpmt;
 
@@ -43,6 +51,7 @@ struct Args
     std::uint64_t opsPerThread = 4000;
     kv::KeyDist dist = kv::KeyDist::Zipfian;
     double multiPutFraction = 0.0;
+    obs::OutputFlags obs;
 };
 
 std::vector<std::string>
@@ -92,7 +101,7 @@ parseArgs(int argc, char **argv)
             args.dist = std::string(v) == "uniform"
                 ? kv::KeyDist::Uniform
                 : kv::KeyDist::Zipfian;
-        } else {
+        } else if (!args.obs.accept(arg)) {
             SPECPMT_FATAL("unknown argument: %s", arg.c_str());
         }
     }
@@ -250,5 +259,28 @@ main(int argc, char **argv)
         std::printf("]}");
     }
     std::printf("]}\n");
+
+    if (!args.obs.tracePath.empty()) {
+        // The trace artifact should witness every span category
+        // (tx/flush during the run above); drive a reclaim cycle and
+        // a crash+recover so reclaim/recovery spans appear even on
+        // short runs that never fill the log.
+        kv::KvServiceConfig probe_config;
+        probe_config.shards = 1;
+        probe_config.threads = 1;
+        probe_config.runtime = "spec";
+        probe_config.bucketsPerShard = 1024;
+        kv::KvService probe(probe_config);
+        for (kv::KvKey key = 1; key <= 64; ++key)
+            probe.put(0, key, kv::KvValue::tagged(key, key));
+        if (auto *spec = dynamic_cast<core::SpecTx *>(
+                &probe.shardRuntime(0))) {
+            spec->reclaimNow();
+        }
+        probe.crash(pmem::CrashPolicy::nothing());
+        probe.recover();
+        probe.shutdown();
+    }
+    args.obs.writeArtifacts();
     return 0;
 }

@@ -18,6 +18,7 @@ using namespace specpmt::bench;
 int
 main(int argc, char **argv)
 {
+    const ObsSession obs_session(argc, argv);
     const double scale = parseScale(argc, argv);
 
     printHeader("Section 4: hash-table log slowdown vs sequential log",

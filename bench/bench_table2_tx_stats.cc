@@ -58,6 +58,7 @@ paperRow(workloads::WorkloadKind kind)
 int
 main(int argc, char **argv)
 {
+    const ObsSession obs_session(argc, argv);
     const double scale = parseScale(argc, argv);
 
     std::printf("== Table 2: size and number of transactions ==\n");

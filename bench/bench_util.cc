@@ -150,4 +150,14 @@ parseScale(int argc, char **argv, double fallback)
     return fallback;
 }
 
+ObsSession::ObsSession(int argc, char **argv)
+    : flags_(obs::parseOutputFlags(argc, argv))
+{
+}
+
+ObsSession::~ObsSession()
+{
+    flags_.writeArtifacts();
+}
+
 } // namespace specpmt::bench

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/artifacts.hh"
 #include "pmem/pmem_device.hh"
 #include "sim/machine.hh"
 #include "txn/trace.hh"
@@ -75,6 +76,24 @@ void printRow(const std::string &label,
  * relative to the reference inputs; default 1.0).
  */
 double parseScale(int argc, char **argv, double fallback = 1.0);
+
+/**
+ * Declare at the top of a bench main(): parses
+ * --metrics-out=/--trace-out= (enabling the tracer when a trace sink
+ * is requested) and writes the requested artifacts when main
+ * returns.
+ */
+class ObsSession
+{
+  public:
+    ObsSession(int argc, char **argv);
+    ~ObsSession();
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+  private:
+    obs::OutputFlags flags_;
+};
 
 } // namespace specpmt::bench
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace specpmt
 {
@@ -9,10 +10,57 @@ namespace specpmt
 namespace
 {
 
-void
-vreport(const char *tag, const char *fmt, va_list ap)
+/**
+ * Severity order for SPECPMT_LOG_LEVEL filtering. panic/fatal always
+ * print — suppressing the message that explains an abort() would be
+ * hostile — so the env var only gates warn and inform.
+ */
+enum class Level
 {
-    std::fprintf(stderr, "%s: ", tag);
+    Always = 0, // panic/fatal: never suppressed (alias of Silent)
+    Silent = 0, // SPECPMT_LOG_LEVEL=silent suppresses warn + inform
+    Warn = 1,   // SPECPMT_LOG_LEVEL=warn suppresses inform
+    Inform = 2, // print everything (default)
+};
+
+Level
+configuredLevel()
+{
+    static const Level level = [] {
+        const char *env = std::getenv("SPECPMT_LOG_LEVEL");
+        if (env == nullptr || *env == '\0')
+            return Level::Inform;
+        if (std::strcmp(env, "silent") == 0 ||
+            std::strcmp(env, "none") == 0)
+            return Level::Silent;
+        if (std::strcmp(env, "warn") == 0)
+            return Level::Warn;
+        if (std::strcmp(env, "inform") == 0 ||
+            std::strcmp(env, "info") == 0)
+            return Level::Inform;
+        std::fprintf(stderr,
+                     "warn: SPECPMT_LOG_LEVEL=%s not recognized "
+                     "(want silent|warn|inform); logging everything\n",
+                     env);
+        return Level::Inform;
+    }();
+    return level;
+}
+
+/**
+ * The single sink every report funnels through. @p location is the
+ * "file:line: " prefix for panic/fatal, or nullptr.
+ */
+void
+vreport(Level level, const char *tag, const char *location, int line,
+        const char *fmt, va_list ap)
+{
+    if (level != Level::Always && configuredLevel() < level)
+        return;
+    if (location != nullptr)
+        std::fprintf(stderr, "%s: %s:%d: ", tag, location, line);
+    else
+        std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);
     std::fflush(stderr);
@@ -23,26 +71,20 @@ vreport(const char *tag, const char *fmt, va_list ap)
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreport(Level::Always, "panic", file, line, fmt, ap);
     va_end(ap);
-    std::fputc('\n', stderr);
-    std::fflush(stderr);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreport(Level::Always, "fatal", file, line, fmt, ap);
     va_end(ap);
-    std::fputc('\n', stderr);
-    std::fflush(stderr);
     std::exit(1);
 }
 
@@ -51,7 +93,7 @@ warnImpl(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("warn", fmt, ap);
+    vreport(Level::Warn, "warn", nullptr, 0, fmt, ap);
     va_end(ap);
 }
 
@@ -60,7 +102,7 @@ informImpl(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("info", fmt, ap);
+    vreport(Level::Inform, "info", nullptr, 0, fmt, ap);
     va_end(ap);
 }
 

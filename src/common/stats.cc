@@ -91,6 +91,28 @@ LatencyHistogram::percentile(double p) const
     return max_;
 }
 
+std::string
+LatencyHistogram::toJson() const
+{
+    std::string out = "{\"count\": " + std::to_string(count_) +
+                      ", \"sum\": " + std::to_string(sum_) +
+                      ", \"max\": " + std::to_string(max_) +
+                      ", \"buckets\": [";
+    bool first = true;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "[" + std::to_string(bucketLowerBound(i)) + ", " +
+               std::to_string(bucketUpperBound(i)) + ", " +
+               std::to_string(counts_[i]) + "]";
+    }
+    out += "]}";
+    return out;
+}
+
 void
 LatencyHistogram::clear()
 {

@@ -21,9 +21,13 @@ namespace specpmt
 /**
  * A named bag of monotonically increasing counters.
  *
- * Runtimes expose their persistence events (fences, PM line writes,
- * log bytes, ...) through one of these so tests and benches can make
- * assertions on exact event counts.
+ * SINGLE-THREADED ONLY: this is a bare std::map mutated through
+ * operator[], with no synchronization. It exists as a convenience for
+ * single-threaded tests and tools that want exact, isolated event
+ * counts without registering global metric names. Anything touched by
+ * more than one thread must use obs::Registry (src/obs/metrics.hh),
+ * whose counters are sharded atomics and safe to record from any
+ * thread.
  */
 class CounterSet
 {
@@ -116,6 +120,15 @@ class LatencyHistogram
     {
         return counts_;
     }
+
+    /**
+     * JSON object with count/sum/max and every non-empty bucket as a
+     * [lowerBound, upperBound, count] triple. The bounds come from
+     * bucketLowerBound/bucketUpperBound, so a consumer can recompute
+     * any percentile offline with the same quantization the in-process
+     * percentile() uses.
+     */
+    std::string toJson() const;
 
     /** Drop all samples. */
     void clear();

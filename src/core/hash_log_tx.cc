@@ -4,9 +4,39 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace specpmt::core
 {
+
+namespace
+{
+
+/** Hash-log runtime counters, registered once per process. */
+struct HashLogMetrics
+{
+    obs::Counter &begins;
+    obs::Counter &commits;
+    obs::Counter &bucketWrites;
+
+    static HashLogMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static HashLogMetrics m{
+            reg.counter("specpmt_hash_log_tx_begins_total",
+                        "hash-log transactions started"),
+            reg.counter("specpmt_hash_log_tx_commits_total",
+                        "hash-log transactions committed"),
+            reg.counter("specpmt_hash_log_bucket_writes_total",
+                        "in-place hash-log bucket records written"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 HashLogTx::HashLogTx(pmem::PmemPool &pool, unsigned num_threads,
                      std::size_t num_buckets)
@@ -39,6 +69,7 @@ HashLogTx::txBegin(ThreadId tid)
     SPECPMT_ASSERT(!tx.inTx);
     tx.inTx = true;
     tx.touched.clear();
+    HashLogMetrics::get().begins.add();
 }
 
 void
@@ -62,6 +93,7 @@ HashLogTx::txStore(ThreadId tid, PmOff off, const void *src,
         std::memcpy(bucket.value, bytes + done, piece);
         dev_.storeT(bucket_off, bucket);
         tx.touched.insert(bucket_off);
+        HashLogMetrics::get().bucketWrites.add();
     }
 
     dev_.store(off, src, size);
@@ -78,13 +110,17 @@ HashLogTx::txCommit(ThreadId tid)
 
     // Persist the touched buckets — scattered lines, so unlike the
     // sequential log they see no XPLine write combining.
-    const TxTimestamp ts = nextTimestamp();
-    for (PmOff bucket_off : tx.touched) {
-        dev_.storeT(bucket_off + offsetof(Bucket, timestamp), ts);
-        dev_.clwb(bucket_off, pmem::TrafficClass::Log);
+    {
+        SPECPMT_TRACE_SPAN("flush_batch", "flush");
+        const TxTimestamp ts = nextTimestamp();
+        for (PmOff bucket_off : tx.touched) {
+            dev_.storeT(bucket_off + offsetof(Bucket, timestamp), ts);
+            dev_.clwb(bucket_off, pmem::TrafficClass::Log);
+        }
+        dev_.sfence();
     }
-    dev_.sfence();
     tx.touched.clear();
+    HashLogMetrics::get().commits.add();
 }
 
 } // namespace specpmt::core

@@ -7,6 +7,8 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace specpmt::core
 {
@@ -22,6 +24,56 @@ entryKey(PmOff off, std::size_t size)
     SPECPMT_ASSERT(size < (1ull << 32));
     return (off << 32) | static_cast<std::uint64_t>(size);
 }
+
+/** SpecSPMT runtime counters, registered once per process. */
+struct SpecTxMetrics
+{
+    obs::Counter &begins;
+    obs::Counter &commits;
+    obs::Counter &readonlyCommits;
+    obs::Counter &aborts;
+    obs::Counter &dedupHits;
+    obs::Counter &segmentsSealed;
+    obs::Counter &logBytesWritten;
+    obs::Counter &reclaimCycles;
+    obs::Counter &reclaimBytesFreed;
+    obs::Counter &recoveries;
+    obs::Counter &recoveryReplayedTxs;
+    obs::Gauge &logBytesInUse;
+
+    static SpecTxMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static SpecTxMetrics m{
+            reg.counter("specpmt_spec_tx_begins_total",
+                        "SpecSPMT transactions started"),
+            reg.counter("specpmt_spec_tx_commits_total",
+                        "SpecSPMT transactions committed (update txs)"),
+            reg.counter("specpmt_spec_tx_readonly_commits_total",
+                        "SpecSPMT read-only commits (no fence needed)"),
+            reg.counter("specpmt_spec_tx_aborts_total",
+                        "SpecSPMT transactions aborted"),
+            reg.counter("specpmt_spec_tx_dedup_hits_total",
+                        "txStores absorbed by an existing log entry"),
+            reg.counter("specpmt_spec_tx_segments_sealed_total",
+                        "log segments sealed at commit"),
+            reg.counter("specpmt_spec_tx_log_bytes_written_total",
+                        "bytes appended to speculative logs"),
+            reg.counter("specpmt_reclaim_cycles_total",
+                        "log reclamation cycles completed"),
+            reg.counter("specpmt_reclaim_bytes_freed_total",
+                        "log bytes freed by reclamation"),
+            reg.counter("specpmt_recoveries_total",
+                        "SpecSPMT post-crash recoveries"),
+            reg.counter("specpmt_recovery_replayed_txs_total",
+                        "committed transactions replayed in recovery"),
+            reg.gauge("specpmt_spec_tx_log_bytes_in_use",
+                      "live speculative-log bytes across all threads"),
+        };
+        return m;
+    }
+};
 
 } // namespace
 
@@ -65,6 +117,8 @@ SpecTx::noteLogBytes(std::ptrdiff_t delta)
     std::size_t peak = peakLogBytes_.load();
     while (now > peak && !peakLogBytes_.compare_exchange_weak(peak, now)) {
     }
+    SpecTxMetrics::get().logBytesInUse.set(
+        static_cast<std::int64_t>(now));
 }
 
 void
@@ -164,6 +218,7 @@ SpecTx::appendEntry(ThreadLog &log, PmOff off, const void *src,
     ++seg.numEntries;
     log.entryIndex[entryKey(off, size)] = pos + sizeof(EntryHead);
     log.tailPos += bytes;
+    SpecTxMetrics::get().logBytesWritten.add(bytes);
 }
 
 void
@@ -191,6 +246,8 @@ SpecTx::txBegin(ThreadId tid)
     log.preImages.clear();
     log.captured.clear();
     log.writeSet.clear();
+    SpecTxMetrics::get().begins.add();
+    log.traceStartNs = SPECPMT_TRACE_BEGIN();
     openSegment(log);
     {
         std::lock_guard<std::mutex> guard(log.mutex);
@@ -222,6 +279,7 @@ SpecTx::txStore(ThreadId tid, PmOff off, const void *src, std::size_t size)
         : log.entryIndex.end();
     if (it != log.entryIndex.end()) {
         dev_.store(it->second, src, size);
+        SpecTxMetrics::get().dedupHits.add();
     } else {
         appendEntry(log, off, src, size);
     }
@@ -246,10 +304,13 @@ SpecTx::txCommit(ThreadId tid)
         log.openSegs.clear();
         std::lock_guard<std::mutex> guard(log.mutex);
         log.firstOpenBlock = log.blocks.size() - 1;
+        SpecTxMetrics::get().readonlyCommits.add();
+        SPECPMT_TRACE_END("tx_readonly", "tx", log.traceStartNs);
         return;
     }
 
     const TxTimestamp ts = nextTimestamp();
+    SpecTxMetrics::get().segmentsSealed.add(log.openSegs.size());
     for (std::size_t i = 0; i < log.openSegs.size(); ++i) {
         const auto &seg = log.openSegs[i];
         SegHead head;
@@ -271,14 +332,18 @@ SpecTx::txCommit(ThreadId tid)
 
     // One flush batch + one fence persists the whole transaction:
     // the segment checksums are the commit flag (Section 4.1).
-    if (config_.dataPersistOnCommit) {
-        log.writeSet.forEachLine([&](std::uint64_t line) {
-            dev_.clwb(line * kCacheLineSize, pmem::TrafficClass::Data);
-        });
+    {
+        SPECPMT_TRACE_SPAN("flush_batch", "flush");
+        if (config_.dataPersistOnCommit) {
+            log.writeSet.forEachLine([&](std::uint64_t line) {
+                dev_.clwb(line * kCacheLineSize,
+                          pmem::TrafficClass::Data);
+            });
+        }
+        for (const auto &[off, size] : log.pendingFlush)
+            dev_.clwbRange(off, size, pmem::TrafficClass::Log);
+        dev_.sfence();
     }
-    for (const auto &[off, size] : log.pendingFlush)
-        dev_.clwbRange(off, size, pmem::TrafficClass::Log);
-    dev_.sfence();
 
     log.pendingFlush.clear();
     log.openSegs.clear();
@@ -290,6 +355,9 @@ SpecTx::txCommit(ThreadId tid)
         std::lock_guard<std::mutex> guard(log.mutex);
         log.firstOpenBlock = log.blocks.size() - 1;
     }
+
+    SpecTxMetrics::get().commits.add();
+    SPECPMT_TRACE_END("tx", "tx", log.traceStartNs);
 
     // Implicit reclamation trigger (Section 4.2).
     if (logBytes_.load() > config_.reclaimThresholdBytes &&
@@ -372,6 +440,8 @@ SpecTx::txAbort(ThreadId tid)
     log.preImages.clear();
     log.captured.clear();
     log.writeSet.clear();
+    SpecTxMetrics::get().aborts.add();
+    SPECPMT_TRACE_END("tx_abort", "tx", log.traceStartNs);
 }
 
 void
@@ -444,6 +514,7 @@ SpecTx::logBytesInUse() const
 void
 SpecTx::recover()
 {
+    SPECPMT_TRACE_SPAN("spec_recover", "recovery");
     struct CommittedTx
     {
         TxTimestamp ts;
@@ -593,6 +664,8 @@ SpecTx::recover()
     }
     dev_.sfence();
     needsRecovery_ = false;
+    SpecTxMetrics::get().recoveries.add();
+    SpecTxMetrics::get().recoveryReplayedTxs.add(txs.size());
 }
 
 // ---------------------------------------------------------------------
@@ -635,6 +708,7 @@ SpecTx::reclaimCycle()
     std::lock_guard<std::mutex> cycle_guard(cycle_mutex);
     if (needsRecovery_)
         return 0;
+    SPECPMT_TRACE_SPAN("reclaim_cycle", "reclaim");
 
     // Phase 1: freeze the immutable prefix of every chain and build
     // the volatile freshness index: (addr,size) -> newest committed
@@ -888,6 +962,8 @@ SpecTx::reclaimCycle()
         }
     }
     reclaimCycles_.fetch_add(1);
+    SpecTxMetrics::get().reclaimCycles.add();
+    SpecTxMetrics::get().reclaimBytesFreed.add(freed_total);
     return freed_total;
 }
 

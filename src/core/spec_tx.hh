@@ -153,6 +153,8 @@ class SpecTx : public txn::TxRuntime
         txn::WriteSet writeSet;  ///< data bytes updated this tx (DP)
         /** Index of the first block containing an open segment. */
         std::size_t firstOpenBlock = 0;
+        /** Trace-span start for the open transaction (0 = tracing off). */
+        std::uint64_t traceStartNs = 0;
     };
 
     ThreadLog &threadLog(ThreadId tid) { return *logs_.at(tid); }

@@ -7,6 +7,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace specpmt::kv
 {
@@ -213,6 +214,17 @@ runClosedLoop(KvService &service, const DriverConfig &config)
         result.readLatency.merge(out.readLatency);
         result.updateLatency.merge(out.updateLatency);
     }
+    // Publish the run's latency distributions into the shared registry
+    // (bulk merge of the already-aggregated histograms: the per-op
+    // fast path stays registry-free).
+    obs::Registry::global()
+        .histogram("specpmt_kv_read_latency_ns",
+                   "closed-loop driver read latency")
+        .mergeFrom(result.readLatency);
+    obs::Registry::global()
+        .histogram("specpmt_kv_update_latency_ns",
+                   "closed-loop driver update latency")
+        .mergeFrom(result.updateLatency);
     result.crashed = crashed.load();
     result.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_start).count();

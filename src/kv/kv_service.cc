@@ -1,11 +1,14 @@
 #include "kv/kv_service.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <thread>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace specpmt::kv
 {
@@ -15,6 +18,46 @@ namespace
 
 /** Tag mixed into word 0 of tagged values ("KVTA"). */
 constexpr std::uint64_t kValueTag = 0x4B565441'5EC9417ull;
+
+/** KV service operation counters, registered once per process. */
+struct KvMetrics
+{
+    obs::Counter &gets;
+    obs::Counter &puts;
+    obs::Counter &putFailures;
+    obs::Counter &erases;
+    obs::Counter &multiPuts;
+    obs::Counter &crashes;
+    obs::Counter &recoveries;
+    obs::Gauge &lastRecoveryNs;
+    obs::Histogram &shardRecoveryNs;
+
+    static KvMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static KvMetrics m{
+            reg.counter("specpmt_kv_gets_total", "KV point lookups"),
+            reg.counter("specpmt_kv_puts_total",
+                        "KV puts (update or insert)"),
+            reg.counter("specpmt_kv_put_failures_total",
+                        "KV puts rejected (table full)"),
+            reg.counter("specpmt_kv_erases_total",
+                        "KV erases that removed a key"),
+            reg.counter("specpmt_kv_multi_puts_total",
+                        "KV multi-shard batch puts"),
+            reg.counter("specpmt_kv_crashes_total",
+                        "simulated whole-service crashes"),
+            reg.counter("specpmt_kv_recoveries_total",
+                        "whole-service parallel recoveries"),
+            reg.gauge("specpmt_kv_last_recovery_ns",
+                      "wall-clock ns of the most recent recover()"),
+            reg.histogram("specpmt_kv_shard_recovery_ns",
+                          "per-shard recovery wall-clock ns"),
+        };
+        return m;
+    }
+};
 
 } // namespace
 
@@ -87,6 +130,7 @@ std::optional<KvValue>
 KvService::get(ThreadId tid, KvKey key)
 {
     Shard &shard = *shards_[shardOf(key)];
+    KvMetrics::get().gets.add();
     return shard.map->get(tid, key);
 }
 
@@ -111,6 +155,9 @@ KvService::put(ThreadId tid, KvKey key, const KvValue &value)
     }
     if (ok)
         shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
+    KvMetrics::get().puts.add();
+    if (!ok)
+        KvMetrics::get().putFailures.add();
     return ok;
 }
 
@@ -122,8 +169,10 @@ KvService::erase(ThreadId tid, KvKey key)
     shard.runtime->txBegin(tid);
     const bool erased = shard.map->eraseInTx(tid, key);
     shard.runtime->txCommit(tid);
-    if (erased)
+    if (erased) {
         shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
+        KvMetrics::get().erases.add();
+    }
     return erased;
 }
 
@@ -153,6 +202,7 @@ KvService::multiPut(ThreadId tid,
     for (const auto &item : items)
         by_shard[shardOf(item.first)].push_back(item);
 
+    KvMetrics::get().multiPuts.add();
     bool all_ok = true;
     for (auto &[index, shard_items] : by_shard) {
         Shard &shard = *shards_[index];
@@ -182,15 +232,20 @@ KvService::crash(const pmem::CrashPolicy &policy)
         shard->device->simulateCrash(policy);
         shard->pool->reopenAfterCrash();
     }
+    KvMetrics::get().crashes.add();
 }
 
 void
 KvService::recover()
 {
+    SPECPMT_TRACE_SPAN("kv_recover", "recovery");
+    const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> workers;
     workers.reserve(shards_.size());
     for (auto &shard_ptr : shards_) {
         workers.emplace_back([this, &shard_ptr] {
+            SPECPMT_TRACE_SPAN("kv_recover_shard", "recovery");
+            const auto shard_start = std::chrono::steady_clock::now();
             Shard &shard = *shard_ptr;
             shard.runtime = txn::makeRuntime(config_.runtime,
                                              *shard.pool,
@@ -201,17 +256,32 @@ KvService::recover()
                 shard.pool->getRoot(txn::kAppRootSlotBase);
             SPECPMT_ASSERT(base != kPmNull);
             shard.map.emplace(Map::attach(*shard.runtime, base));
+            KvMetrics::get().shardRecoveryNs.record(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - shard_start)
+                        .count()));
         });
     }
     for (auto &worker : workers)
         worker.join();
+    KvMetrics::get().recoveries.add();
+    KvMetrics::get().lastRecoveryNs.set(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
 }
 
 void
 KvService::shutdown()
 {
-    for (auto &shard : shards_)
+    for (auto &shard : shards_) {
         shard->runtime->shutdown();
+        // Registry totals catch up with the shard's device traffic
+        // here, so artifacts written right after shutdown() see it
+        // even while the service object is still alive.
+        shard->device->publishMetrics();
+    }
 }
 
 std::shared_ptr<pmem::CrashCountdown>

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Trace-span API: lightweight duration events for the phases the
+ * paper's cost model cares about — transaction begin→commit, flush
+ * batches, reclaim cycles, recovery phases, crash-explorer replay
+ * shards — written out as Chrome trace-event JSON that Perfetto and
+ * chrome://tracing load directly.
+ *
+ * Usage (the macro forms are the public API):
+ *
+ *     void SpecTx::reclaimCycle() {
+ *         SPECPMT_TRACE_SPAN("reclaim_cycle", "reclaim");
+ *         ...
+ *     }   // span closes when the scope exits
+ *
+ * For spans that don't nest lexically (a transaction opened in
+ * txBegin and closed in txCommit), use the split form:
+ *
+ *     std::uint64_t t0 = SPECPMT_TRACE_BEGIN();
+ *     ...
+ *     SPECPMT_TRACE_END("tx", "tx", t0);
+ *
+ * Tracing is OFF by default at runtime: every record path first tests
+ * one relaxed atomic flag, so instrumented hot paths cost a predicted
+ * branch when idle. Tracer::enable() arms collection into per-thread
+ * ring buffers (fixed capacity, oldest events dropped, drop count
+ * reported) so tracing never allocates on the record path after a
+ * thread's first event.
+ *
+ * Compile-time kill switch: building with -DSPECPMT_TRACING_DISABLED
+ * (CMake option SPECPMT_ENABLE_TRACING=OFF) expands the macros to
+ * `((void)0)`-equivalents, so a tracing-free binary carries no check
+ * at all. The API surface is macros precisely so the disabled build
+ * compiles them away without ODR games.
+ */
+
+#ifndef SPECPMT_OBS_TRACE_HH
+#define SPECPMT_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace specpmt::obs
+{
+
+/**
+ * Collector for trace events; see file comment. One process-wide
+ * instance (Tracer::global()) backs the macros.
+ */
+class Tracer
+{
+  public:
+    /** Events kept per thread; older events are dropped, counted. */
+    static constexpr std::size_t kRingCapacity = 1u << 14;
+
+    static Tracer &global();
+
+    /** Arm collection; cheap to call when already enabled. */
+    void enable();
+
+    /** Disarm collection; buffered events stay until write/clear. */
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record a completed span. @p name and @p category must be
+     * string literals (stored as pointers, never copied). Times are
+     * nanoseconds from the steady clock (see now()).
+     */
+    void record(const char *name, const char *category,
+                std::uint64_t startNs, std::uint64_t endNs);
+
+    /** Steady-clock nanoseconds; the time base for record(). */
+    static std::uint64_t now();
+
+    /** Total events dropped to ring-buffer wraparound. */
+    std::uint64_t droppedEvents() const;
+
+    /** Events currently buffered across all threads. */
+    std::size_t bufferedEvents() const;
+
+    /**
+     * Serialize all buffered events as Chrome trace-event JSON
+     * (`{"traceEvents": [...]}`, "ph":"X" complete events with µs
+     * timestamps).
+     */
+    std::string toChromeJson() const;
+
+    /** toChromeJson() to @p path; false on IO error. */
+    bool writeChromeJson(const std::string &path) const;
+
+    /** Drop all buffered events and the drop counter. */
+    void clear();
+
+  private:
+    struct ThreadBuffer;
+
+    Tracer() = default;
+
+    /** The calling thread's buffer, registered on first use. */
+    ThreadBuffer &threadBuffer();
+
+    std::atomic<bool> enabled_{false};
+    /** Lock-free singly linked list of per-thread buffers; buffers
+     *  are never unlinked (threads are few and long-lived here). */
+    std::atomic<ThreadBuffer *> buffers_{nullptr};
+};
+
+/** RAII helper behind SPECPMT_TRACE_SPAN. */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *name, const char *category)
+        : name_(name), category_(category),
+          startNs_(Tracer::global().enabled() ? Tracer::now() : 0)
+    {
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (startNs_ != 0 && Tracer::global().enabled())
+            Tracer::global().record(name_, category_, startNs_,
+                                    Tracer::now());
+    }
+
+  private:
+    const char *name_;
+    const char *category_;
+    std::uint64_t startNs_;
+};
+
+} // namespace specpmt::obs
+
+#ifdef SPECPMT_TRACING_DISABLED
+
+#define SPECPMT_TRACE_SPAN(name, category) ((void)0)
+#define SPECPMT_TRACE_BEGIN() (std::uint64_t{0})
+#define SPECPMT_TRACE_END(name, category, startNs) ((void)(startNs))
+
+#else
+
+#define SPECPMT_TRACE_CONCAT2(a, b) a##b
+#define SPECPMT_TRACE_CONCAT(a, b) SPECPMT_TRACE_CONCAT2(a, b)
+
+/** Open a span covering the enclosing scope. */
+#define SPECPMT_TRACE_SPAN(name, category)                              \
+    ::specpmt::obs::ScopedSpan SPECPMT_TRACE_CONCAT(                    \
+        specpmtTraceSpan_, __LINE__){(name), (category)}
+
+/** Start time for a split span; 0 when tracing is off right now. */
+#define SPECPMT_TRACE_BEGIN()                                           \
+    (::specpmt::obs::Tracer::global().enabled()                         \
+         ? ::specpmt::obs::Tracer::now()                                \
+         : std::uint64_t{0})
+
+/** Close a split span opened with SPECPMT_TRACE_BEGIN. */
+#define SPECPMT_TRACE_END(name, category, startNs)                      \
+    do {                                                                \
+        std::uint64_t specpmtTraceStart = (startNs);                    \
+        if (specpmtTraceStart != 0 &&                                   \
+            ::specpmt::obs::Tracer::global().enabled())                 \
+            ::specpmt::obs::Tracer::global().record(                    \
+                (name), (category), specpmtTraceStart,                  \
+                ::specpmt::obs::Tracer::now());                         \
+    } while (0)
+
+#endif // SPECPMT_TRACING_DISABLED
+
+#endif // SPECPMT_OBS_TRACE_HH

@@ -4,9 +4,69 @@
 #include <cstring>
 
 #include "common/rand.hh"
+#include "obs/metrics.hh"
 
 namespace specpmt::pmem
 {
+
+namespace
+{
+
+/**
+ * Process-wide device traffic counters, aggregated over every device
+ * instance (per-instance exact counts stay in DeviceStats). The data
+ * path never touches these: each device bumps its plain DeviceStats
+ * members and publishMetrics() flushes the delta in bulk, so the
+ * emulated-store fast path pays nothing for the registry.
+ */
+struct DeviceMetrics
+{
+    obs::Counter &stores;
+    obs::Counter &storeBytes;
+    obs::Counter &loads;
+    std::array<obs::Counter *, 3> clwbs; ///< indexed by TrafficClass
+    obs::Counter &fences;
+    obs::Counter &crashes;
+
+    static DeviceMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static DeviceMetrics m{
+            reg.counter("specpmt_pmem_stores_total",
+                        "stores issued to emulated PM"),
+            reg.counter("specpmt_pmem_store_bytes_total",
+                        "bytes stored to emulated PM"),
+            reg.counter("specpmt_pmem_loads_total",
+                        "loads from emulated PM"),
+            {&reg.counter("specpmt_pmem_clwbs_total",
+                          "effective cache-line flushes by traffic class",
+                          {{"class", "data"}}),
+             &reg.counter("specpmt_pmem_clwbs_total", {},
+                          {{"class", "log"}}),
+             &reg.counter("specpmt_pmem_clwbs_total", {},
+                          {{"class", "meta"}})},
+            reg.counter("specpmt_pmem_fences_total",
+                        "store fences (persist barriers)"),
+            reg.counter("specpmt_pmem_crashes_total",
+                        "simulated crashes / image resets"),
+        };
+        return m;
+    }
+};
+
+/** add(current - published) and advance published; for bulk flushes. */
+void
+flushDelta(obs::Counter &counter, std::uint64_t current,
+           std::uint64_t &published)
+{
+    if (current != published) {
+        counter.add(current - published);
+        published = current;
+    }
+}
+
+} // namespace
 
 PmemDevice::PmemDevice(std::size_t size, const TimingParams &params)
     : timing_(params)
@@ -16,6 +76,27 @@ PmemDevice::PmemDevice(std::size_t size, const TimingParams &params)
     SPECPMT_ASSERT(rounded > 0);
     volatileImage_.assign(rounded, 0);
     persistentImage_.assign(rounded, 0);
+}
+
+PmemDevice::~PmemDevice()
+{
+    publishMetrics();
+}
+
+void
+PmemDevice::publishMetrics()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto &m = DeviceMetrics::get();
+    flushDelta(m.stores, stats_.stores, published_.stores);
+    flushDelta(m.storeBytes, stats_.storeBytes, published_.storeBytes);
+    flushDelta(m.loads, stats_.loads, published_.loads);
+    for (unsigned cls = 0; cls < 3; ++cls)
+        flushDelta(*m.clwbs[cls], stats_.clwbs[cls],
+                   published_.clwbs[cls]);
+    flushDelta(m.fences, stats_.fences, published_.fences);
+    flushDelta(m.crashes, stats_.crashes, published_.crashes);
+    timing_.publishMetrics();
 }
 
 void
@@ -208,7 +289,7 @@ PmemDevice::ntstore(PmOff off, const void *src, std::size_t size,
         pendingLines_[line] = snapshot;
         dirtyLines_.erase(line);
         ++stats_.clwbs[static_cast<unsigned>(cls)];
-        if (timed())
+            if (timed())
             timing_.onClwb(line);
         else if (timedThreadOnly_)
             timing_.onClwbAsync(line);
@@ -232,7 +313,7 @@ PmemDevice::adrPersist(PmOff off, std::size_t size, TrafficClass cls)
         dirtyLines_.erase(line);
         pendingLines_.erase(line);
         ++stats_.clwbs[static_cast<unsigned>(cls)];
-        if (timed())
+            if (timed())
             timing_.onClwb(line);
         else if (timedThreadOnly_)
             timing_.onClwbAsync(line);

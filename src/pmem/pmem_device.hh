@@ -140,6 +140,12 @@ class PmemDevice
      */
     explicit PmemDevice(std::size_t size, const TimingParams &params = {});
 
+    /** Publishes any unflushed metric deltas; see publishMetrics(). */
+    ~PmemDevice();
+
+    PmemDevice(const PmemDevice &) = delete;
+    PmemDevice &operator=(const PmemDevice &) = delete;
+
     /** Device capacity in bytes. */
     std::size_t size() const { return volatileImage_.size(); }
 
@@ -314,7 +320,22 @@ class PmemDevice
     const DeviceStats &stats() const { return stats_; }
 
     /** Zero the event counters (images unaffected). */
-    void clearStats() { stats_ = DeviceStats{}; }
+    void
+    clearStats()
+    {
+        publishMetrics(); // keep registry totals before the reset
+        stats_ = DeviceStats{};
+        published_ = DeviceStats{};
+    }
+
+    /**
+     * Flush this device's traffic counters (and its timing model's
+     * attribution) into the process-wide metrics registry as a bulk
+     * delta. The data-path hot paths only bump the plain DeviceStats
+     * members; the registry catches up here — on destruction,
+     * clearStats(), or an explicit call before a snapshot.
+     */
+    void publishMetrics();
 
     /** The virtual clock / latency model. */
     PmemTiming &timing() { return timing_; }
@@ -345,6 +366,8 @@ class PmemDevice
     /** Flushed-but-unfenced line snapshots, keyed by line index. */
     std::unordered_map<std::uint64_t, Line> pendingLines_;
     DeviceStats stats_;
+    /** stats_ values already flushed by publishMetrics(). */
+    DeviceStats published_;
     PmemTiming timing_;
     /** Crash-injection countdown; null = disarmed. */
     std::shared_ptr<CrashCountdown> countdown_;

@@ -1,9 +1,100 @@
 #include "pmem/pmem_timing.hh"
 
+#include <array>
+
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace specpmt::pmem
 {
+
+namespace
+{
+
+/** WPQ behaviour counters, registered once per process. */
+struct WpqMetrics
+{
+    obs::Counter &merges;
+    obs::Counter &stalls;
+    obs::Counter &lineWrites;
+    obs::Counter &combinedWrites;
+
+    static WpqMetrics &
+    get()
+    {
+        static WpqMetrics m{
+            obs::Registry::global().counter(
+                "specpmt_pmem_wpq_merges_total",
+                "clwbs absorbed by an already-pending WPQ line"),
+            obs::Registry::global().counter(
+                "specpmt_pmem_wpq_stalls_total",
+                "clwbs that stalled the core on a full WPQ"),
+            obs::Registry::global().counter(
+                "specpmt_pmem_pm_line_writes_total",
+                "cache-line writes drained to PM media"),
+            obs::Registry::global().counter(
+                "specpmt_pmem_combined_writes_total",
+                "media writes combined within an XPLine"),
+        };
+        return m;
+    }
+};
+
+/** Global sim-ns attribution counters, one per SimNsEvent. */
+std::array<obs::Counter *, static_cast<unsigned>(SimNsEvent::kCount)> &
+simNsCounters()
+{
+    static std::array<obs::Counter *,
+                      static_cast<unsigned>(SimNsEvent::kCount)>
+        counters = [] {
+            constexpr const char *kNames[] = {
+                "store",      "load",      "pm_read",     "compute",
+                "wpq_accept", "wpq_stall", "fence_drain", "sfence",
+            };
+            std::array<obs::Counter *,
+                       static_cast<unsigned>(SimNsEvent::kCount)>
+                out{};
+            for (unsigned i = 0;
+                 i < static_cast<unsigned>(SimNsEvent::kCount); ++i) {
+                out[i] = &obs::Registry::global().counter(
+                    "specpmt_sim_ns_total",
+                    "simulated nanoseconds by attributed event",
+                    {{"event", kNames[i]}});
+            }
+            return out;
+        }();
+    return counters;
+}
+
+/** add(current - published) and advance published; for bulk flushes. */
+template <typename T>
+void
+flushDelta(obs::Counter &counter, T current, T &published)
+{
+    if (current != published) {
+        counter.add(current - published);
+        published = current;
+    }
+}
+
+} // namespace
+
+void
+PmemTiming::publishMetrics()
+{
+    auto &sim_ns = simNsCounters();
+    for (unsigned i = 0; i < static_cast<unsigned>(SimNsEvent::kCount);
+         ++i) {
+        flushDelta(*sim_ns[i], simNsByEvent_[i],
+                   published_.simNsByEvent[i]);
+    }
+    auto &wpq = WpqMetrics::get();
+    flushDelta(wpq.merges, wpqMerges_, published_.wpqMerges);
+    flushDelta(wpq.stalls, wpqStalls_, published_.wpqStalls);
+    flushDelta(wpq.lineWrites, pmLineWrites_, published_.pmLineWrites);
+    flushDelta(wpq.combinedWrites, combinedWrites_,
+               published_.combinedWrites);
+}
 
 PmemTiming::Channel &
 PmemTiming::channelFor(std::uint64_t line_index)
@@ -89,13 +180,24 @@ PmemTiming::onClwb(std::uint64_t line_index)
     retireCompleted();
     if (mergeIfPending(line_index)) {
         now_ += params_.wpqAcceptNs;
+        charge(SimNsEvent::WpqAccept, params_.wpqAcceptNs);
+        ++wpqMerges_;
         return;
     }
     // A full queue back-pressures the core: media drain bandwidth is
     // the throughput limit for write-heavy phases.
-    while (pendingCount() >= params_.wpqLines)
+    const SimNs before = now_;
+    bool stalled = false;
+    while (pendingCount() >= params_.wpqLines) {
         waitForSlot();
+        stalled = true;
+    }
+    if (stalled) {
+        charge(SimNsEvent::WpqStall, now_ - before);
+        ++wpqStalls_;
+    }
     now_ += params_.wpqAcceptNs;
+    charge(SimNsEvent::WpqAccept, params_.wpqAcceptNs);
     enqueueDrain(line_index, false);
 }
 
@@ -124,10 +226,13 @@ PmemTiming::onSfence()
                 last_sync = write.done;
         }
     }
-    if (last_sync > now_)
+    if (last_sync > now_) {
+        charge(SimNsEvent::FenceDrain, last_sync - now_);
         now_ = last_sync;
+    }
     retireCompleted();
     now_ += params_.sfenceNs;
+    charge(SimNsEvent::Sfence, params_.sfenceNs);
 }
 
 } // namespace specpmt::pmem

@@ -30,6 +30,7 @@
 #ifndef SPECPMT_PMEM_PMEM_TIMING_HH
 #define SPECPMT_PMEM_PMEM_TIMING_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -38,6 +39,25 @@
 
 namespace specpmt::pmem
 {
+
+/**
+ * Where simulated nanoseconds went, for the runtime-wide
+ * `specpmt_sim_ns_total{event=...}` attribution counters. WpqStall
+ * and FenceDrain are the interesting ones: time the core spent
+ * blocked on media drain rather than doing work.
+ */
+enum class SimNsEvent : unsigned
+{
+    Store = 0,
+    Load,
+    PmRead,
+    Compute,
+    WpqAccept,
+    WpqStall,
+    FenceDrain,
+    Sfence,
+    kCount,
+};
 
 /** Tunable latency parameters (defaults per the paper's Table 1). */
 struct TimingParams
@@ -65,6 +85,12 @@ class PmemTiming
         : params_(params), channels_(params.pmChannels)
     {}
 
+    /** Publishes any unflushed attribution deltas. */
+    ~PmemTiming() { publishMetrics(); }
+
+    PmemTiming(const PmemTiming &) = delete;
+    PmemTiming &operator=(const PmemTiming &) = delete;
+
     /** Current virtual time. */
     SimNs now() const { return now_; }
 
@@ -73,6 +99,7 @@ class PmemTiming
     compute(SimNs ns)
     {
         now_ += ns;
+        charge(SimNsEvent::Compute, ns);
     }
 
     /** Charge a cache-hit store of @p lines cache lines. */
@@ -80,6 +107,7 @@ class PmemTiming
     onStore(std::uint64_t lines)
     {
         now_ += params_.storeNs * lines;
+        charge(SimNsEvent::Store, params_.storeNs * lines);
     }
 
     /** Charge a cache-hit load of @p lines cache lines. */
@@ -87,6 +115,7 @@ class PmemTiming
     onLoad(std::uint64_t lines)
     {
         now_ += params_.loadNs * lines;
+        charge(SimNsEvent::Load, params_.loadNs * lines);
     }
 
     /** Charge a cold PM read of @p lines cache lines. */
@@ -94,6 +123,7 @@ class PmemTiming
     onPmRead(std::uint64_t lines)
     {
         now_ += params_.pmReadNs * lines;
+        charge(SimNsEvent::PmRead, params_.pmReadNs * lines);
     }
 
     /**
@@ -121,6 +151,16 @@ class PmemTiming
 
     /** Total PM line writes issued to the media. */
     std::uint64_t pmLineWrites() const { return pmLineWrites_; }
+
+    /**
+     * Flush this model's attribution counters (sim-ns by event, WPQ
+     * merges/stalls, media line writes) into the process-wide metrics
+     * registry as a bulk delta. The per-event paths above only bump
+     * plain members — cheap enough for the emulated-store fast path —
+     * so the registry sees this model's traffic only when published:
+     * on destruction, or via PmemDevice::publishMetrics().
+     */
+    void publishMetrics();
 
     /** Reset the clock and queue (counters survive). */
     void
@@ -160,11 +200,33 @@ class PmemTiming
     /** Queue the media write; returns its completion time. */
     SimNs enqueueDrain(std::uint64_t line_index, bool async);
 
+    /** Accumulate @p ns of attributed simulated time (plain add). */
+    void
+    charge(SimNsEvent event, SimNs ns)
+    {
+        simNsByEvent_[static_cast<unsigned>(event)] += ns;
+    }
+
     TimingParams params_;
     SimNs now_ = 0;
     std::vector<Channel> channels_;
     std::uint64_t combinedWrites_ = 0;
     std::uint64_t pmLineWrites_ = 0;
+    std::uint64_t wpqMerges_ = 0;
+    std::uint64_t wpqStalls_ = 0;
+    std::array<SimNs, static_cast<unsigned>(SimNsEvent::kCount)>
+        simNsByEvent_{};
+
+    /** Values already flushed to the registry by publishMetrics(). */
+    struct Published
+    {
+        std::uint64_t combinedWrites = 0;
+        std::uint64_t pmLineWrites = 0;
+        std::uint64_t wpqMerges = 0;
+        std::uint64_t wpqStalls = 0;
+        std::array<SimNs, static_cast<unsigned>(SimNsEvent::kCount)>
+            simNsByEvent{};
+    } published_;
 };
 
 } // namespace specpmt::pmem

@@ -14,6 +14,8 @@
 #include "common/logging.hh"
 #include "common/rand.hh"
 #include "core/spec_tx.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/hybrid_spec_tx.hh"
 #include "txn/spht_tx.hh"
 
@@ -558,6 +560,29 @@ ExploreReport::toJson(const CrashCell &cell) const
     num("failed", failures.size());
     if (!error.empty())
         str("error", error);
+    // Per-cell observability counters: one crashmatrix process runs
+    // one cell, so the process-wide registry totals are the cell's.
+    out += "\"metrics\":{";
+    {
+        const auto snapshot = obs::Registry::global().snapshot();
+        bool first = true;
+        for (const auto &[name, value] : snapshot.counters) {
+            const bool wanted =
+                name.rfind("specpmt_crash_", 0) == 0 ||
+                name.rfind("specpmt_pmem_fences_total", 0) == 0 ||
+                name.rfind("specpmt_pmem_crashes_total", 0) == 0 ||
+                name.rfind("specpmt_recoveries_total", 0) == 0;
+            if (!wanted)
+                continue;
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            appendJsonEscaped(out, name);
+            out += "\":" + std::to_string(value);
+        }
+    }
+    out += "},";
     out += "\"failures\":[";
     for (std::size_t i = 0; i < failures.size(); ++i) {
         if (i)
@@ -578,9 +603,41 @@ CrashExplorer::CrashExplorer(CrashCell cell,
 {
 }
 
+namespace
+{
+
+/** Crash-exploration counters, registered once per process. */
+struct ExplorerMetrics
+{
+    obs::Counter &cells;
+    obs::Counter &pointsExplored;
+    obs::Counter &pointsPruned;
+    obs::Counter &failures;
+
+    static ExplorerMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static ExplorerMetrics m{
+            reg.counter("specpmt_crash_cells_explored_total",
+                        "crash-matrix cells fully explored"),
+            reg.counter("specpmt_crash_points_explored_total",
+                        "crash points injected and checked"),
+            reg.counter("specpmt_crash_points_pruned_total",
+                        "crash points skipped as duplicate states"),
+            reg.counter("specpmt_crash_failures_total",
+                        "crash points that failed verification"),
+        };
+        return m;
+    }
+};
+
+} // namespace
+
 ExploreReport
 CrashExplorer::explore(const ExploreOptions &options)
 {
+    SPECPMT_TRACE_SPAN("crash_explore_cell", "replay");
     ExploreReport report;
     report.options = options;
 
@@ -650,6 +707,7 @@ CrashExplorer::explore(const ExploreOptions &options)
     std::vector<CrashFailure> failures;
 
     auto worker = [&] {
+        SPECPMT_TRACE_SPAN("crash_replay_shard", "replay");
         for (;;) {
             const std::size_t index =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -721,6 +779,11 @@ CrashExplorer::explore(const ExploreOptions &options)
     report.explored = explored.load();
     report.pruned = pruned.load();
     report.failures = std::move(failures);
+    auto &metrics = ExplorerMetrics::get();
+    metrics.cells.add();
+    metrics.pointsExplored.add(report.explored);
+    metrics.pointsPruned.add(report.pruned);
+    metrics.failures.add(report.failures.size());
     return report;
 }
 

@@ -4,9 +4,36 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace specpmt::sim
 {
+
+namespace
+{
+
+/** Hybrid-runtime counters, registered once per process. */
+struct HybridMetrics
+{
+    obs::Counter &pagePromotions;
+    obs::Counter &recoveries;
+
+    static HybridMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static HybridMetrics m{
+            reg.counter("specpmt_hybrid_page_promotions_total",
+                        "hybrid runtime cold->hot page snapshots"),
+            reg.counter("specpmt_hybrid_recoveries_total",
+                        "hybrid runtime recoveries"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 using core::BlockHeader;
 using core::DecodedSegment;
@@ -196,6 +223,7 @@ HybridSpecTx::txStore(ThreadId tid, PmOff off, const void *src,
                              {pageBase(piece_off), kPageSize}},
                             /*persist_now=*/true);
                 ++pageCopies_;
+                HybridMetrics::get().pagePromotions.add();
                 state.hot = true;
                 state.epoch = log.epochs.back().id;
                 log.epochs.back().pages.push_back(page);
@@ -354,6 +382,8 @@ HybridSpecTx::hotPageCount() const
 void
 HybridSpecTx::recover()
 {
+    SPECPMT_TRACE_SPAN("hybrid_recover", "recovery");
+    HybridMetrics::get().recoveries.add();
     struct CommitRecord
     {
         TxTimestamp ts;

@@ -1,9 +1,41 @@
 #include "sim/spec_hpmt_hw.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace specpmt::sim
 {
+
+namespace
+{
+
+/** SpecHPMT hardware-model counters, registered once per process. */
+struct HwModelMetrics
+{
+    obs::Counter &pagePromotions;
+    obs::Counter &epochAdvances;
+    obs::Counter &epochClears;
+    obs::Counter &hotnessDecays;
+
+    static HwModelMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static HwModelMetrics m{
+            reg.counter("specpmt_hw_page_promotions_total",
+                        "cold->hot page promotions (bulk page copy)"),
+            reg.counter("specpmt_hw_epoch_advances_total",
+                        "startepoch executions (epoch ID advances)"),
+            reg.counter("specpmt_hw_epoch_clears_total",
+                        "clearepoch executions (epoch reclaims)"),
+            reg.counter("specpmt_hw_hotness_decays_total",
+                        "periodic cold-counter decay sweeps"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 SpecHpmtHw::SpecHpmtHw(const SimConfig &config,
                        bool data_persist_on_commit)
@@ -58,6 +90,7 @@ SpecHpmtHw::store(PmOff off, std::uint32_t size)
             // log for every later update in this transaction.
             logAppendLinesAsync(kPageSize / kCacheLineSize);
             ++stats_.pageCopies;
+            HwModelMetrics::get().pagePromotions.add();
             meta.epochBit = true;
             meta.counter = static_cast<std::uint8_t>(currentEpoch_);
             Epoch &epoch = epochs_[currentEpoch_];
@@ -127,6 +160,7 @@ SpecHpmtHw::commit()
     if (++commitsSinceDecay_ >= config_.hotnessDecayCommits) {
         tlb_.decayColdCounters();
         commitsSinceDecay_ = 0;
+        HwModelMetrics::get().hotnessDecays.add();
     }
     maybeAdvanceEpoch();
 }
@@ -151,6 +185,7 @@ SpecHpmtHw::maybeAdvanceEpoch()
     currentEpoch_ = next;
     epochs_[next].live = true;
     liveOrder_.push_back(next);
+    HwModelMetrics::get().epochAdvances.add();
 
     // Foreground reclamation keeps only the newest epochs alive —
     // the software "always reclaims the oldest epoch" (Section 5.2.1),
@@ -183,6 +218,7 @@ SpecHpmtHw::reclaimEpoch(EpochId eid)
     // Step 3: release the log memory.
     noteLogBytes(-static_cast<std::ptrdiff_t>(epoch.bytes));
     ++stats_.epochsReclaimed;
+    HwModelMetrics::get().epochClears.add();
     epoch = Epoch{};
 }
 

@@ -5,12 +5,41 @@
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace specpmt::txn
 {
 
 namespace
 {
+
+/** SPHT runtime counters, registered once per process. */
+struct SphtMetrics
+{
+    obs::Counter &begins;
+    obs::Counter &commits;
+    obs::Counter &replayedSegments;
+    obs::Counter &recoveries;
+
+    static SphtMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        const obs::Labels labels{{"runtime", "spht"}};
+        static SphtMetrics m{
+            reg.counter("specpmt_txn_begins_total",
+                        "transactions started, by runtime", labels),
+            reg.counter("specpmt_txn_commits_total",
+                        "transactions committed, by runtime", labels),
+            reg.counter("specpmt_spht_replayed_segments_total",
+                        "log segments applied by the SPHT replayer"),
+            reg.counter("specpmt_txn_recoveries_total",
+                        "post-crash recoveries, by runtime", labels),
+        };
+        return m;
+    }
+};
 
 struct RecHead
 {
@@ -98,6 +127,7 @@ SphtTx::txBegin(ThreadId tid)
     SPECPMT_ASSERT(!log.inTx);
     log.inTx = true;
     log.staged.clear();
+    SphtMetrics::get().begins.add();
 }
 
 void
@@ -212,9 +242,13 @@ SphtTx::txCommit(ThreadId tid)
     }
 
     // SPHT forward-linked commit: one flush batch, one fence.
-    dev_.clwbRange(pos, record_bytes + sizeof(std::uint32_t),
-                   pmem::TrafficClass::Log);
-    dev_.sfence();
+    {
+        SPECPMT_TRACE_SPAN("flush_batch", "flush");
+        dev_.clwbRange(pos, record_bytes + sizeof(std::uint32_t),
+                       pmem::TrafficClass::Log);
+        dev_.sfence();
+    }
+    SphtMetrics::get().commits.add();
 
     log.tailBytes += record_bytes;
 
@@ -245,6 +279,7 @@ SphtTx::applySegment(const Segment &segment)
     }
     dev_.sfence();
     logs_[segment.tid]->appliedBytes.store(segment.endBytes);
+    SphtMetrics::get().replayedSegments.add();
 }
 
 void
@@ -313,6 +348,8 @@ SphtTx::shutdown()
 void
 SphtTx::recover()
 {
+    SPECPMT_TRACE_SPAN("spht_recover", "recovery");
+    SphtMetrics::get().recoveries.add();
     struct PendingRecord
     {
         TxTimestamp ts;

@@ -4,12 +4,54 @@
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace specpmt::txn
 {
 
 namespace
 {
+
+/** Per-runtime tx lifecycle counters, labeled by runtime name. */
+struct RuntimeMetrics
+{
+    obs::Counter &begins;
+    obs::Counter &commits;
+    obs::Counter &aborts;
+    obs::Counter &recoveries;
+
+    static RuntimeMetrics
+    make(const char *runtime)
+    {
+        auto &reg = obs::Registry::global();
+        const obs::Labels labels{{"runtime", runtime}};
+        return RuntimeMetrics{
+            reg.counter("specpmt_txn_begins_total",
+                        "transactions started, by runtime", labels),
+            reg.counter("specpmt_txn_commits_total",
+                        "transactions committed, by runtime", labels),
+            reg.counter("specpmt_txn_aborts_total",
+                        "transactions aborted, by runtime", labels),
+            reg.counter("specpmt_txn_recoveries_total",
+                        "post-crash recoveries, by runtime", labels),
+        };
+    }
+};
+
+RuntimeMetrics &
+undoMetrics()
+{
+    static RuntimeMetrics m = RuntimeMetrics::make("pmdk-undo");
+    return m;
+}
+
+RuntimeMetrics &
+kaminoMetrics()
+{
+    static RuntimeMetrics m = RuntimeMetrics::make("kamino");
+    return m;
+}
 
 /** On-log record header preceding the old-value payload. */
 struct RecordHead
@@ -79,6 +121,7 @@ PmdkUndoTx::txBegin(ThreadId tid)
     dev_.storeT(log.headerOff, header);
     dev_.clwb(log.headerOff, pmem::TrafficClass::Log);
     dev_.sfence();
+    undoMetrics().begins.add();
 }
 
 void
@@ -150,6 +193,7 @@ PmdkUndoTx::txCommit(ThreadId tid)
     SPECPMT_ASSERT(log.inTx);
 
     // Persist the data write set, then retire the log.
+    SPECPMT_TRACE_SPAN("undo_commit", "flush");
     log.writeSet.forEachLine([&](std::uint64_t line) {
         dev_.clwb(line * kCacheLineSize, pmem::TrafficClass::Data);
     });
@@ -170,6 +214,7 @@ PmdkUndoTx::txCommit(ThreadId tid)
     log.numBytes = 0;
     log.writeSet.clear();
     log.loggedSet.clear();
+    undoMetrics().commits.add();
 }
 
 void
@@ -182,6 +227,7 @@ PmdkUndoTx::txAbort(ThreadId tid)
     log.numBytes = 0;
     log.writeSet.clear();
     log.loggedSet.clear();
+    undoMetrics().aborts.add();
 }
 
 void
@@ -239,6 +285,8 @@ PmdkUndoTx::rollbackThread(unsigned tid)
 void
 PmdkUndoTx::recover()
 {
+    SPECPMT_TRACE_SPAN("undo_recover", "recovery");
+    undoMetrics().recoveries.add();
     for (unsigned tid = 0; tid < numThreads_; ++tid) {
         auto &log = logs_[tid];
         log.headerOff = pool_.getRoot(logHeadSlot(tid));
@@ -286,6 +334,7 @@ KaminoTx::txBegin(ThreadId tid)
     dev_.storeT<std::uint64_t>(log.headerOff, 0);
     dev_.clwb(log.headerOff, pmem::TrafficClass::Log);
     dev_.sfence();
+    kaminoMetrics().begins.add();
 }
 
 void
@@ -336,6 +385,7 @@ KaminoTx::txCommit(ThreadId tid)
     log.inTx = false;
     log.writeSet.clear();
     log.loggedSet.clear();
+    kaminoMetrics().commits.add();
 }
 
 void

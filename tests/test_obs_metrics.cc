@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Metrics registry tests: exact multi-threaded counter sums,
+ * torn-free snapshots under concurrent writers, golden Prometheus
+ * and JSON expositions, the text-exposition parser, and the
+ * LatencyHistogram::toJson contract (bucket bounds pinned to
+ * bucketLowerBound/bucketUpperBound).
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "obs/metrics.hh"
+
+using namespace specpmt;
+
+namespace
+{
+
+TEST(Counter, MultiThreadedAddsSumExactly)
+{
+    obs::Registry registry;
+    auto &counter = registry.counter("t_ops_total", "test ops");
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kAddsPerThread = 100000;
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                counter.add();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(counter.value(), kThreads * kAddsPerThread);
+    EXPECT_EQ(registry.snapshot().counters.at("t_ops_total"),
+              kThreads * kAddsPerThread);
+}
+
+TEST(Counter, SnapshotsAreTornFreeAndMonotone)
+{
+    obs::Registry registry;
+    auto &counter = registry.counter("t_mono_total");
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < 4; ++t) {
+        writers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed))
+                counter.add(3);
+        });
+    }
+
+    // Concurrent snapshots must never go backwards and never tear
+    // (a torn 64-bit read would show up as a wild jump either way).
+    std::uint64_t last = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t seen =
+            registry.snapshot().counters.at("t_mono_total");
+        EXPECT_GE(seen, last);
+        last = seen;
+    }
+    stop.store(true);
+    for (auto &writer : writers)
+        writer.join();
+    EXPECT_GE(counter.value(), last);
+    EXPECT_EQ(counter.value() % 3, 0u);
+}
+
+TEST(Gauge, SetAndAdd)
+{
+    obs::Registry registry;
+    auto &gauge = registry.gauge("t_level");
+    gauge.set(-5);
+    EXPECT_EQ(gauge.value(), -5);
+    gauge.add(15);
+    EXPECT_EQ(gauge.value(), 10);
+    EXPECT_EQ(registry.snapshot().gauges.at("t_level"), 10);
+}
+
+TEST(Histogram, RecordAndBulkMergeAgree)
+{
+    obs::Registry registry;
+    auto &hist = registry.histogram("t_lat_ns");
+    hist.record(10);
+    hist.record(20);
+
+    LatencyHistogram local;
+    local.record(30);
+    local.record(40);
+    hist.mergeFrom(local);
+
+    const LatencyHistogram merged = hist.snapshot();
+    EXPECT_EQ(merged.count(), 4u);
+    EXPECT_EQ(merged.sum(), 100u);
+    EXPECT_EQ(merged.max(), 40u);
+}
+
+TEST(Registry, SameNameAndLabelsReturnsSameInstrument)
+{
+    obs::Registry registry;
+    auto &a = registry.counter("t_same", "", {{"k", "v"}});
+    auto &b = registry.counter("t_same", "", {{"k", "v"}});
+    auto &c = registry.counter("t_same", "", {{"k", "other"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Registry, ExpositionNameEscapesLabelValues)
+{
+    EXPECT_EQ(obs::expositionName("m", {{"k", "a\"b\\c"}}),
+              "m{k=\"a\\\"b\\\\c\"}");
+    EXPECT_EQ(obs::expositionName("m", {}), "m");
+    EXPECT_EQ(obs::expositionName(
+                  "m", {{"a", "1"}, {"b", "2"}}),
+              "m{a=\"1\",b=\"2\"}");
+}
+
+/** A registry with one of everything, with deterministic contents. */
+obs::Registry &
+goldenRegistry()
+{
+    static obs::Registry registry;
+    static bool filled = false;
+    if (!filled) {
+        filled = true;
+        registry.counter("test_ops_total", "ops processed").add(3);
+        registry.counter("test_ops_total", "", {{"kind", "read"}})
+            .add(2);
+        registry.gauge("test_level", "current level").set(-5);
+        auto &hist = registry.histogram("test_lat_ns", "latency");
+        hist.record(1);
+        hist.record(2);
+        hist.record(3);
+    }
+    return registry;
+}
+
+TEST(Exposition, PrometheusGolden)
+{
+    const std::string expected =
+        "# HELP test_ops_total ops processed\n"
+        "# TYPE test_ops_total counter\n"
+        "test_ops_total 3\n"
+        "test_ops_total{kind=\"read\"} 2\n"
+        "# HELP test_level current level\n"
+        "# TYPE test_level gauge\n"
+        "test_level -5\n"
+        "# HELP test_lat_ns latency\n"
+        "# TYPE test_lat_ns histogram\n"
+        "test_lat_ns_bucket{le=\"1\"} 1\n"
+        "test_lat_ns_bucket{le=\"2\"} 2\n"
+        "test_lat_ns_bucket{le=\"3\"} 3\n"
+        "test_lat_ns_bucket{le=\"+Inf\"} 3\n"
+        "test_lat_ns_sum 6\n"
+        "test_lat_ns_count 3\n";
+    EXPECT_EQ(goldenRegistry().snapshot().toPrometheus(), expected);
+}
+
+TEST(Exposition, JsonGolden)
+{
+    const std::string expected =
+        "{\n"
+        "  \"counters\": {\n"
+        "    \"test_ops_total\": 3,\n"
+        "    \"test_ops_total{kind=\\\"read\\\"}\": 2\n"
+        "  },\n"
+        "  \"gauges\": {\n"
+        "    \"test_level\": -5\n"
+        "  },\n"
+        "  \"histograms\": {\n"
+        "    \"test_lat_ns\": {\"count\": 3, \"sum\": 6, \"max\": 3, "
+        "\"buckets\": [[1, 1, 1], [2, 2, 1], [3, 3, 1]]}\n"
+        "  }\n"
+        "}\n";
+    EXPECT_EQ(goldenRegistry().snapshot().toJson(), expected);
+}
+
+TEST(Exposition, PrometheusRoundTripsThroughParser)
+{
+    obs::FlatSamples samples;
+    std::string error;
+    ASSERT_TRUE(obs::parsePrometheus(
+        goldenRegistry().snapshot().toPrometheus(), samples, error))
+        << error;
+    EXPECT_EQ(samples.at("test_ops_total"), 3.0);
+    EXPECT_EQ(samples.at("test_ops_total{kind=\"read\"}"), 2.0);
+    EXPECT_EQ(samples.at("test_level"), -5.0);
+    EXPECT_EQ(samples.at("test_lat_ns_bucket{le=\"+Inf\"}"), 3.0);
+    EXPECT_EQ(samples.at("test_lat_ns_sum"), 6.0);
+    EXPECT_EQ(samples.at("test_lat_ns_count"), 3.0);
+}
+
+TEST(Exposition, ParserRejectsMalformedLines)
+{
+    obs::FlatSamples samples;
+    std::string error;
+    EXPECT_FALSE(obs::parsePrometheus("name_only\n", samples, error));
+    EXPECT_FALSE(obs::parsePrometheus("1bad 3\n", samples, error));
+    EXPECT_FALSE(obs::parsePrometheus("name 1.2.3\n", samples, error));
+    EXPECT_FALSE(
+        obs::parsePrometheus("name{unterminated 3\n", samples, error));
+    EXPECT_TRUE(obs::parsePrometheus(
+        "# comment only\n\nok_name 42\n", samples, error))
+        << error;
+    EXPECT_EQ(samples.at("ok_name"), 42.0);
+}
+
+TEST(LatencyHistogramJson, GoldenForExactSmallBuckets)
+{
+    LatencyHistogram hist;
+    hist.record(1);
+    hist.record(2);
+    hist.record(2);
+    hist.record(3);
+    EXPECT_EQ(hist.toJson(),
+              "{\"count\": 4, \"sum\": 8, \"max\": 3, \"buckets\": "
+              "[[1, 1, 1], [2, 2, 2], [3, 3, 1]]}");
+}
+
+TEST(LatencyHistogramJson, BucketBoundsMatchTheStaticFunctions)
+{
+    // Large values land in range buckets; the JSON must carry exactly
+    // the bounds bucketLowerBound/bucketUpperBound report, so a
+    // consumer can reconstruct the distribution from either source.
+    LatencyHistogram hist;
+    const std::uint64_t value = 1000000;
+    hist.record(value);
+
+    const auto &buckets = hist.buckets();
+    unsigned index = 0;
+    for (unsigned i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        if (buckets[i] != 0) {
+            index = i;
+            break;
+        }
+    }
+    const std::string expected =
+        "[[" +
+        std::to_string(LatencyHistogram::bucketLowerBound(index)) +
+        ", " +
+        std::to_string(LatencyHistogram::bucketUpperBound(index)) +
+        ", 1]]";
+    EXPECT_NE(hist.toJson().find(expected), std::string::npos)
+        << hist.toJson() << " missing " << expected;
+    EXPECT_LE(LatencyHistogram::bucketLowerBound(index), value);
+    EXPECT_GE(LatencyHistogram::bucketUpperBound(index), value);
+}
+
+TEST(Exposition, EmptyRegistrySerializes)
+{
+    obs::Registry registry;
+    EXPECT_EQ(registry.snapshot().toPrometheus(), "");
+    const std::string json = registry.snapshot().toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    obs::FlatSamples samples;
+    std::string error;
+    EXPECT_TRUE(obs::parsePrometheus("", samples, error));
+    EXPECT_TRUE(samples.empty());
+}
+
+} // namespace

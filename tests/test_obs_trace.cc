@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace-span tests: spans record only while the tracer is armed,
+ * split begin/end spans work, ring buffers drop (and count) overflow
+ * instead of growing, and the Chrome trace JSON carries the events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace specpmt;
+
+namespace
+{
+
+/** Re-arm a clean tracer for each test, disarm afterwards. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::Tracer::global().disable();
+        obs::Tracer::global().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::Tracer::global().disable();
+        obs::Tracer::global().clear();
+    }
+};
+
+TEST_F(TraceTest, ScopedSpanRecordsWhenEnabled)
+{
+    obs::Tracer::global().enable();
+    {
+        SPECPMT_TRACE_SPAN("unit_span", "unittest");
+    }
+    EXPECT_EQ(obs::Tracer::global().bufferedEvents(), 1u);
+    const std::string json = obs::Tracer::global().toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"unit_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"unittest\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NothingRecordsWhileDisabled)
+{
+    {
+        SPECPMT_TRACE_SPAN("dead_span", "unittest");
+    }
+    const auto t0 = SPECPMT_TRACE_BEGIN();
+    EXPECT_EQ(t0, 0u);
+    SPECPMT_TRACE_END("dead_split", "unittest", t0);
+    EXPECT_EQ(obs::Tracer::global().bufferedEvents(), 0u);
+}
+
+TEST_F(TraceTest, SplitSpanRecordsBetweenBeginAndEnd)
+{
+    obs::Tracer::global().enable();
+    const auto t0 = SPECPMT_TRACE_BEGIN();
+    EXPECT_NE(t0, 0u);
+    SPECPMT_TRACE_END("split_span", "unittest", t0);
+    EXPECT_EQ(obs::Tracer::global().bufferedEvents(), 1u);
+    EXPECT_NE(obs::Tracer::global().toChromeJson().find("split_span"),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, SpanOpenedBeforeDisableIsDropped)
+{
+    obs::Tracer::global().enable();
+    const auto t0 = SPECPMT_TRACE_BEGIN();
+    obs::Tracer::global().disable();
+    SPECPMT_TRACE_END("late_span", "unittest", t0);
+    EXPECT_EQ(obs::Tracer::global().bufferedEvents(), 0u);
+}
+
+TEST_F(TraceTest, RingBufferDropsOldestAndCounts)
+{
+    obs::Tracer::global().enable();
+    constexpr std::size_t kExtra = 100;
+    for (std::size_t i = 0;
+         i < obs::Tracer::kRingCapacity + kExtra; ++i) {
+        obs::Tracer::global().record("flood", "unittest", 1, 2);
+    }
+    EXPECT_EQ(obs::Tracer::global().bufferedEvents(),
+              obs::Tracer::kRingCapacity);
+    EXPECT_EQ(obs::Tracer::global().droppedEvents(), kExtra);
+}
+
+TEST_F(TraceTest, ClearResetsBuffersAndDropCounter)
+{
+    obs::Tracer::global().enable();
+    obs::Tracer::global().record("gone", "unittest", 1, 2);
+    obs::Tracer::global().clear();
+    EXPECT_EQ(obs::Tracer::global().bufferedEvents(), 0u);
+    EXPECT_EQ(obs::Tracer::global().droppedEvents(), 0u);
+    EXPECT_EQ(obs::Tracer::global().toChromeJson()
+                  .find("\"gone\""),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Compile-out test: this translation unit is built with
+ * SPECPMT_TRACING_DISABLED defined (see tests/CMakeLists.txt), so the
+ * trace macros must expand to side-effect-free no-ops — even with the
+ * runtime tracer armed, macro call sites record nothing.
+ */
+
+#ifndef SPECPMT_TRACING_DISABLED
+#error "this TU must be compiled with SPECPMT_TRACING_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace specpmt;
+
+namespace
+{
+
+TEST(TraceDisabled, MacrosAreNoOpsEvenWhenTracerArmed)
+{
+    auto &tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.enable();
+
+    {
+        SPECPMT_TRACE_SPAN("compiled_out", "unittest");
+        SPECPMT_TRACE_SPAN("also_compiled_out", "unittest");
+    }
+    const auto t0 = SPECPMT_TRACE_BEGIN();
+    EXPECT_EQ(t0, 0u);
+    SPECPMT_TRACE_END("compiled_out_split", "unittest", t0);
+
+    EXPECT_EQ(tracer.bufferedEvents(), 0u);
+
+    // The Tracer object itself still links and works (the kill switch
+    // removes macro call sites, not the collector).
+    tracer.record("direct", "unittest", 1, 2);
+    EXPECT_EQ(tracer.bufferedEvents(), 1u);
+
+    tracer.disable();
+    tracer.clear();
+}
+
+} // namespace

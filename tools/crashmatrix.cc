@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "kv/kv_crash_workload.hh"
+#include "obs/artifacts.hh"
 #include "sim/crash_explorer.hh"
 #include "workloads/stamp_crash_workload.hh"
 
@@ -73,6 +74,8 @@ usage(std::FILE *out)
         "  --max-points=N   bound points per run (0 = all)   [0]\n"
         "  --continue       verify post-recovery continuation\n"
         "  --json=PATH      write the JSON report (- = stdout)\n"
+        "  --metrics-out=P  dump the metrics registry (text/.json)\n"
+        "  --trace-out=P    enable tracing, dump Chrome trace JSON\n"
         "  --replay=TOKEN   replay one schedule and exit\n"
         "  --help           this text\n",
         out);
@@ -110,6 +113,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string replay_token;
     bool verify_continuation = false;
+    obs::OutputFlags obs_flags;
 
     // Accept both --flag=value and --flag value.
     std::vector<std::string> args;
@@ -192,6 +196,8 @@ main(int argc, char **argv)
             json_path = v;
         } else if (value("--replay=", v)) {
             replay_token = v;
+        } else if (obs_flags.accept(arg)) {
+            // --metrics-out= / --trace-out= consumed.
         } else {
             std::fprintf(stderr, "crashmatrix: unknown option: %s\n",
                          std::string(arg).c_str());
@@ -200,8 +206,12 @@ main(int argc, char **argv)
         }
     }
 
-    if (!replay_token.empty())
-        return replayToken(replay_token, verify_continuation);
+    if (!replay_token.empty()) {
+        const int status =
+            replayToken(replay_token, verify_continuation);
+        obs_flags.writeArtifacts();
+        return status;
+    }
 
     options.verifyContinuation = verify_continuation;
     sim::CrashExplorer explorer(cell, fullWorkloadFactory());
@@ -253,5 +263,6 @@ main(int argc, char **argv)
         }
     }
 
+    obs_flags.writeArtifacts();
     return report.ok() ? 0 : 1;
 }

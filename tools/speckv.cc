@@ -21,6 +21,7 @@
  *   speckv [--runtime=spec] [--shards=4] [--threads=4]
  *          [--keys=4096] [--ops=2000] [--mix=A|B|C]
  *          [--dist=zipfian|uniform] [--crash-after=500] [--seed=1]
+ *          [--metrics-out=m.prom] [--trace-out=t.json]
  */
 
 #include <chrono>
@@ -32,6 +33,7 @@
 #include "common/rand.hh"
 #include "kv/driver.hh"
 #include "kv/kv_service.hh"
+#include "obs/artifacts.hh"
 
 using namespace specpmt;
 
@@ -49,6 +51,7 @@ struct Args
     kv::KeyDist dist = kv::KeyDist::Zipfian;
     long crashAfter = 500;
     std::uint64_t seed = 1;
+    obs::OutputFlags obs;
 };
 
 Args
@@ -85,7 +88,7 @@ parseArgs(int argc, char **argv)
             args.dist = std::string(v) == "uniform"
                 ? kv::KeyDist::Uniform
                 : kv::KeyDist::Zipfian;
-        } else {
+        } else if (!args.obs.accept(arg)) {
             SPECPMT_FATAL("unknown argument: %s", arg.c_str());
         }
     }
@@ -235,6 +238,7 @@ main(int argc, char **argv)
         return 1;
     }
     service.shutdown();
+    args.obs.writeArtifacts();
     std::printf("speckv: OK\n");
     return 0;
 }

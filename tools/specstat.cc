@@ -1,0 +1,377 @@
+/**
+ * @file
+ * specstat — inspect, diff and validate the observability artifacts
+ * emitted by the benches and tools (--metrics-out= Prometheus text,
+ * --trace-out= Chrome trace-event JSON).
+ *
+ * Subcommands:
+ *   dump FILE        parse a Prometheus exposition and pretty-print
+ *                    every sample, sorted by name;
+ *   diff OLD NEW     compare two expositions: changed samples with
+ *                    deltas, plus added/removed series;
+ *   check FILE...    validate artifacts: .json files must be
+ *                    syntactically valid JSON (trace files must also
+ *                    carry a traceEvents array), everything else must
+ *                    parse as Prometheus text.
+ *
+ * Exit status: 0 = success, 1 = check found an invalid artifact,
+ * 2 = usage error or unreadable/malformed input to dump/diff.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using specpmt::obs::FlatSamples;
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+/** Integral values print without a fractional part. */
+std::string
+formatValue(double value)
+{
+    char buf[64];
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+    }
+    return buf;
+}
+
+/** Load a Prometheus exposition or exit with status 2. */
+FlatSamples
+loadSamples(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "specstat: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    FlatSamples samples;
+    std::string error;
+    if (!specpmt::obs::parsePrometheus(text, samples, error)) {
+        std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(2);
+    }
+    return samples;
+}
+
+int
+cmdDump(const std::string &path)
+{
+    const FlatSamples samples = loadSamples(path);
+    for (const auto &[name, value] : samples) {
+        std::printf("%-64s %s\n", name.c_str(),
+                    formatValue(value).c_str());
+    }
+    std::printf("# %zu samples\n", samples.size());
+    return 0;
+}
+
+int
+cmdDiff(const std::string &old_path, const std::string &new_path)
+{
+    const FlatSamples before = loadSamples(old_path);
+    const FlatSamples after = loadSamples(new_path);
+
+    std::size_t changed = 0;
+    for (const auto &[name, new_value] : after) {
+        const auto it = before.find(name);
+        if (it == before.end()) {
+            std::printf("+ %-62s %s\n", name.c_str(),
+                        formatValue(new_value).c_str());
+            ++changed;
+        } else if (it->second != new_value) {
+            std::printf("  %-62s %s -> %s (%+g)\n", name.c_str(),
+                        formatValue(it->second).c_str(),
+                        formatValue(new_value).c_str(),
+                        new_value - it->second);
+            ++changed;
+        }
+    }
+    for (const auto &[name, old_value] : before) {
+        if (after.find(name) == after.end()) {
+            std::printf("- %-62s %s\n", name.c_str(),
+                        formatValue(old_value).c_str());
+            ++changed;
+        }
+    }
+    std::printf("# %zu samples differ (%zu -> %zu series)\n", changed,
+                before.size(), after.size());
+    return 0;
+}
+
+/**
+ * Minimal JSON syntax scanner — enough to reject truncated or
+ * malformed artifacts without pulling in a parser dependency.
+ */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(std::string_view text) : text_(text) {}
+
+    bool
+    validate(std::string &error)
+    {
+        error_ = &error;
+        if (!value())
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *message)
+    {
+        *error_ = std::string(message) + " at byte " +
+                  std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                pos_ += 2;
+                continue;
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("bad number");
+        return true;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!string())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string *error_ = nullptr;
+};
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool
+checkOne(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "specstat: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string error;
+    if (endsWith(path, ".json")) {
+        JsonScanner scanner(text);
+        if (!scanner.validate(error)) {
+            std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
+                         error.c_str());
+            return false;
+        }
+        // A trace artifact must carry its event array; a metrics JSON
+        // dump carries the counters section instead.
+        if (text.find("\"traceEvents\"") == std::string::npos &&
+            text.find("\"counters\"") == std::string::npos) {
+            std::fprintf(stderr,
+                         "specstat: %s: neither a trace (traceEvents) "
+                         "nor a metrics (counters) JSON artifact\n",
+                         path.c_str());
+            return false;
+        }
+        std::printf("OK %s (json, %zu bytes)\n", path.c_str(),
+                    text.size());
+        return true;
+    }
+    FlatSamples samples;
+    if (!specpmt::obs::parsePrometheus(text, samples, error)) {
+        std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    std::printf("OK %s (%zu samples)\n", path.c_str(),
+                samples.size());
+    return true;
+}
+
+int
+usage()
+{
+    std::fputs("usage: specstat dump FILE\n"
+               "       specstat diff OLD NEW\n"
+               "       specstat check FILE...\n",
+               stderr);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string_view command = argv[1];
+    if (command == "dump" && argc == 3)
+        return cmdDump(argv[2]);
+    if (command == "diff" && argc == 4)
+        return cmdDiff(argv[2], argv[3]);
+    if (command == "check" && argc >= 3) {
+        bool ok = true;
+        for (int i = 2; i < argc; ++i)
+            ok = checkOne(argv[i]) && ok;
+        return ok ? 0 : 1;
+    }
+    return usage();
+}

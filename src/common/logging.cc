@@ -38,9 +38,12 @@ configuredLevel()
         if (std::strcmp(env, "inform") == 0 ||
             std::strcmp(env, "info") == 0)
             return Level::Inform;
+        // The lambda runs once, so a bad value warns once per process
+        // no matter how many reports follow.
         std::fprintf(stderr,
                      "warn: SPECPMT_LOG_LEVEL=%s not recognized "
-                     "(want silent|warn|inform); logging everything\n",
+                     "(accepted: silent, none, warn, inform, info); "
+                     "logging everything\n",
                      env);
         return Level::Inform;
     }();

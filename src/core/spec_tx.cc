@@ -7,6 +7,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "core/splog_walk.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -79,7 +80,8 @@ struct SpecTxMetrics
 
 SpecTx::SpecTx(pmem::PmemPool &pool, unsigned num_threads,
                const SpecTxConfig &config)
-    : TxRuntime(pool, num_threads), config_(config)
+    : TxRuntime(pool, num_threads), config_(config),
+      flight_(forensic::FlightRecorder::attach(pool))
 {
     logs_.reserve(num_threads);
     for (unsigned tid = 0; tid < num_threads; ++tid)
@@ -247,6 +249,7 @@ SpecTx::txBegin(ThreadId tid)
     log.captured.clear();
     log.writeSet.clear();
     SpecTxMetrics::get().begins.add();
+    flight_.record(forensic::EventType::TxBegin, tid);
     log.traceStartNs = SPECPMT_TRACE_BEGIN();
     openSegment(log);
     {
@@ -342,6 +345,9 @@ SpecTx::txCommit(ThreadId tid)
         }
         for (const auto &[off, size] : log.pendingFlush)
             dev_.clwbRange(off, size, pmem::TrafficClass::Log);
+        // Rides the commit fence below, durable iff the seals are.
+        flight_.record(forensic::EventType::TxCommit, tid, ts,
+                       log.openSegs.size());
         dev_.sfence();
     }
 
@@ -441,6 +447,7 @@ SpecTx::txAbort(ThreadId tid)
     log.captured.clear();
     log.writeSet.clear();
     SpecTxMetrics::get().aborts.add();
+    flight_.record(forensic::EventType::TxAbort, tid);
     SPECPMT_TRACE_END("tx_abort", "tx", log.traceStartNs);
 }
 
@@ -467,6 +474,7 @@ SpecTx::switchMechanism()
         SPECPMT_ASSERT(!log->inTx);
     // Persist every durable datum; after this the speculative logs are
     // unnecessary and another mechanism may take over (Section 4.3.1).
+    flight_.record(forensic::EventType::ModeSwitch, 0);
     dev_.drainAll();
     logBytes_.store(0);
     for (unsigned tid = 0; tid < numThreads_; ++tid) {
@@ -515,6 +523,7 @@ void
 SpecTx::recover()
 {
     SPECPMT_TRACE_SPAN("spec_recover", "recovery");
+    flight_.record(forensic::EventType::RecoveryBegin, 0);
     struct CommittedTx
     {
         TxTimestamp ts;
@@ -541,41 +550,29 @@ SpecTx::recover()
             continue;
         chains[tid].present = true;
 
-        // Group consecutive same-timestamp segments into transactions;
-        // a transaction counts as committed only when its final-flagged
-        // segment was reached with a valid checksum.
-        std::vector<DecodedSegment> open;
+        // Group consecutive same-timestamp segments into transactions
+        // (the shared splog_walk rule): committed only on a valid
+        // final seal attesting to the run's exact segment count —
+        // anything else is an interrupted commit's debris, undone by
+        // not replaying it.
+        TxGrouper grouper;
         chains[tid].walk = walkChain(
             dev_, root, [&](const DecodedSegment &seg) {
                 seedTimestamp(seg.timestamp);
-                if (!open.empty() &&
-                    open.front().timestamp != seg.timestamp) {
-                    open.clear(); // incomplete tx: discard
-                }
-                open.push_back(seg);
-                if (seg.final) {
-                    // A final seal alone is not a commit: if any of
-                    // the transaction's earlier segments is missing
-                    // (its header line never drained and reads back
-                    // as tail poison), the run is shorter than the
-                    // count the seal attests to — torn commit, undo.
-                    if (seg.txSegments != open.size()) {
-                        open.clear();
-                        return;
-                    }
-                    CommittedTx tx;
-                    tx.ts = seg.timestamp;
-                    for (const auto &part : open) {
-                        tx.entries.insert(tx.entries.end(),
-                                          part.entries.begin(),
-                                          part.entries.end());
-                    }
-                    txs.push_back(std::move(tx));
-                    open.clear();
-                    chains[tid].lastCommittedEnd =
-                        seg.pos + ((seg.sizeBytes + 7) & ~7u);
-                }
+                grouper.feed(seg);
             });
+        grouper.finish();
+        for (const auto &group : grouper.committed()) {
+            CommittedTx tx;
+            tx.ts = group.ts;
+            for (const auto &part : group.segs) {
+                tx.entries.insert(tx.entries.end(),
+                                  part.seg.entries.begin(),
+                                  part.seg.entries.end());
+            }
+            txs.push_back(std::move(tx));
+        }
+        chains[tid].lastCommittedEnd = grouper.lastCommittedEnd();
     }
 
     // Replay every fresh record in global chronological order: redo
@@ -662,6 +659,7 @@ SpecTx::recover()
         }
         noteLogBytes(static_cast<std::ptrdiff_t>(bytes));
     }
+    flight_.record(forensic::EventType::RecoveryEnd, 0, 0, txs.size());
     dev_.sfence();
     needsRecovery_ = false;
     SpecTxMetrics::get().recoveries.add();
@@ -709,6 +707,8 @@ SpecTx::reclaimCycle()
     if (needsRecovery_)
         return 0;
     SPECPMT_TRACE_SPAN("reclaim_cycle", "reclaim");
+    flight_.record(forensic::EventType::ReclaimBegin, 0, 0,
+                   logBytes_.load());
 
     // Phase 1: freeze the immutable prefix of every chain and build
     // the volatile freshness index: (addr,size) -> newest committed
@@ -725,52 +725,31 @@ SpecTx::reclaimCycle()
     }
 
     // Phase 1b: group every thread's frozen segments into
-    // transactions. Only entries of *committed* transactions (a run
-    // of consecutive same-timestamp segments ending in a final one)
-    // may enter the freshness index or a compact record — a torn
-    // multi-segment commit leaves valid-checksum non-final segments
-    // embedded in the chain, and treating them as committed would
-    // launder an uncommitted update into recovery's replay set.
-    struct SegInfo
-    {
-        DecodedSegment seg;
-        std::size_t blockIndex;
-    };
-    struct TxGroup
-    {
-        TxTimestamp ts;
-        std::vector<SegInfo> segs;
-    };
-    std::vector<std::vector<TxGroup>> groups(numThreads_);
+    // transactions with the shared splog_walk rule. Only entries of
+    // *committed* transactions may enter the freshness index or a
+    // compact record — a torn multi-segment commit leaves
+    // valid-checksum non-final segments embedded in the chain, and
+    // treating them as committed would launder an uncommitted update
+    // into recovery's replay set.
+    std::vector<std::vector<GroupedTx>> groups(numThreads_);
     /** Compaction covers frozen blocks [0, cutoff): never split a
      * transaction whose tail lives beyond the boundary. */
     std::vector<std::size_t> cutoff(numThreads_, 0);
     for (unsigned tid = 0; tid < numThreads_; ++tid) {
-        std::vector<SegInfo> open;
+        TxGrouper grouper;
         for (std::size_t i = 0; i < frozen[tid].size(); ++i) {
             walkBlock(dev_, frozen[tid][i],
                       [&](const DecodedSegment &seg) {
-                          if (!open.empty() &&
-                              open.front().seg.timestamp !=
-                                  seg.timestamp) {
-                              open.clear(); // torn leftovers: drop
-                          }
-                          open.push_back({seg, i});
-                          if (seg.final) {
-                              if (seg.txSegments != open.size()) {
-                                  open.clear(); // torn commit debris
-                                  return;
-                              }
-                              groups[tid].push_back(
-                                  {seg.timestamp, std::move(open)});
-                              open.clear();
-                          }
+                          grouper.feed(seg, i);
                       });
         }
+        const GroupedTx &open = grouper.finish();
+        groups[tid] = grouper.committed();
         // A trailing group may complete in the unfrozen tail: keep
         // its blocks out of the compacted span.
-        std::size_t cut = open.empty() ? frozen[tid].size()
-                                       : open.front().blockIndex;
+        std::size_t cut = open.segs.empty()
+                              ? frozen[tid].size()
+                              : open.segs.front().blockIndex;
         for (auto it = groups[tid].rbegin(); it != groups[tid].rend();
              ++it) {
             if (it->segs.back().blockIndex >= cut)
@@ -961,6 +940,7 @@ SpecTx::reclaimCycle()
             pool_.free(block);
         }
     }
+    flight_.record(forensic::EventType::ReclaimEnd, 0, 0, freed_total);
     reclaimCycles_.fetch_add(1);
     SpecTxMetrics::get().reclaimCycles.add();
     SpecTxMetrics::get().reclaimBytesFreed.add(freed_total);

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/splog_format.hh"
+#include "forensic/flight_recorder.hh"
 #include "txn/tx_runtime.hh"
 #include "txn/write_set.hh"
 
@@ -182,6 +183,8 @@ class SpecTx : public txn::TxRuntime
     void noteLogBytes(std::ptrdiff_t delta);
 
     SpecTxConfig config_;
+    /** Disabled unless the pool carries a flight-recorder ring. */
+    forensic::FlightRecorder flight_;
     std::vector<std::unique_ptr<ThreadLog>> logs_;
     /** Set when the constructor found a pre-existing (crashed) pool. */
     bool needsRecovery_ = false;

@@ -131,6 +131,15 @@ walkChain(const pmem::PmemDevice &dev, PmOff head_block,
             result.end = WalkEnd::TornRecord;
             return result;
         }
+        // A corrupted chain pointer aimed at an already-visited block
+        // would loop forever; offline inspection of damaged images
+        // must terminate on arbitrary garbage.
+        for (PmOff seen : result.blocks) {
+            if (seen == block) {
+                result.end = WalkEnd::TornRecord;
+                return result;
+            }
+        }
         result.blocks.push_back(block);
         result.tailBlock = block;
         PmOff next = kPmNull;

@@ -1,0 +1,44 @@
+#include "core/splog_walk.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace specpmt::core
+{
+
+void
+TxGrouper::feed(const DecodedSegment &seg, std::size_t block_index)
+{
+    SPECPMT_ASSERT(!finished_);
+    if (!open_.segs.empty() && open_.ts != seg.timestamp) {
+        discarded_.push_back(
+            {TxDiscard::TimestampBreak, std::move(open_)});
+        open_ = GroupedTx{};
+    }
+    open_.ts = seg.timestamp;
+    open_.segs.push_back({seg, block_index});
+    if (!seg.final)
+        return;
+    if (seg.txSegments != open_.segs.size()) {
+        discarded_.push_back(
+            {TxDiscard::SegCountMismatch, std::move(open_)});
+        open_ = GroupedTx{};
+        return;
+    }
+    lastCommittedEnd_ = segmentEnd(seg);
+    committed_.push_back(std::move(open_));
+    open_ = GroupedTx{};
+}
+
+const GroupedTx &
+TxGrouper::finish()
+{
+    SPECPMT_ASSERT(!finished_);
+    finished_ = true;
+    inFlight_ = std::move(open_);
+    open_ = GroupedTx{};
+    return inFlight_;
+}
+
+} // namespace specpmt::core

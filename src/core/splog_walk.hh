@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Transaction grouping over a chronological stream of checksum-valid
+ * speculative-log segments — the one place the "which segment runs
+ * form committed transactions" rule lives.
+ *
+ * Three consumers feed the same grouper and must agree byte-for-byte
+ * on its verdicts:
+ *
+ *  - post-crash recovery (SpecTx::recover), which replays exactly the
+ *    committed groups and truncates everything after the last one;
+ *  - the background reclaimer (SpecTx::reclaimCycle), which may only
+ *    compact entries of committed groups — laundering a torn commit's
+ *    valid-checksum debris into a compact record would hand recovery
+ *    an uncommitted update as committed;
+ *  - the offline forensic inspector (src/forensic), which classifies
+ *    every transaction in a crash image independently of the runtime
+ *    and is diffed against the runtime's actual recovery decisions.
+ *
+ * The rule (Section 4.1 plus the segment-count seal from the
+ * crashmatrix-found torn-commit fix): a transaction is a run of
+ * consecutive same-timestamp segments; it is committed iff the run
+ * ends in a final-flagged segment whose seal attests a segment count
+ * equal to the run's length. Any other run is discarded — either a
+ * timestamp break (a new transaction's segments arrive before a final
+ * seal, so the previous run is an interrupted commit's leftovers) or
+ * a count mismatch (an intermediate segment's header never drained
+ * and read back as tail poison, shortening the run the final seal
+ * describes). A run still open when the walk ends is the in-flight
+ * tail: the transaction the crash interrupted.
+ */
+
+#ifndef SPECPMT_CORE_SPLOG_WALK_HH
+#define SPECPMT_CORE_SPLOG_WALK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/splog_format.hh"
+
+namespace specpmt::core
+{
+
+/** Position right after @p seg (segments are 8-aligned in a block). */
+constexpr PmOff
+segmentEnd(const DecodedSegment &seg)
+{
+    return seg.pos + ((seg.sizeBytes + 7) & ~std::uint32_t{7});
+}
+
+/** Why a run of valid-checksum segments was not committed. */
+enum class TxDiscard
+{
+    /** A different timestamp arrived before any final seal: the run
+     * is an interrupted transaction's leftovers (only possible for
+     * debris predating the current chain tail). */
+    TimestampBreak,
+    /** The final seal attests to more segments than the run holds: an
+     * intermediate segment was lost to the crash (read back as tail
+     * poison), so committing the run would apply a subset of the
+     * transaction. */
+    SegCountMismatch,
+};
+
+/** One segment inside a grouped transaction. */
+struct GroupedSeg
+{
+    DecodedSegment seg;
+    /** Caller-supplied ordinal (the reclaimer passes the frozen-block
+     * index; chain walkers may leave it 0). */
+    std::size_t blockIndex = 0;
+};
+
+/** A maximal run of consecutive same-timestamp segments. */
+struct GroupedTx
+{
+    TxTimestamp ts = 0;
+    std::vector<GroupedSeg> segs;
+};
+
+/** A discarded run plus the reason it cannot be committed. */
+struct DiscardedTx
+{
+    TxDiscard reason = TxDiscard::TimestampBreak;
+    GroupedTx tx;
+};
+
+/** The grouper; see file comment. Feed segments in walk order, then
+ * call finish() exactly once before reading the result vectors. */
+class TxGrouper
+{
+  public:
+    /** Feed the next checksum-valid segment of the walk. */
+    void feed(const DecodedSegment &seg, std::size_t block_index = 0);
+
+    /** End of walk: whatever is still open becomes the in-flight
+     * tail. @return the in-flight run (empty if the walk ended on a
+     * transaction boundary). */
+    const GroupedTx &finish();
+
+    /** Committed transactions, in walk (= per-thread commit) order. */
+    const std::vector<GroupedTx> &committed() const { return committed_; }
+
+    /** Discarded runs, in walk order. */
+    const std::vector<DiscardedTx> &discarded() const { return discarded_; }
+
+    /** The run the walk ended inside (valid after finish()). */
+    const GroupedTx &inFlight() const { return inFlight_; }
+
+    /** End position of the last committed transaction, or kPmNull if
+     * none committed — recovery's chain adoption point. */
+    PmOff lastCommittedEnd() const { return lastCommittedEnd_; }
+
+  private:
+    GroupedTx open_;
+    std::vector<GroupedTx> committed_;
+    std::vector<DiscardedTx> discarded_;
+    GroupedTx inFlight_;
+    PmOff lastCommittedEnd_ = kPmNull;
+    bool finished_ = false;
+};
+
+} // namespace specpmt::core
+
+#endif // SPECPMT_CORE_SPLOG_WALK_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Persistent flight recorder: a small, bounded, crash-consistent ring
+ * journal of coarse runtime lifecycle events, allocated inside the
+ * pmem pool so it survives the crash it is meant to explain.
+ *
+ * Every record is one sealed cache line, borrowing the speculative
+ * log's trick (splog_format): a CRC32C seeded by the record's
+ * location doubles as the validity flag, so a torn ring-slot
+ * overwrite is self-identifying and an offline reader never needs a
+ * separate index. Appends store the line and clwb it with *no* fence
+ * — the record becomes durable with the caller's next commit fence
+ * (SpecTx's single commit sfence, the undo runtimes' commit barrier),
+ * so steady-state recording costs one cache-line store + flush and
+ * zero extra ordering. A record appended after the final pre-crash
+ * fence may be lost or torn; both read back as an invalid seal and
+ * are reported as such, never as a wrong event.
+ *
+ * The recorder is strictly opt-in and off by default: create() is
+ * called once, at pool-creation time, before any runtime is
+ * constructed; every runtime's constructor then attach()es through
+ * the pool root and gets a cheap disabled handle when the root is
+ * null. Because appends add persistence events (stores + flushes),
+ * leaving it off keeps crash-schedule replay tokens stable.
+ *
+ * Event semantics (what arg0/arg1 carry) are documented per EventType
+ * member; the timestamp field holds the runtime's commit timestamp
+ * where one exists, else 0.
+ */
+
+#ifndef SPECPMT_FORENSIC_FLIGHT_RECORDER_HH
+#define SPECPMT_FORENSIC_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "pmem/pmem_device.hh"
+#include "pmem/pmem_pool.hh"
+
+namespace specpmt::forensic
+{
+
+/** Root directory slot publishing the ring (last slot, clear of the
+ * per-thread log heads at 1+tid, the hybrid sequence cells at 20+tid
+ * and the application roots from 40 up). */
+constexpr unsigned kFlightRecorderRootSlot =
+    pmem::PmemPool::kRootSlots - 1;
+
+/** Ring header magic ("SPMTFLT1", little-endian). */
+constexpr std::uint64_t kFlightMagic = 0x31544C46544D5053ull;
+
+/** Coarse lifecycle events the runtimes append. */
+enum class EventType : std::uint16_t
+{
+    None = 0,
+    /** arg0 = 0. */
+    TxBegin = 1,
+    /** timestamp = commit timestamp (0 if the scheme has none),
+     * arg0 = log segments / records sealed by this commit. */
+    TxCommit = 2,
+    /** arg0 = 0. */
+    TxAbort = 3,
+    /** arg0 = live log bytes when the cycle started. */
+    ReclaimBegin = 4,
+    /** arg0 = bytes freed by the cycle. */
+    ReclaimEnd = 5,
+    /** arg0 = 0. */
+    RecoveryBegin = 6,
+    /** arg0 = committed transactions replayed. */
+    RecoveryEnd = 7,
+    /** arg0 = 0 (Section 4.3.1 mechanism switch). */
+    ModeSwitch = 8,
+};
+
+/** Printable name of @p type ("tx_commit", ...). */
+const char *eventTypeName(EventType type);
+
+/** On-media ring header (one cache line). */
+struct FlightHeader
+{
+    std::uint64_t magic;
+    std::uint32_t capacity; ///< record slots in the ring
+    std::uint32_t pad0;
+    std::uint64_t pad[6];
+};
+static_assert(sizeof(FlightHeader) == 64);
+
+/** On-media record (one cache line; crc seeded by its location). */
+struct FlightRecord
+{
+    std::uint32_t crc;   ///< covers type..arg1, seeded by position
+    EventType type;
+    std::uint16_t tid;
+    std::uint64_t seq;   ///< global append sequence, 1-based
+    std::uint64_t timestamp;
+    std::uint64_t arg0;
+    std::uint64_t arg1;
+    std::uint64_t pad[3];
+};
+static_assert(sizeof(FlightRecord) == 64);
+
+/** A ring record decoded offline (valid seal, in-bounds fields). */
+struct DecodedFlightRecord
+{
+    std::uint64_t seq = 0;
+    EventType type = EventType::None;
+    unsigned tid = 0;
+    std::uint64_t timestamp = 0;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    unsigned slot = 0; ///< ring slot the record was read from
+};
+
+/** Offline view of a ring found in an image. */
+struct DecodedFlightRing
+{
+    /** False when the root slot is null (recorder never enabled). */
+    bool present = false;
+    /** Non-empty when the root points at garbage (corrupt header). */
+    std::string error;
+    PmOff base = kPmNull;
+    std::uint32_t capacity = 0;
+    /** Valid records, sorted by seq (ascending = chronological). */
+    std::vector<DecodedFlightRecord> records;
+    /** Slots whose seal did not validate (torn or never written). */
+    unsigned invalidSlots = 0;
+};
+
+/**
+ * The runtime-side handle; see file comment. Default-constructed
+ * handles are disabled and every record() is a no-op branch.
+ */
+class FlightRecorder
+{
+  public:
+    FlightRecorder() = default;
+
+    /**
+     * Allocate and persist an empty ring of @p capacity records in
+     * @p pool and publish it in the root directory. Call once per
+     * pool, before constructing any runtime. Idempotent re-creation
+     * is not supported: the slot must be unset.
+     */
+    static void create(pmem::PmemPool &pool, std::uint32_t capacity = 64);
+
+    /**
+     * Attach to the ring published in @p pool's root directory.
+     * Returns a disabled handle when the root is null or the header
+     * does not validate. Re-adopts the ring's allocation (idempotent)
+     * and re-establishes the append sequence by scanning the ring for
+     * the newest valid seal, so recording continues monotonically
+     * across crashes.
+     */
+    static FlightRecorder attach(pmem::PmemPool &pool);
+
+    bool enabled() const { return dev_ != nullptr; }
+
+    /**
+     * Append one record (no-op when disabled). The stored line is
+     * flushed (TrafficClass::Meta) but not fenced — it rides the
+     * caller's next commit fence.
+     */
+    void record(EventType type, ThreadId tid, std::uint64_t timestamp = 0,
+                std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+    /** Sequence number of the newest appended record (0 = none). */
+    std::uint64_t sequence() const;
+
+    /**
+     * Decode the ring referenced by @p pool_root (the value of the
+     * flight-recorder root slot) from @p dev without mutating
+     * anything — the offline reader pminspect builds on. Tolerates
+     * arbitrary garbage.
+     */
+    static DecodedFlightRing decode(const pmem::PmemDevice &dev,
+                                    PmOff pool_root);
+
+  private:
+    static std::uint32_t recordCrc(PmOff pos, const FlightRecord &rec);
+
+    pmem::PmemDevice *dev_ = nullptr;
+    PmOff base_ = kPmNull;     ///< ring area (header at base_)
+    std::uint32_t capacity_ = 0;
+    std::shared_ptr<std::atomic<std::uint64_t>> seq_;
+};
+
+} // namespace specpmt::forensic
+
+#endif // SPECPMT_FORENSIC_FLIGHT_RECORDER_HH

@@ -1,0 +1,216 @@
+#include "forensic/recovery_audit.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "core/splog_walk.hh"
+#include "obs/metrics.hh"
+#include "pmem/image_io.hh"
+#include "pmem/pmem_pool.hh"
+#include "sim/crash_explorer.hh"
+#include "txn/tx_runtime.hh"
+
+namespace specpmt::forensic
+{
+
+namespace
+{
+
+constexpr const char *kReplayedCounter =
+    "specpmt_recovery_replayed_txs_total";
+
+std::uint64_t
+replayedCounterValue()
+{
+    const auto snap = obs::Registry::global().snapshot();
+    const auto it = snap.counters.find(kReplayedCounter);
+    return it == snap.counters.end() ? 0 : it->second;
+}
+
+/** Committed timestamps per thread, sorted (multiset semantics). */
+std::map<unsigned, std::vector<TxTimestamp>>
+committedTimestamps(const InspectReport &report)
+{
+    std::map<unsigned, std::vector<TxTimestamp>> out;
+    for (const auto &chain : report.chains) {
+        auto &list = out[chain.tid];
+        for (const auto &tx : chain.txs) {
+            if (tx.verdict == TxVerdict::Committed)
+                list.push_back(tx.ts);
+        }
+        std::sort(list.begin(), list.end());
+    }
+    return out;
+}
+
+} // namespace
+
+AuditResult
+auditRecovery(const std::vector<std::uint8_t> &image,
+              const std::string &runtime_name, unsigned threads,
+              const InspectReport &report)
+{
+    AuditResult result;
+    result.inspectorCommitted = report.committed;
+    if (runtime_name != "spec" && runtime_name != "spec-dp")
+        return result; // inspector only models splog recovery
+    result.supported = true;
+
+    // The inspector's independent prediction of recovery's data
+    // writes: replay every committed entry in global timestamp order
+    // against a sparse byte map, values read from the *original*
+    // image (recovery may truncate the log area they live in).
+    struct PendingTx
+    {
+        TxTimestamp ts;
+        const TxReport *tx;
+    };
+    std::vector<PendingTx> committed;
+    for (const auto &chain : report.chains) {
+        for (const auto &tx : chain.txs) {
+            if (tx.verdict == TxVerdict::Committed)
+                committed.push_back({tx.ts, &tx});
+        }
+    }
+    std::sort(committed.begin(), committed.end(),
+              [](const PendingTx &a, const PendingTx &b) {
+                  return a.ts < b.ts;
+              });
+    // Ordered so any byte-mismatch reporting is deterministic.
+    std::map<PmOff, std::uint8_t> expected;
+    for (const auto &pending : committed) {
+        for (const auto &entry : pending.tx->entries) {
+            if (entry.valuePos + entry.size > image.size() ||
+                entry.dataOff + entry.size > image.size()) {
+                result.disagreements.push_back(
+                    "committed entry out of image bounds (off=" +
+                    std::to_string(entry.dataOff) +
+                    ", size=" + std::to_string(entry.size) + ")");
+                continue;
+            }
+            for (std::uint32_t i = 0; i < entry.size; ++i)
+                expected[entry.dataOff + i] =
+                    image[entry.valuePos + i];
+        }
+    }
+
+    // Real recovery, on a throwaway copy.
+    auto dev = pmem::deviceFromImage(image);
+    pmem::PmemPool pool(*dev);
+    const PmOff watermark = dev->size() >= (1u << 20)
+                                ? dev->size() - (256u << 10)
+                                : dev->size() / 2;
+    pool.reserveBelow(watermark);
+
+    const std::uint64_t replayed_before = replayedCounterValue();
+    auto runtime = sim::makeCrashRuntime(runtime_name, pool, threads);
+    runtime->recover();
+    result.runtimeReplayedTxs =
+        replayedCounterValue() - replayed_before;
+
+    // Check 1: replayed-transaction count.
+    if (result.runtimeReplayedTxs != report.committed) {
+        result.disagreements.push_back(
+            "runtime replayed " +
+            std::to_string(result.runtimeReplayedTxs) +
+            " transaction(s) but the inspector classified " +
+            std::to_string(report.committed) + " as COMMITTED");
+    }
+
+    // Check 2: the recovered chains hold exactly the committed
+    // timestamps, per thread (debris truncated, prefix preserved).
+    const auto want_ts = committedTimestamps(report);
+    for (const auto &[tid, want] : want_ts) {
+        const PmOff root =
+            dev->loadT<PmOff>(txn::logHeadSlot(tid) * sizeof(PmOff));
+        std::vector<TxTimestamp> got;
+        if (root != kPmNull) {
+            core::TxGrouper grouper;
+            core::walkChain(*dev, root,
+                            [&](const core::DecodedSegment &seg) {
+                                grouper.feed(seg);
+                            });
+            grouper.finish();
+            for (const auto &group : grouper.committed())
+                got.push_back(group.ts);
+            std::sort(got.begin(), got.end());
+        }
+        if (got != want) {
+            result.disagreements.push_back(
+                "recovered chain of tid " + std::to_string(tid) +
+                " holds " + std::to_string(got.size()) +
+                " committed transaction(s) where the inspector "
+                "expected " + std::to_string(want.size()));
+        }
+    }
+
+    // Check 3: every committed-entry byte matches the inspector's
+    // chronological replay.
+    std::size_t mismatches = 0;
+    for (const auto &[addr, value] : expected) {
+        std::uint8_t actual = 0;
+        dev->load(addr, &actual, 1);
+        if (actual != value && mismatches++ < 4) {
+            result.disagreements.push_back(
+                "byte at offset " + std::to_string(addr) +
+                " is " + std::to_string(actual) +
+                " after recovery; committed log records say " +
+                std::to_string(value));
+        }
+    }
+    if (mismatches > 4) {
+        result.disagreements.push_back(
+            "... and " + std::to_string(mismatches - 4) +
+            " more byte mismatch(es)");
+    }
+
+    result.agrees = result.disagreements.empty();
+    return result;
+}
+
+std::string
+AuditResult::toText() const
+{
+    if (!supported) {
+        return "recovery audit: unsupported runtime (only spec / "
+               "spec-dp recovery is modeled)\n";
+    }
+    std::string out =
+        "recovery audit: " +
+        std::string(agrees ? "AGREES" : "DISAGREES") +
+        " (runtime replayed " + std::to_string(runtimeReplayedTxs) +
+        ", inspector committed " +
+        std::to_string(inspectorCommitted) + ")\n";
+    for (const auto &item : disagreements)
+        out += "  disagreement: " + item + "\n";
+    return out;
+}
+
+std::string
+AuditResult::toJson() const
+{
+    std::string out = "{\"supported\": ";
+    out += supported ? "true" : "false";
+    out += ", \"agrees\": ";
+    out += agrees ? "true" : "false";
+    out += ", \"runtimeReplayedTxs\": " +
+           std::to_string(runtimeReplayedTxs) +
+           ", \"inspectorCommitted\": " +
+           std::to_string(inspectorCommitted) +
+           ", \"disagreements\": [";
+    for (std::size_t i = 0; i < disagreements.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"";
+        for (char c : disagreements[i]) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += "\"";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace specpmt::forensic

@@ -132,6 +132,20 @@ class KvCrashWorkload final : public sim::CrashWorkload
         service_.recover();
     }
 
+    std::vector<sim::CrashImageExport>
+    exportCrashImages(const pmem::CrashPolicy &policy) const override
+    {
+        std::vector<sim::CrashImageExport> out;
+        for (unsigned s = 0; s < service_.numShards(); ++s) {
+            sim::CrashImageExport exp;
+            exp.name = "shard" + std::to_string(s);
+            exp.threads = serviceConfig(cell_).threads;
+            exp.image = service_.shardDevice(s).crashImage(policy);
+            out.push_back(std::move(exp));
+        }
+        return out;
+    }
+
     std::string
     check() override
     {

@@ -7,6 +7,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "forensic/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -98,6 +99,8 @@ KvService::KvService(const KvServiceConfig &config) : config_(config)
         shard->device =
             std::make_unique<pmem::PmemDevice>(config_.shardPoolBytes);
         shard->pool = std::make_unique<pmem::PmemPool>(*shard->device);
+        if (config_.flightRecorder)
+            forensic::FlightRecorder::create(*shard->pool);
         shard->runtime =
             txn::makeRuntime(config_.runtime, *shard->pool,
                              config_.threads, config_.runtimeOptions);

@@ -97,6 +97,13 @@ struct KvServiceConfig
     std::size_t shardPoolBytes = 64u << 20;
     /** Lock stripes per shard. */
     unsigned lockStripes = 64;
+    /**
+     * Create a persistent flight-recorder ring in every shard pool so
+     * the runtimes journal lifecycle events for post-mortem analysis
+     * (pminspect). Off by default: appends add persistence events,
+     * which perturbs crash-schedule replay tokens.
+     */
+    bool flightRecorder = false;
     /** Options forwarded to the runtime factory. */
     txn::RuntimeOptions runtimeOptions;
 };

@@ -140,7 +140,10 @@ PmemPool::adopt(PmOff off, std::size_t size)
     SPECPMT_ASSERT(off != kPmNull && size > 0);
     if (auto it = live_.find(off); it != live_.end()) {
         // Already known (recover() without an intervening re-open).
-        SPECPMT_ASSERT(it->second == size);
+        // An adopter working from the on-media structure knows only
+        // the payload size, which the original allocation may have
+        // rounded up to its size class.
+        SPECPMT_ASSERT(it->second >= size);
         return;
     }
     live_[off] = size;
@@ -149,6 +152,18 @@ PmemPool::adopt(PmOff off, std::size_t size)
         peakBytesLive_ = bytesLive_;
     if (off + size > bump_)
         bump_ = off + size;
+}
+
+void
+PmemPool::reserveBelow(PmOff watermark)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    SPECPMT_ASSERT(watermark <= device_.size());
+    if (watermark > bump_)
+        bump_ = watermark;
+    // Free-list entries below the watermark would defeat it.
+    for (auto &list : freeLists_)
+        list.clear();
 }
 
 void

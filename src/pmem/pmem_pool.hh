@@ -86,6 +86,15 @@ class PmemPool
     void adopt(PmOff off, std::size_t size);
 
     /**
+     * Raise the bump pointer to at least @p watermark so every future
+     * allocation lands at or above it. Used when a pool is re-created
+     * over a salvaged image whose allocation history is unknown (the
+     * offline recovery audit): recovery-time allocations must never
+     * overwrite pre-crash evidence the walkers still have to read.
+     */
+    void reserveBelow(PmOff watermark);
+
+    /**
      * Reset the volatile allocator state, as happens when a process
      * re-opens a pool after a crash. Persistent contents (including
      * roots) are untouched; all previous allocations are forgotten

@@ -495,6 +495,16 @@ class SlotCrashWorkload final : public CrashWorkload
         return {};
     }
 
+    std::vector<CrashImageExport>
+    exportCrashImages(const pmem::CrashPolicy &policy) const override
+    {
+        std::vector<CrashImageExport> out(1);
+        out[0].name = "slots";
+        out[0].threads = 1;
+        out[0].image = scenario_.device().crashImage(policy);
+        return out;
+    }
+
   private:
     CrashCell cell_;
     SlotScenario scenario_;

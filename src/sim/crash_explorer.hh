@@ -97,6 +97,14 @@ struct CrashCell
                            std::uint64_t &event, std::string &error);
 };
 
+/** A saved post-crash device image, ready for offline inspection. */
+struct CrashImageExport
+{
+    std::string name;     ///< e.g. "slots", "shard0"
+    unsigned threads = 1; ///< runtime thread count behind the image
+    std::vector<std::uint8_t> image;
+};
+
 /**
  * A workload instance the explorer can crash once. Construction runs
  * setup (and applies the cell's injected fault); the explorer then
@@ -137,6 +145,19 @@ class CrashWorkload
      * (including a second crash). Empty string on success.
      */
     virtual std::string checkContinuation() { return {}; }
+
+    /**
+     * The post-crash persistent image(s) under @p policy, for
+     * offline forensic analysis (tools/pminspect, crashmatrix
+     * --explain). Meaningful after run() fired and before
+     * powerCycle() mutates the devices. Default: none.
+     */
+    virtual std::vector<CrashImageExport>
+    exportCrashImages(const pmem::CrashPolicy &policy) const
+    {
+        (void)policy;
+        return {};
+    }
 };
 
 /** Constructs a workload instance for a cell; throws on a bad cell. */

@@ -1,0 +1,42 @@
+# Golden test of `crashmatrix --explain`: replay a known torn-commit
+# crash point and require the forensic transcript (pminspect report +
+# recovery audit) to match the checked-in golden byte-for-byte. The
+# report depends only on the image bytes, which the replay token pins,
+# so any drift is a real behavior change and must be reviewed (then
+# re-baselined by copying the new output over the golden).
+#
+# Expects: -DCRASHMATRIX=<binary> -DTOKEN_FILE=<replay token file>
+#          -DGOLDEN=<golden file> -DWORK_DIR=<scratch dir>
+# The token travels in a file because its semicolons would be eaten by
+# CMake's list semantics on the command line.
+
+foreach(var CRASHMATRIX TOKEN_FILE GOLDEN WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(READ "${TOKEN_FILE}" TOKEN)
+string(STRIP "${TOKEN}" TOKEN)
+
+execute_process(
+    COMMAND "${CRASHMATRIX}" "--explain=${TOKEN}"
+    OUTPUT_VARIABLE actual
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+        "crashmatrix --explain failed (status ${status}); a nonzero "
+        "status here means the recovery audit disagreed with the "
+        "inspector or the token no longer replays")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+    file(WRITE "${WORK_DIR}/explain_actual.txt" "${actual}")
+    message(FATAL_ERROR
+        "explain transcript diverged from ${GOLDEN}; actual output "
+        "saved to ${WORK_DIR}/explain_actual.txt")
+endif()
+
+message(STATUS "explain transcript matches golden")

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Golden and fuzz tests of the offline forensic inspector
+ * (src/forensic/inspector): exact text and JSON reports for
+ * hand-built committed / torn-final-seal / in-flight images, and a
+ * seeded corruption fuzzer asserting the inspector never crashes and
+ * never reports COMMITTED for a record whose seal does not validate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/rand.hh"
+#include "core/splog_format.hh"
+#include "forensic/inspector.hh"
+#include "pmem/crash_policy.hh"
+#include "pmem/image_io.hh"
+#include "pmem/pmem_device.hh"
+#include "txn/tx_runtime.hh"
+
+namespace specpmt::forensic
+{
+namespace
+{
+
+using core::BlockHeader;
+using core::EntryHead;
+using core::SegHead;
+
+std::string
+hex(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+hex32(std::uint32_t value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", value);
+    return buf;
+}
+
+/** Hand-built single-chain fixture, test_splog_format idiom. */
+class PminspectTest : public ::testing::Test
+{
+  protected:
+    static constexpr PmOff kBase = 4096;
+
+    PminspectTest() : dev_(1 << 20) {}
+
+    void
+    publishChain(unsigned tid, PmOff head)
+    {
+        dev_.storeT<PmOff>(txn::logHeadSlot(tid) * sizeof(PmOff),
+                           head);
+    }
+
+    void
+    writeBlock(PmOff off, std::uint64_t capacity, PmOff next)
+    {
+        BlockHeader header{next, kPmNull, capacity, 0};
+        dev_.storeT(off, header);
+        dev_.storeT<std::uint64_t>(off + sizeof(BlockHeader), 0);
+    }
+
+    /**
+     * Append a segment at @p pos; final seals attest @p tx_segments.
+     * Returns bytes used.
+     */
+    std::size_t
+    writeSegment(PmOff pos, TxTimestamp ts, bool final,
+                 std::uint32_t tx_segments,
+                 const std::vector<std::uint64_t> &values)
+    {
+        std::size_t bytes = sizeof(SegHead);
+        PmOff cursor = pos + sizeof(SegHead);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            EntryHead ehead{0x10000 + i * 8, 8, 0};
+            dev_.storeT(cursor, ehead);
+            dev_.storeT(cursor + sizeof(EntryHead), values[i]);
+            cursor += core::entryBytes(8);
+            bytes += core::entryBytes(8);
+        }
+        SegHead head;
+        head.sizeBytes = static_cast<std::uint32_t>(bytes);
+        head.timestamp = ts;
+        head.flags = final ? core::segFlagsWithCount(core::kSegFinal,
+                                                     tx_segments)
+                           : 0;
+        head.numEntries = static_cast<std::uint32_t>(values.size());
+        head.crc = core::segmentCrc(dev_, pos, head);
+        dev_.storeT(pos, head);
+        dev_.storeT<std::uint64_t>(pos + bytes, 0);
+        return bytes;
+    }
+
+    pmem::PmemDevice dev_;
+};
+
+TEST_F(PminspectTest, CommittedGoldenTextAndJson)
+{
+    publishChain(0, kBase);
+    writeBlock(kBase, 4096, kPmNull);
+    writeSegment(kBase + sizeof(BlockHeader), 7, true, 1,
+                 {11, 22, 33});
+
+    const auto report = inspectImage(dev_, 1, "fixture");
+    EXPECT_EQ(report.toText(),
+              "pminspect report: fixture\n"
+              "device: 1048576 bytes\n"
+              "chains: 1\n"
+              "chain tid=0 head=0x1000 blocks=1 tail=clean\n"
+              "  COMMITTED ts=7 segs=1 entries=3 at=0x1020"
+              " final-seal(count=1)\n"
+              "    reason: final seal at 0x1020 attests 1 segment(s);"
+              " run has 1\n"
+              "flight recorder: absent\n"
+              "summary: committed=1 torn=0 in-flight=0\n");
+
+    EXPECT_EQ(
+        report.toJson(),
+        "{\n"
+        "  \"image\": {\"source\": \"fixture\", \"bytes\": 1048576},\n"
+        "  \"chains\": [\n"
+        "    {\"tid\": 0, \"head\": 4096, \"blocks\": [4096],"
+        " \"tornTail\": false, \"tailPos\": 4224, \"tailDetail\":"
+        " \"\", \"lastCommittedEnd\": 4224,\n"
+        "     \"txs\": [\n"
+        "      {\"verdict\": \"COMMITTED\", \"ts\": 7, \"reason\":"
+        " \"final seal at 0x1020 attests 1 segment(s); run has 1\","
+        " \"segments\": [{\"pos\": 4128, \"sizeBytes\": 96,"
+        " \"timestamp\": 7, \"final\": true, \"txSegments\": 1,"
+        " \"numEntries\": 3}], \"entries\": [{\"off\": 65536,"
+        " \"size\": 8}, {\"off\": 65544, \"size\": 8},"
+        " {\"off\": 65552, \"size\": 8}]}]}\n"
+        "  ],\n"
+        "  \"flight\": {\"present\": false, \"error\": \"\","
+        " \"capacity\": 0, \"invalidSlots\": 0, \"records\": []},\n"
+        "  \"summary\": {\"committed\": 1, \"torn\": 0,"
+        " \"inFlight\": 0}\n"
+        "}\n");
+}
+
+TEST_F(PminspectTest, InFlightGoldenText)
+{
+    publishChain(0, kBase);
+    writeBlock(kBase, 4096, kPmNull);
+    writeSegment(kBase + sizeof(BlockHeader), 5, false, 0, {99});
+
+    const auto report = inspectImage(dev_, 1, "fixture");
+    EXPECT_EQ(report.toText(),
+              "pminspect report: fixture\n"
+              "device: 1048576 bytes\n"
+              "chains: 1\n"
+              "chain tid=0 head=0x1000 blocks=1 tail=clean\n"
+              "  IN-FLIGHT ts=5 segs=1 entries=1 at=0x1020\n"
+              "    reason: no final seal; log ends in clean tail"
+              " poison (crash between txBegin and the commit seal)\n"
+              "flight recorder: absent\n"
+              "summary: committed=0 torn=0 in-flight=1\n");
+}
+
+TEST_F(PminspectTest, TornFinalSealGoldenText)
+{
+    publishChain(0, kBase);
+    writeBlock(kBase, 4096, kPmNull);
+    PmOff pos = kBase + sizeof(BlockHeader);
+    pos += writeSegment(pos, 1, true, 1, {11});
+    writeSegment(pos, 2, true, 1, {22});
+
+    // Flip the low bit of the second seal's stored crc: the commit
+    // seal itself is torn.
+    const auto stored = dev_.loadT<std::uint32_t>(pos) ^ 1u;
+    dev_.storeT<std::uint32_t>(pos, stored);
+    const auto computed =
+        core::segmentCrc(dev_, pos, dev_.loadT<SegHead>(pos));
+
+    const auto report = inspectImage(dev_, 1, "fixture");
+    EXPECT_EQ(report.toText(),
+              "pminspect report: fixture\n"
+              "device: 1048576 bytes\n"
+              "chains: 1\n"
+              "chain tid=0 head=0x1000 blocks=1 tail=torn@" +
+                  hex(pos) +
+                  "\n"
+                  "  COMMITTED ts=1 segs=1 entries=1 at=0x1020"
+                  " final-seal(count=1)\n"
+                  "    reason: final seal at 0x1020 attests 1"
+                  " segment(s); run has 1\n"
+                  "  TORN ts=0 segs=0 entries=0\n"
+                  "    reason: torn record at chain tail: seal crc"
+                  " mismatch at " +
+                  hex(pos) + ": stored " + hex32(stored) +
+                  ", computed " + hex32(computed) +
+                  " (sizeBytes=48, ts=2, entries=1)\n"
+                  "flight recorder: absent\n"
+                  "summary: committed=1 torn=1 in-flight=0\n");
+    EXPECT_EQ(report.torn, 1u);
+    ASSERT_FALSE(report.chains.empty());
+    EXPECT_TRUE(report.chains[0].tornTail);
+    // Recovery re-adopts at the committed prefix, before the torn seal.
+    EXPECT_EQ(report.chains[0].lastCommittedEnd, pos);
+}
+
+TEST_F(PminspectTest, SegCountMismatchClassifiesTorn)
+{
+    publishChain(0, kBase);
+    writeBlock(kBase, 4096, kPmNull);
+    PmOff pos = kBase + sizeof(BlockHeader);
+    pos += writeSegment(pos, 3, false, 0, {1});
+    // Final seal claims 3 segments; only 2 survived.
+    writeSegment(pos, 3, true, 3, {2});
+
+    const auto report = inspectImage(dev_, 1, "fixture");
+    ASSERT_EQ(report.chains.size(), 1u);
+    ASSERT_EQ(report.chains[0].txs.size(), 1u);
+    const auto &tx = report.chains[0].txs[0];
+    EXPECT_EQ(tx.verdict, TxVerdict::Torn);
+    EXPECT_NE(tx.reason.find("attests 3 segment(s) but the run has 2"),
+              std::string::npos);
+    EXPECT_EQ(report.torn, 1u);
+}
+
+TEST_F(PminspectTest, TimestampBreakDebrisClassifiesTorn)
+{
+    publishChain(0, kBase);
+    writeBlock(kBase, 4096, kPmNull);
+    PmOff pos = kBase + sizeof(BlockHeader);
+    pos += writeSegment(pos, 1, false, 0, {1}); // interrupted tx
+    writeSegment(pos, 2, true, 1, {2});         // next tx commits
+
+    const auto report = inspectImage(dev_, 1, "fixture");
+    ASSERT_EQ(report.chains.size(), 1u);
+    ASSERT_EQ(report.chains[0].txs.size(), 2u);
+    EXPECT_EQ(report.chains[0].txs[0].verdict, TxVerdict::Torn);
+    EXPECT_NE(report.chains[0].txs[0].reason.find(
+                  "no final seal before the log's timestamp changed"),
+              std::string::npos);
+    EXPECT_EQ(report.chains[0].txs[1].verdict, TxVerdict::Committed);
+}
+
+TEST_F(PminspectTest, AbsentChainsAreNotReported)
+{
+    const auto report = inspectImage(dev_, 4, "fixture");
+    EXPECT_TRUE(report.chains.empty());
+    EXPECT_EQ(report.committed + report.torn + report.inFlight, 0u);
+}
+
+/**
+ * Seeded corruption fuzz: arbitrary bit flips and truncations must
+ * never crash the inspector — and must never yield a COMMITTED
+ * verdict whose seals do not actually validate on the corrupted
+ * image.
+ */
+TEST_F(PminspectTest, FuzzedImagesNeverCrashNeverLie)
+{
+    publishChain(0, kBase);
+    writeBlock(kBase, 256, kBase + 4096);
+    writeBlock(kBase + 4096, 4096, kPmNull);
+    PmOff pos = kBase + sizeof(BlockHeader);
+    pos += writeSegment(pos, 1, true, 1, {11, 22});
+    writeSegment(pos, 2, true, 1, {33});
+    PmOff pos2 = kBase + 4096 + sizeof(BlockHeader);
+    pos2 += writeSegment(pos2, 3, false, 0, {44});
+    pos2 += writeSegment(pos2, 3, true, 2, {55});
+    writeSegment(pos2, 4, false, 0, {66});
+
+    const auto base_image =
+        dev_.crashImage(pmem::CrashPolicy::everything());
+
+    Rng rng(20260805);
+    for (unsigned round = 0; round < 300; ++round) {
+        auto image = base_image;
+        if (round % 5 == 4) {
+            // Truncate somewhere, root page included.
+            image.resize(rng.below(image.size()));
+        }
+        const unsigned flips = 1 + rng.below(8);
+        for (unsigned f = 0; f < flips && !image.empty(); ++f) {
+            // Bias half the flips into the log area where they bite.
+            const std::size_t off =
+                (f % 2 == 0 && image.size() > kBase + 8192)
+                    ? kBase + rng.below(8192)
+                    : rng.below(image.size());
+            image[off] ^= static_cast<std::uint8_t>(
+                1u << rng.below(8));
+        }
+
+        const auto fuzzed = pmem::deviceFromImage(image);
+        const auto report = inspectImage(*fuzzed, 4, "fuzz");
+
+        for (const auto &chain : report.chains) {
+            for (const auto &tx : chain.txs) {
+                if (tx.verdict != TxVerdict::Committed)
+                    continue;
+                ASSERT_FALSE(tx.segs.empty()) << "round " << round;
+                for (const auto &seg : tx.segs) {
+                    ASSERT_LE(seg.pos + sizeof(SegHead),
+                              fuzzed->size())
+                        << "round " << round;
+                    const auto head =
+                        fuzzed->loadT<SegHead>(seg.pos);
+                    ASSERT_EQ(core::segmentCrc(*fuzzed, seg.pos,
+                                               head),
+                              head.crc)
+                        << "round " << round << ": COMMITTED with an"
+                        << " invalid seal at " << seg.pos;
+                }
+                const auto &last = tx.segs.back();
+                ASSERT_TRUE(last.final) << "round " << round;
+                ASSERT_EQ(last.txSegments, tx.segs.size())
+                    << "round " << round;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace specpmt::forensic

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests of the shared transaction grouper (core/splog_walk): the
+ * single implementation of the "which segment runs form committed
+ * transactions" rule that recovery, the reclaimer and the forensic
+ * inspector all consume.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/splog_walk.hh"
+
+namespace specpmt::core
+{
+namespace
+{
+
+/** A synthetic checksum-valid segment at @p pos. */
+DecodedSegment
+seg(PmOff pos, TxTimestamp ts, bool final, std::uint32_t tx_segments,
+    std::uint32_t size_bytes = 64)
+{
+    DecodedSegment out;
+    out.pos = pos;
+    out.timestamp = ts;
+    out.final = final;
+    out.txSegments = final ? tx_segments : 0;
+    out.sizeBytes = size_bytes;
+    return out;
+}
+
+TEST(TxGrouperTest, EmptyWalkYieldsNothing)
+{
+    TxGrouper grouper;
+    const auto &tail = grouper.finish();
+    EXPECT_TRUE(tail.segs.empty());
+    EXPECT_TRUE(grouper.committed().empty());
+    EXPECT_TRUE(grouper.discarded().empty());
+    EXPECT_EQ(grouper.lastCommittedEnd(), kPmNull);
+}
+
+TEST(TxGrouperTest, SingleSegmentTransactionCommits)
+{
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 7, true, 1, 72));
+    grouper.finish();
+
+    ASSERT_EQ(grouper.committed().size(), 1u);
+    EXPECT_EQ(grouper.committed()[0].ts, 7u);
+    ASSERT_EQ(grouper.committed()[0].segs.size(), 1u);
+    EXPECT_TRUE(grouper.discarded().empty());
+    EXPECT_TRUE(grouper.inFlight().segs.empty());
+    // 72 bytes round up to the 8-aligned slot end.
+    EXPECT_EQ(grouper.lastCommittedEnd(), 0x1000u + 72u);
+}
+
+TEST(TxGrouperTest, MultiSegmentRunCommitsWithExactCount)
+{
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 3, false, 0));
+    grouper.feed(seg(0x1040, 3, false, 0));
+    grouper.feed(seg(0x1080, 3, true, 3));
+    grouper.finish();
+
+    ASSERT_EQ(grouper.committed().size(), 1u);
+    EXPECT_EQ(grouper.committed()[0].segs.size(), 3u);
+    EXPECT_TRUE(grouper.discarded().empty());
+}
+
+TEST(TxGrouperTest, SegCountMismatchDiscardsTheRun)
+{
+    // The final seal attests 3 segments but only 2 survived (the
+    // middle segment's header never drained and read back as tail
+    // poison): committing would apply a subset of the transaction.
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 3, false, 0));
+    grouper.feed(seg(0x1080, 3, true, 3));
+    grouper.finish();
+
+    EXPECT_TRUE(grouper.committed().empty());
+    ASSERT_EQ(grouper.discarded().size(), 1u);
+    EXPECT_EQ(grouper.discarded()[0].reason,
+              TxDiscard::SegCountMismatch);
+    EXPECT_EQ(grouper.discarded()[0].tx.segs.size(), 2u);
+    EXPECT_EQ(grouper.lastCommittedEnd(), kPmNull);
+}
+
+TEST(TxGrouperTest, TimestampBreakDiscardsTheInterruptedRun)
+{
+    // ts=1 never got its final seal before ts=2's segments arrived:
+    // the ts=1 run is an interrupted commit's leftovers.
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 1, false, 0));
+    grouper.feed(seg(0x1040, 2, true, 1));
+    grouper.finish();
+
+    ASSERT_EQ(grouper.discarded().size(), 1u);
+    EXPECT_EQ(grouper.discarded()[0].reason, TxDiscard::TimestampBreak);
+    EXPECT_EQ(grouper.discarded()[0].tx.ts, 1u);
+    ASSERT_EQ(grouper.committed().size(), 1u);
+    EXPECT_EQ(grouper.committed()[0].ts, 2u);
+}
+
+TEST(TxGrouperTest, TrailingOpenRunIsInFlight)
+{
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 1, true, 1));
+    grouper.feed(seg(0x1040, 2, false, 0));
+    grouper.feed(seg(0x1080, 2, false, 0));
+    const auto &tail = grouper.finish();
+
+    ASSERT_EQ(tail.segs.size(), 2u);
+    EXPECT_EQ(tail.ts, 2u);
+    EXPECT_EQ(grouper.committed().size(), 1u);
+    EXPECT_TRUE(grouper.discarded().empty());
+    // The adoption point is the committed prefix, not the tail.
+    EXPECT_EQ(grouper.lastCommittedEnd(), 0x1000u + 64u);
+}
+
+TEST(TxGrouperTest, LastCommittedEndTracksTheNewestCommit)
+{
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 1, true, 1));
+    grouper.feed(seg(0x1040, 2, true, 1, 48));
+    grouper.finish();
+
+    EXPECT_EQ(grouper.committed().size(), 2u);
+    EXPECT_EQ(grouper.lastCommittedEnd(), 0x1040u + 48u);
+}
+
+TEST(TxGrouperTest, ZeroCountSealNeverCommitsAMultiSegmentRun)
+{
+    // A final seal with no count attestation (legacy/garbled flags)
+    // cannot prove the run's length; the grouper must not commit it.
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 5, false, 0));
+    grouper.feed(seg(0x1040, 5, true, 0));
+    grouper.finish();
+
+    EXPECT_TRUE(grouper.committed().empty());
+    ASSERT_EQ(grouper.discarded().size(), 1u);
+    EXPECT_EQ(grouper.discarded()[0].reason,
+              TxDiscard::SegCountMismatch);
+}
+
+TEST(TxGrouperTest, BlockIndexPropagatesToGroupedSegs)
+{
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 1, false, 0), 4);
+    grouper.feed(seg(0x2000, 1, true, 2), 5);
+    grouper.finish();
+
+    ASSERT_EQ(grouper.committed().size(), 1u);
+    EXPECT_EQ(grouper.committed()[0].segs[0].blockIndex, 4u);
+    EXPECT_EQ(grouper.committed()[0].segs[1].blockIndex, 5u);
+}
+
+TEST(TxGrouperTest, BackToBackDiscardsKeepWalkOrder)
+{
+    TxGrouper grouper;
+    grouper.feed(seg(0x1000, 1, false, 0)); // ts break victim
+    grouper.feed(seg(0x1040, 2, false, 0));
+    grouper.feed(seg(0x1080, 2, true, 9)); // count mismatch
+    grouper.feed(seg(0x10C0, 3, true, 1)); // commits
+    grouper.finish();
+
+    ASSERT_EQ(grouper.discarded().size(), 2u);
+    EXPECT_EQ(grouper.discarded()[0].reason, TxDiscard::TimestampBreak);
+    EXPECT_EQ(grouper.discarded()[1].reason,
+              TxDiscard::SegCountMismatch);
+    ASSERT_EQ(grouper.committed().size(), 1u);
+    EXPECT_EQ(grouper.committed()[0].ts, 3u);
+}
+
+} // namespace
+} // namespace specpmt::core

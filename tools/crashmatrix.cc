@@ -21,8 +21,12 @@
 #include <string_view>
 #include <vector>
 
+#include "forensic/inspector.hh"
+#include "forensic/recovery_audit.hh"
 #include "kv/kv_crash_workload.hh"
 #include "obs/artifacts.hh"
+#include "obs/metrics.hh"
+#include "pmem/image_io.hh"
 #include "sim/crash_explorer.hh"
 #include "workloads/stamp_crash_workload.hh"
 
@@ -51,9 +55,14 @@ usage(std::FILE *out)
     std::fputs(
         "usage: crashmatrix [cell options] [driver options]\n"
         "       crashmatrix --replay=<token> [--continue]\n"
+        "       crashmatrix --explain=<token> [--image-out=DIR]\n"
+        "                   [--json=PATH]\n"
         "\n"
         "Explores every persistence-event crash point of one cell of\n"
         "the crash matrix, or replays one schedule from its token.\n"
+        "--explain replays a token, saves the post-crash image(s) and\n"
+        "prints the pminspect forensic report (transaction verdicts,\n"
+        "seal CRCs, flight-recorder ring) plus a recovery audit.\n"
         "\n"
         "cell options\n"
         "  --runtime=NAME   pmdk|spht|spec|spec-dp|hybrid    [spec]\n"
@@ -77,6 +86,8 @@ usage(std::FILE *out)
         "  --metrics-out=P  dump the metrics registry (text/.json)\n"
         "  --trace-out=P    enable tracing, dump Chrome trace JSON\n"
         "  --replay=TOKEN   replay one schedule and exit\n"
+        "  --explain=TOKEN  replay + forensic report and exit\n"
+        "  --image-out=DIR  (--explain) save post-crash images there\n"
         "  --help           this text\n",
         out);
 }
@@ -103,6 +114,112 @@ replayToken(const std::string &token, bool verify_continuation)
     return 0;
 }
 
+/**
+ * Replay @p token's crash point, export the post-crash image(s), and
+ * emit the forensic report: pminspect classification per image plus a
+ * recovery audit (spec family). Deterministic text on stdout (golden
+ * testable; metrics only appear in the JSON report).
+ */
+int
+explainToken(const std::string &token, const std::string &image_dir,
+             const std::string &json_path)
+{
+    sim::CrashCell cell;
+    std::uint64_t point = 0;
+    std::string error;
+    if (!sim::CrashCell::parseToken(token, cell, point, error)) {
+        std::fprintf(stderr, "crashmatrix: bad token: %s\n",
+                     error.c_str());
+        return 2;
+    }
+
+    std::unique_ptr<sim::CrashWorkload> workload;
+    try {
+        workload = fullWorkloadFactory()(cell);
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "crashmatrix: %s\n", ex.what());
+        return 2;
+    }
+
+    const bool fired = workload->run(static_cast<long>(point));
+    const auto policy = cell.policyAt(point);
+    const auto exports = workload->exportCrashImages(policy);
+
+    std::printf("explain %s\n", token.c_str());
+    std::printf("  crash point %llu %s, policy %s, %zu image(s)\n",
+                static_cast<unsigned long long>(point),
+                fired ? "fired" : "did not fire (run too short)",
+                cell.policy.c_str(), exports.size());
+
+    const bool audit_supported =
+        cell.runtime == "spec" || cell.runtime == "spec-dp";
+    bool disagreement = false;
+    std::string json = "{\"token\": \"" + token + "\", \"point\": " +
+                       std::to_string(point) + ", \"fired\": " +
+                       (fired ? "true" : "false") + ", \"images\": [";
+    bool first = true;
+
+    for (const auto &exp : exports) {
+        const auto dev = pmem::deviceFromImage(exp.image);
+        const auto report =
+            forensic::inspectImage(*dev, exp.threads, exp.name);
+
+        std::printf("--- image %s ---\n", exp.name.c_str());
+        std::fputs(report.toText().c_str(), stdout);
+
+        forensic::AuditResult audit;
+        if (audit_supported) {
+            audit = forensic::auditRecovery(exp.image, cell.runtime,
+                                            exp.threads, report);
+            std::fputs(audit.toText().c_str(), stdout);
+            if (!audit.agrees)
+                disagreement = true;
+        }
+
+        if (!image_dir.empty()) {
+            const std::string path =
+                image_dir + "/" + exp.name + ".img";
+            std::string io_error;
+            if (!pmem::saveImage(path, exp.image, io_error)) {
+                std::fprintf(stderr, "crashmatrix: %s: %s\n",
+                             path.c_str(), io_error.c_str());
+                return 2;
+            }
+        }
+
+        if (!first)
+            json += ",";
+        first = false;
+        json += "\n  {\"name\": \"" + exp.name + "\", \"report\": ";
+        json += report.toJson(
+            obs::Registry::global().snapshot().toJson());
+        if (audit_supported)
+            json += ", \"audit\": " + audit.toJson();
+        json += "}";
+    }
+    json += "\n]}\n";
+
+    if (!json_path.empty()) {
+        if (json_path == "-") {
+            std::printf("%s", json.c_str());
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::fprintf(stderr, "crashmatrix: cannot write %s\n",
+                             json_path.c_str());
+                return 2;
+            }
+            out << json;
+        }
+    }
+
+    if (disagreement) {
+        std::printf("recovery audit DISAGREES with the inspector\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -112,6 +229,8 @@ main(int argc, char **argv)
     sim::ExploreOptions options;
     std::string json_path;
     std::string replay_token;
+    std::string explain_token;
+    std::string image_dir;
     bool verify_continuation = false;
     obs::OutputFlags obs_flags;
 
@@ -196,6 +315,10 @@ main(int argc, char **argv)
             json_path = v;
         } else if (value("--replay=", v)) {
             replay_token = v;
+        } else if (value("--explain=", v)) {
+            explain_token = v;
+        } else if (value("--image-out=", v)) {
+            image_dir = v;
         } else if (obs_flags.accept(arg)) {
             // --metrics-out= / --trace-out= consumed.
         } else {
@@ -209,6 +332,13 @@ main(int argc, char **argv)
     if (!replay_token.empty()) {
         const int status =
             replayToken(replay_token, verify_continuation);
+        obs_flags.writeArtifacts();
+        return status;
+    }
+
+    if (!explain_token.empty()) {
+        const int status =
+            explainToken(explain_token, image_dir, json_path);
         obs_flags.writeArtifacts();
         return status;
     }

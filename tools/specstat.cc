@@ -12,14 +12,20 @@
  *   check FILE...    validate artifacts: .json files must be
  *                    syntactically valid JSON (trace files must also
  *                    carry a traceEvents array), everything else must
- *                    parse as Prometheus text.
+ *                    parse as Prometheus text. Repeatable
+ *                    --require=<metric><op><value> flags (ops ==, !=,
+ *                    >=, <=, >, <) assert against the merged samples
+ *                    of every Prometheus file; a missing metric fails
+ *                    the assertion.
  *
- * Exit status: 0 = success, 1 = check found an invalid artifact,
- * 2 = usage error or unreadable/malformed input to dump/diff.
+ * Exit status: 0 = success, 1 = check found an invalid artifact or a
+ * failed --require assertion, 2 = usage error or unreadable/malformed
+ * input to dump/diff.
  */
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -345,12 +351,89 @@ checkOne(const std::string &path)
     return true;
 }
 
+/** One parsed --require=<metric><op><value> assertion. */
+struct Requirement
+{
+    std::string metric;
+    std::string op;
+    double value = 0;
+    std::string raw; ///< the spec as typed, for messages
+};
+
+bool
+parseRequirement(std::string_view spec, Requirement &out,
+                 std::string &error)
+{
+    out.raw = spec;
+    const std::size_t pos = spec.find_first_of("<>!=");
+    if (pos == 0 || pos == std::string_view::npos) {
+        error = "want <metric><op><value> with op one of "
+                "== != >= <= > <";
+        return false;
+    }
+    out.metric = spec.substr(0, pos);
+    std::size_t value_pos = pos + 1;
+    if (value_pos < spec.size() && spec[value_pos] == '=')
+        ++value_pos;
+    out.op = spec.substr(pos, value_pos - pos);
+    if (out.op != "==" && out.op != "!=" && out.op != ">=" &&
+        out.op != "<=" && out.op != ">" && out.op != "<") {
+        error = "unknown operator '" + out.op + "'";
+        return false;
+    }
+    const std::string value_str(spec.substr(value_pos));
+    char *end = nullptr;
+    out.value = std::strtod(value_str.c_str(), &end);
+    if (value_str.empty() || end == nullptr || *end != '\0') {
+        error = "bad numeric value '" + value_str + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+evalRequirement(const FlatSamples &samples, const Requirement &req)
+{
+    const auto it = samples.find(req.metric);
+    if (it == samples.end()) {
+        std::fprintf(stderr,
+                     "specstat: REQUIRE FAILED %s: metric %s not "
+                     "found in the checked files\n",
+                     req.raw.c_str(), req.metric.c_str());
+        return false;
+    }
+    const double actual = it->second;
+    bool ok = false;
+    if (req.op == "==")
+        ok = actual == req.value;
+    else if (req.op == "!=")
+        ok = actual != req.value;
+    else if (req.op == ">=")
+        ok = actual >= req.value;
+    else if (req.op == "<=")
+        ok = actual <= req.value;
+    else if (req.op == ">")
+        ok = actual > req.value;
+    else if (req.op == "<")
+        ok = actual < req.value;
+    if (ok) {
+        std::printf("REQUIRE ok %s (actual %s)\n", req.raw.c_str(),
+                    formatValue(actual).c_str());
+    } else {
+        std::fprintf(stderr,
+                     "specstat: REQUIRE FAILED %s (actual %s)\n",
+                     req.raw.c_str(), formatValue(actual).c_str());
+    }
+    return ok;
+}
+
 int
 usage()
 {
     std::fputs("usage: specstat dump FILE\n"
                "       specstat diff OLD NEW\n"
-               "       specstat check FILE...\n",
+               "       specstat check [--require=METRIC<OP>VALUE]... "
+               "FILE...\n",
                stderr);
     return 2;
 }
@@ -368,9 +451,44 @@ main(int argc, char **argv)
     if (command == "diff" && argc == 4)
         return cmdDiff(argv[2], argv[3]);
     if (command == "check" && argc >= 3) {
+        std::vector<Requirement> requirements;
+        std::vector<std::string> files;
+        for (int i = 2; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--require=", 0) == 0) {
+                Requirement req;
+                std::string error;
+                if (!parseRequirement(arg.substr(10), req, error)) {
+                    std::fprintf(stderr,
+                                 "specstat: bad %s: %s\n", argv[i],
+                                 error.c_str());
+                    return 2;
+                }
+                requirements.push_back(std::move(req));
+            } else {
+                files.emplace_back(arg);
+            }
+        }
+        if (files.empty())
+            return usage();
         bool ok = true;
-        for (int i = 2; i < argc; ++i)
-            ok = checkOne(argv[i]) && ok;
+        FlatSamples merged;
+        for (const auto &file : files) {
+            ok = checkOne(file) && ok;
+            if (endsWith(file, ".json"))
+                continue;
+            // Merge this exposition's samples for the assertions
+            // (later files overwrite same-named series).
+            std::string text, error;
+            FlatSamples samples;
+            if (readFile(file, text) &&
+                specpmt::obs::parsePrometheus(text, samples, error)) {
+                for (const auto &[name, value] : samples)
+                    merged[name] = value;
+            }
+        }
+        for (const auto &req : requirements)
+            ok = evalRequirement(merged, req) && ok;
         return ok ? 0 : 1;
     }
     return usage();

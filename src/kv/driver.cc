@@ -2,10 +2,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <cmath>
 #include <thread>
 
-#include "common/hash.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 
@@ -14,15 +12,6 @@ namespace specpmt::kv
 
 namespace
 {
-
-double
-zeta(std::uint64_t n, double theta)
-{
-    double sum = 0.0;
-    for (std::uint64_t i = 1; i <= n; ++i)
-        sum += 1.0 / std::pow(static_cast<double>(i), theta);
-    return sum;
-}
 
 std::uint64_t
 nowNs()
@@ -35,62 +24,17 @@ nowNs()
 
 } // namespace
 
-const char *
-mixName(Mix mix)
+WorkloadSpec
+workloadSpec(const DriverConfig &config)
 {
-    switch (mix) {
-      case Mix::A:
-        return "A";
-      case Mix::B:
-        return "B";
-      case Mix::C:
-        return "C";
-    }
-    return "?";
-}
-
-const char *
-keyDistName(KeyDist dist)
-{
-    switch (dist) {
-      case KeyDist::Uniform:
-        return "uniform";
-      case KeyDist::Zipfian:
-        return "zipfian";
-    }
-    return "?";
-}
-
-ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
-    : n_(n), theta_(theta), zetan_(zeta(n, theta)),
-      alpha_(1.0 / (1.0 - theta)),
-      eta_((1.0 - std::pow(2.0 / static_cast<double>(n),
-                           1.0 - theta)) /
-           (1.0 - zeta(2, theta) / zetan_))
-{
-    SPECPMT_ASSERT(n >= 2);
-    SPECPMT_ASSERT(theta > 0.0 && theta < 1.0);
-}
-
-std::uint64_t
-ZipfianGenerator::next(Rng &rng) const
-{
-    const double u = rng.uniform();
-    const double uz = u * zetan_;
-    if (uz < 1.0)
-        return 0;
-    if (uz < 1.0 + std::pow(0.5, theta_))
-        return 1;
-    const auto rank = static_cast<std::uint64_t>(
-        static_cast<double>(n_) *
-        std::pow(eta_ * u - eta_ + 1.0, alpha_));
-    return std::min(rank, n_ - 1);
-}
-
-std::uint64_t
-rankToKey(std::uint64_t rank, std::uint64_t keys)
-{
-    return 1 + mix64(rank + 1) % keys;
+    WorkloadSpec spec;
+    spec.keys = config.keys;
+    spec.mix = config.mix;
+    spec.dist = config.dist;
+    spec.zipfTheta = config.zipfTheta;
+    spec.multiPutFraction = config.multiPutFraction;
+    spec.multiPutBatch = config.multiPutBatch;
+    return spec;
 }
 
 void
@@ -121,10 +65,11 @@ runClosedLoop(KvService &service, const DriverConfig &config)
             service.shardSnapshot(s).pmLineWrites);
     }
 
-    const double update_fraction =
-        config.mix == Mix::A ? 0.5 : config.mix == Mix::B ? 0.05 : 0.0;
+    const WorkloadSpec spec = workloadSpec(config);
     // Zipf construction is O(keys); build once, share read-only.
     const ZipfianGenerator zipf(config.keys, config.zipfTheta);
+    const ZipfianGenerator *zipf_ptr =
+        spec.dist == KeyDist::Zipfian ? &zipf : nullptr;
 
     struct WorkerOut
     {
@@ -145,7 +90,8 @@ runClosedLoop(KvService &service, const DriverConfig &config)
     for (unsigned t = 0; t < config.threads; ++t) {
         workers.emplace_back([&, t] {
             WorkerOut &out = outs[t];
-            Rng rng(config.seed * 0x9E3779B9u + t);
+            OpGenerator gen(spec, zipf_ptr,
+                            OpGenerator::workerSeed(config.seed, t));
             if (t == 0 && config.armCrashAfter >= 0)
                 service.armCrashAll(config.armCrashAfter);
             try {
@@ -153,46 +99,31 @@ runClosedLoop(KvService &service, const DriverConfig &config)
                      i < config.opsPerThread &&
                      !stop.load(std::memory_order_relaxed);
                      ++i) {
-                    const std::uint64_t rank =
-                        config.dist == KeyDist::Zipfian
-                            ? zipf.next(rng)
-                            : rng.below(config.keys);
-                    const KvKey key = rankToKey(rank, config.keys);
-                    const bool update =
-                        rng.uniform() < update_fraction;
+                    const WorkloadOp op = gen.next();
                     const std::uint64_t begin = nowNs();
-                    if (!update) {
-                        const auto value = service.get(t, key);
+                    switch (op.kind) {
+                      case WorkloadOp::Kind::Get: {
+                        const auto value = service.get(t, op.key);
                         out.readLatency.record(nowNs() - begin);
-                        if (!value || !value->checkTag(key))
+                        if (!value || !value->checkTag(op.key))
                             ++out.failed;
                         ++out.reads;
-                    } else if (config.multiPutFraction > 0.0 &&
-                               rng.uniform() <
-                                   config.multiPutFraction) {
-                        std::vector<std::pair<KvKey, KvValue>> batch;
-                        batch.reserve(config.multiPutBatch);
-                        batch.emplace_back(
-                            key, KvValue::tagged(key, rng.next()));
-                        for (unsigned b = 1;
-                             b < config.multiPutBatch; ++b) {
-                            const KvKey extra = rankToKey(
-                                rng.below(config.keys), config.keys);
-                            batch.emplace_back(
-                                extra,
-                                KvValue::tagged(extra, rng.next()));
-                        }
-                        if (!service.multiPut(t, batch))
+                        break;
+                      }
+                      case WorkloadOp::Kind::MultiPut: {
+                        if (!service.multiPut(t, op.batch))
                             ++out.failed;
                         out.updateLatency.record(nowNs() - begin);
                         ++out.multiPuts;
-                    } else {
-                        const auto value =
-                            KvValue::tagged(key, rng.next());
-                        if (!service.put(t, key, value))
+                        break;
+                      }
+                      case WorkloadOp::Kind::Put: {
+                        if (!service.put(t, op.key, op.value))
                             ++out.failed;
                         out.updateLatency.record(nowNs() - begin);
                         ++out.updates;
+                        break;
+                      }
                     }
                 }
             } catch (const pmem::SimulatedCrash &) {

@@ -22,49 +22,10 @@
 #include "common/rand.hh"
 #include "common/stats.hh"
 #include "kv/kv_service.hh"
+#include "kv/workload_spec.hh"
 
 namespace specpmt::kv
 {
-
-/** YCSB core workload mixes. */
-enum class Mix
-{
-    A, ///< 50% read / 50% update
-    B, ///< 95% read / 5% update
-    C, ///< 100% read
-};
-
-const char *mixName(Mix mix);
-
-/** Key popularity distributions. */
-enum class KeyDist
-{
-    Uniform,
-    Zipfian,
-};
-
-const char *keyDistName(KeyDist dist);
-
-/**
- * The YCSB zipfian rank generator (Gray et al.'s algorithm): ranks in
- * [0, n) with P(rank) ∝ 1/(rank+1)^theta. Construction is O(n) (zeta
- * precomputation); next() is O(1).
- */
-class ZipfianGenerator
-{
-  public:
-    ZipfianGenerator(std::uint64_t n, double theta);
-
-    /** Draw a rank in [0, n); rank 0 is the most popular. */
-    std::uint64_t next(Rng &rng) const;
-
-  private:
-    std::uint64_t n_;
-    double theta_;
-    double zetan_;
-    double alpha_;
-    double eta_;
-};
 
 /** Driver parameters. */
 struct DriverConfig
@@ -117,11 +78,8 @@ struct DriverResult
     }
 };
 
-/**
- * Map a popularity rank to a key in [1, keys]: ranks are scrambled
- * with a 64-bit mix so hot keys spread across shards, as YCSB does.
- */
-std::uint64_t rankToKey(std::uint64_t rank, std::uint64_t keys);
+/** The workload shape of @p config (the part OpGenerator consumes). */
+WorkloadSpec workloadSpec(const DriverConfig &config);
 
 /** Insert keys 1..config.keys via multiPut batches (load phase). */
 void loadKeyspace(KvService &service, const DriverConfig &config);

@@ -117,9 +117,15 @@ KvService::KvService(const KvServiceConfig &config) : config_(config)
 KvService::~KvService() = default;
 
 unsigned
+shardOfKey(KvKey key, unsigned shards)
+{
+    return static_cast<unsigned>(mix64(key + 0x5AD0) % shards);
+}
+
+unsigned
 KvService::shardOf(KvKey key) const
 {
-    return static_cast<unsigned>(mix64(key + 0x5AD0) % config_.shards);
+    return shardOfKey(key, config_.shards);
 }
 
 PmOff
@@ -220,6 +226,81 @@ KvService::multiPut(ThreadId tid,
         all_ok = putBatchLocked(shard, tid, shard_items) && all_ok;
     }
     return all_ok;
+}
+
+bool
+KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
+                             const std::vector<BatchOp> &ops,
+                             std::vector<BatchOpResult> &results)
+{
+    results.clear();
+    results.resize(ops.size());
+    if (shard_index >= config_.shards)
+        return false;
+    bool any_mutation = false;
+    bool any_put = false;
+    std::vector<PmOff> addrs;
+    for (const auto &op : ops) {
+        if (shardOf(op.key) != shard_index)
+            return false;
+        if (op.kind != BatchOp::Kind::Get) {
+            addrs.push_back(lockAddr(op.key));
+            any_mutation = true;
+            any_put |= op.kind == BatchOp::Kind::Put;
+        }
+    }
+    Shard &shard = *shards_[shard_index];
+    auto &metrics = KvMetrics::get();
+
+    if (!any_mutation) {
+        // Read-only batch: lock-free probes, no transaction, no fence.
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const auto value = shard.map->get(tid, ops[i].key);
+            results[i].ok = value.has_value();
+            if (value)
+                results[i].value = *value;
+            metrics.gets.add();
+        }
+        return true;
+    }
+
+    // Same lock order as put()/multiPut(): stripes, then (only when a
+    // bucket claim is possible) the shard structure lock.
+    auto guard = shard.locks->lockAll(std::move(addrs));
+    std::unique_lock<std::mutex> structure(shard.structureLock,
+                                           std::defer_lock);
+    if (any_put)
+        structure.lock();
+    shard.runtime->txBegin(tid);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const BatchOp &op = ops[i];
+        switch (op.kind) {
+          case BatchOp::Kind::Get: {
+            // In-order inside the open tx: sees this batch's earlier
+            // uncommitted puts (pipelined read-your-writes).
+            const auto value = shard.map->get(tid, op.key);
+            results[i].ok = value.has_value();
+            if (value)
+                results[i].value = *value;
+            metrics.gets.add();
+            break;
+          }
+          case BatchOp::Kind::Put:
+            results[i].ok = shard.map->putInTx(tid, op.key, op.value);
+            metrics.puts.add();
+            if (!results[i].ok)
+                metrics.putFailures.add();
+            break;
+          case BatchOp::Kind::Erase:
+            results[i].ok = shard.map->eraseInTx(tid, op.key);
+            if (results[i].ok)
+                metrics.erases.add();
+            break;
+        }
+    }
+    shard.runtime->txCommit(tid);
+    shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
+    return true;
 }
 
 void

@@ -108,6 +108,37 @@ struct KvServiceConfig
     txn::RuntimeOptions runtimeOptions;
 };
 
+/** One operation in a shard batch (see executeShardBatch). */
+struct BatchOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Get,
+        Put,
+        Erase,
+    };
+
+    Kind kind = Kind::Get;
+    KvKey key = 0;
+    /** Put payload (ignored for Get/Erase). */
+    KvValue value{};
+};
+
+/** Outcome of one BatchOp. */
+struct BatchOpResult
+{
+    /** Get: found; Put: stored (false = map full); Erase: removed. */
+    bool ok = false;
+    /** The value read (Get with ok == true only). */
+    KvValue value{};
+};
+
+/**
+ * The key-to-shard map every routing layer (service internals, network
+ * clients doing shard-affine routing) must agree on.
+ */
+unsigned shardOfKey(KvKey key, unsigned shards);
+
 /** Point-in-time per-shard accounting. */
 struct ShardSnapshot
 {
@@ -156,6 +187,27 @@ class KvService
      */
     bool multiPut(ThreadId tid,
                   const std::vector<std::pair<KvKey, KvValue>> &items);
+
+    /**
+     * Execute an ordered batch of operations whose keys all map to
+     * @p shard, with every mutation in ONE crash-atomic shard
+     * transaction — the group-commit primitive the network event
+     * loops amortize the commit fence with: N pipelined mutations
+     * cost one flush+fence instead of N.
+     *
+     * Ops run strictly in order inside the transaction, so a Get
+     * issued after a Put of the same key in the same batch observes
+     * the new value (pipelined read-your-writes); results are only
+     * reported to the caller after the commit fence, so acking them
+     * never races durability. A batch with no mutations skips the
+     * transaction entirely (zero fences).
+     *
+     * Returns false (executing nothing) if any key does not map to
+     * @p shard. @p results is resized to ops.size().
+     */
+    bool executeShardBatch(ThreadId tid, unsigned shard,
+                           const std::vector<BatchOp> &ops,
+                           std::vector<BatchOpResult> &results);
 
     /**
      * Simulated power failure on every shard: drops the runtimes,

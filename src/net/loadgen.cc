@@ -1,0 +1,617 @@
+#include "net/loadgen.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fcntl.h>
+#include <memory>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "net/protocol.hh"
+#include "obs/metrics.hh"
+
+namespace specpmt::net
+{
+
+namespace
+{
+
+std::uint64_t
+steadyNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+struct LoadgenMetrics
+{
+    obs::Counter &scheduled;
+    obs::Counter &sent;
+    obs::Counter &acked;
+    obs::Counter &errors;
+    obs::Counter &notFound;
+    obs::Counter &lost;
+    obs::Counter &protocolErrors;
+    obs::Histogram &readLatency;
+    obs::Histogram &updateLatency;
+    obs::Histogram &sendLag;
+
+    static LoadgenMetrics &
+    instance()
+    {
+        auto &reg = obs::Registry::global();
+        static LoadgenMetrics metrics{
+            reg.counter("specpmt_loadgen_scheduled_total",
+                        "requests scheduled on the arrival timeline"),
+            reg.counter("specpmt_loadgen_sent_total",
+                        "requests written to a socket"),
+            reg.counter("specpmt_loadgen_acked_total",
+                        "responses matched to requests"),
+            reg.counter("specpmt_loadgen_errors_total",
+                        "Err responses received"),
+            reg.counter("specpmt_loadgen_not_found_total",
+                        "Get misses"),
+            reg.counter("specpmt_loadgen_lost_total",
+                        "requests unanswered at run end"),
+            reg.counter("specpmt_loadgen_protocol_errors_total",
+                        "malformed response frames"),
+            reg.histogram("specpmt_loadgen_read_latency_ns",
+                          "read latency from intended departure"),
+            reg.histogram("specpmt_loadgen_update_latency_ns",
+                          "update latency from intended departure"),
+            reg.histogram(
+                "specpmt_loadgen_send_lag_ns",
+                "actual minus intended departure time"),
+        };
+        return metrics;
+    }
+};
+
+/** One shard-bound connection. */
+struct Conn
+{
+    int fd = -1;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> out;
+    std::size_t outPos = 0;
+    bool dead = false;
+};
+
+/** What we remember about an in-flight request. */
+struct Outstanding
+{
+    /** Intended departure, ns from timeline origin (load phase: 0). */
+    std::uint64_t intendedNs = 0;
+    enum class Kind : std::uint8_t
+    {
+        Read,
+        Update,
+        Load, ///< load-phase batch: no latency sample
+    } kind = Kind::Read;
+    /** Durability obligations this request carries if acked. */
+    std::vector<std::pair<kv::KvKey, std::uint64_t>> writes;
+};
+
+class OpenLoopRun
+{
+  public:
+    explicit OpenLoopRun(const LoadgenConfig &config)
+        : cfg_(config)
+    {
+    }
+
+    LoadgenResult
+    run()
+    {
+        if (!connectAll())
+            return std::move(res_);
+        if (cfg_.loadFirst && !loadKeyspace()) {
+            closeAll();
+            return std::move(res_);
+        }
+        timedRun();
+        closeAll();
+        publishMetrics();
+        return std::move(res_);
+    }
+
+  private:
+    bool
+    abort(std::string why)
+    {
+        res_.aborted = true;
+        res_.error = std::move(why);
+        closeAll();
+        return false;
+    }
+
+    void
+    closeAll()
+    {
+        for (auto &conn : conns_) {
+            if (conn.fd >= 0)
+                ::close(conn.fd);
+            conn.fd = -1;
+        }
+    }
+
+    int
+    connectTcp()
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(cfg_.port);
+        if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) !=
+            1) {
+            ::close(fd);
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return fd;
+    }
+
+    /**
+     * Blocking HELLO exchange on a fresh connection; returns the fd
+     * (still blocking) or -1. The response fills shards/bound.
+     */
+    int
+    helloConnect(std::uint32_t desired, std::uint32_t &shards,
+                 std::uint32_t &bound)
+    {
+        const int fd = connectTcp();
+        if (fd < 0)
+            return -1;
+        std::vector<std::uint8_t> hello;
+        appendHello(hello, ++nextId_, desired);
+        std::size_t off = 0;
+        while (off < hello.size()) {
+            const ssize_t n = ::send(fd, hello.data() + off,
+                                     hello.size() - off, MSG_NOSIGNAL);
+            if (n <= 0) {
+                ::close(fd);
+                return -1;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        FrameDecoder decoder;
+        Frame frame;
+        std::string error;
+        for (;;) {
+            switch (decoder.next(frame, error)) {
+            case FrameDecoder::Status::Frame:
+                if (!parseHelloOk(frame, shards, bound)) {
+                    ::close(fd);
+                    return -1;
+                }
+                return fd;
+            case FrameDecoder::Status::Error:
+                ::close(fd);
+                return -1;
+            case FrameDecoder::Status::NeedMore:
+                break;
+            }
+            std::uint8_t buf[512];
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n <= 0) {
+                ::close(fd);
+                return -1;
+            }
+            decoder.feed(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    bool
+    connectAll()
+    {
+        // Probe with a wildcard HELLO to learn the shard count, then
+        // open one shard-bound connection per shard.
+        std::uint32_t shards = 0;
+        std::uint32_t bound = 0;
+        const int probe = helloConnect(kAnyShard, shards, bound);
+        if (probe < 0)
+            return abort("connect/handshake with " + cfg_.host + ":" +
+                         std::to_string(cfg_.port) + " failed");
+        ::close(probe);
+        if (shards == 0)
+            return abort("server reported zero shards");
+        shards_ = shards;
+        conns_.resize(shards_);
+        for (std::uint32_t s = 0; s < shards_; ++s) {
+            std::uint32_t gotShards = 0;
+            std::uint32_t gotBound = 0;
+            const int fd = helloConnect(s, gotShards, gotBound);
+            if (fd < 0 || gotBound != s) {
+                if (fd >= 0)
+                    ::close(fd);
+                return abort("binding a connection to shard " +
+                             std::to_string(s) + " failed");
+            }
+            const int flags = ::fcntl(fd, F_GETFL, 0);
+            ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+            conns_[s].fd = fd;
+        }
+        return true;
+    }
+
+    Conn &
+    connOf(kv::KvKey key)
+    {
+        return conns_[kv::shardOfKey(key, shards_)];
+    }
+
+    /**
+     * Flush pending output and drain readable responses once; returns
+     * false when every connection is dead.
+     */
+    bool
+    pump(int timeout_ms)
+    {
+        std::vector<pollfd> fds;
+        std::vector<unsigned> index;
+        fds.reserve(conns_.size());
+        for (unsigned i = 0; i < conns_.size(); ++i) {
+            auto &conn = conns_[i];
+            if (conn.dead)
+                continue;
+            flush(conn);
+            short events = POLLIN;
+            if (conn.outPos < conn.out.size())
+                events |= POLLOUT;
+            fds.push_back(pollfd{conn.fd, events, 0});
+            index.push_back(i);
+        }
+        if (fds.empty())
+            return false;
+        const int ready =
+            ::poll(fds.data(), fds.size(), timeout_ms);
+        if (ready <= 0)
+            return true;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            auto &conn = conns_[index[i]];
+            if (fds[i].revents & (POLLERR | POLLHUP))
+                conn.dead = true;
+            if (conn.dead)
+                continue;
+            if (fds[i].revents & POLLOUT)
+                flush(conn);
+            if (fds[i].revents & POLLIN)
+                readReady(conn);
+        }
+        return std::any_of(conns_.begin(), conns_.end(),
+                           [](const Conn &c) { return !c.dead; });
+    }
+
+    void
+    flush(Conn &conn)
+    {
+        while (conn.outPos < conn.out.size()) {
+            const ssize_t n =
+                ::send(conn.fd, conn.out.data() + conn.outPos,
+                       conn.out.size() - conn.outPos, MSG_NOSIGNAL);
+            if (n > 0) {
+                conn.outPos += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return;
+            conn.dead = true;
+            return;
+        }
+        conn.out.clear();
+        conn.outPos = 0;
+    }
+
+    void
+    readReady(Conn &conn)
+    {
+        std::uint8_t buf[64 * 1024];
+        for (;;) {
+            const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+                conn.decoder.feed(buf, static_cast<std::size_t>(n));
+                if (static_cast<std::size_t>(n) < sizeof(buf))
+                    break;
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            conn.dead = true;
+            break;
+        }
+        Frame frame;
+        std::string error;
+        for (;;) {
+            const auto status = conn.decoder.next(frame, error);
+            if (status == FrameDecoder::Status::NeedMore)
+                break;
+            if (status == FrameDecoder::Status::Error) {
+                ++res_.protocolErrors;
+                conn.dead = true;
+                break;
+            }
+            handleResponse(frame);
+        }
+    }
+
+    void
+    handleResponse(const Frame &frame)
+    {
+        const auto it = outstanding_.find(frame.id);
+        if (it == outstanding_.end()) {
+            ++res_.protocolErrors;
+            return;
+        }
+        const Outstanding op = std::move(it->second);
+        outstanding_.erase(it);
+
+        bool ok = false;
+        switch (frame.op) {
+        case Op::Value:
+        case Op::Ok:
+            ok = true;
+            break;
+        case Op::NotFound:
+            ok = true;
+            ++res_.notFound;
+            break;
+        case Op::Err:
+            ++res_.errors;
+            break;
+        default:
+            ++res_.protocolErrors;
+            return;
+        }
+        if (!ok)
+            return;
+        for (const auto &[key, payload] : op.writes)
+            res_.ackedPuts[key] = payload;
+        // Load-phase batches are plumbing, not measured traffic.
+        if (op.kind == Outstanding::Kind::Load)
+            return;
+        ++res_.acked;
+        const std::uint64_t now = steadyNs();
+        const std::uint64_t intendedAbs = origin_ + op.intendedNs;
+        const std::uint64_t latency =
+            now > intendedAbs ? now - intendedAbs : 0;
+        if (op.kind == Outstanding::Kind::Read)
+            res_.readLatency.record(latency);
+        else
+            res_.updateLatency.record(latency);
+    }
+
+    bool
+    loadKeyspace()
+    {
+        // Shard-grouped BATCH frames so each frame is one same-shard
+        // run (one commit fence) on the server.
+        std::vector<std::vector<kv::KvKey>> byShard(shards_);
+        for (kv::KvKey key = 1; key <= cfg_.workload.keys; ++key)
+            byShard[kv::shardOfKey(key, shards_)].push_back(key);
+        const std::size_t batch = std::max<std::size_t>(
+            1, std::min(cfg_.loadBatch, kMaxBatchEntries));
+        for (std::uint32_t s = 0; s < shards_; ++s) {
+            const auto &keys = byShard[s];
+            for (std::size_t off = 0; off < keys.size();
+                 off += batch) {
+                const std::size_t n =
+                    std::min(batch, keys.size() - off);
+                std::vector<std::pair<kv::KvKey, kv::KvValue>> items;
+                items.reserve(n);
+                Outstanding op;
+                op.kind = Outstanding::Kind::Load;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const kv::KvKey key = keys[off + i];
+                    items.emplace_back(key,
+                                       kv::KvValue::tagged(key, 0));
+                    op.writes.emplace_back(key, 0);
+                }
+                const std::uint64_t id = ++nextId_;
+                appendBatch(conns_[s].out, id, items);
+                outstanding_.emplace(id, std::move(op));
+            }
+        }
+        // Pump until every load batch is acked.
+        const std::uint64_t deadline =
+            steadyNs() + 60ull * 1000 * 1000 * 1000;
+        while (!outstanding_.empty()) {
+            if (steadyNs() > deadline)
+                return abort("keyspace load timed out");
+            if (!pump(100))
+                return abort("connections died during keyspace load");
+        }
+        return true;
+    }
+
+    void
+    timedRun()
+    {
+        // Fix the entire arrival timeline up front: intended
+        // departure offsets in ns from the origin.
+        const std::uint64_t total = static_cast<std::uint64_t>(
+            std::llround(cfg_.targetQps * cfg_.seconds));
+        std::vector<std::uint64_t> intended;
+        intended.reserve(total);
+        const double meanGapNs = 1e9 / cfg_.targetQps;
+        Rng arrivals(cfg_.seed ^ 0xA441A441A441A441ull);
+        double t = 0.0;
+        for (std::uint64_t i = 0; i < total; ++i) {
+            if (cfg_.arrival == Arrival::Fixed) {
+                intended.push_back(static_cast<std::uint64_t>(
+                    static_cast<double>(i) * meanGapNs));
+            } else {
+                t += -meanGapNs *
+                     std::log1p(-arrivals.uniform());
+                intended.push_back(
+                    static_cast<std::uint64_t>(t));
+            }
+        }
+
+        kv::OpGenerator gen(
+            cfg_.workload,
+            zipf_ ? zipf_.get() : buildZipf(),
+            kv::OpGenerator::workerSeed(cfg_.seed, 0));
+
+        origin_ = steadyNs();
+        const std::uint64_t timelineEndAbs =
+            origin_ +
+            (total ? intended.back() : 0) +
+            static_cast<std::uint64_t>(cfg_.drainSeconds * 1e9);
+
+        std::uint64_t nextOp = 0;
+        bool alive = true;
+        while (alive && (nextOp < total || !outstanding_.empty())) {
+            const std::uint64_t now = steadyNs();
+            if (now > timelineEndAbs)
+                break;
+            // Departures whose intended time has arrived leave NOW,
+            // regardless of outstanding responses (open loop).
+            while (nextOp < total &&
+                   origin_ + intended[nextOp] <= now) {
+                enqueue(gen.next(), intended[nextOp], now);
+                ++nextOp;
+            }
+            int timeout_ms = 100;
+            if (nextOp < total) {
+                const std::uint64_t at = origin_ + intended[nextOp];
+                timeout_ms =
+                    at <= now
+                        ? 0
+                        : static_cast<int>(std::min<std::uint64_t>(
+                              (at - now) / 1000000, 100));
+            }
+            alive = pump(timeout_ms);
+        }
+
+        res_.scheduled = total;
+        res_.lost = outstanding_.size();
+        for (const auto &[id, op] : outstanding_) {
+            for (const auto &[key, payload] : op.writes)
+                res_.unackedPuts[key].push_back(payload);
+        }
+        res_.connectionLost =
+            std::any_of(conns_.begin(), conns_.end(),
+                        [](const Conn &c) { return c.dead; });
+        outstanding_.clear();
+        res_.wallSeconds =
+            static_cast<double>(steadyNs() - origin_) / 1e9;
+        res_.achievedQps =
+            res_.wallSeconds > 0
+                ? static_cast<double>(res_.acked) / res_.wallSeconds
+                : 0.0;
+    }
+
+    void
+    enqueue(kv::WorkloadOp op, std::uint64_t intendedNs,
+            std::uint64_t now)
+    {
+        const std::uint64_t id = ++nextId_;
+        Outstanding record;
+        record.intendedNs = intendedNs;
+        switch (op.kind) {
+        case kv::WorkloadOp::Kind::Get:
+            record.kind = Outstanding::Kind::Read;
+            appendGet(connOf(op.key).out, id, op.key);
+            break;
+        case kv::WorkloadOp::Kind::Put:
+            record.kind = Outstanding::Kind::Update;
+            record.writes.emplace_back(op.key, op.value.words[1]);
+            appendPut(connOf(op.key).out, id, op.key, op.value);
+            break;
+        case kv::WorkloadOp::Kind::MultiPut: {
+            record.kind = Outstanding::Kind::Update;
+            for (const auto &[key, value] : op.batch)
+                record.writes.emplace_back(key, value.words[1]);
+            // A batch frame lands on one connection; misrouted
+            // members split the server-side run (correct, just more
+            // fences), so route by the first key's shard.
+            appendBatch(connOf(op.batch.front().first).out, id,
+                        op.batch);
+            break;
+        }
+        }
+        outstanding_.emplace(id, std::move(record));
+        ++res_.sent;
+        const std::uint64_t intendedAbs = origin_ + intendedNs;
+        res_.sendLag.record(now > intendedAbs ? now - intendedAbs
+                                              : 0);
+    }
+
+    const kv::ZipfianGenerator *
+    buildZipf()
+    {
+        if (cfg_.workload.dist != kv::KeyDist::Zipfian)
+            return nullptr;
+        zipf_ = std::make_unique<kv::ZipfianGenerator>(
+            cfg_.workload.keys, cfg_.workload.zipfTheta);
+        return zipf_.get();
+    }
+
+    void
+    publishMetrics()
+    {
+        auto &metrics = LoadgenMetrics::instance();
+        metrics.scheduled.add(res_.scheduled);
+        metrics.sent.add(res_.sent);
+        metrics.acked.add(res_.acked);
+        metrics.errors.add(res_.errors);
+        metrics.notFound.add(res_.notFound);
+        metrics.lost.add(res_.lost);
+        metrics.protocolErrors.add(res_.protocolErrors);
+        metrics.readLatency.mergeFrom(res_.readLatency);
+        metrics.updateLatency.mergeFrom(res_.updateLatency);
+        metrics.sendLag.mergeFrom(res_.sendLag);
+    }
+
+    LoadgenConfig cfg_;
+    LoadgenResult res_;
+    std::vector<Conn> conns_;
+    std::uint32_t shards_ = 0;
+    std::uint64_t nextId_ = 0;
+    std::uint64_t origin_ = 0;
+    std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+    std::unique_ptr<kv::ZipfianGenerator> zipf_;
+};
+
+} // namespace
+
+const char *
+arrivalName(Arrival arrival)
+{
+    switch (arrival) {
+    case Arrival::Fixed:
+        return "fixed";
+    case Arrival::Poisson:
+        return "poisson";
+    }
+    return "?";
+}
+
+LoadgenResult
+runOpenLoop(const LoadgenConfig &config)
+{
+    SPECPMT_ASSERT(config.targetQps > 0);
+    OpenLoopRun run(config);
+    return run.run();
+}
+
+} // namespace specpmt::net

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Open-loop load generator for the networked KV front end.
+ *
+ * Closed-loop drivers (kv/driver) wait for each response before
+ * issuing the next request, so a slow server *slows the clients
+ * down* and the measured tail silently omits exactly the latencies a
+ * real arrival stream would have suffered — coordinated omission.
+ * This generator is open-loop: request departures are scheduled on a
+ * target-QPS arrival timeline (fixed-rate or Poisson) fixed *before*
+ * the run, requests are pipelined onto the connections when their
+ * departure time arrives whether or not earlier responses came back,
+ * and every latency is measured from the request's INTENDED departure
+ * time, not from when the socket write happened to occur. A stall in
+ * the server therefore shows up in the recorded tail for every
+ * request scheduled during the stall, exactly as real clients would
+ * experience it.
+ *
+ * The op mix/key distribution comes from kv/workload_spec — the same
+ * generator the closed-loop driver consumes, so both load paths draw
+ * identical distributions by construction.
+ *
+ * Routing is shard-affine: one connection per server shard (shard
+ * count discovered via HELLO), each bound to its shard's event loop;
+ * requests go to their key's shard connection so the server executes
+ * them with no cross-thread handoff.
+ */
+
+#ifndef SPECPMT_NET_LOADGEN_HH
+#define SPECPMT_NET_LOADGEN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "kv/workload_spec.hh"
+
+namespace specpmt::net
+{
+
+/** Arrival processes for the departure timeline. */
+enum class Arrival
+{
+    Fixed,   ///< deterministic 1/QPS gaps
+    Poisson, ///< exponential gaps with mean 1/QPS
+};
+
+const char *arrivalName(Arrival arrival);
+
+/** Load generator parameters. */
+struct LoadgenConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Target arrival rate, requests/second. */
+    double targetQps = 20000;
+    /** Length of the arrival timeline, seconds. */
+    double seconds = 2.0;
+    Arrival arrival = Arrival::Poisson;
+    /** Mix / key distribution (shared with the closed-loop driver). */
+    kv::WorkloadSpec workload;
+    std::uint64_t seed = 1;
+    /**
+     * PUT keys 1..workload.keys (shard-grouped BATCH frames) before
+     * the timed run, so GETs hit a loaded keyspace.
+     */
+    bool loadFirst = false;
+    /** Items per load-phase BATCH frame. */
+    std::size_t loadBatch = 64;
+    /** Post-timeline grace period for straggler responses. */
+    double drainSeconds = 10.0;
+};
+
+/** Aggregated outcome of one open-loop run. */
+struct LoadgenResult
+{
+    /** Departures on the arrival timeline. */
+    std::uint64_t scheduled = 0;
+    /** Requests actually written to a socket. */
+    std::uint64_t sent = 0;
+    /** Responses matched to requests. */
+    std::uint64_t acked = 0;
+    /** Err responses. */
+    std::uint64_t errors = 0;
+    /** Get misses (a loaded keyspace should have none). */
+    std::uint64_t notFound = 0;
+    /** Requests still unanswered when the run ended. */
+    std::uint64_t lost = 0;
+    /** Malformed response frames (fatal for the connection). */
+    std::uint64_t protocolErrors = 0;
+    /** A connection died mid-run (e.g. the server crashed). */
+    bool connectionLost = false;
+    /** Failed before any traffic (connect/handshake); see error. */
+    bool aborted = false;
+    std::string error;
+
+    double wallSeconds = 0.0;
+    /** acked / wallSeconds. */
+    double achievedQps = 0.0;
+
+    /** Response latency measured from INTENDED departure time, ns. */
+    LatencyHistogram readLatency;
+    LatencyHistogram updateLatency;
+    /** Actual enqueue time minus intended departure time, ns. */
+    LatencyHistogram sendLag;
+
+    /**
+     * For every key whose PUT (or BATCH member) was acked, the
+     * payload word of the last acked value — the durability
+     * obligation a crash test holds the server to: after recovery,
+     * get(key) must return KvValue::tagged(key, payload).
+     */
+    std::map<kv::KvKey, std::uint64_t> ackedPuts;
+
+    /**
+     * Payloads of PUTs that were sent but never acked (lost in a
+     * crash or still in flight at run end). After recovery a key may
+     * legitimately hold one of these instead of its ackedPuts entry:
+     * the server may have committed the mutation even though the ack
+     * never made it back.
+     */
+    std::map<kv::KvKey, std::vector<std::uint64_t>> unackedPuts;
+
+    std::uint64_t
+    completed() const
+    {
+        return acked + errors;
+    }
+};
+
+/**
+ * Run one open-loop load against a speckv server; see file comment.
+ * Single-threaded; returns when every scheduled request is resolved
+ * (acked, errored, or lost) or a connection dies.
+ */
+LoadgenResult runOpenLoop(const LoadgenConfig &config);
+
+} // namespace specpmt::net
+
+#endif // SPECPMT_NET_LOADGEN_HH

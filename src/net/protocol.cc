@@ -1,0 +1,419 @@
+#include "net/protocol.hh"
+
+#include <cstring>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace specpmt::net
+{
+
+namespace
+{
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+    putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+readU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(readU32(p)) |
+           static_cast<std::uint64_t>(readU32(p + 4)) << 32;
+}
+
+/** Bounds-checked sequential payload reader. */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(const std::vector<std::uint8_t> &payload)
+        : p_(payload.data()), n_(payload.size())
+    {
+    }
+
+    bool
+    u8(std::uint8_t &out)
+    {
+        if (off_ + 1 > n_)
+            return false;
+        out = p_[off_];
+        off_ += 1;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &out)
+    {
+        if (off_ + 4 > n_)
+            return false;
+        out = readU32(p_ + off_);
+        off_ += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &out)
+    {
+        if (off_ + 8 > n_)
+            return false;
+        out = readU64(p_ + off_);
+        off_ += 8;
+        return true;
+    }
+
+    bool
+    bytes(void *dst, std::size_t size)
+    {
+        if (off_ + size > n_ || size > n_)
+            return false;
+        std::memcpy(dst, p_ + off_, size);
+        off_ += size;
+        return true;
+    }
+
+    /** Everything left, as a string (Err messages). */
+    std::string
+    rest()
+    {
+        std::string s(reinterpret_cast<const char *>(p_ + off_),
+                      n_ - off_);
+        off_ = n_;
+        return s;
+    }
+
+    bool done() const { return off_ == n_; }
+
+  private:
+    const std::uint8_t *p_;
+    std::size_t n_;
+    std::size_t off_ = 0;
+};
+
+bool
+readValueCell(PayloadReader &reader, kv::KvValue &value)
+{
+    for (auto &word : value.words) {
+        if (!reader.u64(word))
+            return false;
+    }
+    return true;
+}
+
+void
+putValueCell(std::vector<std::uint8_t> &out, const kv::KvValue &value)
+{
+    for (const auto word : value.words)
+        putU64(out, word);
+}
+
+} // namespace
+
+bool
+isRequestOp(std::uint8_t op)
+{
+    return op >= static_cast<std::uint8_t>(Op::Hello) &&
+           op <= static_cast<std::uint8_t>(Op::Batch);
+}
+
+bool
+isKnownOp(std::uint8_t op)
+{
+    return isRequestOp(op) ||
+           (op >= static_cast<std::uint8_t>(Op::HelloOk) &&
+            op <= static_cast<std::uint8_t>(Op::Err));
+}
+
+void
+appendFrame(std::vector<std::uint8_t> &out, Op op, std::uint64_t id,
+            const void *payload, std::size_t payload_size,
+            std::uint8_t flags)
+{
+    SPECPMT_ASSERT(kHeaderRest + payload_size + kTrailer <=
+                   kMaxFrameBytes);
+    const std::uint32_t length = static_cast<std::uint32_t>(
+        kHeaderRest + payload_size + kTrailer);
+    const std::size_t body_start = out.size() + 4;
+    putU32(out, length);
+    out.push_back(kMagic);
+    out.push_back(kVersion);
+    out.push_back(static_cast<std::uint8_t>(op));
+    out.push_back(flags);
+    putU64(out, id);
+    if (payload_size != 0) {
+        const auto *bytes = static_cast<const std::uint8_t *>(payload);
+        out.insert(out.end(), bytes, bytes + payload_size);
+    }
+    const std::uint32_t crc = crc32c(out.data() + body_start,
+                                     kHeaderRest + payload_size);
+    putU32(out, crc);
+}
+
+void
+appendHello(std::vector<std::uint8_t> &out, std::uint64_t id,
+            std::uint32_t desired_shard)
+{
+    std::vector<std::uint8_t> payload;
+    putU32(payload, desired_shard);
+    appendFrame(out, Op::Hello, id, payload.data(), payload.size());
+}
+
+void
+appendHelloOk(std::vector<std::uint8_t> &out, std::uint64_t id,
+              std::uint32_t shards, std::uint32_t bound_shard)
+{
+    std::vector<std::uint8_t> payload;
+    putU32(payload, shards);
+    putU32(payload, bound_shard);
+    appendFrame(out, Op::HelloOk, id, payload.data(), payload.size());
+}
+
+void
+appendGet(std::vector<std::uint8_t> &out, std::uint64_t id,
+          kv::KvKey key)
+{
+    std::vector<std::uint8_t> payload;
+    putU64(payload, key);
+    appendFrame(out, Op::Get, id, payload.data(), payload.size());
+}
+
+void
+appendPut(std::vector<std::uint8_t> &out, std::uint64_t id,
+          kv::KvKey key, const kv::KvValue &value)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(8 + sizeof(kv::KvValue));
+    putU64(payload, key);
+    putValueCell(payload, value);
+    appendFrame(out, Op::Put, id, payload.data(), payload.size());
+}
+
+void
+appendDel(std::vector<std::uint8_t> &out, std::uint64_t id,
+          kv::KvKey key)
+{
+    std::vector<std::uint8_t> payload;
+    putU64(payload, key);
+    appendFrame(out, Op::Del, id, payload.data(), payload.size());
+}
+
+void
+appendBatch(std::vector<std::uint8_t> &out, std::uint64_t id,
+            const std::vector<std::pair<kv::KvKey, kv::KvValue>>
+                &items)
+{
+    SPECPMT_ASSERT(items.size() <= kMaxBatchEntries);
+    std::vector<std::uint8_t> payload;
+    payload.reserve(4 + items.size() * (8 + sizeof(kv::KvValue)));
+    putU32(payload, static_cast<std::uint32_t>(items.size()));
+    for (const auto &[key, value] : items) {
+        putU64(payload, key);
+        putValueCell(payload, value);
+    }
+    appendFrame(out, Op::Batch, id, payload.data(), payload.size());
+}
+
+void
+appendValue(std::vector<std::uint8_t> &out, std::uint64_t id,
+            const kv::KvValue &value)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(sizeof(kv::KvValue));
+    putValueCell(payload, value);
+    appendFrame(out, Op::Value, id, payload.data(), payload.size());
+}
+
+void
+appendOk(std::vector<std::uint8_t> &out, std::uint64_t id)
+{
+    appendFrame(out, Op::Ok, id, nullptr, 0);
+}
+
+void
+appendNotFound(std::vector<std::uint8_t> &out, std::uint64_t id)
+{
+    appendFrame(out, Op::NotFound, id, nullptr, 0);
+}
+
+void
+appendErr(std::vector<std::uint8_t> &out, std::uint64_t id,
+          ErrCode code, std::string_view message)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(1 + message.size());
+    payload.push_back(static_cast<std::uint8_t>(code));
+    payload.insert(payload.end(), message.begin(), message.end());
+    appendFrame(out, Op::Err, id, payload.data(), payload.size());
+}
+
+bool
+parseHello(const Frame &frame, std::uint32_t &desired_shard)
+{
+    if (frame.op != Op::Hello)
+        return false;
+    PayloadReader reader(frame.payload);
+    return reader.u32(desired_shard) && reader.done();
+}
+
+bool
+parseHelloOk(const Frame &frame, std::uint32_t &shards,
+             std::uint32_t &bound_shard)
+{
+    if (frame.op != Op::HelloOk)
+        return false;
+    PayloadReader reader(frame.payload);
+    return reader.u32(shards) && reader.u32(bound_shard) &&
+           reader.done();
+}
+
+bool
+parseKey(const Frame &frame, kv::KvKey &key)
+{
+    if (frame.op != Op::Get && frame.op != Op::Del)
+        return false;
+    PayloadReader reader(frame.payload);
+    return reader.u64(key) && reader.done();
+}
+
+bool
+parsePut(const Frame &frame, kv::KvKey &key, kv::KvValue &value)
+{
+    if (frame.op != Op::Put)
+        return false;
+    PayloadReader reader(frame.payload);
+    return reader.u64(key) && readValueCell(reader, value) &&
+           reader.done();
+}
+
+bool
+parseBatch(const Frame &frame,
+           std::vector<std::pair<kv::KvKey, kv::KvValue>> &items)
+{
+    items.clear();
+    if (frame.op != Op::Batch)
+        return false;
+    PayloadReader reader(frame.payload);
+    std::uint32_t count = 0;
+    if (!reader.u32(count) || count > kMaxBatchEntries)
+        return false;
+    items.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        kv::KvKey key;
+        kv::KvValue value;
+        if (!reader.u64(key) || !readValueCell(reader, value))
+            return false;
+        items.emplace_back(key, value);
+    }
+    return reader.done();
+}
+
+bool
+parseValue(const Frame &frame, kv::KvValue &value)
+{
+    if (frame.op != Op::Value)
+        return false;
+    PayloadReader reader(frame.payload);
+    return readValueCell(reader, value) && reader.done();
+}
+
+bool
+parseErr(const Frame &frame, ErrCode &code, std::string &message)
+{
+    if (frame.op != Op::Err)
+        return false;
+    PayloadReader reader(frame.payload);
+    std::uint8_t raw = 0;
+    if (!reader.u8(raw))
+        return false;
+    code = static_cast<ErrCode>(raw);
+    message = reader.rest();
+    return true;
+}
+
+void
+FrameDecoder::feed(const void *data, std::size_t size)
+{
+    if (failed_ || size == 0)
+        return;
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    // Compact the consumed prefix before it dominates the buffer.
+    if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), bytes, bytes + size);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(Frame &out, std::string &error)
+{
+    if (failed_) {
+        error = error_;
+        return Status::Error;
+    }
+    auto fail = [&](std::string reason) {
+        failed_ = true;
+        error_ = std::move(reason);
+        error = error_;
+        return Status::Error;
+    };
+
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < 4)
+        return Status::NeedMore;
+    const std::uint8_t *base = buf_.data() + pos_;
+    const std::uint32_t length = readU32(base);
+    if (length < kHeaderRest + kTrailer)
+        return fail("frame length " + std::to_string(length) +
+                    " below the fixed header size");
+    if (length > kMaxFrameBytes)
+        return fail("frame length " + std::to_string(length) +
+                    " exceeds the " +
+                    std::to_string(kMaxFrameBytes) + "-byte cap");
+    if (avail < 4 + static_cast<std::size_t>(length))
+        return Status::NeedMore;
+
+    const std::uint8_t *body = base + 4;
+    if (body[0] != kMagic)
+        return fail("bad magic byte");
+    if (body[1] != kVersion)
+        return fail("unsupported protocol version " +
+                    std::to_string(body[1]));
+    if (!isKnownOp(body[2]))
+        return fail("unknown opcode " + std::to_string(body[2]));
+    const std::size_t covered = length - kTrailer;
+    const std::uint32_t want = readU32(body + covered);
+    const std::uint32_t got = crc32c(body, covered);
+    if (want != got)
+        return fail("frame CRC mismatch");
+
+    out.op = static_cast<Op>(body[2]);
+    out.flags = body[3];
+    out.id = readU64(body + 4);
+    out.payload.assign(body + kHeaderRest, body + covered);
+    pos_ += 4 + length;
+    return Status::Frame;
+}
+
+} // namespace specpmt::net

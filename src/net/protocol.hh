@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The speckv wire protocol: length-prefixed, CRC-checked binary
+ * frames carrying pipelined GET/PUT/DEL/BATCH requests and their
+ * responses.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *     u32  length   — bytes that FOLLOW this field (header rest +
+ *                     payload + trailer), bounded by kMaxFrameBytes
+ *     u8   magic    — kMagic, pins the stream as a speckv connection
+ *     u8   version  — kVersion; a decoder rejects others cleanly so
+ *                     future revisions fail closed, not corrupt
+ *     u8   opcode   — Op below; requests have the top bit clear,
+ *                     responses have it set
+ *     u8   flags    — reserved, must be zero
+ *     u64  id       — request id, echoed verbatim in the response so
+ *                     pipelined clients match completions to arrivals
+ *     ...  payload  — opcode-specific (fixed 64-byte KvValue cells)
+ *     u32  crc      — CRC32C over magic..payload (everything after
+ *                     the length field except the trailer itself)
+ *
+ * The protocol is strictly pipelined: a client may write any number
+ * of frames without waiting; the server answers every request frame
+ * in arrival order on the same connection. Any malformed byte —
+ * bad magic/version/length/CRC, unknown opcode, payload of the wrong
+ * shape — is a *protocol error*: the peer closes the connection
+ * rather than guessing at resynchronization.
+ *
+ * FrameDecoder is incremental: feed() it whatever read() returned
+ * (any split, including mid-header) and poll next(); it never reads
+ * outside the fed bytes and never allocates more than kMaxFrameBytes
+ * per frame.
+ */
+
+#ifndef SPECPMT_NET_PROTOCOL_HH
+#define SPECPMT_NET_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "kv/kv_service.hh"
+
+namespace specpmt::net
+{
+
+constexpr std::uint8_t kMagic = 0xC5;
+constexpr std::uint8_t kVersion = 1;
+
+/** Fixed header bytes after the length field (magic..id). */
+constexpr std::size_t kHeaderRest = 1 + 1 + 1 + 1 + 8;
+
+/** CRC trailer bytes. */
+constexpr std::size_t kTrailer = 4;
+
+/** Upper bound on the length field (header rest + payload + crc). */
+constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/** Whole-frame size of a payload of @p n bytes. */
+constexpr std::size_t
+frameSize(std::size_t payload)
+{
+    return 4 + kHeaderRest + payload + kTrailer;
+}
+
+/** Batch entries are capped so one frame stays under kMaxFrameBytes. */
+constexpr std::size_t kMaxBatchEntries = 8192;
+
+/** Frame opcodes; responses have the top bit set. */
+enum class Op : std::uint8_t
+{
+    // Requests.
+    Hello = 0x01, ///< u32 desired shard (kAnyShard = no preference)
+    Get = 0x02,   ///< u64 key
+    Put = 0x03,   ///< u64 key + 64-byte value
+    Del = 0x04,   ///< u64 key
+    Batch = 0x05, ///< u32 count + count × (u64 key + 64-byte value)
+
+    // Responses.
+    HelloOk = 0x81,  ///< u32 shard count + u32 bound shard
+    Value = 0x82,    ///< 64-byte value (Get hit)
+    Ok = 0x83,       ///< empty (Put stored / Del removed / Batch done)
+    NotFound = 0x84, ///< empty (Get miss / Del miss)
+    Err = 0x85,      ///< u8 code + message bytes
+};
+
+/** Hello shard wildcard: bind me anywhere. */
+constexpr std::uint32_t kAnyShard = 0xFFFFFFFFu;
+
+/** Err payload codes. */
+enum class ErrCode : std::uint8_t
+{
+    MapFull = 1,  ///< put rejected, shard table full
+    BadFrame = 2, ///< semantically malformed request payload
+    Shutdown = 3, ///< server is stopping
+};
+
+/** True for opcodes a client is allowed to send. */
+bool isRequestOp(std::uint8_t op);
+
+/** True for any opcode defined by this protocol version. */
+bool isKnownOp(std::uint8_t op);
+
+/** One decoded frame. */
+struct Frame
+{
+    Op op = Op::Hello;
+    std::uint8_t flags = 0;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** @name Encoding
+ * appendFrame writes one complete frame (length, header, payload,
+ * CRC) onto @p out; the typed helpers build the payload too.
+ */
+/// @{
+
+void appendFrame(std::vector<std::uint8_t> &out, Op op,
+                 std::uint64_t id, const void *payload,
+                 std::size_t payload_size, std::uint8_t flags = 0);
+
+void appendHello(std::vector<std::uint8_t> &out, std::uint64_t id,
+                 std::uint32_t desired_shard);
+void appendHelloOk(std::vector<std::uint8_t> &out, std::uint64_t id,
+                   std::uint32_t shards, std::uint32_t bound_shard);
+void appendGet(std::vector<std::uint8_t> &out, std::uint64_t id,
+               kv::KvKey key);
+void appendPut(std::vector<std::uint8_t> &out, std::uint64_t id,
+               kv::KvKey key, const kv::KvValue &value);
+void appendDel(std::vector<std::uint8_t> &out, std::uint64_t id,
+               kv::KvKey key);
+void appendBatch(
+    std::vector<std::uint8_t> &out, std::uint64_t id,
+    const std::vector<std::pair<kv::KvKey, kv::KvValue>> &items);
+void appendValue(std::vector<std::uint8_t> &out, std::uint64_t id,
+                 const kv::KvValue &value);
+void appendOk(std::vector<std::uint8_t> &out, std::uint64_t id);
+void appendNotFound(std::vector<std::uint8_t> &out, std::uint64_t id);
+void appendErr(std::vector<std::uint8_t> &out, std::uint64_t id,
+               ErrCode code, std::string_view message);
+
+/// @}
+
+/** @name Typed payload parsing
+ * Each returns false on a payload of the wrong shape (a protocol
+ * error for the caller to act on). Parsers are exact: trailing
+ * payload bytes also fail.
+ */
+/// @{
+
+bool parseHello(const Frame &frame, std::uint32_t &desired_shard);
+bool parseHelloOk(const Frame &frame, std::uint32_t &shards,
+                  std::uint32_t &bound_shard);
+bool parseKey(const Frame &frame, kv::KvKey &key); ///< Get/Del
+bool parsePut(const Frame &frame, kv::KvKey &key, kv::KvValue &value);
+bool parseBatch(const Frame &frame,
+                std::vector<std::pair<kv::KvKey, kv::KvValue>> &items);
+bool parseValue(const Frame &frame, kv::KvValue &value);
+bool parseErr(const Frame &frame, ErrCode &code, std::string &message);
+
+/// @}
+
+/**
+ * Incremental frame decoder; see file comment.
+ *
+ * Usage:
+ *     decoder.feed(buf, n);                  // bytes from read()
+ *     Frame f; std::string err;
+ *     while (decoder.next(f, err) == FrameDecoder::Status::Frame)
+ *         handle(f);
+ *     if (decoder.failed()) closeConnection(err);
+ */
+class FrameDecoder
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< one frame decoded into the out-param
+        Error,    ///< protocol error; the stream is unrecoverable
+    };
+
+    /** Append @p size raw stream bytes. No-op after an error. */
+    void feed(const void *data, std::size_t size);
+
+    /**
+     * Try to decode the next frame. After Error the decoder stays
+     * poisoned (every later call returns Error with the same reason):
+     * a byte stream that lied once cannot be resynchronized.
+     */
+    Status next(Frame &out, std::string &error);
+
+    /** True once a protocol error has been diagnosed. */
+    bool failed() const { return failed_; }
+
+    /** Bytes fed but not yet consumed by decoded frames. */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+} // namespace specpmt::net
+
+#endif // SPECPMT_NET_PROTOCOL_HH

@@ -1,0 +1,681 @@
+#include "net/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace specpmt::net
+{
+
+namespace
+{
+
+/** Net-layer counters, registered once per process. */
+struct NetMetrics
+{
+    obs::Counter &connections;
+    obs::Counter &connsClosed;
+    obs::Counter &framesRx;
+    obs::Counter &framesTx;
+    obs::Counter &bytesRx;
+    obs::Counter &bytesTx;
+    obs::Counter &protocolErrors;
+    obs::Counter &batchCommits;
+    obs::Counter &batchOps;
+    obs::Counter &migrations;
+    obs::Histogram &pipelineDepth;
+
+    static NetMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static NetMetrics m{
+            reg.counter("specpmt_net_connections_total",
+                        "accepted client connections"),
+            reg.counter("specpmt_net_conns_closed_total",
+                        "connections closed (EOF, error, shutdown)"),
+            reg.counter("specpmt_net_frames_rx_total",
+                        "request frames decoded"),
+            reg.counter("specpmt_net_frames_tx_total",
+                        "response frames encoded"),
+            reg.counter("specpmt_net_bytes_rx_total",
+                        "bytes read from client sockets"),
+            reg.counter("specpmt_net_bytes_tx_total",
+                        "bytes written to client sockets"),
+            reg.counter("specpmt_net_protocol_errors_total",
+                        "connections killed by protocol errors"),
+            reg.counter(
+                "specpmt_net_batch_commits_total",
+                "shard transactions committed for drained batches"),
+            reg.counter("specpmt_net_batch_ops_total",
+                        "operations executed through drained batches"),
+            reg.counter("specpmt_net_migrations_total",
+                        "connections migrated to their HELLO shard"),
+            reg.histogram("specpmt_net_pipeline_depth",
+                          "requests drained per connection per epoll "
+                          "wake-up"),
+        };
+        return m;
+    }
+};
+
+void
+throwErrno(const char *what)
+{
+    throw std::runtime_error(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+NetServer::NetServer(kv::KvService &service,
+                     const ServerConfig &config)
+    : service_(service), config_(config)
+{
+    // Loop i calls the service with client thread id i.
+    SPECPMT_ASSERT(service.numThreads() >= service.numShards());
+}
+
+NetServer::~NetServer()
+{
+    stop();
+}
+
+void
+NetServer::start()
+{
+    SPECPMT_ASSERT(!running_.load());
+    stopping_.store(false);
+
+    listenFd_ = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listenFd_ < 0)
+        throwErrno("socket");
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1)
+        throw std::runtime_error("bad bind address " +
+                                 config_.bindAddress);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("bind");
+    if (::listen(listenFd_, config_.backlog) != 0)
+        throwErrno("listen");
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &addr_len) != 0)
+        throwErrno("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    const unsigned loops = service_.numShards();
+    loops_.clear();
+    for (unsigned i = 0; i < loops; ++i) {
+        auto loop = std::make_unique<Loop>();
+        loop->index = i;
+        loop->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+        if (loop->epollFd < 0)
+            throwErrno("epoll_create1");
+        loop->wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+        if (loop->wakeFd < 0)
+            throwErrno("eventfd");
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = loop->wakeFd;
+        if (::epoll_ctl(loop->epollFd, EPOLL_CTL_ADD, loop->wakeFd,
+                        &ev) != 0)
+            throwErrno("epoll_ctl wakefd");
+        loops_.push_back(std::move(loop));
+    }
+    // Loop 0 owns the listener.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    if (::epoll_ctl(loops_[0]->epollFd, EPOLL_CTL_ADD, listenFd_,
+                    &ev) != 0)
+        throwErrno("epoll_ctl listenfd");
+
+    running_.store(true);
+    for (auto &loop : loops_) {
+        loop->thread =
+            std::thread([this, raw = loop.get()] { loopMain(*raw); });
+    }
+    SPECPMT_INFORM("net: serving on %s:%u with %u shard loops",
+                config_.bindAddress.c_str(), port_, loops);
+}
+
+void
+NetServer::stop()
+{
+    if (!running_.load())
+        return;
+    stopping_.store(true);
+    for (auto &loop : loops_) {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const auto n =
+            ::write(loop->wakeFd, &one, sizeof(one));
+    }
+    for (auto &loop : loops_) {
+        if (loop->thread.joinable())
+            loop->thread.join();
+    }
+    // A migration can land in a mailbox after its target loop already
+    // tore down; with every sender joined, sweep the leftovers.
+    for (auto &loop : loops_) {
+        std::lock_guard<std::mutex> guard(loop->mailboxMutex);
+        for (auto &conn : loop->mailbox)
+            ::close(conn->fd);
+        loop->mailbox.clear();
+    }
+    loops_.clear();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    running_.store(false);
+}
+
+void
+NetServer::adoptConn(Loop &loop, std::unique_ptr<Conn> conn)
+{
+    Conn &ref = *conn;
+    ref.migrateTo = -1;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (ref.wantWrite ? EPOLLOUT : 0u);
+    ev.data.fd = ref.fd;
+    if (::epoll_ctl(loop.epollFd, EPOLL_CTL_ADD, ref.fd, &ev) != 0) {
+        ::close(ref.fd);
+        NetMetrics::get().connsClosed.add();
+        return;
+    }
+    loop.conns.emplace(ref.fd, std::move(conn));
+}
+
+void
+NetServer::mailConn(unsigned target, std::unique_ptr<Conn> conn)
+{
+    Loop &loop = *loops_[target];
+    {
+        std::lock_guard<std::mutex> guard(loop.mailboxMutex);
+        loop.mailbox.push_back(std::move(conn));
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n =
+        ::write(loop.wakeFd, &one, sizeof(one));
+}
+
+void
+NetServer::updateEpoll(Loop &loop, Conn &conn)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (conn.wantWrite ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(loop.epollFd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void
+NetServer::closeConn(Loop &loop, Conn &conn)
+{
+    ::epoll_ctl(loop.epollFd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    NetMetrics::get().connsClosed.add();
+    loop.conns.erase(conn.fd); // frees conn
+}
+
+void
+NetServer::acceptReady(Loop &loop)
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == ECONNABORTED)
+                return;
+            if (errno == EINTR)
+                continue;
+            return; // listener is going away
+        }
+        setNoDelay(fd);
+        NetMetrics::get().connections.add();
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        const unsigned target =
+            nextLoop_.fetch_add(1, std::memory_order_relaxed) %
+            loops_.size();
+        if (target == loop.index)
+            adoptConn(loop, std::move(conn));
+        else
+            mailConn(target, std::move(conn));
+    }
+}
+
+bool
+NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
+                       std::vector<PendingOp> &pending)
+{
+    auto &metrics = NetMetrics::get();
+    metrics.framesRx.add();
+
+    if (!isRequestOp(static_cast<std::uint8_t>(frame.op)) ||
+        frame.flags != 0) {
+        appendErr(conn.out, frame.id, ErrCode::BadFrame,
+                  "not a request frame");
+        metrics.framesTx.add();
+        metrics.protocolErrors.add();
+        return false;
+    }
+
+    switch (frame.op) {
+      case Op::Hello: {
+        std::uint32_t desired = kAnyShard;
+        if (conn.sawFrame || !parseHello(frame, desired)) {
+            appendErr(conn.out, frame.id, ErrCode::BadFrame,
+                      "HELLO must be the first frame");
+            metrics.framesTx.add();
+            metrics.protocolErrors.add();
+            return false;
+        }
+        conn.sawFrame = true;
+        const unsigned shards = service_.numShards();
+        std::uint32_t bound = loop.index;
+        if (desired != kAnyShard && desired < shards &&
+            desired != loop.index) {
+            bound = desired;
+            conn.migrateTo = static_cast<int>(desired);
+        }
+        appendHelloOk(conn.out, frame.id, shards, bound);
+        metrics.framesTx.add();
+        return true;
+      }
+      case Op::Get:
+      case Op::Del: {
+        kv::KvKey key = 0;
+        if (!parseKey(frame, key)) {
+            appendErr(conn.out, frame.id, ErrCode::BadFrame,
+                      "bad key payload");
+            metrics.framesTx.add();
+            metrics.protocolErrors.add();
+            return false;
+        }
+        conn.sawFrame = true;
+        PendingOp op;
+        op.conn = &conn;
+        op.id = frame.id;
+        op.shard = service_.shardOf(key);
+        op.op.kind = frame.op == Op::Get ? kv::BatchOp::Kind::Get
+                                         : kv::BatchOp::Kind::Erase;
+        op.op.key = key;
+        pending.push_back(op);
+        return true;
+      }
+      case Op::Put: {
+        PendingOp op;
+        op.conn = &conn;
+        op.id = frame.id;
+        op.op.kind = kv::BatchOp::Kind::Put;
+        if (!parsePut(frame, op.op.key, op.op.value)) {
+            appendErr(conn.out, frame.id, ErrCode::BadFrame,
+                      "bad put payload");
+            metrics.framesTx.add();
+            metrics.protocolErrors.add();
+            return false;
+        }
+        conn.sawFrame = true;
+        op.shard = service_.shardOf(op.op.key);
+        pending.push_back(op);
+        return true;
+      }
+      case Op::Batch: {
+        std::vector<std::pair<kv::KvKey, kv::KvValue>> items;
+        if (!parseBatch(frame, items) || items.empty()) {
+            appendErr(conn.out, frame.id, ErrCode::BadFrame,
+                      "bad batch payload");
+            metrics.framesTx.add();
+            metrics.protocolErrors.add();
+            return false;
+        }
+        conn.sawFrame = true;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            PendingOp op;
+            op.conn = &conn;
+            op.id = frame.id;
+            op.shard = service_.shardOf(items[i].first);
+            op.op.kind = kv::BatchOp::Kind::Put;
+            op.op.key = items[i].first;
+            op.op.value = items[i].second;
+            op.fromBatch = true;
+            op.respond = i + 1 == items.size();
+            pending.push_back(op);
+        }
+        return true;
+      }
+      default:
+        break;
+    }
+    appendErr(conn.out, frame.id, ErrCode::BadFrame,
+              "unhandled opcode");
+    metrics.framesTx.add();
+    metrics.protocolErrors.add();
+    return false;
+}
+
+bool
+NetServer::connReadable(Loop &loop, Conn &conn,
+                        std::vector<PendingOp> &pending)
+{
+    auto &metrics = NetMetrics::get();
+    std::uint8_t buf[64 * 1024];
+    bool eof = false;
+    for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            metrics.bytesRx.add(static_cast<std::uint64_t>(n));
+            conn.decoder.feed(buf, static_cast<std::size_t>(n));
+            if (static_cast<std::size_t>(n) < sizeof(buf))
+                break;
+            continue;
+        }
+        if (n == 0) {
+            eof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        eof = true; // hard socket error
+        break;
+    }
+
+    const std::size_t before = pending.size();
+    Frame frame;
+    std::string error;
+    bool protocol_ok = true;
+    for (;;) {
+        const auto status = conn.decoder.next(frame, error);
+        if (status == FrameDecoder::Status::NeedMore)
+            break;
+        if (status == FrameDecoder::Status::Error) {
+            if (!conn.closing) {
+                SPECPMT_INFORM("net: closing fd %d: %s", conn.fd,
+                            error.c_str());
+                appendErr(conn.out, 0, ErrCode::BadFrame, error);
+                metrics.framesTx.add();
+                metrics.protocolErrors.add();
+            }
+            protocol_ok = false;
+            break;
+        }
+        if (!handleFrame(loop, conn, frame, pending)) {
+            protocol_ok = false;
+            break;
+        }
+    }
+    if (pending.size() > before) {
+        metrics.pipelineDepth.record(
+            static_cast<std::uint64_t>(pending.size() - before));
+    }
+    if (!protocol_ok || eof) {
+        conn.closing = true;
+        return false;
+    }
+    return true;
+}
+
+void
+NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
+{
+    if (pending.empty())
+        return;
+    SPECPMT_TRACE_SPAN("net_execute_batch", "net");
+    auto &metrics = NetMetrics::get();
+
+    // Execute maximal same-shard runs in arrival order; each run with
+    // a mutation is one crash-atomic transaction (one commit fence).
+    std::vector<kv::BatchOp> ops;
+    std::vector<kv::BatchOpResult> results;
+    std::vector<kv::BatchOpResult> all_results(pending.size());
+    std::size_t start = 0;
+    while (start < pending.size()) {
+        // Drop ops whose connection died mid-cycle: nothing was
+        // acked, so skipping them is indistinguishable from a crash
+        // before the request was executed.
+        if (pending[start].conn->closing) {
+            ++start;
+            continue;
+        }
+        const unsigned shard = pending[start].shard;
+        std::size_t end = start;
+        ops.clear();
+        while (end < pending.size() &&
+               ops.size() < config_.maxOpsPerCommit &&
+               !pending[end].conn->closing &&
+               pending[end].shard == shard) {
+            ops.push_back(pending[end].op);
+            ++end;
+        }
+        const bool ok = service_.executeShardBatch(
+            loop.index, shard, ops, results);
+        SPECPMT_ASSERT(ok);
+        metrics.batchCommits.add();
+        metrics.batchOps.add(ops.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+            all_results[start + i] = results[i];
+        start = end;
+    }
+
+    // Responses, in arrival order, only now — after the commit
+    // fences. Batch frames ack once, on their last member.
+    bool batch_ok = true;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const PendingOp &op = pending[i];
+        if (op.conn->closing)
+            continue;
+        const kv::BatchOpResult &result = all_results[i];
+        if (op.fromBatch) {
+            batch_ok = batch_ok && result.ok;
+            if (op.respond) {
+                if (batch_ok)
+                    appendOk(op.conn->out, op.id);
+                else
+                    appendErr(op.conn->out, op.id, ErrCode::MapFull,
+                              "batch put rejected");
+                metrics.framesTx.add();
+                batch_ok = true;
+            }
+            continue;
+        }
+        switch (op.op.kind) {
+          case kv::BatchOp::Kind::Get:
+            if (result.ok)
+                appendValue(op.conn->out, op.id, result.value);
+            else
+                appendNotFound(op.conn->out, op.id);
+            break;
+          case kv::BatchOp::Kind::Put:
+            if (result.ok)
+                appendOk(op.conn->out, op.id);
+            else
+                appendErr(op.conn->out, op.id, ErrCode::MapFull,
+                          "shard table full");
+            break;
+          case kv::BatchOp::Kind::Erase:
+            if (result.ok)
+                appendOk(op.conn->out, op.id);
+            else
+                appendNotFound(op.conn->out, op.id);
+            break;
+        }
+        metrics.framesTx.add();
+    }
+}
+
+void
+NetServer::flushConn(Loop &loop, Conn &conn)
+{
+    auto &metrics = NetMetrics::get();
+    while (conn.outPos < conn.out.size()) {
+        const ssize_t n =
+            ::send(conn.fd, conn.out.data() + conn.outPos,
+                   conn.out.size() - conn.outPos, MSG_NOSIGNAL);
+        if (n > 0) {
+            metrics.bytesTx.add(static_cast<std::uint64_t>(n));
+            conn.outPos += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!conn.wantWrite) {
+                conn.wantWrite = true;
+                updateEpoll(loop, conn);
+            }
+            return;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        conn.closing = true; // peer vanished
+        return;
+    }
+    conn.out.clear();
+    conn.outPos = 0;
+    if (conn.wantWrite) {
+        conn.wantWrite = false;
+        updateEpoll(loop, conn);
+    }
+}
+
+void
+NetServer::loopMain(Loop &loop)
+{
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    std::vector<PendingOp> pending;
+
+    while (true) {
+        const int n =
+            ::epoll_wait(loop.epollFd, events, kMaxEvents, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        pending.clear();
+        bool stop_seen = false;
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == loop.wakeFd) {
+                std::uint64_t drain;
+                while (::read(loop.wakeFd, &drain, sizeof(drain)) > 0)
+                    ;
+                if (stopping_.load())
+                    stop_seen = true;
+                std::vector<std::unique_ptr<Conn>> adopted;
+                {
+                    std::lock_guard<std::mutex> guard(
+                        loop.mailboxMutex);
+                    adopted.swap(loop.mailbox);
+                }
+                for (auto &conn : adopted)
+                    adoptConn(loop, std::move(conn));
+                continue;
+            }
+            if (fd == listenFd_ && loop.index == 0) {
+                acceptReady(loop);
+                continue;
+            }
+            const auto it = loop.conns.find(fd);
+            if (it == loop.conns.end())
+                continue;
+            Conn &conn = *it->second;
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                conn.closing = true;
+                continue;
+            }
+            if (events[i].events & EPOLLIN)
+                connReadable(loop, conn, pending);
+            if ((events[i].events & EPOLLOUT) && !conn.closing)
+                flushConn(loop, conn);
+        }
+
+        // The drain cycle: every decoded request of this wake-up is
+        // executed now (group commit), then responses flush in one
+        // batch per connection.
+        executePending(loop, pending);
+        std::vector<int> to_close;
+        std::vector<int> to_migrate;
+        for (auto &[fd, conn] : loop.conns) {
+            if (!conn->out.empty() && !conn->wantWrite)
+                flushConn(loop, *conn);
+            if (conn->closing)
+                to_close.push_back(fd);
+            else if (conn->migrateTo >= 0)
+                to_migrate.push_back(fd);
+        }
+        for (const int fd : to_close) {
+            const auto it = loop.conns.find(fd);
+            if (it != loop.conns.end())
+                closeConn(loop, *it->second);
+        }
+        for (const int fd : to_migrate) {
+            const auto it = loop.conns.find(fd);
+            if (it == loop.conns.end())
+                continue;
+            std::unique_ptr<Conn> conn = std::move(it->second);
+            loop.conns.erase(it);
+            ::epoll_ctl(loop.epollFd, EPOLL_CTL_DEL, conn->fd,
+                        nullptr);
+            const unsigned target =
+                static_cast<unsigned>(conn->migrateTo);
+            NetMetrics::get().migrations.add();
+            mailConn(target, std::move(conn));
+        }
+        if (stop_seen)
+            break;
+    }
+
+    // Teardown: close every connection this loop still owns, plus
+    // any late mailbox arrivals (stop() already joined the senders).
+    std::vector<std::unique_ptr<Conn>> late;
+    {
+        std::lock_guard<std::mutex> guard(loop.mailboxMutex);
+        late.swap(loop.mailbox);
+    }
+    for (auto &conn : late) {
+        ::close(conn->fd);
+        NetMetrics::get().connsClosed.add();
+    }
+    for (auto &[fd, conn] : loop.conns) {
+        ::close(fd);
+        NetMetrics::get().connsClosed.add();
+    }
+    loop.conns.clear();
+    ::close(loop.epollFd);
+    ::close(loop.wakeFd);
+}
+
+} // namespace specpmt::net

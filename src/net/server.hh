@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The networked KV front end: a non-blocking epoll server with one
+ * event loop pinned per KV shard.
+ *
+ * Threading model. Loop i owns shard i: it is the only network
+ * thread that begins transactions on that shard (client thread id =
+ * loop index), so a request that arrives on a connection bound to
+ * its key's shard is parsed, executed, and answered on one thread
+ * with no cross-thread handoff. Connections are distributed
+ * round-robin at accept time; a HELLO frame carrying a desired shard
+ * migrates the connection (decoder buffer and all) to that shard's
+ * loop, so shard-affine clients pay the handoff once per connection
+ * instead of once per request. Loop 0 additionally owns the listen
+ * socket.
+ *
+ * Group commit. Each epoll wake-up drains every readable connection
+ * completely, decoding all pipelined frames, then executes the
+ * drained operations in arrival order as maximal same-shard runs via
+ * KvService::executeShardBatch — ONE crash-atomic transaction (one
+ * commit flush+fence) per run, however many pipelined mutations it
+ * carries. Responses are appended per connection and written out in
+ * a single batch after the run's commit fence, so a response is
+ * never on the wire before its mutation is durable. Misrouted keys
+ * (a client that ignored shard affinity) split the run: still
+ * correct, just more fences — the specpmt_net_batch_* counters make
+ * the difference visible.
+ *
+ * Protocol errors (FrameDecoder poisoning, malformed payloads) close
+ * the connection after a best-effort Err frame; the server never
+ * guesses at resynchronization.
+ */
+
+#ifndef SPECPMT_NET_SERVER_HH
+#define SPECPMT_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/kv_service.hh"
+#include "net/protocol.hh"
+
+namespace specpmt::net
+{
+
+/** Server construction parameters. */
+struct ServerConfig
+{
+    /** TCP port; 0 picks an ephemeral port (read it via port()). */
+    std::uint16_t port = 0;
+    /** Bind address. */
+    std::string bindAddress = "127.0.0.1";
+    /** listen(2) backlog. */
+    int backlog = 128;
+    /**
+     * Mutations executed per shard transaction are capped so one
+     * greedy pipeline cannot grow a transaction without bound; a
+     * longer run simply commits in ceil(N/cap) fences.
+     */
+    std::size_t maxOpsPerCommit = 256;
+};
+
+/**
+ * The server; see file comment. One instance serves one KvService.
+ * start()/stop() are not thread-safe against each other; everything
+ * in between runs on the internal loop threads.
+ */
+class NetServer
+{
+  public:
+    /**
+     * @p service must outlive the server and have config().threads >=
+     * its shard count (loop i uses client thread id i).
+     */
+    NetServer(kv::KvService &service, const ServerConfig &config);
+    ~NetServer();
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /** Bind, listen, and spawn the per-shard loops. Throws on error. */
+    void start();
+
+    /**
+     * Close the listener, wake every loop, join the threads, and
+     * close all connections. In-flight unacked requests are dropped
+     * — exactly what a crash does to them. Idempotent.
+     */
+    void stop();
+
+    /** The bound TCP port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** True between start() and stop(). */
+    bool running() const { return running_.load(); }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        FrameDecoder decoder;
+        /** Encoded-but-unsent response bytes. */
+        std::vector<std::uint8_t> out;
+        std::size_t outPos = 0;
+        /** Currently registered for EPOLLOUT. */
+        bool wantWrite = false;
+        /** Connection is dead this cycle; drop its pending ops. */
+        bool closing = false;
+        /** A frame has been decoded (Hello must be the first). */
+        bool sawFrame = false;
+        /** Loop to migrate to after this cycle (-1 = stay). */
+        int migrateTo = -1;
+    };
+
+    struct Loop
+    {
+        unsigned index = 0;
+        int epollFd = -1;
+        int wakeFd = -1; ///< eventfd: mailbox and stop notifications
+        std::thread thread;
+        std::mutex mailboxMutex;
+        std::vector<std::unique_ptr<Conn>> mailbox;
+        std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    };
+
+    /** One decoded request waiting for the drain-cycle execution. */
+    struct PendingOp
+    {
+        Conn *conn = nullptr;
+        std::uint64_t id = 0;
+        /** Shard the op executes on. */
+        unsigned shard = 0;
+        kv::BatchOp op;
+        /** Batch frames ack once: only the last entry responds. */
+        bool respond = true;
+        /** This op's whole frame was a Batch member. */
+        bool fromBatch = false;
+    };
+
+    void loopMain(Loop &loop);
+    void acceptReady(Loop &loop);
+    /** Read+decode; true to keep the connection. */
+    bool connReadable(Loop &loop, Conn &conn,
+                      std::vector<PendingOp> &pending);
+    /** Decode one request frame into pending ops / inline replies. */
+    bool handleFrame(Loop &loop, Conn &conn, const Frame &frame,
+                     std::vector<PendingOp> &pending);
+    /** Execute the wake-up's drained ops as same-shard runs. */
+    void executePending(Loop &loop, std::vector<PendingOp> &pending);
+    void flushConn(Loop &loop, Conn &conn);
+    void closeConn(Loop &loop, Conn &conn);
+    void adoptConn(Loop &loop, std::unique_ptr<Conn> conn);
+    void mailConn(unsigned target, std::unique_ptr<Conn> conn);
+    void updateEpoll(Loop &loop, Conn &conn);
+
+    kv::KvService &service_;
+    ServerConfig config_;
+    std::vector<std::unique_ptr<Loop>> loops_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<unsigned> nextLoop_{0};
+};
+
+} // namespace specpmt::net
+
+#endif // SPECPMT_NET_SERVER_HH

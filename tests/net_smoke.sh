@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Network smoke test: start `speckv serve` on an ephemeral port, drive
+# it with the open-loop specnet_bench, shut the server down with
+# SIGTERM, then gate the server-side metrics exposition with several
+# `specstat check --require` assertions at once. Also proves the
+# multi-require semantics: adding one failing assertion to the same
+# invocation must flip the exit status.
+#
+# Usage: net_smoke.sh SPECKV SPECNET_BENCH SPECSTAT WORK_DIR
+set -u
+
+SPECKV=$1
+SPECNET_BENCH=$2
+SPECSTAT=$3
+WORK_DIR=$4
+
+mkdir -p "$WORK_DIR"
+rm -f "$WORK_DIR"/port.txt "$WORK_DIR"/serve-metrics.prom \
+      "$WORK_DIR"/bench.json "$WORK_DIR"/serve.log
+
+fail() {
+    echo "net_smoke: FAIL: $*" >&2
+    [ -f "$WORK_DIR/serve.log" ] && cat "$WORK_DIR/serve.log" >&2
+    exit 1
+}
+
+"$SPECKV" serve --runtime=spec --shards=2 --keys=2048 \
+    --port=0 --port-file="$WORK_DIR/port.txt" --seconds=60 \
+    --metrics-out="$WORK_DIR/serve-metrics.prom" \
+    >"$WORK_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 $SERVE_PID 2>/dev/null' EXIT
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK_DIR/port.txt" ] && break
+    kill -0 $SERVE_PID 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+[ -s "$WORK_DIR/port.txt" ] || fail "server never wrote the port file"
+
+"$SPECNET_BENCH" --port-file="$WORK_DIR/port.txt" \
+    --qps=4000 --seconds=2 --keys=2048 --mix=A --load \
+    --json="$WORK_DIR/bench.json" \
+    || fail "specnet_bench reported failure"
+
+kill -TERM $SERVE_PID
+wait $SERVE_PID || fail "server did not exit cleanly on SIGTERM"
+trap - EXIT
+
+[ -s "$WORK_DIR/serve-metrics.prom" ] || fail "no metrics artifact"
+grep -q '"p99_ns"' "$WORK_DIR/bench.json" || fail "no bench artifact"
+
+# The real gate: several assertions in ONE check invocation.
+"$SPECSTAT" check "$WORK_DIR/serve-metrics.prom" \
+    --require='specpmt_net_protocol_errors_total==0' \
+    --require='specpmt_net_frames_rx_total>=8000' \
+    --require='specpmt_net_connections_total>=2' \
+    --require='specpmt_net_batch_commits_total>=1' \
+    || fail "specstat check rejected the serve metrics"
+
+# Multi-require semantics: one failing assertion among passing ones
+# must fail the whole invocation.
+if "$SPECSTAT" check "$WORK_DIR/serve-metrics.prom" \
+    --require='specpmt_net_protocol_errors_total==0' \
+    --require='specpmt_net_frames_rx_total<1' \
+    >/dev/null 2>&1; then
+    fail "specstat check ignored a failing --require"
+fi
+
+echo "net_smoke: OK"

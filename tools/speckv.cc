@@ -22,17 +22,33 @@
  *          [--keys=4096] [--ops=2000] [--mix=A|B|C]
  *          [--dist=zipfian|uniform] [--crash-after=500] [--seed=1]
  *          [--metrics-out=m.prom] [--trace-out=t.json]
+ *
+ * `speckv serve` instead runs the networked front end (src/net): the
+ * sharded service behind per-shard epoll event loops speaking the
+ * pipelined binary protocol, until --seconds elapse or
+ * SIGINT/SIGTERM:
+ *
+ *   speckv serve [--runtime=spec] [--shards=4] [--keys=4096]
+ *                [--port=0] [--port-file=PATH] [--seconds=0]
+ *                [--max-ops-per-commit=256] [--metrics-out=m.prom]
+ *
+ * --port=0 binds an ephemeral port; --port-file writes the bound port
+ * so scripts (CI, specnet_bench wrappers) can find it.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/rand.hh"
 #include "kv/driver.hh"
 #include "kv/kv_service.hh"
+#include "net/server.hh"
 #include "obs/artifacts.hh"
 
 using namespace specpmt;
@@ -136,11 +152,106 @@ printRunResult(const char *phase, const kv::DriverResult &result)
                 result.crashed ? "  ** power failed **" : "");
 }
 
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+/** `speckv serve`: run the networked front end; see file comment. */
+int
+serveMain(int argc, char **argv)
+{
+    std::string runtime = "spec";
+    unsigned shards = 4;
+    std::uint64_t keys = 4096;
+    unsigned port = 0;
+    std::string port_file;
+    double seconds = 0; // 0 = until signal
+    std::size_t max_ops_per_commit = 256;
+    obs::OutputFlags obs_flags;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::string(prefix).size();
+            return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n
+                                             : nullptr;
+        };
+        if (const char *v = value("--runtime="))
+            runtime = v;
+        else if (const char *v = value("--shards="))
+            shards = static_cast<unsigned>(std::atoi(v));
+        else if (const char *v = value("--keys="))
+            keys = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--port="))
+            port = static_cast<unsigned>(std::atoi(v));
+        else if (const char *v = value("--port-file="))
+            port_file = v;
+        else if (const char *v = value("--seconds="))
+            seconds = std::atof(v);
+        else if (const char *v = value("--max-ops-per-commit="))
+            max_ops_per_commit = std::strtoull(v, nullptr, 10);
+        else if (!obs_flags.accept(arg))
+            SPECPMT_FATAL("unknown argument: %s", arg.c_str());
+    }
+    if (!txn::isRuntimeName(runtime))
+        SPECPMT_FATAL("unknown runtime %s", runtime.c_str());
+
+    kv::KvServiceConfig service_config;
+    service_config.shards = shards;
+    // Loop i of the server transacts as client thread id i.
+    service_config.threads = shards;
+    service_config.runtime = runtime;
+    service_config.bucketsPerShard =
+        nextPow2(std::max<std::uint64_t>(1024, 4 * keys / shards));
+    kv::KvService service(service_config);
+
+    net::ServerConfig server_config;
+    server_config.port = static_cast<std::uint16_t>(port);
+    server_config.maxOpsPerCommit = max_ops_per_commit;
+    net::NetServer server(service, server_config);
+    server.start();
+
+    if (!port_file.empty()) {
+        FILE *f = std::fopen(port_file.c_str(), "w");
+        if (f == nullptr)
+            SPECPMT_FATAL("cannot write %s", port_file.c_str());
+        std::fprintf(f, "%u\n", server.port());
+        std::fclose(f);
+    }
+    std::printf("speckv serve: runtime=%s shards=%u port=%u\n",
+                runtime.c_str(), shards, server.port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    const auto start = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+        if (seconds > 0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                    .count() >= seconds)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    server.stop();
+    service.shutdown();
+    obs_flags.writeArtifacts();
+    std::printf("speckv serve: OK\n");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "serve")
+        return serveMain(argc, argv);
     const Args args = parseArgs(argc, argv);
 
     kv::KvServiceConfig service_config;

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * specnet_bench — open-loop load generator CLI for a running
+ * `speckv serve` instance.
+ *
+ * Schedules departures on a target-QPS arrival timeline (Poisson or
+ * fixed-rate) and reports latency percentiles measured from each
+ * request's INTENDED departure time, so coordinated omission cannot
+ * hide server stalls (see src/net/loadgen.hh). A closed-loop client
+ * under the same stall would simply emit fewer requests and report a
+ * flattering tail.
+ *
+ * Usage:
+ *   specnet_bench [--host=127.0.0.1] (--port=N | --port-file=PATH)
+ *                 [--qps=20000] [--seconds=2]
+ *                 [--arrival=poisson|fixed] [--mix=A|B|C]
+ *                 [--dist=zipfian|uniform] [--keys=4096]
+ *                 [--multiput=0.0] [--seed=1] [--load]
+ *                 [--json=out.json] [--metrics-out=m.prom]
+ *
+ * --load first PUTs the whole keyspace (shard-grouped batches), so
+ * GETs in the timed phase hit. Exit status is nonzero when the run
+ * aborted, a connection died, frames were malformed, or requests went
+ * unanswered.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "net/loadgen.hh"
+#include "obs/artifacts.hh"
+
+using namespace specpmt;
+
+namespace
+{
+
+std::uint16_t
+readPortFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        SPECPMT_FATAL("cannot read %s", path.c_str());
+    unsigned port = 0;
+    if (std::fscanf(f, "%u", &port) != 1 || port == 0 ||
+        port > 65535) {
+        std::fclose(f);
+        SPECPMT_FATAL("no port in %s", path.c_str());
+    }
+    std::fclose(f);
+    return static_cast<std::uint16_t>(port);
+}
+
+void
+printPercentiles(const char *label, const LatencyHistogram &h)
+{
+    std::printf("  %-7s %9llu samples  p50 %8.1fus  p99 %8.1fus  "
+                "p999 %8.1fus  max %8.1fus\n",
+                label, static_cast<unsigned long long>(h.count()),
+                h.percentile(50) / 1e3, h.percentile(99) / 1e3,
+                h.percentile(99.9) / 1e3, h.max() / 1e3);
+}
+
+void
+jsonHistogram(FILE *f, const char *name, const LatencyHistogram &h,
+              bool last)
+{
+    std::fprintf(f,
+                 "  \"%s\": {\"count\": %llu, \"p50_ns\": %llu, "
+                 "\"p99_ns\": %llu, \"p999_ns\": %llu, "
+                 "\"max_ns\": %llu}%s\n",
+                 name, static_cast<unsigned long long>(h.count()),
+                 static_cast<unsigned long long>(h.percentile(50)),
+                 static_cast<unsigned long long>(h.percentile(99)),
+                 static_cast<unsigned long long>(h.percentile(99.9)),
+                 static_cast<unsigned long long>(h.max()),
+                 last ? "" : ",");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    net::LoadgenConfig config;
+    std::string json_path;
+    obs::OutputFlags obs_flags;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::string(prefix).size();
+            return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n
+                                             : nullptr;
+        };
+        if (const char *v = value("--host="))
+            config.host = v;
+        else if (const char *v = value("--port="))
+            config.port =
+                static_cast<std::uint16_t>(std::atoi(v));
+        else if (const char *v = value("--port-file="))
+            config.port = readPortFile(v);
+        else if (const char *v = value("--qps="))
+            config.targetQps = std::atof(v);
+        else if (const char *v = value("--seconds="))
+            config.seconds = std::atof(v);
+        else if (const char *v = value("--arrival="))
+            config.arrival = std::string(v) == "fixed"
+                ? net::Arrival::Fixed
+                : net::Arrival::Poisson;
+        else if (const char *v = value("--mix=")) {
+            const std::string m = v;
+            config.workload.mix = m == "B" ? kv::Mix::B
+                : m == "C"                 ? kv::Mix::C
+                                           : kv::Mix::A;
+        } else if (const char *v = value("--dist="))
+            config.workload.dist = std::string(v) == "uniform"
+                ? kv::KeyDist::Uniform
+                : kv::KeyDist::Zipfian;
+        else if (const char *v = value("--keys="))
+            config.workload.keys = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--multiput="))
+            config.workload.multiPutFraction = std::atof(v);
+        else if (const char *v = value("--seed="))
+            config.seed = std::strtoull(v, nullptr, 10);
+        else if (arg == "--load")
+            config.loadFirst = true;
+        else if (const char *v = value("--json="))
+            json_path = v;
+        else if (!obs_flags.accept(arg))
+            SPECPMT_FATAL("unknown argument: %s", arg.c_str());
+    }
+    if (config.port == 0)
+        SPECPMT_FATAL("--port or --port-file is required");
+    if (config.targetQps <= 0 || config.seconds <= 0)
+        SPECPMT_FATAL("--qps and --seconds must be positive");
+
+    std::printf("specnet_bench: %s:%u qps=%.0f seconds=%.1f "
+                "arrival=%s mix=%s dist=%s keys=%llu%s\n",
+                config.host.c_str(), config.port, config.targetQps,
+                config.seconds, net::arrivalName(config.arrival),
+                kv::mixName(config.workload.mix),
+                kv::keyDistName(config.workload.dist),
+                static_cast<unsigned long long>(config.workload.keys),
+                config.loadFirst ? " (+load)" : "");
+    std::fflush(stdout);
+
+    const net::LoadgenResult result = net::runOpenLoop(config);
+    if (result.aborted) {
+        std::printf("specnet_bench: ABORTED: %s\n",
+                    result.error.c_str());
+        return 2;
+    }
+
+    std::printf(
+        "scheduled %llu  sent %llu  acked %llu  errors %llu  "
+        "notFound %llu  lost %llu  protocolErrors %llu\n",
+        static_cast<unsigned long long>(result.scheduled),
+        static_cast<unsigned long long>(result.sent),
+        static_cast<unsigned long long>(result.acked),
+        static_cast<unsigned long long>(result.errors),
+        static_cast<unsigned long long>(result.notFound),
+        static_cast<unsigned long long>(result.lost),
+        static_cast<unsigned long long>(result.protocolErrors));
+    std::printf("wall %.3fs  achieved %.1f kops/s (target %.1f)\n",
+                result.wallSeconds, result.achievedQps / 1e3,
+                config.targetQps / 1e3);
+    std::printf("latency from INTENDED departure time:\n");
+    printPercentiles("read", result.readLatency);
+    printPercentiles("update", result.updateLatency);
+    printPercentiles("sendlag", result.sendLag);
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr)
+            SPECPMT_FATAL("cannot write %s", json_path.c_str());
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"target_qps\": %.1f,\n"
+            "  \"achieved_qps\": %.1f,\n"
+            "  \"wall_seconds\": %.3f,\n"
+            "  \"arrival\": \"%s\",\n"
+            "  \"scheduled\": %llu,\n"
+            "  \"sent\": %llu,\n"
+            "  \"acked\": %llu,\n"
+            "  \"errors\": %llu,\n"
+            "  \"not_found\": %llu,\n"
+            "  \"lost\": %llu,\n"
+            "  \"protocol_errors\": %llu,\n",
+            config.targetQps, result.achievedQps,
+            result.wallSeconds, net::arrivalName(config.arrival),
+            static_cast<unsigned long long>(result.scheduled),
+            static_cast<unsigned long long>(result.sent),
+            static_cast<unsigned long long>(result.acked),
+            static_cast<unsigned long long>(result.errors),
+            static_cast<unsigned long long>(result.notFound),
+            static_cast<unsigned long long>(result.lost),
+            static_cast<unsigned long long>(result.protocolErrors));
+        jsonHistogram(f, "read_latency", result.readLatency, false);
+        jsonHistogram(f, "update_latency", result.updateLatency,
+                      false);
+        jsonHistogram(f, "send_lag", result.sendLag, true);
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+    }
+    obs_flags.writeArtifacts();
+
+    const bool failed = result.connectionLost ||
+                        result.protocolErrors != 0 ||
+                        result.lost != 0;
+    std::printf("specnet_bench: %s\n", failed ? "FAIL" : "OK");
+    return failed ? 1 : 0;
+}

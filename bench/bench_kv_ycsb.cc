@@ -14,8 +14,13 @@
  *   bench_kv_ycsb [--runtimes=spec,pmdk] [--mixes=A,B,C]
  *                 [--threads=4] [--shards=4] [--keys=8192]
  *                 [--ops=4000] [--dist=zipfian|uniform]
- *                 [--multiput=0.1]
+ *                 [--multiput=0.1] [--group-commit=N]
  *                 [--metrics-out=m.prom] [--trace-out=t.json]
+ *
+ * --group-commit=N issues updates with relaxed durability and seals
+ * each shard's epoch every N relaxed mutations (0 = strict, the
+ * default); only group-commit-capable runtimes ("spec", "spec-dp")
+ * are affected.
  *
  * The final stdout line is a BENCH_kv.json-compatible JSON summary.
  * --metrics-out dumps the process-wide registry (Prometheus text, or
@@ -51,6 +56,7 @@ struct Args
     std::uint64_t opsPerThread = 4000;
     kv::KeyDist dist = kv::KeyDist::Zipfian;
     double multiPutFraction = 0.0;
+    unsigned groupCommit = 0;
     obs::OutputFlags obs;
 };
 
@@ -97,6 +103,8 @@ parseArgs(int argc, char **argv)
             args.opsPerThread = std::strtoull(v, nullptr, 10);
         else if (const char *v = value("--multiput="))
             args.multiPutFraction = std::atof(v);
+        else if (const char *v = value("--group-commit="))
+            args.groupCommit = static_cast<unsigned>(std::atoi(v));
         else if (const char *v = value("--dist=")) {
             args.dist = std::string(v) == "uniform"
                 ? kv::KeyDist::Uniform
@@ -160,10 +168,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(args.keys),
                 static_cast<unsigned long long>(args.opsPerThread),
                 kv::keyDistName(args.dist));
-    std::printf("%-9s %-4s %12s %12s %9s %9s %9s %9s %10s %12s\n",
+    if (args.groupCommit > 0)
+        std::printf("group commit: epoch sealed every %u relaxed ops\n",
+                    args.groupCommit);
+    std::printf("%-9s %-4s %12s %12s %9s %9s %9s %9s %10s %8s %12s\n",
                 "runtime", "mix", "wall-kops", "sim-kops",
                 "p50-us", "p95-us", "p99-us", "p999-us", "fences",
-                "pm-lines");
+                "fn/tx", "pm-lines");
 
     std::vector<Cell> cells;
     for (const auto &runtime : args.runtimes) {
@@ -177,8 +188,13 @@ main(int argc, char **argv)
             service_config.bucketsPerShard = nextPow2(
                 std::max<std::uint64_t>(1024,
                                         4 * args.keys / args.shards));
+            if (args.groupCommit > 0) {
+                service_config.runtimeOptions.groupCommit = true;
+                service_config.epochMaxOps = args.groupCommit;
+            }
             kv::KvService service(service_config);
             kv::loadKeyspace(service, driver_config);
+            driver_config.relaxedPuts = args.groupCommit > 0;
 
             driver_config.mix = mixFromName(mix_name);
             auto result = kv::runClosedLoop(service, driver_config);
@@ -190,12 +206,18 @@ main(int argc, char **argv)
             latency.merge(result.updateLatency);
             std::uint64_t fences = 0;
             std::uint64_t pm_lines = 0;
+            std::uint64_t txs = 0;
             for (const auto &shard : result.shards) {
                 fences += shard.device.fences;
                 pm_lines += shard.pmLineWrites;
+                txs += shard.committedTxs;
             }
+            const double fences_per_tx =
+                txs > 0 ? static_cast<double>(fences) /
+                              static_cast<double>(txs)
+                        : 0.0;
             std::printf("%-9s %-4s %12.1f %12.1f %9.1f %9.1f %9.1f "
-                        "%9.1f %10llu %12llu\n",
+                        "%9.1f %10llu %8.3f %12llu\n",
                         runtime.c_str(), mix_name.c_str(),
                         result.throughputOps / 1e3,
                         result.simThroughputOps / 1e3,
@@ -204,6 +226,7 @@ main(int argc, char **argv)
                         latency.percentile(99) / 1e3,
                         latency.percentile(99.9) / 1e3,
                         static_cast<unsigned long long>(fences),
+                        fences_per_tx,
                         static_cast<unsigned long long>(pm_lines));
             cells.push_back({runtime, mix_name, std::move(result)});
         }
@@ -212,16 +235,24 @@ main(int argc, char **argv)
     // Machine-readable summary (the BENCH_kv.json artifact).
     std::printf("{\"bench\":\"kv_ycsb\",\"shards\":%u,\"threads\":%u,"
                 "\"keys\":%llu,\"ops_per_thread\":%llu,\"dist\":\"%s\","
+                "\"group_commit\":%u,"
                 "\"results\":[",
                 args.shards, args.threads,
                 static_cast<unsigned long long>(args.keys),
                 static_cast<unsigned long long>(args.opsPerThread),
-                kv::keyDistName(args.dist));
+                kv::keyDistName(args.dist), args.groupCommit);
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const auto &cell = cells[i];
         LatencyHistogram latency = cell.result.readLatency;
         latency.merge(cell.result.updateLatency);
+        std::uint64_t cell_fences = 0;
+        std::uint64_t cell_txs = 0;
+        for (const auto &shard : cell.result.shards) {
+            cell_fences += shard.device.fences;
+            cell_txs += shard.committedTxs;
+        }
         std::printf("%s{\"runtime\":\"%s\",\"mix\":\"%s\","
+                    "\"fences_per_tx\":%.4f,"
                     "\"ops\":%llu,"
                     "\"wall_ops_per_sec\":%.1f,"
                     "\"sim_ops_per_sec\":%.1f,"
@@ -230,6 +261,10 @@ main(int argc, char **argv)
                     "\"shards\":[",
                     i == 0 ? "" : ",", cell.runtime.c_str(),
                     cell.mix.c_str(),
+                    cell_txs > 0
+                        ? static_cast<double>(cell_fences) /
+                              static_cast<double>(cell_txs)
+                        : 0.0,
                     static_cast<unsigned long long>(
                         cell.result.totalOps()),
                     cell.result.throughputOps,

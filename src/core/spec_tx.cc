@@ -41,6 +41,13 @@ struct SpecTxMetrics
     obs::Counter &recoveries;
     obs::Counter &recoveryReplayedTxs;
     obs::Gauge &logBytesInUse;
+    obs::Counter &epochSeals;
+    obs::Counter &epochRelaxedCommits;
+    obs::Counter &epochTxsSealed;
+    obs::Counter &epochDroppedTxs;
+    obs::Gauge &epochPendingTxs;
+    obs::Gauge &epochLastSealed;
+    obs::Histogram &epochTxsPerSeal;
 
     static SpecTxMetrics &
     get()
@@ -71,6 +78,22 @@ struct SpecTxMetrics
                         "committed transactions replayed in recovery"),
             reg.gauge("specpmt_spec_tx_log_bytes_in_use",
                       "live speculative-log bytes across all threads"),
+            reg.counter("specpmt_epoch_seals_total",
+                        "epoch group-commit fences (one per sealed "
+                        "epoch)"),
+            reg.counter("specpmt_epoch_relaxed_commits_total",
+                        "transactions committed relaxed into an epoch"),
+            reg.counter("specpmt_epoch_txs_sealed_total",
+                        "transactions made durable by epoch seals"),
+            reg.counter("specpmt_epoch_dropped_txs_total",
+                        "committed-in-DRAM transactions dropped by "
+                        "recovery as beyond the durable epoch frontier"),
+            reg.gauge("specpmt_epoch_pending_txs",
+                      "relaxed commits awaiting the next epoch seal"),
+            reg.gauge("specpmt_epoch_last_sealed",
+                      "highest sealed epoch ticket"),
+            reg.histogram("specpmt_epoch_txs_per_seal",
+                          "epoch size in transactions at seal time"),
         };
         return m;
     }
@@ -94,6 +117,8 @@ SpecTx::SpecTx(pmem::PmemPool &pool, unsigned num_threads,
     } else {
         for (unsigned tid = 0; tid < num_threads; ++tid)
             initFreshLog(tid);
+        if (config_.groupCommit)
+            initEpochFrontier(/*adopt_existing=*/false);
     }
 
     if (config_.backgroundReclaim)
@@ -294,25 +319,8 @@ SpecTx::txStore(ThreadId tid, PmOff off, const void *src, std::size_t size)
 }
 
 void
-SpecTx::txCommit(ThreadId tid)
+SpecTx::sealSegments(ThreadLog &log, TxTimestamp ts)
 {
-    auto &log = threadLog(tid);
-    SPECPMT_ASSERT(log.inTx);
-    log.inTx = false;
-
-    // Read-only transaction: nothing to persist; rewind the header
-    // space reserved at txBegin.
-    if (log.openSegs.size() == 1 && log.openSegs[0].numEntries == 0) {
-        log.tailPos -= sizeof(SegHead);
-        log.openSegs.clear();
-        std::lock_guard<std::mutex> guard(log.mutex);
-        log.firstOpenBlock = log.blocks.size() - 1;
-        SpecTxMetrics::get().readonlyCommits.add();
-        SPECPMT_TRACE_END("tx_readonly", "tx", log.traceStartNs);
-        return;
-    }
-
-    const TxTimestamp ts = nextTimestamp();
     SpecTxMetrics::get().segmentsSealed.add(log.openSegs.size());
     for (std::size_t i = 0; i < log.openSegs.size(); ++i) {
         const auto &seg = log.openSegs[i];
@@ -332,6 +340,41 @@ SpecTx::txCommit(ThreadId tid)
         log.pendingFlush.emplace_back(seg.pos, seg.bytes);
     }
     poisonTail(log);
+}
+
+void
+SpecTx::txCommit(ThreadId tid)
+{
+    if (config_.groupCommit) {
+        // Strict commit in epoch mode: join the epoch, then seal it
+        // before returning. One fence covers this transaction plus
+        // every earlier relaxed commit, so the ack-implies-durable
+        // contract holds and the epoch's timestamps stay dense.
+        bool readonly = false;
+        commitIntoEpoch(tid, readonly);
+        if (!readonly)
+            sealEpoch();
+        return;
+    }
+
+    auto &log = threadLog(tid);
+    SPECPMT_ASSERT(log.inTx);
+    log.inTx = false;
+
+    // Read-only transaction: nothing to persist; rewind the header
+    // space reserved at txBegin.
+    if (log.openSegs.size() == 1 && log.openSegs[0].numEntries == 0) {
+        log.tailPos -= sizeof(SegHead);
+        log.openSegs.clear();
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.firstOpenBlock = log.blocks.size() - 1;
+        SpecTxMetrics::get().readonlyCommits.add();
+        SPECPMT_TRACE_END("tx_readonly", "tx", log.traceStartNs);
+        return;
+    }
+
+    const TxTimestamp ts = nextTimestamp();
+    sealSegments(log, ts);
 
     // One flush batch + one fence persists the whole transaction:
     // the segment checksums are the commit flag (Section 4.1).
@@ -374,6 +417,176 @@ SpecTx::txCommit(ThreadId tid)
         }
         reclaimCv_.notify_one();
     }
+}
+
+std::uint64_t
+SpecTx::commitIntoEpoch(ThreadId tid, bool &readonly)
+{
+    auto &log = threadLog(tid);
+    SPECPMT_ASSERT(log.inTx);
+    log.inTx = false;
+
+    if (log.openSegs.size() == 1 && log.openSegs[0].numEntries == 0) {
+        readonly = true;
+        log.tailPos -= sizeof(SegHead);
+        log.openSegs.clear();
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.firstOpenBlock = log.blocks.size() - 1;
+        SpecTxMetrics::get().readonlyCommits.add();
+        SPECPMT_TRACE_END("tx_readonly", "tx", log.traceStartNs);
+        return 0;
+    }
+    readonly = false;
+
+    std::uint64_t ticket = 0;
+    std::size_t sealed_segs = 0;
+    {
+        // Timestamp allocation, seal stores, and flush-range
+        // registration form one atomic step against concurrent
+        // commits and sealers: this is what keeps epoch membership
+        // timestamp-contiguous (see the header comment on
+        // epochMutex_).
+        std::lock_guard<std::mutex> guard(epochMutex_);
+        const TxTimestamp ts = nextTimestamp();
+        sealed_segs = log.openSegs.size();
+        sealSegments(log, ts);
+        if (config_.dataPersistOnCommit) {
+            log.writeSet.forEachLine([&](std::uint64_t line) {
+                epochPending_.push_back({line * kCacheLineSize,
+                                         kCacheLineSize,
+                                         pmem::TrafficClass::Data});
+            });
+        }
+        for (const auto &[off, size] : log.pendingFlush)
+            epochPending_.push_back(
+                {off, size, pmem::TrafficClass::Log});
+        if (epochPendingTxs_ == 0)
+            epochFirstTs_ = ts;
+        epochLastTs_ = ts;
+        ++epochPendingTxs_;
+        ticket = epochOpenTicket_;
+        SpecTxMetrics::get().epochPendingTxs.set(
+            static_cast<std::int64_t>(epochPendingTxs_));
+        // Rides the epoch fence, durable iff the seals are.
+        flight_.record(forensic::EventType::TxCommit, tid, ts,
+                       sealed_segs);
+    }
+
+    log.pendingFlush.clear();
+    log.openSegs.clear();
+    log.entryIndex.clear();
+    log.preImages.clear();
+    log.captured.clear();
+    log.writeSet.clear();
+    {
+        std::lock_guard<std::mutex> guard(log.mutex);
+        log.firstOpenBlock = log.blocks.size() - 1;
+    }
+
+    SpecTxMetrics::get().commits.add();
+    SPECPMT_TRACE_END("tx", "tx", log.traceStartNs);
+
+    if (logBytes_.load() > config_.reclaimThresholdBytes &&
+        reclaimer_.joinable()) {
+        {
+            std::lock_guard<std::mutex> guard(reclaimMutex_);
+            reclaimRequested_ = true;
+        }
+        reclaimCv_.notify_one();
+    }
+    return ticket;
+}
+
+std::uint64_t
+SpecTx::txCommitRelaxed(ThreadId tid)
+{
+    if (!config_.groupCommit) {
+        txCommit(tid);
+        return 0;
+    }
+    bool readonly = false;
+    const std::uint64_t ticket = commitIntoEpoch(tid, readonly);
+    if (readonly)
+        return 0;
+    SpecTxMetrics::get().epochRelaxedCommits.add();
+    return ticket;
+}
+
+std::uint64_t
+SpecTx::sealEpoch()
+{
+    if (!config_.groupCommit)
+        return 0;
+    std::lock_guard<std::mutex> seal_guard(epochSealMutex_);
+    std::vector<EpochRange> ranges;
+    std::uint64_t ticket = 0;
+    std::uint64_t txs = 0;
+    TxTimestamp first = 0;
+    TxTimestamp last = 0;
+    {
+        std::lock_guard<std::mutex> guard(epochMutex_);
+        if (epochPendingTxs_ == 0)
+            return epochLastSealed_.load(std::memory_order_relaxed);
+        ranges.swap(epochPending_);
+        txs = epochPendingTxs_;
+        epochPendingTxs_ = 0;
+        first = epochFirstTs_;
+        last = epochLastTs_;
+        epochFirstTs_ = epochLastTs_ = 0;
+        ticket = epochOpenTicket_++;
+        SpecTxMetrics::get().epochPendingTxs.set(0);
+    }
+
+    {
+        SPECPMT_TRACE_SPAN("epoch_seal", "flush");
+        // The frontier advance rides the same flush batch as the
+        // member seals. If the fence below never completes, recovery
+        // treats any gap inside the announced window as proof of
+        // that, and replays only the window's dense prefix — all of
+        // which was unacked. Once the fence completes, frontier and
+        // seals are durable together.
+        storeEpochFrontier(first, last);
+        for (const auto &range : ranges)
+            dev_.clwbRange(range.off, range.size, range.cls);
+        dev_.sfence();
+    }
+    epochLastSealed_.store(ticket, std::memory_order_release);
+
+    auto &m = SpecTxMetrics::get();
+    m.epochSeals.add();
+    m.epochTxsSealed.add(txs);
+    m.epochTxsPerSeal.record(txs);
+    m.epochLastSealed.set(static_cast<std::int64_t>(ticket));
+    return ticket;
+}
+
+void
+SpecTx::initEpochFrontier(bool adopt_existing)
+{
+    const PmOff existing = pool_.getRoot(txn::kEpochFrontierSlot);
+    if (adopt_existing && existing != kPmNull) {
+        pool_.adopt(existing, kCacheLineSize);
+        epochFrontierOff_ = existing;
+        return;
+    }
+    epochFrontierOff_ =
+        pool_.allocAligned(kCacheLineSize, kCacheLineSize);
+    const TxTimestamp base = currentTimestamp();
+    storeEpochFrontier(base + 1, base); // empty window: replay all
+    // setRoot is durable (clwb + sfence), which also fences the
+    // record's initial contents.
+    pool_.setRoot(txn::kEpochFrontierSlot, epochFrontierOff_);
+}
+
+void
+SpecTx::storeEpochFrontier(TxTimestamp first, TxTimestamp last)
+{
+    SPECPMT_ASSERT(epochFrontierOff_ != kPmNull);
+    EpochFrontier frontier{kEpochFrontierMagic, first, last, 0, 0};
+    frontier.crc = epochFrontierCrc(frontier);
+    dev_.storeT(epochFrontierOff_, frontier);
+    dev_.clwbRange(epochFrontierOff_, sizeof(EpochFrontier),
+                   pmem::TrafficClass::Meta);
 }
 
 void
@@ -491,6 +704,8 @@ SpecTx::switchMechanism()
             pool_.free(base);
         pool_.setRoot(txn::logHeadSlot(tid), kPmNull);
     }
+    if (pool_.getRoot(txn::kEpochFrontierSlot) != kPmNull)
+        pool_.setRoot(txn::kEpochFrontierSlot, kPmNull);
     // This instance is done; a successor mechanism owns the pool now.
     needsRecovery_ = true;
 }
@@ -498,6 +713,7 @@ SpecTx::switchMechanism()
 void
 SpecTx::shutdown()
 {
+    sealEpoch();
     if (reclaimer_.joinable()) {
         {
             std::lock_guard<std::mutex> guard(reclaimMutex_);
@@ -541,8 +757,22 @@ SpecTx::recover()
          * would let a later compaction mistake them for committed
          * records. */
         PmOff lastCommittedEnd = kPmNull;
+        /** (timestamp, end position) of every committed group, in
+         * chain order; epoch mode truncates at the last *replayed*
+         * group instead of the last committed one. */
+        std::vector<std::pair<TxTimestamp, PmOff>> groupEnds;
     };
     std::vector<AdoptedChain> chains(numThreads_);
+
+    // A pool operated in group-commit mode carries an epoch frontier
+    // record; its presence on media (not this incarnation's config)
+    // selects the replay rule, because the previous incarnation is
+    // the one whose commits are being recovered.
+    const PmOff frontier_root = pool_.getRoot(txn::kEpochFrontierSlot);
+    const bool epoch_media = frontier_root != kPmNull;
+    EpochFrontier frontier{};
+    if (epoch_media)
+        frontier = dev_.loadT<EpochFrontier>(frontier_root);
 
     for (unsigned tid = 0; tid < numThreads_; ++tid) {
         const PmOff root = pool_.getRoot(txn::logHeadSlot(tid));
@@ -571,8 +801,32 @@ SpecTx::recover()
                                   part.seg.entries.end());
             }
             txs.push_back(std::move(tx));
+            chains[tid].groupEnds.emplace_back(
+                group.ts, segmentEnd(group.segs.back().seg));
         }
         chains[tid].lastCommittedEnd = grouper.lastCommittedEnd();
+    }
+
+    // Epoch replay rule (DESIGN §12): only transactions covered by the
+    // durable frontier may be replayed. Everything newer belongs to an
+    // epoch whose fence never completed — its commits were never acked
+    // — so it is dropped exactly like a torn strict commit.
+    std::uint64_t epoch_dropped = 0;
+    TxTimestamp epoch_limit = 0;
+    if (epoch_media) {
+        std::vector<TxTimestamp> committed_ts;
+        committed_ts.reserve(txs.size());
+        for (const auto &tx : txs)
+            committed_ts.push_back(tx.ts);
+        epoch_limit = epochReplayLimit(frontier, std::move(committed_ts));
+        auto it = std::remove_if(txs.begin(), txs.end(),
+                                 [&](const CommittedTx &tx) {
+                                     return tx.ts > epoch_limit;
+                                 });
+        epoch_dropped =
+            static_cast<std::uint64_t>(std::distance(it, txs.end()));
+        txs.erase(it, txs.end());
+        SpecTxMetrics::get().epochDroppedTxs.add(epoch_dropped);
     }
 
     // Replay every fresh record in global chronological order: redo
@@ -606,7 +860,19 @@ SpecTx::recover()
 
         // Adopt the chain only up to the end of the last committed
         // transaction; anything beyond it is a torn commit's debris.
+        // Under the epoch rule the cut moves earlier, to the last
+        // *replayed* group: committed-but-unsealed records must not
+        // survive into the adopted prefix, or a later reclaim cycle
+        // would compact them into always-replayed records.
         PmOff adopt_pos = chains[tid].lastCommittedEnd;
+        if (epoch_media) {
+            adopt_pos = kPmNull;
+            for (const auto &[ts, end] : chains[tid].groupEnds) {
+                if (ts > epoch_limit)
+                    break;
+                adopt_pos = end;
+            }
+        }
         if (adopt_pos == kPmNull)
             adopt_pos = walk.blocks.front() + sizeof(BlockHeader);
         std::size_t keep = 0;
@@ -659,6 +925,24 @@ SpecTx::recover()
         }
         noteLogBytes(static_cast<std::ptrdiff_t>(bytes));
     }
+    // Reconcile the epoch frontier with this incarnation's config.
+    // A recovered pool restarts with an *empty* window just past the
+    // highest surviving timestamp: timestamps consumed by dropped
+    // transactions leave permanent gaps, and parking frontier.start
+    // above them keeps them below the window where the replay rule
+    // never looks for density.
+    if (config_.groupCommit) {
+        initEpochFrontier(/*adopt_existing=*/true);
+        const TxTimestamp base = currentTimestamp();
+        storeEpochFrontier(base + 1, base);
+    } else if (epoch_media) {
+        // The pool is switching back to strict-only operation; retire
+        // the frontier so future recoveries use the legacy rule.
+        pool_.adopt(frontier_root, kCacheLineSize);
+        pool_.setRoot(txn::kEpochFrontierSlot, kPmNull);
+        pool_.free(frontier_root);
+    }
+
     flight_.record(forensic::EventType::RecoveryEnd, 0, 0, txs.size());
     dev_.sfence();
     needsRecovery_ = false;
@@ -723,6 +1007,15 @@ SpecTx::reclaimCycle()
                                static_cast<std::ptrdiff_t>(
                                    log.firstOpenBlock));
     }
+
+    // Epoch mode: seal before compacting. Every group in the frozen
+    // span committed before the freeze, so its epoch registration
+    // happened-before this seal — after it, all of them are durable.
+    // Compacting an *unsealed* relaxed commit would launder it into an
+    // always-replayed compact record, silently promoting a
+    // not-yet-acked transaction to durable-after-crash.
+    if (config_.groupCommit)
+        sealEpoch();
 
     // Phase 1b: group every thread's frozen segments into
     // transactions with the shared splog_walk rule. Only entries of
@@ -802,7 +1095,12 @@ SpecTx::reclaimCycle()
                     }
                 }
             }
-            if (!compacted.entries.empty()) {
+            // Epoch mode keeps a header-only tombstone even when every
+            // entry is stale: deleting the whole transaction would
+            // punch a hole into the timestamp sequence and stall the
+            // frontier rule's dense-prefix scan below genuinely
+            // durable transactions.
+            if (!compacted.entries.empty() || config_.groupCommit) {
                 fresh_bytes += sizeof(SegHead);
                 fresh_segments.push_back(std::move(compacted));
             }

@@ -63,6 +63,16 @@ struct SpecTxConfig
      * a record"). Disabled only by the ablation benchmark.
      */
     bool dedupEntries = true;
+    /**
+     * Epoch group commit: txCommitRelaxed() defers the commit's flush
+     * batch and fence into a runtime-wide epoch that sealEpoch()
+     * persists with one shared fence. DRAM keeps serving the latest
+     * view; the persistent image advances one sealed epoch at a time,
+     * and recovery replays only transactions covered by the durable
+     * epoch frontier. txCommit() keeps its ack-implies-durable
+     * contract by sealing the epoch it joins before returning.
+     */
+    bool groupCommit = false;
 };
 
 /** Speculative-logging transaction runtime (SpecSPMT / SpecSPMT-DP). */
@@ -83,6 +93,22 @@ class SpecTx : public txn::TxRuntime
     void txStore(ThreadId tid, PmOff off, const void *src,
                  std::size_t size) override;
     void txCommit(ThreadId tid) override;
+
+    /** @name Epoch group commit (Section: DESIGN §12) */
+    /// @{
+    bool
+    groupCommitSupported() const override
+    {
+        return config_.groupCommit;
+    }
+    std::uint64_t txCommitRelaxed(ThreadId tid) override;
+    std::uint64_t sealEpoch() override;
+    std::uint64_t
+    lastSealedEpoch() const override
+    {
+        return epochLastSealed_.load(std::memory_order_acquire);
+    }
+    /// @}
 
     /**
      * Abort the open transaction during normal execution
@@ -182,6 +208,30 @@ class SpecTx : public txn::TxRuntime
 
     void noteLogBytes(std::ptrdiff_t delta);
 
+    /** A flush range deferred into the open epoch. */
+    struct EpochRange
+    {
+        PmOff off;
+        std::size_t size;
+        pmem::TrafficClass cls;
+    };
+
+    /** Checksum-seal the open segments (stores only) + tail poison. */
+    void sealSegments(ThreadLog &log, TxTimestamp ts);
+
+    /**
+     * Group-commit commit path: seal the open transaction's segments
+     * and hand the flush set to the open epoch instead of fencing.
+     * Returns the epoch ticket joined (0 for a read-only commit).
+     */
+    std::uint64_t commitIntoEpoch(ThreadId tid, bool &readonly);
+
+    /** Create (or reuse) the persistent frontier record; epoch mode. */
+    void initEpochFrontier(bool adopt_existing);
+
+    /** Durably note the window of the epoch being sealed. */
+    void storeEpochFrontier(TxTimestamp first, TxTimestamp last);
+
     SpecTxConfig config_;
     /** Disabled unless the pool carries a flight-recorder ring. */
     forensic::FlightRecorder flight_;
@@ -198,6 +248,25 @@ class SpecTx : public txn::TxRuntime
     bool reclaimRequested_ = false;
     bool stopReclaimer_ = false;
     std::thread reclaimer_;
+
+    /**
+     * Epoch state (group-commit mode only). epochMutex_ makes
+     * {timestamp allocation, seal stores, flush-range registration}
+     * one atomic step, which is what keeps allocated timestamps dense
+     * and epoch membership timestamp-contiguous — the invariants the
+     * recovery frontier rule rests on. epochSealMutex_ serializes
+     * sealers and is always taken first.
+     */
+    std::mutex epochMutex_;
+    std::mutex epochSealMutex_;
+    std::vector<EpochRange> epochPending_;
+    std::uint64_t epochPendingTxs_ = 0;
+    TxTimestamp epochFirstTs_ = 0;
+    TxTimestamp epochLastTs_ = 0;
+    std::uint64_t epochOpenTicket_ = 1;
+    std::atomic<std::uint64_t> epochLastSealed_{0};
+    /** Device offset of the persistent frontier record (epoch mode). */
+    PmOff epochFrontierOff_ = kPmNull;
 };
 
 } // namespace specpmt::core

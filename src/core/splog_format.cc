@@ -22,6 +22,21 @@ segmentCrc(const pmem::PmemDevice &dev, PmOff seg_pos, const SegHead &head)
     return crc32c(buffer.data(), body, crc);
 }
 
+std::uint32_t
+epochFrontierCrc(const EpochFrontier &frontier)
+{
+    std::uint32_t crc = crc32c(&frontier.magic, sizeof(frontier.magic));
+    crc = crc32c(&frontier.start, sizeof(frontier.start), crc);
+    return crc32c(&frontier.end, sizeof(frontier.end), crc);
+}
+
+bool
+epochFrontierValid(const EpochFrontier &frontier)
+{
+    return frontier.magic == kEpochFrontierMagic &&
+           frontier.crc == epochFrontierCrc(frontier);
+}
+
 namespace
 {
 

@@ -120,6 +120,37 @@ entryBytes(std::size_t value_size)
 constexpr std::size_t kLogBlockSize = 4096;
 
 /**
+ * On-media epoch frontier record (group-commit mode; DESIGN §12).
+ *
+ * One cache line, published at root slot txn::kEpochFrontierSlot,
+ * overwritten at the start of every epoch seal so its store rides the
+ * seal's own fence. [start, end] is the commit-timestamp window of
+ * the epoch being sealed; every committed transaction with a smaller
+ * timestamp is covered by an earlier, completed epoch fence. The
+ * recovery rule built on it (epochReplayLimit in splog_walk) replays
+ * the longest timestamp-dense prefix and thereby never replays a
+ * transaction whose predecessors' seals may be missing, and never
+ * drops one whose ack a client could have observed.
+ */
+struct EpochFrontier
+{
+    std::uint64_t magic;
+    std::uint64_t start; ///< first timestamp of the epoch being sealed
+    std::uint64_t end;   ///< last timestamp of that epoch
+    std::uint32_t crc;   ///< over magic/start/end
+    std::uint32_t pad;
+};
+static_assert(sizeof(EpochFrontier) == 32);
+
+constexpr std::uint64_t kEpochFrontierMagic = 0x314F504543455053ull;
+
+/** Checksum of a frontier record's payload fields. */
+std::uint32_t epochFrontierCrc(const EpochFrontier &frontier);
+
+/** Magic + checksum validation. */
+bool epochFrontierValid(const EpochFrontier &frontier);
+
+/**
  * Compute a segment's crc from the device image: covers the SegHead
  * fields after crc plus all entry bytes, seeded by the segment's
  * location so a record can never validate at a different position

@@ -1,5 +1,6 @@
 #include "core/splog_walk.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -39,6 +40,28 @@ TxGrouper::finish()
     inFlight_ = std::move(open_);
     open_ = GroupedTx{};
     return inFlight_;
+}
+
+TxTimestamp
+epochReplayLimit(const EpochFrontier &frontier,
+                 std::vector<TxTimestamp> committed_ts)
+{
+    if (!epochFrontierValid(frontier) || frontier.start == 0)
+        return 0; // unreadable frontier: replay nothing committed
+    std::sort(committed_ts.begin(), committed_ts.end());
+    TxTimestamp limit = frontier.start - 1;
+    auto it = std::lower_bound(committed_ts.begin(), committed_ts.end(),
+                               frontier.start);
+    while (limit < frontier.end && it != committed_ts.end() &&
+           *it == limit + 1) {
+        ++limit;
+        // Duplicate timestamps cannot occur across healthy chains but
+        // a corrupted image might present them; skip repeats so the
+        // scan still terminates at the first true gap.
+        while (it != committed_ts.end() && *it == limit)
+            ++it;
+    }
+    return limit;
 }
 
 } // namespace specpmt::core

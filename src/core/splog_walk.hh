@@ -120,6 +120,31 @@ class TxGrouper
     bool finished_ = false;
 };
 
+/**
+ * The epoch-mode replay rule (DESIGN §12), shared — like the grouping
+ * rule above — by recovery, and the offline inspector, which must
+ * agree on every image.
+ *
+ * Given the durable frontier record and the timestamps of every
+ * committed (checksum-valid, count-attested) transaction found in the
+ * image, returns the highest timestamp recovery may replay: a
+ * transaction survives iff its timestamp is <= the returned limit.
+ *
+ * Rationale: timestamps below frontier.start belong to earlier
+ * epochs whose fences completed before this frontier version was even
+ * stored, so they are always safe. Inside the window
+ * [frontier.start, frontier.end], the seals are either all durable
+ * (the epoch fence completed — in which case every window timestamp
+ * is present, since commits allocate timestamps densely and the
+ * compactor tombstones rather than deletes) or the fence never
+ * completed and nothing in the window was acked — in which case any
+ * timestamp-dense prefix is a consistent cut, because dependent
+ * transactions commit in timestamp order. Timestamps beyond the
+ * window joined a later, never-sealed epoch and are always dropped.
+ */
+TxTimestamp epochReplayLimit(const EpochFrontier &frontier,
+                             std::vector<TxTimestamp> committed_ts);
+
 } // namespace specpmt::core
 
 #endif // SPECPMT_CORE_SPLOG_WALK_HH

@@ -206,6 +206,8 @@ txVerdictName(TxVerdict verdict)
         return "TORN";
       case TxVerdict::InFlight:
         return "IN-FLIGHT";
+      case TxVerdict::Unsealed:
+        return "UNSEALED";
     }
     return "?";
 }
@@ -237,6 +239,68 @@ inspectImage(const pmem::PmemDevice &dev, unsigned threads,
             dev, dev.loadT<PmOff>(flight_slot_off));
     }
 
+    // Epoch-mode images publish a frontier record; apply the same
+    // replay-limit rule recovery uses (splog_walk) and demote
+    // committed runs beyond the limit: they were never acked.
+    const PmOff frontier_slot_off =
+        txn::kEpochFrontierSlot * sizeof(PmOff);
+    PmOff frontier_root = kPmNull;
+    if (frontier_slot_off + sizeof(PmOff) <= dev.size())
+        frontier_root = dev.loadT<PmOff>(frontier_slot_off);
+    if (frontier_root != kPmNull) {
+        report.epochMedia = true;
+        core::EpochFrontier frontier{};
+        if (frontier_root + sizeof(frontier) <= dev.size())
+            frontier = dev.loadT<core::EpochFrontier>(frontier_root);
+        report.frontierValid = core::epochFrontierValid(frontier);
+        report.epochStart = frontier.start;
+        report.epochEnd = frontier.end;
+        std::vector<TxTimestamp> committed_ts;
+        for (const auto &chain : report.chains) {
+            for (const auto &tx : chain.txs) {
+                if (tx.verdict == TxVerdict::Committed)
+                    committed_ts.push_back(tx.ts);
+            }
+        }
+        // An invalid record replays nothing: fail closed, exactly as
+        // epochReplayLimit does for a corrupt frontier.
+        report.epochLimit =
+            core::epochReplayLimit(frontier, std::move(committed_ts));
+        for (auto &chain : report.chains) {
+            bool demoted = false;
+            for (auto &tx : chain.txs) {
+                if (tx.verdict != TxVerdict::Committed ||
+                    tx.ts <= report.epochLimit)
+                    continue;
+                tx.verdict = TxVerdict::Unsealed;
+                tx.reason = "committed on media but ts " +
+                            std::to_string(tx.ts) +
+                            " exceeds the epoch replay limit " +
+                            std::to_string(report.epochLimit) +
+                            " (frontier window [" +
+                            std::to_string(frontier.start) + ", " +
+                            std::to_string(frontier.end) +
+                            "]): the epoch's shared fence never "
+                            "completed, so it was never acked and "
+                            "recovery drops it";
+                demoted = true;
+            }
+            if (demoted) {
+                // Recovery re-adopts after the last *replayable* run.
+                chain.lastCommittedEnd = kPmNull;
+                for (const auto &tx : chain.txs) {
+                    if (tx.verdict == TxVerdict::Committed &&
+                        !tx.segs.empty()) {
+                        const auto &last = tx.segs.back();
+                        chain.lastCommittedEnd =
+                            last.pos +
+                            ((last.sizeBytes + 7) & ~std::uint32_t{7});
+                    }
+                }
+            }
+        }
+    }
+
     for (const auto &chain : report.chains) {
         for (const auto &tx : chain.txs) {
             switch (tx.verdict) {
@@ -248,6 +312,9 @@ inspectImage(const pmem::PmemDevice &dev, unsigned threads,
                 break;
               case TxVerdict::InFlight:
                 ++report.inFlight;
+                break;
+              case TxVerdict::Unsealed:
+                ++report.unsealed;
                 break;
             }
         }
@@ -352,10 +419,20 @@ InspectReport::toText() const
             out += "\n    reason: " + tx.reason + "\n";
         }
     }
+    if (epochMedia) {
+        out += "epoch frontier: window [" +
+               std::to_string(epochStart) + ", " +
+               std::to_string(epochEnd) + "] " +
+               (frontierValid ? "(valid seal)" : "(INVALID seal)") +
+               ", replay limit " + std::to_string(epochLimit) + "\n";
+    }
     appendFlightText(out, flight);
     out += "summary: committed=" + std::to_string(committed) +
            " torn=" + std::to_string(torn) +
-           " in-flight=" + std::to_string(inFlight) + "\n";
+           " in-flight=" + std::to_string(inFlight);
+    if (epochMedia)
+        out += " unsealed=" + std::to_string(unsealed);
+    out += "\n";
     return out;
 }
 
@@ -454,10 +531,21 @@ InspectReport::toJson(const std::string &metrics_json) const
     }
     out += "]},\n";
 
+    if (epochMedia) {
+        out += "  \"epoch\": {\"frontierValid\": ";
+        out += frontierValid ? "true" : "false";
+        out += ", \"start\": " + std::to_string(epochStart) +
+               ", \"end\": " + std::to_string(epochEnd) +
+               ", \"replayLimit\": " + std::to_string(epochLimit) +
+               "},\n";
+    }
     out += "  \"summary\": {\"committed\": " +
            std::to_string(committed) +
            ", \"torn\": " + std::to_string(torn) +
-           ", \"inFlight\": " + std::to_string(inFlight) + "}";
+           ", \"inFlight\": " + std::to_string(inFlight);
+    if (epochMedia)
+        out += ", \"unsealed\": " + std::to_string(unsealed);
+    out += "}";
     if (!metrics_json.empty())
         out += ",\n  \"metrics\": " + metrics_json;
     out += "\n}\n";

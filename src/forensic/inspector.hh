@@ -17,6 +17,12 @@
  *               its CRC; recovery will discard it.
  *   IN-FLIGHT — a trailing run with no final seal and a clean tail:
  *               the crash hit between txBegin and the commit seal.
+ *   UNSEALED  — epoch-mode images only (an epoch frontier record is
+ *               published at root slot txn::kEpochFrontierSlot): a
+ *               structurally committed run whose timestamp lies
+ *               beyond the frontier's dense replay limit — it joined
+ *               an epoch whose shared fence never completed, so it
+ *               was never acknowledged and recovery drops it.
  *
  * Every verdict carries a human-readable reason string (recomputed
  * CRCs, attested vs. observed segment counts, ...) so a disagreement
@@ -62,9 +68,12 @@ enum class TxVerdict
     Committed,
     Torn,
     InFlight,
+    /** Committed on media but beyond the epoch frontier's replay
+     * limit (never acked; recovery drops it). Epoch images only. */
+    Unsealed,
 };
 
-/** "COMMITTED" / "TORN" / "IN-FLIGHT". */
+/** "COMMITTED" / "TORN" / "IN-FLIGHT" / "UNSEALED". */
 const char *txVerdictName(TxVerdict verdict);
 
 /** One decoded, checksum-valid segment of a reported transaction. */
@@ -121,6 +130,23 @@ struct InspectReport
     std::size_t committed = 0;
     std::size_t torn = 0;
     std::size_t inFlight = 0;
+
+    /** @name Epoch group commit (root slot txn::kEpochFrontierSlot)
+     * Populated only when the image publishes an epoch frontier
+     * record; legacy images leave epochMedia false and the text/JSON
+     * reports byte-identical to pre-epoch inspector output.
+     */
+    /// @{
+    bool epochMedia = false;
+    /** The frontier record passed its magic + CRC check. */
+    bool frontierValid = false;
+    TxTimestamp epochStart = 0; ///< frontier window start
+    TxTimestamp epochEnd = 0;   ///< frontier window end
+    /** Highest replayable timestamp (epochReplayLimit). */
+    TxTimestamp epochLimit = 0;
+    /** Committed-on-media runs demoted to UNSEALED. */
+    std::size_t unsealed = 0;
+    /// @}
 
     /** Deterministic human-readable report (golden-test stable:
      * depends only on the image bytes). */

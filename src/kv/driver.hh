@@ -48,6 +48,14 @@ struct DriverConfig
      * run stops and DriverResult::crashed is set.
      */
     long armCrashAfter = -1;
+    /**
+     * Issue puts with Durability::Relaxed (epoch group commit): the
+     * service auto-seals every KvServiceConfig::epochMaxOps relaxed
+     * mutations, and the driver seals all shards once at the end of
+     * the run so the reported traffic covers full durability. No-op
+     * on runtimes without group-commit support.
+     */
+    bool relaxedPuts = false;
 };
 
 /** Aggregated outcome of one closed-loop run. */

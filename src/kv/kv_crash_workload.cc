@@ -30,6 +30,15 @@ serviceConfig(const sim::CrashCell &cell)
     // blocks so transactions span block boundaries.
     config.runtimeOptions.backgroundWorkers = false;
     config.runtimeOptions.specLogBlockSize = 256;
+    if (cell.kvEpochOps != 0) {
+        // Epoch group commit, sealed explicitly by the workload so
+        // crash points land deterministically before, inside and
+        // after each seal; the count-based auto-seal and background
+        // sealer would race the countdown.
+        config.runtimeOptions.groupCommit = true;
+        config.epochMaxOps = 0;
+        config.epochSealIntervalUs = 0;
+    }
     return config;
 }
 
@@ -39,6 +48,9 @@ class KvCrashWorkload final : public sim::CrashWorkload
     explicit KvCrashWorkload(const sim::CrashCell &cell)
         : cell_(cell), service_(serviceConfig(cell))
     {
+        epoch_ =
+            cell_.kvEpochOps != 0 && service_.groupCommitEnabled();
+        pending_.resize(service_.numShards());
         for (KvKey key = 1; key <= cell_.kvKeys; ++key) {
             const auto value = KvValue::tagged(key, 0);
             if (!service_.put(0, key, value))
@@ -59,6 +71,7 @@ class KvCrashWorkload final : public sim::CrashWorkload
         Rng rng(cell_.seed);
         armed_ = crash_after;
         countdown_ = service_.armCrashAll(crash_after);
+        unsigned mutations = 0;
         try {
             for (unsigned i = 0; i < cell_.kvOps; ++i) {
                 staged_.clear();
@@ -71,9 +84,22 @@ class KvCrashWorkload final : public sim::CrashWorkload
                     const auto value =
                         KvValue::tagged(key, rng.next() | 1);
                     staged_[key] = value;
-                    if (service_.put(0, key, value))
+                    if (epoch_) {
+                        std::uint64_t ticket = 0;
+                        if (service_.put(0, key, value,
+                                         Durability::Relaxed,
+                                         &ticket)) {
+                            if (ticket != 0)
+                                pending_[service_.shardOf(key)]
+                                    .emplace_back(key, value);
+                            else
+                                committed_[key] = value;
+                        }
+                    } else if (service_.put(0, key, value)) {
                         committed_[key] = value;
+                    }
                     staged_.clear();
+                    ++mutations;
                 } else {
                     std::vector<std::pair<KvKey, KvValue>> batch;
                     for (unsigned b = 0; b < 4; ++b) {
@@ -84,16 +110,33 @@ class KvCrashWorkload final : public sim::CrashWorkload
                         staged_[key] = value;
                     }
                     if (service_.multiPut(0, batch)) {
+                        // A strict multiPut commit seals each touched
+                        // shard's epoch, making that shard's earlier
+                        // relaxed mutations durable too.
+                        if (epoch_) {
+                            for (const auto &[key, value] : batch)
+                                drainPending(service_.shardOf(key));
+                        }
                         for (const auto &[key, value] : batch)
                             committed_[key] = value;
                     }
                     staged_.clear();
+                    ++mutations;
+                }
+                if (epoch_ && cell_.kvEpochOps != 0 &&
+                    mutations >= cell_.kvEpochOps) {
+                    mutations = 0;
+                    sealAndDrainAll();
                 }
             }
         } catch (const pmem::SimulatedCrash &) {
             return true;
         }
         service_.armCrashAll(-1);
+        // Crash-free runs end fully sealed, so the exact-state checks
+        // (and a later clean power cycle) see no unsealed tail.
+        if (epoch_)
+            sealAndDrainAll();
         return false;
     }
 
@@ -149,7 +192,7 @@ class KvCrashWorkload final : public sim::CrashWorkload
     std::string
     check() override
     {
-        return verifyAtomicity();
+        return epoch_ ? verifyEpochPrefix() : verifyAtomicity();
     }
 
     std::string
@@ -168,6 +211,24 @@ class KvCrashWorkload final : public sim::CrashWorkload
 
   private:
     static constexpr long kNoCrash = 1L << 40;
+
+    /** Move a shard's sealed-pending mutations into committed_. */
+    void
+    drainPending(unsigned shard)
+    {
+        for (const auto &[key, value] : pending_[shard])
+            committed_[key] = value;
+        pending_[shard].clear();
+    }
+
+    /** Seal every shard's epoch; everything pending becomes acked. */
+    void
+    sealAndDrainAll()
+    {
+        service_.sealAllEpochs();
+        for (unsigned s = 0; s < service_.numShards(); ++s)
+            drainPending(s);
+    }
 
     static std::optional<KvValue>
     lookup(const std::map<KvKey, KvValue> &map, KvKey key)
@@ -223,6 +284,57 @@ class KvCrashWorkload final : public sim::CrashWorkload
         return {};
     }
 
+    /**
+     * Epoch-mode atomic durability: per shard, the surviving state
+     * must be the acked (sealed) state plus a clean *prefix* of that
+     * shard's unsealed relaxed mutations in commit order — the dense
+     * replay window the epoch frontier admits — optionally topped by
+     * the whole in-flight transaction (which, holding the shard's
+     * newest timestamp, can only survive when the full prefix did).
+     * Any hole in the prefix, torn value, or lost acked mutation is a
+     * failure.
+     */
+    std::string
+    verifyEpochPrefix()
+    {
+        for (unsigned s = 0; s < service_.numShards(); ++s) {
+            const auto &pend = pending_[s];
+            bool ok = false;
+            for (std::size_t p = 0; p <= pend.size() && !ok; ++p) {
+                std::map<KvKey, KvValue> overlay = committed_;
+                for (std::size_t i = 0; i < p; ++i)
+                    overlay[pend[i].first] = pend[i].second;
+                ok = shardMatches(s, overlay);
+                if (!ok && p == pend.size() && !staged_.empty()) {
+                    for (const auto &[key, value] : staged_)
+                        overlay[key] = value;
+                    ok = shardMatches(s, overlay);
+                }
+            }
+            if (!ok) {
+                return "shard " + std::to_string(s) +
+                       " is not acked state plus a clean prefix of "
+                       "its " +
+                       std::to_string(pend.size()) +
+                       " unsealed mutations";
+            }
+        }
+        return {};
+    }
+
+    /** True if every shard-@p s key matches @p overlay exactly. */
+    bool
+    shardMatches(unsigned s, const std::map<KvKey, KvValue> &overlay)
+    {
+        for (KvKey key = 1; key <= cell_.kvKeys; ++key) {
+            if (service_.shardOf(key) != s)
+                continue;
+            if (!same(service_.get(0, key), lookup(overlay, key)))
+                return false;
+        }
+        return true;
+    }
+
     /** Adopt the surviving state as the new acknowledged baseline. */
     void
     rebaseline()
@@ -233,6 +345,8 @@ class KvCrashWorkload final : public sim::CrashWorkload
                 committed_[key] = *value;
         }
         staged_.clear();
+        for (auto &pend : pending_)
+            pend.clear();
     }
 
     /** Exact-state check (crash-free phases). */
@@ -262,13 +376,28 @@ class KvCrashWorkload final : public sim::CrashWorkload
         fold(committed_);
         hash = hashCombine(hash, 0x57A6EDull);
         fold(staged_);
+        if (epoch_) {
+            for (const auto &pend : pending_) {
+                hash = hashCombine(hash, 0xE90C4ull);
+                for (const auto &[key, value] : pend) {
+                    std::uint64_t h = key;
+                    for (unsigned i = 0; i < 8; ++i)
+                        h = hashCombine(h, value.words[i]);
+                    hash = hashCombine(hash, h);
+                }
+            }
+        }
         return hash;
     }
 
     sim::CrashCell cell_;
     KvService service_;
+    bool epoch_ = false;
     std::map<KvKey, KvValue> committed_;
     std::map<KvKey, KvValue> staged_;
+    /** Per shard: relaxed-committed, not-yet-sealed mutations, in
+     * commit order (the crash may keep any prefix of each list). */
+    std::vector<std::vector<std::pair<KvKey, KvValue>>> pending_;
     std::shared_ptr<pmem::CrashCountdown> countdown_;
     long armed_ = 0;
 };

@@ -112,9 +112,91 @@ KvService::KvService(const KvServiceConfig &config) : config_(config)
             std::make_unique<txn::LockTable>(config_.lockStripes);
         shards_.push_back(std::move(shard));
     }
+    startEpochSealer();
 }
 
-KvService::~KvService() = default;
+KvService::~KvService()
+{
+    stopEpochSealer();
+}
+
+bool
+KvService::groupCommitEnabled() const
+{
+    return config_.runtimeOptions.groupCommit &&
+           shards_.front()->runtime &&
+           shards_.front()->runtime->groupCommitSupported();
+}
+
+std::uint64_t
+KvService::sealShardEpoch(unsigned shard_index)
+{
+    return shards_.at(shard_index)->runtime->sealEpoch();
+}
+
+std::uint64_t
+KvService::shardSealedEpoch(unsigned shard_index) const
+{
+    return shards_.at(shard_index)->runtime->lastSealedEpoch();
+}
+
+void
+KvService::sealAllEpochs()
+{
+    for (auto &shard : shards_) {
+        if (shard->runtime)
+            shard->runtime->sealEpoch();
+    }
+}
+
+void
+KvService::noteRelaxedMutation(unsigned shard_index, Shard &shard)
+{
+    const std::uint64_t n =
+        shard.relaxedSinceSeal.fetch_add(1, std::memory_order_relaxed)
+        + 1;
+    if (config_.epochMaxOps != 0 && n >= config_.epochMaxOps) {
+        shard.relaxedSinceSeal.store(0, std::memory_order_relaxed);
+        sealShardEpoch(shard_index);
+    }
+}
+
+void
+KvService::startEpochSealer()
+{
+    if (config_.epochSealIntervalUs == 0 || !groupCommitEnabled())
+        return;
+    {
+        std::lock_guard<std::mutex> guard(sealerMutex_);
+        stopSealer_ = false;
+    }
+    sealer_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(sealerMutex_);
+        while (!stopSealer_) {
+            sealerCv_.wait_for(lock,
+                               std::chrono::microseconds(
+                                   config_.epochSealIntervalUs));
+            if (stopSealer_)
+                break;
+            lock.unlock();
+            sealAllEpochs();
+            lock.lock();
+        }
+    });
+}
+
+void
+KvService::stopEpochSealer()
+{
+    if (!sealer_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> guard(sealerMutex_);
+        stopSealer_ = true;
+    }
+    sealerCv_.notify_all();
+    sealer_.join();
+}
 
 unsigned
 shardOfKey(KvKey key, unsigned shards)
@@ -144,26 +226,41 @@ KvService::get(ThreadId tid, KvKey key)
 }
 
 bool
-KvService::put(ThreadId tid, KvKey key, const KvValue &value)
+KvService::put(ThreadId tid, KvKey key, const KvValue &value,
+               Durability durability, std::uint64_t *epoch_ticket)
 {
-    Shard &shard = *shards_[shardOf(key)];
+    const unsigned shard_index = shardOf(key);
+    Shard &shard = *shards_[shard_index];
+    const bool relaxed = durability == Durability::Relaxed &&
+                         shard.runtime->groupCommitSupported();
+    auto commit = [&]() -> std::uint64_t {
+        if (relaxed)
+            return shard.runtime->txCommitRelaxed(tid);
+        shard.runtime->txCommit(tid);
+        return 0;
+    };
     auto guard = shard.locks->lockAll({lockAddr(key)});
     bool ok;
+    std::uint64_t ticket = 0;
     if (shard.map->get(tid, key)) {
         // Pure update: only this stripe's holders write this bucket.
         shard.runtime->txBegin(tid);
         ok = shard.map->putInTx(tid, key, value);
-        shard.runtime->txCommit(tid);
+        ticket = commit();
     } else {
         // Insert: claims a bucket somewhere in the probe chain, which
         // may cross stripes — serialize against other claimers.
         std::lock_guard<std::mutex> structure(shard.structureLock);
         shard.runtime->txBegin(tid);
         ok = shard.map->putInTx(tid, key, value);
-        shard.runtime->txCommit(tid);
+        ticket = commit();
     }
+    if (epoch_ticket)
+        *epoch_ticket = ticket;
     if (ok)
         shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
+    if (relaxed)
+        noteRelaxedMutation(shard_index, shard);
     KvMetrics::get().puts.add();
     if (!ok)
         KvMetrics::get().putFailures.add();
@@ -231,8 +328,12 @@ KvService::multiPut(ThreadId tid,
 bool
 KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
                              const std::vector<BatchOp> &ops,
-                             std::vector<BatchOpResult> &results)
+                             std::vector<BatchOpResult> &results,
+                             Durability durability,
+                             std::uint64_t *epoch_ticket)
 {
+    if (epoch_ticket)
+        *epoch_ticket = 0;
     results.clear();
     results.resize(ops.size());
     if (shard_index >= config_.shards)
@@ -298,7 +399,14 @@ KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
             break;
         }
     }
-    shard.runtime->txCommit(tid);
+    if (durability == Durability::Relaxed &&
+        shard.runtime->groupCommitSupported()) {
+        const std::uint64_t ticket = shard.runtime->txCommitRelaxed(tid);
+        if (epoch_ticket)
+            *epoch_ticket = ticket;
+    } else {
+        shard.runtime->txCommit(tid);
+    }
     shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
@@ -306,6 +414,8 @@ KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
 void
 KvService::crash(const pmem::CrashPolicy &policy)
 {
+    // The sealer thread dies with the simulated process.
+    stopEpochSealer();
     // Disarm any pending countdowns first so teardown device traffic
     // cannot trip a second simulated failure.
     for (auto &shard : shards_)
@@ -349,6 +459,7 @@ KvService::recover()
     }
     for (auto &worker : workers)
         worker.join();
+    startEpochSealer();
     KvMetrics::get().recoveries.add();
     KvMetrics::get().lastRecoveryNs.set(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -359,6 +470,7 @@ KvService::recover()
 void
 KvService::shutdown()
 {
+    stopEpochSealer();
     for (auto &shard : shards_) {
         shard->runtime->shutdown();
         // Registry totals catch up with the shard's device traffic

@@ -34,11 +34,13 @@
 #define SPECPMT_KV_KV_SERVICE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -104,8 +106,33 @@ struct KvServiceConfig
      * which perturbs crash-schedule replay tokens.
      */
     bool flightRecorder = false;
+    /**
+     * Group-commit auto-seal threshold: a shard's epoch is sealed once
+     * this many relaxed mutations have accumulated since the previous
+     * seal. Only meaningful when runtimeOptions.groupCommit is on.
+     */
+    unsigned epochMaxOps = 64;
+    /**
+     * Background epoch sealer period in microseconds (0 = no sealer
+     * thread). Bounds how long a relaxed mutation can stay
+     * DRAM-latest-only when the auto-seal threshold is never reached.
+     */
+    std::uint64_t epochSealIntervalUs = 0;
     /** Options forwarded to the runtime factory. */
     txn::RuntimeOptions runtimeOptions;
+};
+
+/**
+ * Durability contract of a mutating call. Strict = the call returns
+ * only after its transaction's commit fence (ack implies durable).
+ * Relaxed = the call returns once the transaction is visible in the
+ * DRAM-latest view and enrolled in its shard's open epoch; it is
+ * durable once the shard's sealed epoch reaches the returned ticket.
+ */
+enum class Durability : std::uint8_t
+{
+    Strict,
+    Relaxed,
 };
 
 /** One operation in a shard batch (see executeShardBatch). */
@@ -172,8 +199,16 @@ class KvService
      * Insert or update; one crash-atomic shard transaction. Returns
      * false (without staging anything) when the shard map is full —
      * size bucketsPerShard for the keyspace.
+     *
+     * With Durability::Relaxed on a group-commit runtime the commit
+     * fence is deferred into the shard's epoch; the service auto-seals
+     * after every config().epochMaxOps relaxed mutations. When
+     * @p epoch_ticket is non-null it receives the epoch ticket the
+     * transaction joined (0 = already durable).
      */
-    bool put(ThreadId tid, KvKey key, const KvValue &value);
+    bool put(ThreadId tid, KvKey key, const KvValue &value,
+             Durability durability = Durability::Strict,
+             std::uint64_t *epoch_ticket = nullptr);
 
     /** Delete; one crash-atomic shard transaction. True if present. */
     bool erase(ThreadId tid, KvKey key);
@@ -204,10 +239,36 @@ class KvService
      *
      * Returns false (executing nothing) if any key does not map to
      * @p shard. @p results is resized to ops.size().
+     *
+     * With Durability::Relaxed on a group-commit runtime the batch's
+     * transaction joins the shard's open epoch instead of fencing;
+     * @p epoch_ticket (when non-null) receives the ticket to wait on
+     * before acking the results (0 = already durable / read-only).
+     * Relaxed batches do NOT auto-seal — the caller owns the seal
+     * policy via sealShardEpoch().
      */
     bool executeShardBatch(ThreadId tid, unsigned shard,
                            const std::vector<BatchOp> &ops,
-                           std::vector<BatchOpResult> &results);
+                           std::vector<BatchOpResult> &results,
+                           Durability durability = Durability::Strict,
+                           std::uint64_t *epoch_ticket = nullptr);
+
+    /** @name Epoch group commit */
+    /// @{
+
+    /** True if the shard runtimes defer durability into epochs. */
+    bool groupCommitEnabled() const;
+
+    /** Seal @p shard 's open epoch; returns the sealed ticket. */
+    std::uint64_t sealShardEpoch(unsigned shard);
+
+    /** Highest sealed (durable) epoch ticket of @p shard. */
+    std::uint64_t shardSealedEpoch(unsigned shard) const;
+
+    /** Seal every shard's open epoch (run drain / quiesce points). */
+    void sealAllEpochs();
+
+    /// @}
 
     /**
      * Simulated power failure on every shard: drops the runtimes,
@@ -261,6 +322,8 @@ class KvService
         /** Serializes bucket-claiming mutations (see file comment). */
         std::mutex structureLock;
         std::atomic<std::uint64_t> committedTxs{0};
+        /** Relaxed mutations since the last auto-seal (epoch mode). */
+        std::atomic<std::uint64_t> relaxedSinceSeal{0};
     };
 
     /** Pseudo-address used to stripe-lock @p key. */
@@ -271,8 +334,20 @@ class KvService
                         const std::vector<std::pair<KvKey, KvValue>>
                             &items);
 
+    /** Count one relaxed mutation; seal on the epochMaxOps boundary. */
+    void noteRelaxedMutation(unsigned shard_index, Shard &shard);
+
+    /** Start / stop the periodic background sealer thread. */
+    void startEpochSealer();
+    void stopEpochSealer();
+
     KvServiceConfig config_;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::mutex sealerMutex_;
+    std::condition_variable sealerCv_;
+    bool stopSealer_ = false;
+    std::thread sealer_;
 };
 
 } // namespace specpmt::kv

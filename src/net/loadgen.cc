@@ -535,7 +535,8 @@ class OpenLoopRun
         case kv::WorkloadOp::Kind::Put:
             record.kind = Outstanding::Kind::Update;
             record.writes.emplace_back(op.key, op.value.words[1]);
-            appendPut(connOf(op.key).out, id, op.key, op.value);
+            appendPut(connOf(op.key).out, id, op.key, op.value,
+                      drawStrictFlag());
             break;
         case kv::WorkloadOp::Kind::MultiPut: {
             record.kind = Outstanding::Kind::Update;
@@ -545,7 +546,7 @@ class OpenLoopRun
             // members split the server-side run (correct, just more
             // fences), so route by the first key's shard.
             appendBatch(connOf(op.batch.front().first).out, id,
-                        op.batch);
+                        op.batch, drawStrictFlag());
             break;
         }
         }
@@ -554,6 +555,19 @@ class OpenLoopRun
         const std::uint64_t intendedAbs = origin_ + intendedNs;
         res_.sendLag.record(now > intendedAbs ? now - intendedAbs
                                               : 0);
+    }
+
+    /** kFlagStrict for a seeded strictFraction of mutation frames. */
+    std::uint8_t
+    drawStrictFlag()
+    {
+        if (cfg_.strictFraction <= 0.0)
+            return 0;
+        if (cfg_.strictFraction < 1.0 &&
+            strictRng_.uniform() >= cfg_.strictFraction)
+            return 0;
+        ++res_.strictSent;
+        return kFlagStrict;
     }
 
     const kv::ZipfianGenerator *
@@ -590,6 +604,7 @@ class OpenLoopRun
     std::uint64_t origin_ = 0;
     std::unordered_map<std::uint64_t, Outstanding> outstanding_;
     std::unique_ptr<kv::ZipfianGenerator> zipf_;
+    Rng strictRng_{cfg_.seed ^ 0x57121C7F1A6ull};
 };
 
 } // namespace

@@ -71,6 +71,14 @@ struct LoadgenConfig
     std::size_t loadBatch = 64;
     /** Post-timeline grace period for straggler responses. */
     double drainSeconds = 10.0;
+    /**
+     * Fraction of mutation requests (PUT and BATCH frames) sent with
+     * kFlagStrict, demanding a per-request commit fence even when the
+     * server serves with epoch group commit. Drawn per request from
+     * the run's seeded RNG, so a given seed marks the same requests
+     * strict on every run.
+     */
+    double strictFraction = 0.0;
 };
 
 /** Aggregated outcome of one open-loop run. */
@@ -90,6 +98,8 @@ struct LoadgenResult
     std::uint64_t lost = 0;
     /** Malformed response frames (fatal for the connection). */
     std::uint64_t protocolErrors = 0;
+    /** Mutation requests sent with kFlagStrict. */
+    std::uint64_t strictSent = 0;
     /** A connection died mid-run (e.g. the server crashed). */
     bool connectionLost = false;
     /** Failed before any traffic (connect/handshake); see error. */

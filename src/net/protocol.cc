@@ -199,28 +199,31 @@ appendGet(std::vector<std::uint8_t> &out, std::uint64_t id,
 
 void
 appendPut(std::vector<std::uint8_t> &out, std::uint64_t id,
-          kv::KvKey key, const kv::KvValue &value)
+          kv::KvKey key, const kv::KvValue &value, std::uint8_t flags)
 {
     std::vector<std::uint8_t> payload;
     payload.reserve(8 + sizeof(kv::KvValue));
     putU64(payload, key);
     putValueCell(payload, value);
-    appendFrame(out, Op::Put, id, payload.data(), payload.size());
+    appendFrame(out, Op::Put, id, payload.data(), payload.size(),
+                flags);
 }
 
 void
 appendDel(std::vector<std::uint8_t> &out, std::uint64_t id,
-          kv::KvKey key)
+          kv::KvKey key, std::uint8_t flags)
 {
     std::vector<std::uint8_t> payload;
     putU64(payload, key);
-    appendFrame(out, Op::Del, id, payload.data(), payload.size());
+    appendFrame(out, Op::Del, id, payload.data(), payload.size(),
+                flags);
 }
 
 void
 appendBatch(std::vector<std::uint8_t> &out, std::uint64_t id,
             const std::vector<std::pair<kv::KvKey, kv::KvValue>>
-                &items)
+                &items,
+            std::uint8_t flags)
 {
     SPECPMT_ASSERT(items.size() <= kMaxBatchEntries);
     std::vector<std::uint8_t> payload;
@@ -230,7 +233,8 @@ appendBatch(std::vector<std::uint8_t> &out, std::uint64_t id,
         putU64(payload, key);
         putValueCell(payload, value);
     }
-    appendFrame(out, Op::Batch, id, payload.data(), payload.size());
+    appendFrame(out, Op::Batch, id, payload.data(), payload.size(),
+                flags);
 }
 
 void

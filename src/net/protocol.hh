@@ -13,7 +13,9 @@
  *                     future revisions fail closed, not corrupt
  *     u8   opcode   — Op below; requests have the top bit clear,
  *                     responses have it set
- *     u8   flags    — reserved, must be zero
+ *     u8   flags    — kFlagStrict on mutating requests (PUT/DEL/
+ *                     BATCH) demands a strict-durability commit; all
+ *                     other bits are reserved and must be zero
  *     u64  id       — request id, echoed verbatim in the response so
  *                     pipelined clients match completions to arrivals
  *     ...  payload  — opcode-specific (fixed 64-byte KvValue cells)
@@ -50,6 +52,14 @@ namespace specpmt::net
 
 constexpr std::uint8_t kMagic = 0xC5;
 constexpr std::uint8_t kVersion = 1;
+
+/**
+ * Request flag: this mutation must be strictly durable — the server
+ * may ack it only after its own commit fence, even when serving with
+ * epoch group commit (where plain mutations are acked after their
+ * epoch's shared fence). Valid on Put, Del and Batch requests only.
+ */
+constexpr std::uint8_t kFlagStrict = 0x1;
 
 /** Fixed header bytes after the length field (magic..id). */
 constexpr std::size_t kHeaderRest = 1 + 1 + 1 + 1 + 8;
@@ -131,12 +141,14 @@ void appendHelloOk(std::vector<std::uint8_t> &out, std::uint64_t id,
 void appendGet(std::vector<std::uint8_t> &out, std::uint64_t id,
                kv::KvKey key);
 void appendPut(std::vector<std::uint8_t> &out, std::uint64_t id,
-               kv::KvKey key, const kv::KvValue &value);
+               kv::KvKey key, const kv::KvValue &value,
+               std::uint8_t flags = 0);
 void appendDel(std::vector<std::uint8_t> &out, std::uint64_t id,
-               kv::KvKey key);
+               kv::KvKey key, std::uint8_t flags = 0);
 void appendBatch(
     std::vector<std::uint8_t> &out, std::uint64_t id,
-    const std::vector<std::pair<kv::KvKey, kv::KvValue>> &items);
+    const std::vector<std::pair<kv::KvKey, kv::KvValue>> &items,
+    std::uint8_t flags = 0);
 void appendValue(std::vector<std::uint8_t> &out, std::uint64_t id,
                  const kv::KvValue &value);
 void appendOk(std::vector<std::uint8_t> &out, std::uint64_t id);

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -35,6 +36,9 @@ struct NetMetrics
     obs::Counter &batchCommits;
     obs::Counter &batchOps;
     obs::Counter &migrations;
+    obs::Counter &deferredAcks;
+    obs::Counter &epochSeals;
+    obs::Counter &strictOps;
     obs::Histogram &pipelineDepth;
 
     static NetMetrics &
@@ -63,6 +67,14 @@ struct NetMetrics
                         "operations executed through drained batches"),
             reg.counter("specpmt_net_migrations_total",
                         "connections migrated to their HELLO shard"),
+            reg.counter("specpmt_net_deferred_acks_total",
+                        "responses parked until their epoch fence"),
+            reg.counter("specpmt_net_epoch_seals_total",
+                        "epoch seals initiated by the net layer "
+                        "(size threshold or delay timer)"),
+            reg.counter("specpmt_net_strict_ops_total",
+                        "mutations that demanded strict durability "
+                        "via kFlagStrict"),
             reg.histogram("specpmt_net_pipeline_depth",
                           "requests drained per connection per epoll "
                           "wake-up"),
@@ -89,7 +101,8 @@ setNoDelay(int fd)
 
 NetServer::NetServer(kv::KvService &service,
                      const ServerConfig &config)
-    : service_(service), config_(config)
+    : service_(service), config_(config),
+      epochMode_(config.groupCommit && service.groupCommitEnabled())
 {
     // Loop i calls the service with client thread id i.
     SPECPMT_ASSERT(service.numThreads() >= service.numShards());
@@ -138,6 +151,7 @@ NetServer::start()
     for (unsigned i = 0; i < loops; ++i) {
         auto loop = std::make_unique<Loop>();
         loop->index = i;
+        loop->epochOps.assign(service_.numShards(), 0);
         loop->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
         if (loop->epollFd < 0)
             throwErrno("epoll_create1");
@@ -282,14 +296,24 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
     auto &metrics = NetMetrics::get();
     metrics.framesRx.add();
 
+    // kFlagStrict is meaningful on mutating requests only; every
+    // other flag bit is reserved and fails closed.
+    const std::uint8_t allowed_flags =
+        (frame.op == Op::Put || frame.op == Op::Del ||
+         frame.op == Op::Batch)
+            ? kFlagStrict
+            : 0;
     if (!isRequestOp(static_cast<std::uint8_t>(frame.op)) ||
-        frame.flags != 0) {
+        (frame.flags & ~allowed_flags) != 0) {
         appendErr(conn.out, frame.id, ErrCode::BadFrame,
                   "not a request frame");
         metrics.framesTx.add();
         metrics.protocolErrors.add();
         return false;
     }
+    const bool strict = (frame.flags & kFlagStrict) != 0;
+    if (strict)
+        metrics.strictOps.add();
 
     switch (frame.op) {
       case Op::Hello: {
@@ -331,6 +355,7 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
         op.op.kind = frame.op == Op::Get ? kv::BatchOp::Kind::Get
                                          : kv::BatchOp::Kind::Erase;
         op.op.key = key;
+        op.strict = strict;
         pending.push_back(op);
         return true;
       }
@@ -348,6 +373,7 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
         }
         conn.sawFrame = true;
         op.shard = service_.shardOf(op.op.key);
+        op.strict = strict;
         pending.push_back(op);
         return true;
       }
@@ -371,6 +397,7 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
             op.op.value = items[i].second;
             op.fromBatch = true;
             op.respond = i + 1 == items.size();
+            op.strict = strict;
             pending.push_back(op);
         }
         return true;
@@ -456,8 +483,11 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
     SPECPMT_TRACE_SPAN("net_execute_batch", "net");
     auto &metrics = NetMetrics::get();
 
-    // Execute maximal same-shard runs in arrival order; each run with
-    // a mutation is one crash-atomic transaction (one commit fence).
+    // Execute maximal same-shard, same-durability runs in arrival
+    // order; each run with a mutation is one crash-atomic
+    // transaction. Strict runs pay their own commit fence; relaxed
+    // runs (epoch mode) defer it into the shard's epoch and remember
+    // the ticket their responses must wait for.
     std::vector<kv::BatchOp> ops;
     std::vector<kv::BatchOpResult> results;
     std::vector<kv::BatchOpResult> all_results(pending.size());
@@ -471,69 +501,153 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
             continue;
         }
         const unsigned shard = pending[start].shard;
+        const bool strict = !epochMode_ || pending[start].strict;
         std::size_t end = start;
+        std::size_t mutations = 0;
         ops.clear();
         while (end < pending.size() &&
                ops.size() < config_.maxOpsPerCommit &&
                !pending[end].conn->closing &&
-               pending[end].shard == shard) {
+               pending[end].shard == shard &&
+               (!epochMode_ || pending[end].strict ==
+                                   pending[start].strict)) {
+            if (pending[end].op.kind != kv::BatchOp::Kind::Get)
+                ++mutations;
             ops.push_back(pending[end].op);
             ++end;
         }
+        std::uint64_t ticket = 0;
         const bool ok = service_.executeShardBatch(
-            loop.index, shard, ops, results);
+            loop.index, shard, ops, results,
+            strict ? kv::Durability::Strict : kv::Durability::Relaxed,
+            &ticket);
         SPECPMT_ASSERT(ok);
         metrics.batchCommits.add();
         metrics.batchOps.add(ops.size());
-        for (std::size_t i = 0; i < results.size(); ++i)
+        for (std::size_t i = 0; i < results.size(); ++i) {
             all_results[start + i] = results[i];
+            pending[start + i].ticket = ticket;
+        }
+        if (ticket != 0)
+            loop.epochOps[shard] += mutations;
         start = end;
     }
 
-    // Responses, in arrival order, only now — after the commit
-    // fences. Batch frames ack once, on their last member.
+    // Responses, in arrival order. Strict and read-only responses go
+    // straight to the connection's out buffer (their fences are
+    // done); responses of a relaxed run are parked in a deferred
+    // chunk keyed by the run's (shard, ticket) until the epoch seal.
+    // Once a connection has deferred chunks, later responses queue
+    // behind them so pipelined response order is preserved.
+    auto sink = [&](const PendingOp &op) -> std::vector<std::uint8_t> & {
+        Conn &conn = *op.conn;
+        if (op.ticket == 0 && conn.deferred.empty())
+            return conn.out;
+        if (!conn.deferred.empty() &&
+            (op.ticket == 0 ||
+             (conn.deferred.back().shard == op.shard &&
+              conn.deferred.back().ticket == op.ticket))) {
+            return conn.deferred.back().bytes;
+        }
+        conn.deferred.push_back({op.shard, op.ticket, {}});
+        return conn.deferred.back().bytes;
+    };
     bool batch_ok = true;
     for (std::size_t i = 0; i < pending.size(); ++i) {
         const PendingOp &op = pending[i];
         if (op.conn->closing)
             continue;
         const kv::BatchOpResult &result = all_results[i];
+        if (op.ticket != 0 && (op.respond || !op.fromBatch))
+            metrics.deferredAcks.add();
         if (op.fromBatch) {
             batch_ok = batch_ok && result.ok;
             if (op.respond) {
+                auto &out = sink(op);
                 if (batch_ok)
-                    appendOk(op.conn->out, op.id);
+                    appendOk(out, op.id);
                 else
-                    appendErr(op.conn->out, op.id, ErrCode::MapFull,
+                    appendErr(out, op.id, ErrCode::MapFull,
                               "batch put rejected");
                 metrics.framesTx.add();
                 batch_ok = true;
             }
             continue;
         }
+        auto &out = sink(op);
         switch (op.op.kind) {
           case kv::BatchOp::Kind::Get:
             if (result.ok)
-                appendValue(op.conn->out, op.id, result.value);
+                appendValue(out, op.id, result.value);
             else
-                appendNotFound(op.conn->out, op.id);
+                appendNotFound(out, op.id);
             break;
           case kv::BatchOp::Kind::Put:
             if (result.ok)
-                appendOk(op.conn->out, op.id);
+                appendOk(out, op.id);
             else
-                appendErr(op.conn->out, op.id, ErrCode::MapFull,
+                appendErr(out, op.id, ErrCode::MapFull,
                           "shard table full");
             break;
           case kv::BatchOp::Kind::Erase:
             if (result.ok)
-                appendOk(op.conn->out, op.id);
+                appendOk(out, op.id);
             else
-                appendNotFound(op.conn->out, op.id);
+                appendNotFound(out, op.id);
             break;
         }
         metrics.framesTx.add();
     }
+
+    // Size trigger: seal any shard with enough deferred mutations.
+    for (unsigned s = 0; s < loop.epochOps.size(); ++s) {
+        if (loop.epochOps[s] >= config_.epochMaxOps) {
+            service_.sealShardEpoch(s);
+            loop.epochOps[s] = 0;
+            metrics.epochSeals.add();
+        }
+    }
+}
+
+void
+NetServer::releaseDeferred(Conn &conn)
+{
+    while (!conn.deferred.empty()) {
+        const DeferredChunk &front = conn.deferred.front();
+        if (front.ticket != 0 &&
+            service_.shardSealedEpoch(front.shard) < front.ticket)
+            return;
+        conn.out.insert(conn.out.end(), front.bytes.begin(),
+                        front.bytes.end());
+        conn.deferred.pop_front();
+    }
+}
+
+void
+NetServer::sealOverdueEpochs(Loop &loop)
+{
+    // Delay trigger: the epoll timeout expired with acks still
+    // parked. Seal every shard a chunk is waiting on (sealing an
+    // empty epoch is fence-free, so over-approximating is cheap).
+    bool sealed_any = false;
+    std::vector<bool> sealed(service_.numShards(), false);
+    for (auto &[fd, conn] : loop.conns) {
+        for (const DeferredChunk &chunk : conn->deferred) {
+            if (chunk.ticket == 0 || sealed[chunk.shard])
+                continue;
+            if (service_.shardSealedEpoch(chunk.shard) >= chunk.ticket) {
+                sealed[chunk.shard] = true; // another thread sealed it
+                continue;
+            }
+            service_.sealShardEpoch(chunk.shard);
+            sealed[chunk.shard] = true;
+            sealed_any = true;
+            if (chunk.shard < loop.epochOps.size())
+                loop.epochOps[chunk.shard] = 0;
+        }
+    }
+    if (sealed_any)
+        NetMetrics::get().epochSeals.add();
 }
 
 void
@@ -577,13 +691,26 @@ NetServer::loopMain(Loop &loop)
     std::vector<PendingOp> pending;
 
     while (true) {
-        const int n =
-            ::epoll_wait(loop.epollFd, events, kMaxEvents, -1);
+        // Block forever unless acks are parked awaiting an epoch
+        // seal; then bound the wait so the delay trigger fires.
+        int timeout_ms = -1;
+        for (auto &[fd, conn] : loop.conns) {
+            if (!conn->deferred.empty()) {
+                timeout_ms = static_cast<int>(
+                    std::max<std::uint64_t>(
+                        1, config_.epochMaxDelayUs / 1000));
+                break;
+            }
+        }
+        const int n = ::epoll_wait(loop.epollFd, events, kMaxEvents,
+                                   timeout_ms);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
             break;
         }
+        if (n == 0)
+            sealOverdueEpochs(loop);
         pending.clear();
         bool stop_seen = false;
         for (int i = 0; i < n; ++i) {
@@ -629,6 +756,7 @@ NetServer::loopMain(Loop &loop)
         std::vector<int> to_close;
         std::vector<int> to_migrate;
         for (auto &[fd, conn] : loop.conns) {
+            releaseDeferred(*conn);
             if (!conn->out.empty() && !conn->wantWrite)
                 flushConn(loop, *conn);
             if (conn->closing)

@@ -26,6 +26,20 @@
  * correct, just more fences — the specpmt_net_batch_* counters make
  * the difference visible.
  *
+ * Epoch group commit (ServerConfig::groupCommit, DESIGN §12) goes one
+ * step further: relaxed runs commit with Durability::Relaxed — no
+ * per-run fence at all — and their responses are parked in
+ * per-connection deferred chunks keyed by (shard, epoch ticket). The
+ * loop seals a shard's epoch once epochMaxOps deferred mutations
+ * accumulate, or after epochMaxDelayUs via a finite epoll timeout,
+ * and a chunk is released to the socket only when its shard's sealed
+ * epoch reaches its ticket — acks still never precede durability,
+ * they just share one fence per epoch. Chunks drain in FIFO order
+ * per connection, so pipelined response order is preserved; a
+ * request carrying kFlagStrict splits the run and commits strictly
+ * (one fence, acked immediately), which also seals every earlier
+ * relaxed commit of that shard's epoch.
+ *
  * Protocol errors (FrameDecoder poisoning, malformed payloads) close
  * the connection after a best-effort Err frame; the server never
  * guesses at resynchronization.
@@ -36,6 +50,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +79,17 @@ struct ServerConfig
      * longer run simply commits in ceil(N/cap) fences.
      */
     std::size_t maxOpsPerCommit = 256;
+    /**
+     * Serve with epoch group commit: mutation runs without
+     * kFlagStrict commit relaxed and are acked after their epoch's
+     * shared fence. Requires a group-commit-capable service runtime
+     * (otherwise runs keep committing strictly).
+     */
+    bool groupCommit = false;
+    /** Seal a shard's epoch once this many deferred mutations wait. */
+    std::size_t epochMaxOps = 64;
+    /** Upper bound on how long an ack may wait for an epoch seal. */
+    std::uint64_t epochMaxDelayUs = 500;
 };
 
 /**
@@ -101,6 +127,18 @@ class NetServer
     bool running() const { return running_.load(); }
 
   private:
+    /**
+     * Responses waiting for an epoch seal, in pipeline order. A chunk
+     * may hit the socket once its shard's sealed epoch reaches
+     * `ticket` (0 = releasable, merely queued behind earlier chunks).
+     */
+    struct DeferredChunk
+    {
+        unsigned shard = 0;
+        std::uint64_t ticket = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
     struct Conn
     {
         int fd = -1;
@@ -108,6 +146,8 @@ class NetServer
         /** Encoded-but-unsent response bytes. */
         std::vector<std::uint8_t> out;
         std::size_t outPos = 0;
+        /** FIFO of epoch-deferred response chunks (group commit). */
+        std::deque<DeferredChunk> deferred;
         /** Currently registered for EPOLLOUT. */
         bool wantWrite = false;
         /** Connection is dead this cycle; drop its pending ops. */
@@ -127,6 +167,9 @@ class NetServer
         std::mutex mailboxMutex;
         std::vector<std::unique_ptr<Conn>> mailbox;
         std::unordered_map<int, std::unique_ptr<Conn>> conns;
+        /** Per-shard relaxed mutations deferred since the last seal
+         * this loop initiated (the epochMaxOps trigger). */
+        std::vector<std::uint64_t> epochOps;
     };
 
     /** One decoded request waiting for the drain-cycle execution. */
@@ -141,6 +184,10 @@ class NetServer
         bool respond = true;
         /** This op's whole frame was a Batch member. */
         bool fromBatch = false;
+        /** Request carried kFlagStrict: commit outside the epoch. */
+        bool strict = false;
+        /** Epoch ticket the op's run joined (0 = already durable). */
+        std::uint64_t ticket = 0;
     };
 
     void loopMain(Loop &loop);
@@ -153,6 +200,10 @@ class NetServer
                      std::vector<PendingOp> &pending);
     /** Execute the wake-up's drained ops as same-shard runs. */
     void executePending(Loop &loop, std::vector<PendingOp> &pending);
+    /** Move releasable deferred chunks onto the connection's out. */
+    void releaseDeferred(Conn &conn);
+    /** Seal every shard this loop's connections are waiting on. */
+    void sealOverdueEpochs(Loop &loop);
     void flushConn(Loop &loop, Conn &conn);
     void closeConn(Loop &loop, Conn &conn);
     void adoptConn(Loop &loop, std::unique_ptr<Conn> conn);
@@ -161,6 +212,8 @@ class NetServer
 
     kv::KvService &service_;
     ServerConfig config_;
+    /** groupCommit requested AND the service runtime supports it. */
+    bool epochMode_ = false;
     std::vector<std::unique_ptr<Loop>> loops_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;

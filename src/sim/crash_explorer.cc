@@ -106,6 +106,9 @@ CrashCell::token(std::uint64_t event) const
     put("shards", std::to_string(kvShards));
     put("keys", std::to_string(kvKeys));
     put("ops", std::to_string(kvOps));
+    // Emitted only when set so pre-epoch tokens stay byte-identical.
+    if (kvEpochOps != 0)
+        put("epoch", std::to_string(kvEpochOps));
     put("scale", formatDouble(scale));
     put("ev", std::to_string(event));
     return out;
@@ -177,6 +180,10 @@ CrashCell::parseToken(std::string_view token, CrashCell &cell,
             parsed.kvKeys = std::strtoull(value.c_str(), nullptr, 10);
         } else if (key == "ops") {
             parsed.kvOps =
+                static_cast<unsigned>(std::strtoul(value.c_str(),
+                                                   nullptr, 10));
+        } else if (key == "epoch") {
+            parsed.kvEpochOps =
                 static_cast<unsigned>(std::strtoul(value.c_str(),
                                                    nullptr, 10));
         } else if (key == "scale") {

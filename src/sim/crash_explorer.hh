@@ -78,6 +78,15 @@ struct CrashCell
     unsigned kvShards = 2;
     std::uint64_t kvKeys = 48;
     unsigned kvOps = 24;
+    /**
+     * Nonzero = epoch group commit: mutations commit relaxed and the
+     * workload seals every shard's epoch after this many mutations
+     * (and at run end). Crash points then fall on epoch boundaries,
+     * mid-epoch, and mid-seal; verification accepts the sealed state
+     * plus any per-shard prefix of the unsealed mutations. Only
+     * meaningful for group-commit-capable runtimes.
+     */
+    unsigned kvEpochOps = 0;
     /// @}
 
     /** STAMP-analog workload scale. */

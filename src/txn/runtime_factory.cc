@@ -66,6 +66,7 @@ makeRuntime(std::string_view name, pmem::PmemPool &pool,
             config.logBlockSize = options.specLogBlockSize;
         config.reclaimThresholdBytes =
             options.specReclaimThresholdBytes;
+        config.groupCommit = options.groupCommit;
         return std::make_unique<core::SpecTx>(pool, num_threads,
                                               config);
     }

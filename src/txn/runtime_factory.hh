@@ -38,6 +38,13 @@ struct RuntimeOptions
     std::size_t specReclaimThresholdBytes = 8u << 20;
     /** HashLogTx hash-table slot count. */
     std::size_t hashLogSlots = 1u << 18;
+    /**
+     * Enable epoch group commit on runtimes that support it ("spec",
+     * "spec-dp"): txCommitRelaxed() defers the commit fence into a
+     * runtime-wide epoch sealed by sealEpoch(). Ignored by the other
+     * schemes, whose groupCommitSupported() stays false.
+     */
+    bool groupCommit = false;
 };
 
 /**

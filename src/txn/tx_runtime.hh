@@ -33,6 +33,14 @@ logHeadSlot(ThreadId tid)
     return 1 + tid;
 }
 
+/**
+ * Root directory slot pointing at the epoch frontier record of a pool
+ * operated in group-commit mode (kPmNull on strict-only pools). The
+ * slot doubles as the persistent "this pool uses epochs" flag that
+ * recovery and the offline inspector consult to pick the replay rule.
+ */
+constexpr unsigned kEpochFrontierSlot = 39;
+
 /** First root directory slot free for application data roots. */
 constexpr unsigned kAppRootSlotBase = 40;
 
@@ -82,6 +90,44 @@ class TxRuntime
 
     /** Commit the open transaction on thread @p tid. */
     virtual void txCommit(ThreadId tid) = 0;
+
+    /** @name Epoch group commit (optional capability) */
+    /// @{
+
+    /** True if this runtime can defer durability into epochs. */
+    virtual bool groupCommitSupported() const { return false; }
+
+    /**
+     * Commit the open transaction on thread @p tid *without* waiting
+     * for durability: the transaction is immediately visible (DRAM
+     * latest view) and joins the current epoch, which a later
+     * sealEpoch() makes durable with one shared flush+fence batch.
+     *
+     * @return The epoch ticket the commit joined; the transaction is
+     *         durable once lastSealedEpoch() >= ticket. Runtimes
+     *         without group-commit support fall back to a strict
+     *         commit and return 0 (already durable).
+     */
+    virtual std::uint64_t
+    txCommitRelaxed(ThreadId tid)
+    {
+        txCommit(tid);
+        return 0;
+    }
+
+    /**
+     * Flush and fence every relaxed commit not yet sealed (the epoch
+     * fence). Safe to call from any thread, including one that never
+     * runs transactions.
+     *
+     * @return The highest sealed epoch ticket.
+     */
+    virtual std::uint64_t sealEpoch() { return 0; }
+
+    /** Highest epoch ticket whose members are durable. */
+    virtual std::uint64_t lastSealedEpoch() const { return 0; }
+
+    /// @}
 
     /**
      * Post-crash recovery: restore the pool's data to the most recent
@@ -144,6 +190,13 @@ class TxRuntime
      * re-establishes that invariant for this software analog so that
      * post-recovery records always sort after surviving ones.
      */
+    /** Highest timestamp handed out (or seeded) so far. */
+    TxTimestamp
+    currentTimestamp() const
+    {
+        return timestampCounter_.load(std::memory_order_relaxed);
+    }
+
     void
     seedTimestamp(TxTimestamp seen)
     {

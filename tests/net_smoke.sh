@@ -67,4 +67,41 @@ if "$SPECSTAT" check "$WORK_DIR/serve-metrics.prom" \
     fail "specstat check ignored a failing --require"
 fi
 
+# Second phase: the same serve/load pair with epoch group commit on
+# and a strict minority in the traffic. The epoch counters prove the
+# relaxed path actually ran (commits joined epochs, epochs sealed)
+# and that nothing was dropped on the floor at shutdown (the final
+# seal leaves no pending transactions behind).
+rm -f "$WORK_DIR"/port.txt
+"$SPECKV" serve --runtime=spec --shards=2 --keys=2048 \
+    --port=0 --port-file="$WORK_DIR/port.txt" --seconds=60 \
+    --group-commit --epoch-max-ops=16 --epoch-max-delay-us=300 \
+    --metrics-out="$WORK_DIR/serve-epoch-metrics.prom" \
+    >"$WORK_DIR/serve-epoch.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 $SERVE_PID 2>/dev/null' EXIT
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK_DIR/port.txt" ] && break
+    kill -0 $SERVE_PID 2>/dev/null || fail "epoch server exited early"
+    sleep 0.1
+done
+[ -s "$WORK_DIR/port.txt" ] || fail "epoch server never wrote port"
+
+"$SPECNET_BENCH" --port-file="$WORK_DIR/port.txt" \
+    --qps=4000 --seconds=2 --keys=2048 --mix=A --strict=0.1 --load \
+    --json="$WORK_DIR/bench-epoch.json" \
+    || fail "specnet_bench (epoch serve) reported failure"
+
+kill -TERM $SERVE_PID
+wait $SERVE_PID || fail "epoch server did not exit cleanly"
+trap - EXIT
+
+"$SPECSTAT" check "$WORK_DIR/serve-epoch-metrics.prom" \
+    --require='specpmt_net_protocol_errors_total==0' \
+    --require='specpmt_epoch_relaxed_commits_total>=1000' \
+    --require='specpmt_epoch_seals_total>=10' \
+    --require='specpmt_epoch_pending_txs==0' \
+    || fail "specstat check rejected the epoch serve metrics"
+
 echo "net_smoke: OK"

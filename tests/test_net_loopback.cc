@@ -403,5 +403,152 @@ TEST(NetLoopback, CrashUnderLoadRecoversEveryAckedPut)
     service.shutdown();
 }
 
+TEST(NetLoopback, StrictPutAckImpliesDurabilityMidEpoch)
+{
+    // Epoch group commit with triggers far beyond the test's
+    // lifetime: only a strict request can seal an epoch, so any ack
+    // the client sees was released by the strict commit's fence.
+    auto service_config = serviceConfig(1);
+    service_config.runtimeOptions.groupCommit = true;
+    service_config.epochMaxOps = 0; // the server owns the seal policy
+    kv::KvService service(service_config);
+    ServerConfig server_config;
+    server_config.groupCommit = true;
+    server_config.epochMaxOps = 1u << 20;
+    server_config.epochMaxDelayUs = 60'000'000;
+    NetServer server(service, server_config);
+    server.start();
+
+    BlockingClient client(server.port());
+    ASSERT_EQ(client.hello(0), 0u);
+
+    const kv::KvKey relaxed_key = 10;
+    const kv::KvKey strict_key = 20;
+    const kv::KvKey open_key = 30;
+    std::vector<std::uint8_t> out;
+    appendPut(out, 1, relaxed_key,
+              kv::KvValue::tagged(relaxed_key, 1));
+    appendPut(out, 2, strict_key, kv::KvValue::tagged(strict_key, 2),
+              kFlagStrict);
+    appendPut(out, 3, open_key, kv::KvValue::tagged(open_key, 3));
+    client.sendAll(out);
+
+    // The strict PUT commits with its own fence and seals the shard
+    // epoch, releasing the earlier relaxed PUT's deferred ack with
+    // it (pipeline order preserved). The trailing relaxed PUT joined
+    // a fresh epoch that never seals, so its ack never arrives.
+    const auto frames = client.readFrames(2);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].op, Op::Ok);
+    EXPECT_EQ(frames[0].id, 1u);
+    EXPECT_EQ(frames[1].op, Op::Ok);
+    EXPECT_EQ(frames[1].id, 2u);
+    EXPECT_GE(service.shardSealedEpoch(0), 1u);
+
+    server.stop();
+
+    // Power-fail dropping every unflushed line: both acked PUTs were
+    // behind the strict commit's fence and must survive; the unacked
+    // one was never sealed and must be cleanly absent.
+    service.crash(pmem::CrashPolicy::nothing());
+    service.recover();
+    auto value = service.get(0, relaxed_key);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, kv::KvValue::tagged(relaxed_key, 1));
+    value = service.get(0, strict_key);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, kv::KvValue::tagged(strict_key, 2));
+    EXPECT_FALSE(service.get(0, open_key).has_value())
+        << "an unacked relaxed PUT must not partially survive";
+    service.shutdown();
+}
+
+TEST(NetLoopback, CrashUnderLoadGroupCommitKeepsEveryAckedPut)
+{
+    // The crash-under-load durability contract, now with epoch group
+    // commit serving and a strict minority in the traffic: acks are
+    // released only after their epoch's shared fence (or their own,
+    // if strict), so every acked PUT must still survive power
+    // failure — relaxed durability weakens nothing the client was
+    // told.
+    constexpr unsigned kShards = 2;
+    auto service_config = serviceConfig(kShards);
+    service_config.runtimeOptions.groupCommit = true;
+    service_config.epochMaxOps = 0; // the server owns the seal policy
+    kv::KvService service(service_config);
+    ServerConfig server_config;
+    server_config.groupCommit = true;
+    server_config.epochMaxOps = 16;
+    server_config.epochMaxDelayUs = 300;
+    NetServer server(service, server_config);
+    server.start();
+
+    LoadgenConfig config;
+    config.port = server.port();
+    config.targetQps = 3000;
+    config.seconds = 30.0;
+    config.workload.keys = 512;
+    config.workload.mix = kv::Mix::A;
+    config.strictFraction = 0.15;
+    config.seed = 11;
+    config.loadFirst = true;
+    LoadgenResult result;
+    std::thread load([&] { result = runOpenLoop(config); });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    server.stop();
+    load.join();
+
+    ASSERT_FALSE(result.aborted) << result.error;
+    EXPECT_TRUE(result.connectionLost);
+    ASSERT_GT(result.ackedPuts.size(), 0u);
+    EXPECT_GT(result.strictSent, 0u);
+
+    service.crash(pmem::CrashPolicy::random(11, 0.5));
+    std::vector<std::vector<std::uint8_t>> images;
+    for (unsigned s = 0; s < kShards; ++s) {
+        const auto &dev = service.shardDevice(s);
+        images.emplace_back(dev.persistentRaw(),
+                            dev.persistentRaw() + dev.size());
+    }
+
+    service.recover();
+
+    for (const auto &[key, payload] : result.ackedPuts) {
+        const auto value = service.get(0, key);
+        ASSERT_TRUE(value.has_value()) << "acked key " << key
+                                       << " lost in the crash";
+        bool allowed = *value == kv::KvValue::tagged(key, payload);
+        if (const auto it = result.unackedPuts.find(key);
+            it != result.unackedPuts.end()) {
+            for (const auto unacked : it->second)
+                allowed = allowed ||
+                          *value == kv::KvValue::tagged(key, unacked);
+        }
+        EXPECT_TRUE(allowed)
+            << "key " << key
+            << " recovered to a value never sent (or torn)";
+    }
+
+    // The images carry an epoch frontier; the inspector must apply
+    // the frontier replay rule and still agree with what recovery
+    // actually did, shard by shard.
+    for (unsigned s = 0; s < kShards; ++s) {
+        const auto dev = pmem::deviceFromImage(images[s]);
+        const auto report = forensic::inspectImage(
+            *dev, service.numThreads(),
+            "shard" + std::to_string(s));
+        EXPECT_TRUE(report.epochMedia) << "shard " << s;
+        const auto audit = forensic::auditRecovery(
+            images[s], "spec", service.numThreads(), report);
+        ASSERT_TRUE(audit.supported);
+        std::string detail;
+        for (const auto &d : audit.disagreements)
+            detail += "\n  " + d;
+        EXPECT_TRUE(audit.agrees) << "shard " << s << detail;
+    }
+    service.shutdown();
+}
+
 } // namespace
 } // namespace specpmt::net

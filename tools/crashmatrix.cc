@@ -75,6 +75,8 @@ usage(std::FILE *out)
         "                   slots workload sizing\n"
         "  --kv-shards=N --kv-keys=N --kv-ops=N\n"
         "                   kv workload sizing\n"
+        "  --kv-epoch-ops=N kv epoch group commit: relaxed puts,\n"
+        "                   epoch sealed every N mutations (0 = off)\n"
         "  --scale=FLOAT    STAMP-analog workload scale      [0.05]\n"
         "\n"
         "driver options (never part of replay tokens)\n"
@@ -291,6 +293,8 @@ main(int argc, char **argv)
                 std::strtoull(std::string(v).c_str(), nullptr, 10);
         } else if (value("--kv-ops=", v)) {
             cell.kvOps = std::atoi(std::string(v).c_str());
+        } else if (value("--kv-epoch-ops=", v)) {
+            cell.kvEpochOps = std::atoi(std::string(v).c_str());
         } else if (value("--scale=", v)) {
             cell.scale = std::atof(std::string(v).c_str());
         } else if (value("--shard=", v)) {

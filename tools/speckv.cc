@@ -30,10 +30,19 @@
  *
  *   speckv serve [--runtime=spec] [--shards=4] [--keys=4096]
  *                [--port=0] [--port-file=PATH] [--seconds=0]
- *                [--max-ops-per-commit=256] [--metrics-out=m.prom]
+ *                [--max-ops-per-commit=256] [--group-commit]
+ *                [--epoch-max-ops=64] [--epoch-max-delay-us=500]
+ *                [--metrics-out=m.prom]
  *
  * --port=0 binds an ephemeral port; --port-file writes the bound port
  * so scripts (CI, specnet_bench wrappers) can find it.
+ *
+ * --group-commit serves with epoch group commit (DESIGN §12):
+ * mutations without the wire protocol's kFlagStrict commit relaxed
+ * and are acked only after their epoch's shared fence, sealed every
+ * --epoch-max-ops deferred mutations or --epoch-max-delay-us
+ * microseconds, whichever comes first. Requires a group-commit-capable
+ * runtime ("spec", "spec-dp").
  */
 
 #include <atomic>
@@ -171,6 +180,9 @@ serveMain(int argc, char **argv)
     std::string port_file;
     double seconds = 0; // 0 = until signal
     std::size_t max_ops_per_commit = 256;
+    bool group_commit = false;
+    std::size_t epoch_max_ops = 64;
+    std::uint64_t epoch_max_delay_us = 500;
     obs::OutputFlags obs_flags;
 
     for (int i = 2; i < argc; ++i) {
@@ -194,6 +206,12 @@ serveMain(int argc, char **argv)
             seconds = std::atof(v);
         else if (const char *v = value("--max-ops-per-commit="))
             max_ops_per_commit = std::strtoull(v, nullptr, 10);
+        else if (arg == "--group-commit")
+            group_commit = true;
+        else if (const char *v = value("--epoch-max-ops="))
+            epoch_max_ops = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--epoch-max-delay-us="))
+            epoch_max_delay_us = std::strtoull(v, nullptr, 10);
         else if (!obs_flags.accept(arg))
             SPECPMT_FATAL("unknown argument: %s", arg.c_str());
     }
@@ -207,11 +225,16 @@ serveMain(int argc, char **argv)
     service_config.runtime = runtime;
     service_config.bucketsPerShard =
         nextPow2(std::max<std::uint64_t>(1024, 4 * keys / shards));
+    if (group_commit)
+        service_config.runtimeOptions.groupCommit = true;
     kv::KvService service(service_config);
 
     net::ServerConfig server_config;
     server_config.port = static_cast<std::uint16_t>(port);
     server_config.maxOpsPerCommit = max_ops_per_commit;
+    server_config.groupCommit = group_commit;
+    server_config.epochMaxOps = epoch_max_ops;
+    server_config.epochMaxDelayUs = epoch_max_delay_us;
     net::NetServer server(service, server_config);
     server.start();
 
@@ -222,8 +245,9 @@ serveMain(int argc, char **argv)
         std::fprintf(f, "%u\n", server.port());
         std::fclose(f);
     }
-    std::printf("speckv serve: runtime=%s shards=%u port=%u\n",
-                runtime.c_str(), shards, server.port());
+    std::printf("speckv serve: runtime=%s shards=%u port=%u%s\n",
+                runtime.c_str(), shards, server.port(),
+                group_commit ? " group-commit" : "");
     std::fflush(stdout);
 
     std::signal(SIGINT, onSignal);

@@ -15,13 +15,16 @@
  *                 [--qps=20000] [--seconds=2]
  *                 [--arrival=poisson|fixed] [--mix=A|B|C]
  *                 [--dist=zipfian|uniform] [--keys=4096]
- *                 [--multiput=0.0] [--seed=1] [--load]
- *                 [--json=out.json] [--metrics-out=m.prom]
+ *                 [--multiput=0.0] [--strict=0.0] [--seed=1]
+ *                 [--load] [--json=out.json] [--metrics-out=m.prom]
  *
  * --load first PUTs the whole keyspace (shard-grouped batches), so
- * GETs in the timed phase hit. Exit status is nonzero when the run
- * aborted, a connection died, frames were malformed, or requests went
- * unanswered.
+ * GETs in the timed phase hit. --strict=F sends fraction F of
+ * mutation frames with the protocol's kFlagStrict, forcing a
+ * per-request commit fence on a server running epoch group commit
+ * (no effect on a strict server, where every commit fences anyway).
+ * Exit status is nonzero when the run aborted, a connection died,
+ * frames were malformed, or requests went unanswered.
  */
 
 #include <cstdio>
@@ -123,6 +126,8 @@ main(int argc, char **argv)
             config.workload.keys = std::strtoull(v, nullptr, 10);
         else if (const char *v = value("--multiput="))
             config.workload.multiPutFraction = std::atof(v);
+        else if (const char *v = value("--strict="))
+            config.strictFraction = std::atof(v);
         else if (const char *v = value("--seed="))
             config.seed = std::strtoull(v, nullptr, 10);
         else if (arg == "--load")
@@ -156,14 +161,15 @@ main(int argc, char **argv)
 
     std::printf(
         "scheduled %llu  sent %llu  acked %llu  errors %llu  "
-        "notFound %llu  lost %llu  protocolErrors %llu\n",
+        "notFound %llu  lost %llu  protocolErrors %llu  strict %llu\n",
         static_cast<unsigned long long>(result.scheduled),
         static_cast<unsigned long long>(result.sent),
         static_cast<unsigned long long>(result.acked),
         static_cast<unsigned long long>(result.errors),
         static_cast<unsigned long long>(result.notFound),
         static_cast<unsigned long long>(result.lost),
-        static_cast<unsigned long long>(result.protocolErrors));
+        static_cast<unsigned long long>(result.protocolErrors),
+        static_cast<unsigned long long>(result.strictSent));
     std::printf("wall %.3fs  achieved %.1f kops/s (target %.1f)\n",
                 result.wallSeconds, result.achievedQps / 1e3,
                 config.targetQps / 1e3);
@@ -189,7 +195,9 @@ main(int argc, char **argv)
             "  \"errors\": %llu,\n"
             "  \"not_found\": %llu,\n"
             "  \"lost\": %llu,\n"
-            "  \"protocol_errors\": %llu,\n",
+            "  \"protocol_errors\": %llu,\n"
+            "  \"strict_fraction\": %.4f,\n"
+            "  \"strict_sent\": %llu,\n",
             config.targetQps, result.achievedQps,
             result.wallSeconds, net::arrivalName(config.arrival),
             static_cast<unsigned long long>(result.scheduled),
@@ -198,7 +206,9 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(result.errors),
             static_cast<unsigned long long>(result.notFound),
             static_cast<unsigned long long>(result.lost),
-            static_cast<unsigned long long>(result.protocolErrors));
+            static_cast<unsigned long long>(result.protocolErrors),
+            config.strictFraction,
+            static_cast<unsigned long long>(result.strictSent));
         jsonHistogram(f, "read_latency", result.readLatency, false);
         jsonHistogram(f, "update_latency", result.updateLatency,
                       false);

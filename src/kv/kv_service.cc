@@ -110,6 +110,10 @@ KvService::KvService(const KvServiceConfig &config) : config_(config)
                              shard->map->base());
         shard->locks =
             std::make_unique<txn::LockTable>(config_.lockStripes);
+        shard->sealLagGauge = &obs::Registry::global().gauge(
+            "specpmt_epoch_seal_lag",
+            "relaxed epoch tickets issued but not yet sealed",
+            {{"shard", std::to_string(s)}});
         shards_.push_back(std::move(shard));
     }
     startEpochSealer();
@@ -131,7 +135,10 @@ KvService::groupCommitEnabled() const
 std::uint64_t
 KvService::sealShardEpoch(unsigned shard_index)
 {
-    return shards_.at(shard_index)->runtime->sealEpoch();
+    const std::uint64_t sealed =
+        shards_.at(shard_index)->runtime->sealEpoch();
+    publishSealLag(shard_index);
+    return sealed;
 }
 
 std::uint64_t
@@ -143,10 +150,50 @@ KvService::shardSealedEpoch(unsigned shard_index) const
 void
 KvService::sealAllEpochs()
 {
-    for (auto &shard : shards_) {
-        if (shard->runtime)
-            shard->runtime->sealEpoch();
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        if (shards_[s]->runtime) {
+            shards_[s]->runtime->sealEpoch();
+            publishSealLag(s);
+        }
     }
+}
+
+std::uint64_t
+KvService::shardEpochLag(unsigned shard_index) const
+{
+    const Shard &shard = *shards_.at(shard_index);
+    if (!shard.runtime)
+        return 0;
+    const std::uint64_t issued =
+        shard.lastRelaxedTicket.load(std::memory_order_relaxed);
+    const std::uint64_t sealed = shard.runtime->lastSealedEpoch();
+    return issued > sealed ? issued - sealed : 0;
+}
+
+void
+KvService::noteTicket(unsigned shard_index, Shard &shard,
+                      std::uint64_t ticket)
+{
+    if (ticket == 0)
+        return;
+    // Monotone max: tickets are per-shard increasing, but batches on
+    // different client threads can race the store.
+    std::uint64_t seen =
+        shard.lastRelaxedTicket.load(std::memory_order_relaxed);
+    while (seen < ticket &&
+           !shard.lastRelaxedTicket.compare_exchange_weak(
+               seen, ticket, std::memory_order_relaxed)) {
+    }
+    publishSealLag(shard_index);
+}
+
+void
+KvService::publishSealLag(unsigned shard_index) const
+{
+    const Shard &shard = *shards_[shard_index];
+    if (shard.sealLagGauge != nullptr)
+        shard.sealLagGauge->set(
+            static_cast<std::int64_t>(shardEpochLag(shard_index)));
 }
 
 void
@@ -257,6 +304,7 @@ KvService::put(ThreadId tid, KvKey key, const KvValue &value,
     }
     if (epoch_ticket)
         *epoch_ticket = ticket;
+    noteTicket(shard_index, shard, ticket);
     if (ok)
         shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
     if (relaxed)
@@ -404,6 +452,7 @@ KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
         const std::uint64_t ticket = shard.runtime->txCommitRelaxed(tid);
         if (epoch_ticket)
             *epoch_ticket = ticket;
+        noteTicket(shard_index, shard, ticket);
     } else {
         shard.runtime->txCommit(tid);
     }

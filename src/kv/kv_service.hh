@@ -52,6 +52,11 @@
 #include "txn/lock_table.hh"
 #include "txn/runtime_factory.hh"
 
+namespace specpmt::obs
+{
+class Gauge;
+} // namespace specpmt::obs
+
 namespace specpmt::kv
 {
 
@@ -265,6 +270,14 @@ class KvService
     /** Highest sealed (durable) epoch ticket of @p shard. */
     std::uint64_t shardSealedEpoch(unsigned shard) const;
 
+    /**
+     * Seal lag of @p shard: relaxed epoch tickets issued but not yet
+     * covered by a sealed epoch (0 when fully durable or when group
+     * commit is off). This is the health metric /healthz bounds —
+     * unbounded lag means acks are parking forever.
+     */
+    std::uint64_t shardEpochLag(unsigned shard) const;
+
     /** Seal every shard's open epoch (run drain / quiesce points). */
     void sealAllEpochs();
 
@@ -324,6 +337,10 @@ class KvService
         std::atomic<std::uint64_t> committedTxs{0};
         /** Relaxed mutations since the last auto-seal (epoch mode). */
         std::atomic<std::uint64_t> relaxedSinceSeal{0};
+        /** Highest relaxed epoch ticket issued (shardEpochLag). */
+        std::atomic<std::uint64_t> lastRelaxedTicket{0};
+        /** Cached `specpmt_epoch_seal_lag{shard=}` gauge. */
+        obs::Gauge *sealLagGauge = nullptr;
     };
 
     /** Pseudo-address used to stripe-lock @p key. */
@@ -336,6 +353,13 @@ class KvService
 
     /** Count one relaxed mutation; seal on the epochMaxOps boundary. */
     void noteRelaxedMutation(unsigned shard_index, Shard &shard);
+
+    /** Track the highest relaxed ticket + publish the seal-lag gauge. */
+    void noteTicket(unsigned shard_index, Shard &shard,
+                    std::uint64_t ticket);
+
+    /** Refresh shard's `specpmt_epoch_seal_lag{shard=}` gauge. */
+    void publishSealLag(unsigned shard_index) const;
 
     /** Start / stop the periodic background sealer thread. */
     void startEpochSealer();

@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
@@ -39,7 +41,14 @@ struct NetMetrics
     obs::Counter &deferredAcks;
     obs::Counter &epochSeals;
     obs::Counter &strictOps;
+    obs::Counter &slowRequests;
     obs::Histogram &pipelineDepth;
+    /** Per-request stage attribution (ns): decode->execute wait,
+     *  transaction execution, epoch-seal parking, socket write. */
+    obs::Histogram &stageQueue;
+    obs::Histogram &stageExec;
+    obs::Histogram &stageSealWait;
+    obs::Histogram &stageWrite;
 
     static NetMetrics &
     get()
@@ -75,9 +84,24 @@ struct NetMetrics
             reg.counter("specpmt_net_strict_ops_total",
                         "mutations that demanded strict durability "
                         "via kFlagStrict"),
+            reg.counter("specpmt_net_slow_requests_total",
+                        "requests slower than --slow-us end to end "
+                        "(tail-sampled into the trace when enabled)"),
             reg.histogram("specpmt_net_pipeline_depth",
                           "requests drained per connection per epoll "
                           "wake-up"),
+            reg.histogram("specpmt_net_stage_queue",
+                          "ns from request decode to the start of its "
+                          "shard transaction"),
+            reg.histogram("specpmt_net_stage_exec",
+                          "ns a request's shard-batch transaction took "
+                          "to execute (commit fence included)"),
+            reg.histogram("specpmt_net_stage_seal_wait",
+                          "ns a relaxed response waited parked for its "
+                          "epoch seal"),
+            reg.histogram("specpmt_net_stage_write",
+                          "ns from response enqueue to the bytes being "
+                          "handed to the socket"),
         };
         return m;
     }
@@ -147,10 +171,27 @@ NetServer::start()
     port_ = ntohs(addr.sin_port);
 
     const unsigned loops = service_.numShards();
+    std::lock_guard<std::mutex> lifecycle(lifecycleMutex_);
     loops_.clear();
+    shardOps_.clear();
+    queueDepth_.clear();
+    auto &reg = obs::Registry::global();
+    for (unsigned i = 0; i < loops; ++i) {
+        const obs::Labels labels{{"shard", std::to_string(i)}};
+        shardOps_.push_back(&reg.counter(
+            "specpmt_net_shard_ops_total",
+            "operations executed per shard (load balance view)",
+            labels));
+        queueDepth_.push_back(&reg.gauge(
+            "specpmt_net_queue_depth",
+            "requests drained in the loop's most recent wake-up",
+            labels));
+    }
     for (unsigned i = 0; i < loops; ++i) {
         auto loop = std::make_unique<Loop>();
         loop->index = i;
+        loop->lastBeatNs.store(obs::Tracer::now(),
+                               std::memory_order_relaxed);
         loop->epochOps.assign(service_.numShards(), 0);
         loop->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
         if (loop->epollFd < 0)
@@ -188,6 +229,7 @@ NetServer::stop()
 {
     if (!running_.load())
         return;
+    std::lock_guard<std::mutex> lifecycle(lifecycleMutex_);
     stopping_.store(true);
     for (auto &loop : loops_) {
         const std::uint64_t one = 1;
@@ -295,6 +337,7 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
 {
     auto &metrics = NetMetrics::get();
     metrics.framesRx.add();
+    const std::uint64_t decodedNs = obs::Tracer::now();
 
     // kFlagStrict is meaningful on mutating requests only; every
     // other flag bit is reserved and fails closed.
@@ -356,6 +399,7 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
                                          : kv::BatchOp::Kind::Erase;
         op.op.key = key;
         op.strict = strict;
+        op.decodedNs = decodedNs;
         pending.push_back(op);
         return true;
       }
@@ -374,6 +418,7 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
         conn.sawFrame = true;
         op.shard = service_.shardOf(op.op.key);
         op.strict = strict;
+        op.decodedNs = decodedNs;
         pending.push_back(op);
         return true;
       }
@@ -398,6 +443,7 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
             op.fromBatch = true;
             op.respond = i + 1 == items.size();
             op.strict = strict;
+            op.decodedNs = decodedNs;
             pending.push_back(op);
         }
         return true;
@@ -482,6 +528,9 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
         return;
     SPECPMT_TRACE_SPAN("net_execute_batch", "net");
     auto &metrics = NetMetrics::get();
+    if (loop.index < queueDepth_.size())
+        queueDepth_[loop.index]->set(
+            static_cast<std::int64_t>(pending.size()));
 
     // Execute maximal same-shard, same-durability runs in arrival
     // order; each run with a mutation is one crash-atomic
@@ -517,16 +566,29 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
             ++end;
         }
         std::uint64_t ticket = 0;
+        const std::uint64_t execStartNs = obs::Tracer::now();
         const bool ok = service_.executeShardBatch(
             loop.index, shard, ops, results,
             strict ? kv::Durability::Strict : kv::Durability::Relaxed,
             &ticket);
+        const std::uint64_t execEndNs = obs::Tracer::now();
         SPECPMT_ASSERT(ok);
         metrics.batchCommits.add();
         metrics.batchOps.add(ops.size());
+        if (shard < shardOps_.size())
+            shardOps_[shard]->add(ops.size());
+        // Every request of the run shares the run's execution time —
+        // that is what each of them actually waited for.
+        const std::uint64_t execNs = execEndNs - execStartNs;
         for (std::size_t i = 0; i < results.size(); ++i) {
             all_results[start + i] = results[i];
-            pending[start + i].ticket = ticket;
+            PendingOp &done = pending[start + i];
+            done.ticket = ticket;
+            done.execEndNs = execEndNs;
+            metrics.stageQueue.record(execStartNs > done.decodedNs
+                                          ? execStartNs - done.decodedNs
+                                          : 0);
+            metrics.stageExec.record(execNs);
         }
         if (ticket != 0)
             loop.epochOps[shard] += mutations;
@@ -539,6 +601,7 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
     // chunk keyed by the run's (shard, ticket) until the epoch seal.
     // Once a connection has deferred chunks, later responses queue
     // behind them so pipelined response order is preserved.
+    const std::uint64_t respNs = obs::Tracer::now();
     auto sink = [&](const PendingOp &op) -> std::vector<std::uint8_t> & {
         Conn &conn = *op.conn;
         if (op.ticket == 0 && conn.deferred.empty())
@@ -551,6 +614,43 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
         }
         conn.deferred.push_back({op.shard, op.ticket, {}});
         return conn.deferred.back().bytes;
+    };
+    // Stage bookkeeping per response frame: immediate responses open
+    // a write marker on the connection's out buffer (and are checked
+    // against --slow-us now); deferred responses annotate their chunk
+    // so releaseDeferred() can attribute seal_wait/write/slow later.
+    auto noteResponse = [&](const PendingOp &op,
+                            std::vector<std::uint8_t> &out) {
+        Conn &conn = *op.conn;
+        if (&out == &conn.out) {
+            if (!conn.markers.empty() &&
+                conn.markers.back().enqueueNs == respNs) {
+                conn.markers.back().endOffset = conn.out.size();
+                ++conn.markers.back().frames;
+            } else {
+                conn.markers.push_back({conn.out.size(), respNs, 1});
+            }
+            if (config_.slowUs != 0 &&
+                respNs - op.decodedNs > config_.slowUs * 1000) {
+                metrics.slowRequests.add();
+                if (obs::Tracer::global().enabled())
+                    obs::Tracer::global().record("slow_request", "net",
+                                                 op.decodedNs, respNs,
+                                                 op.id);
+            }
+            return;
+        }
+        DeferredChunk &chunk = conn.deferred.back();
+        ++chunk.frames;
+        if (op.ticket != 0)
+            ++chunk.sealOps;
+        if (chunk.firstDecodedNs == 0 ||
+            op.decodedNs < chunk.firstDecodedNs)
+            chunk.firstDecodedNs = op.decodedNs;
+        if (op.execEndNs > chunk.execEndNs)
+            chunk.execEndNs = op.execEndNs;
+        if (chunk.repId == 0)
+            chunk.repId = op.id;
     };
     bool batch_ok = true;
     for (std::size_t i = 0; i < pending.size(); ++i) {
@@ -570,6 +670,7 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
                     appendErr(out, op.id, ErrCode::MapFull,
                               "batch put rejected");
                 metrics.framesTx.add();
+                noteResponse(op, out);
                 batch_ok = true;
             }
             continue;
@@ -597,6 +698,7 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
             break;
         }
         metrics.framesTx.add();
+        noteResponse(op, out);
     }
 
     // Size trigger: seal any shard with enough deferred mutations.
@@ -612,13 +714,35 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
 void
 NetServer::releaseDeferred(Conn &conn)
 {
+    auto &metrics = NetMetrics::get();
     while (!conn.deferred.empty()) {
         const DeferredChunk &front = conn.deferred.front();
         if (front.ticket != 0 &&
             service_.shardSealedEpoch(front.shard) < front.ticket)
             return;
+        const std::uint64_t nowNs = obs::Tracer::now();
+        // seal_wait closes for every response that was parked behind
+        // the ticket (responses merely queued for FIFO order carry
+        // ticket 0 in their chunk and are not seal-attributed).
+        if (front.sealOps != 0 && front.execEndNs != 0) {
+            const std::uint64_t waitNs =
+                nowNs > front.execEndNs ? nowNs - front.execEndNs : 0;
+            for (std::uint32_t i = 0; i < front.sealOps; ++i)
+                metrics.stageSealWait.record(waitNs);
+        }
         conn.out.insert(conn.out.end(), front.bytes.begin(),
                         front.bytes.end());
+        if (front.frames != 0)
+            conn.markers.push_back(
+                {conn.out.size(), nowNs, front.frames});
+        if (config_.slowUs != 0 && front.firstDecodedNs != 0 &&
+            nowNs - front.firstDecodedNs > config_.slowUs * 1000) {
+            metrics.slowRequests.add();
+            if (obs::Tracer::global().enabled())
+                obs::Tracer::global().record("slow_request", "net",
+                                             front.firstDecodedNs,
+                                             nowNs, front.repId);
+        }
         conn.deferred.pop_front();
     }
 }
@@ -654,6 +778,23 @@ void
 NetServer::flushConn(Loop &loop, Conn &conn)
 {
     auto &metrics = NetMetrics::get();
+    // Close the write stage for every marker the kernel accepted.
+    auto popMarkers = [&metrics](Conn &c) {
+        if (c.markers.empty() ||
+            c.markers.front().endOffset > c.outPos)
+            return;
+        const std::uint64_t nowNs = obs::Tracer::now();
+        while (!c.markers.empty() &&
+               c.markers.front().endOffset <= c.outPos) {
+            const OutMarker &marker = c.markers.front();
+            const std::uint64_t writeNs =
+                nowNs > marker.enqueueNs ? nowNs - marker.enqueueNs
+                                         : 0;
+            for (std::uint32_t i = 0; i < marker.frames; ++i)
+                metrics.stageWrite.record(writeNs);
+            c.markers.pop_front();
+        }
+    };
     while (conn.outPos < conn.out.size()) {
         const ssize_t n =
             ::send(conn.fd, conn.out.data() + conn.outPos,
@@ -664,6 +805,7 @@ NetServer::flushConn(Loop &loop, Conn &conn)
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            popMarkers(conn);
             if (!conn.wantWrite) {
                 conn.wantWrite = true;
                 updateEpoll(loop, conn);
@@ -675,8 +817,10 @@ NetServer::flushConn(Loop &loop, Conn &conn)
         conn.closing = true; // peer vanished
         return;
     }
+    popMarkers(conn);
     conn.out.clear();
     conn.outPos = 0;
+    conn.markers.clear();
     if (conn.wantWrite) {
         conn.wantWrite = false;
         updateEpoll(loop, conn);
@@ -687,18 +831,28 @@ void
 NetServer::loopMain(Loop &loop)
 {
     constexpr int kMaxEvents = 128;
+    /** Idle wake-up bound so the liveness heartbeat keeps beating. */
+    constexpr int kHeartbeatTickMs = 200;
     epoll_event events[kMaxEvents];
     std::vector<PendingOp> pending;
 
     while (true) {
-        // Block forever unless acks are parked awaiting an epoch
-        // seal; then bound the wait so the delay trigger fires.
-        int timeout_ms = -1;
+        loop.lastBeatNs.store(obs::Tracer::now(),
+                              std::memory_order_relaxed);
+        if (const std::uint64_t wedge =
+                loop.wedgeMs.exchange(0, std::memory_order_relaxed))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(wedge));
+        // Never block longer than the heartbeat tick; tighter still
+        // when acks are parked awaiting an epoch seal, so the delay
+        // trigger fires on time.
+        int timeout_ms = kHeartbeatTickMs;
         for (auto &[fd, conn] : loop.conns) {
             if (!conn->deferred.empty()) {
-                timeout_ms = static_cast<int>(
+                timeout_ms = static_cast<int>(std::min<std::uint64_t>(
+                    kHeartbeatTickMs,
                     std::max<std::uint64_t>(
-                        1, config_.epochMaxDelayUs / 1000));
+                        1, config_.epochMaxDelayUs / 1000)));
                 break;
             }
         }
@@ -804,6 +958,42 @@ NetServer::loopMain(Loop &loop)
     loop.conns.clear();
     ::close(loop.epollFd);
     ::close(loop.wakeFd);
+}
+
+std::vector<obs::ShardHealth>
+NetServer::healthReport() const
+{
+    std::vector<obs::ShardHealth> report;
+    std::lock_guard<std::mutex> lifecycle(lifecycleMutex_);
+    if (!running_.load())
+        return report;
+    const std::uint64_t nowNs = obs::Tracer::now();
+    report.reserve(loops_.size());
+    for (const auto &loop : loops_) {
+        obs::ShardHealth health;
+        health.shard = loop->index;
+        const std::uint64_t beat =
+            loop->lastBeatNs.load(std::memory_order_relaxed);
+        health.heartbeatAgeUs =
+            nowNs > beat ? (nowNs - beat) / 1000 : 0;
+        health.sealLag = service_.shardEpochLag(loop->index);
+        health.live =
+            health.heartbeatAgeUs < config_.stallThresholdMs * 1000;
+        report.push_back(health);
+    }
+    return report;
+}
+
+void
+NetServer::debugWedgeLoop(unsigned index, std::uint64_t ms)
+{
+    std::lock_guard<std::mutex> lifecycle(lifecycleMutex_);
+    if (!running_.load() || index >= loops_.size())
+        return;
+    loops_[index]->wedgeMs.store(ms, std::memory_order_relaxed);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n =
+        ::write(loops_[index]->wakeFd, &one, sizeof(one));
 }
 
 } // namespace specpmt::net

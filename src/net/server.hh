@@ -60,6 +60,13 @@
 
 #include "kv/kv_service.hh"
 #include "net/protocol.hh"
+#include "obs/telemetry_server.hh"
+
+namespace specpmt::obs
+{
+class Counter;
+class Gauge;
+} // namespace specpmt::obs
 
 namespace specpmt::net
 {
@@ -90,6 +97,18 @@ struct ServerConfig
     std::size_t epochMaxOps = 64;
     /** Upper bound on how long an ack may wait for an epoch seal. */
     std::uint64_t epochMaxDelayUs = 500;
+    /**
+     * Tail sampling: a request whose decode-to-ack time exceeds this
+     * many microseconds bumps specpmt_net_slow_requests_total and
+     * (when tracing is enabled) emits a full-span trace event tagged
+     * with the request id. 0 disables the check.
+     */
+    std::uint64_t slowUs = 0;
+    /**
+     * A loop whose heartbeat is older than this is reported dead by
+     * healthReport() (the /healthz contract).
+     */
+    std::uint64_t stallThresholdMs = 1000;
 };
 
 /**
@@ -126,6 +145,22 @@ class NetServer
     /** True between start() and stop(). */
     bool running() const { return running_.load(); }
 
+    /**
+     * Per-loop liveness for /healthz: heartbeat age of every event
+     * loop (a loop beats once per epoll wake-up, and wake-ups are
+     * bounded by the heartbeat tick) plus the loop's shard seal lag.
+     * Safe to call from any thread, including while stop() runs —
+     * returns empty once the loops are gone.
+     */
+    std::vector<obs::ShardHealth> healthReport() const;
+
+    /**
+     * Test hook: make loop @p index sleep @p ms milliseconds inside
+     * its event loop on its next wake-up, so its heartbeat goes stale
+     * and healthReport()//healthz flips to dead. One-shot.
+     */
+    void debugWedgeLoop(unsigned index, std::uint64_t ms);
+
   private:
     /**
      * Responses waiting for an epoch seal, in pipeline order. A chunk
@@ -137,6 +172,28 @@ class NetServer
         unsigned shard = 0;
         std::uint64_t ticket = 0;
         std::vector<std::uint8_t> bytes;
+        /** When the chunk's run finished executing (seal_wait base). */
+        std::uint64_t execEndNs = 0;
+        /** Earliest decode stamp of the chunk's requests. */
+        std::uint64_t firstDecodedNs = 0;
+        /** Representative request id for tail-sampled traces. */
+        std::uint64_t repId = 0;
+        /** Responses parked behind the ticket (seal_wait samples). */
+        std::uint32_t sealOps = 0;
+        /** Response frames in the chunk (write-stage samples). */
+        std::uint32_t frames = 0;
+    };
+
+    /**
+     * Write-stage bookkeeping: response bytes entered `out` up to
+     * endOffset at enqueueNs; when outPos crosses endOffset those
+     * frames are on the wire and the write stage closes.
+     */
+    struct OutMarker
+    {
+        std::size_t endOffset = 0;
+        std::uint64_t enqueueNs = 0;
+        std::uint32_t frames = 0;
     };
 
     struct Conn
@@ -148,6 +205,8 @@ class NetServer
         std::size_t outPos = 0;
         /** FIFO of epoch-deferred response chunks (group commit). */
         std::deque<DeferredChunk> deferred;
+        /** Write-stage markers over `out`, ascending endOffset. */
+        std::deque<OutMarker> markers;
         /** Currently registered for EPOLLOUT. */
         bool wantWrite = false;
         /** Connection is dead this cycle; drop its pending ops. */
@@ -170,6 +229,10 @@ class NetServer
         /** Per-shard relaxed mutations deferred since the last seal
          * this loop initiated (the epochMaxOps trigger). */
         std::vector<std::uint64_t> epochOps;
+        /** Steady-clock ns of the last event-loop iteration. */
+        std::atomic<std::uint64_t> lastBeatNs{0};
+        /** One-shot stall injection in ms (debugWedgeLoop). */
+        std::atomic<std::uint64_t> wedgeMs{0};
     };
 
     /** One decoded request waiting for the drain-cycle execution. */
@@ -188,6 +251,10 @@ class NetServer
         bool strict = false;
         /** Epoch ticket the op's run joined (0 = already durable). */
         std::uint64_t ticket = 0;
+        /** When the request frame was decoded (stage_queue base). */
+        std::uint64_t decodedNs = 0;
+        /** When the op's run finished executing (stage_exec end). */
+        std::uint64_t execEndNs = 0;
     };
 
     void loopMain(Loop &loop);
@@ -214,6 +281,11 @@ class NetServer
     ServerConfig config_;
     /** groupCommit requested AND the service runtime supports it. */
     bool epochMode_ = false;
+    /** Cached per-shard instruments (`{shard=}`-labeled). */
+    std::vector<obs::Counter *> shardOps_;
+    std::vector<obs::Gauge *> queueDepth_;
+    /** Guards loops_ against healthReport() racing start()/stop(). */
+    mutable std::mutex lifecycleMutex_;
     std::vector<std::unique_ptr<Loop>> loops_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;

@@ -1,0 +1,296 @@
+#include "obs/http_client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+
+namespace specpmt::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+int remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    return left < 0 ? 0 : static_cast<int>(std::min<long long>(left, 60000));
+}
+
+bool waitFd(int fd, short events, Clock::time_point deadline,
+            std::string &error)
+{
+    pollfd pfd{fd, events, 0};
+    int ms = remainingMs(deadline);
+    if (ms == 0)
+    {
+        error = "timed out";
+        return false;
+    }
+    int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0)
+    {
+        error = std::string{"poll: "} + std::strerror(errno);
+        return false;
+    }
+    if (rc == 0)
+    {
+        error = "timed out";
+        return false;
+    }
+    return true;
+}
+
+/** Case-insensitive prefix match for header names. */
+bool headerIs(std::string_view line, std::string_view name)
+{
+    if (line.size() < name.size())
+        return false;
+    for (std::size_t i = 0; i < name.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i])))
+            return false;
+    return true;
+}
+
+std::string_view trimView(std::string_view v)
+{
+    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.front())))
+        v.remove_prefix(1);
+    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.back())))
+        v.remove_suffix(1);
+    return v;
+}
+
+} // namespace
+
+bool httpGet(const std::string &host, std::uint16_t port,
+             const std::string &path, HttpResponse &out, std::string &error,
+             int timeoutMs)
+{
+    out = HttpResponse{};
+    error.clear();
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeoutMs);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    {
+        // The telemetry plane binds numeric loopback addresses; accept the
+        // common aliases without pulling in resolver machinery.
+        if (host == "localhost")
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        else
+        {
+            error = "unsupported host (numeric IPv4 or localhost only): " +
+                    host;
+            return false;
+        }
+    }
+
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+    {
+        error = std::string{"socket: "} + std::strerror(errno);
+        return false;
+    }
+    struct FdGuard
+    {
+        int fd;
+        ~FdGuard() { ::close(fd); }
+    } guard{fd};
+
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0)
+    {
+        if (errno != EINPROGRESS)
+        {
+            error = std::string{"connect: "} + std::strerror(errno);
+            return false;
+        }
+        if (!waitFd(fd, POLLOUT, deadline, error))
+            return false;
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len) < 0 ||
+            soErr != 0)
+        {
+            error = std::string{"connect: "} +
+                    std::strerror(soErr != 0 ? soErr : errno);
+            return false;
+        }
+    }
+
+    std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\nAccept: */*\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < request.size())
+    {
+        ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n > 0)
+        {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        {
+            if (!waitFd(fd, POLLOUT, deadline, error))
+                return false;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        error = std::string{"send: "} + std::strerror(errno);
+        return false;
+    }
+
+    // Connection: close — read to EOF, then parse. Bounded so a
+    // misbehaving server cannot balloon memory.
+    constexpr std::size_t kMaxResponse = 64u << 20;
+    std::string raw;
+    char buf[16384];
+    for (;;)
+    {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0)
+        {
+            raw.append(buf, static_cast<std::size_t>(n));
+            if (raw.size() > kMaxResponse)
+            {
+                error = "response too large";
+                return false;
+            }
+            continue;
+        }
+        if (n == 0)
+            break;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+        {
+            if (!waitFd(fd, POLLIN, deadline, error))
+                return false;
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        error = std::string{"recv: "} + std::strerror(errno);
+        return false;
+    }
+
+    std::size_t headerEnd = raw.find("\r\n\r\n");
+    std::size_t bodyStart;
+    if (headerEnd != std::string::npos)
+        bodyStart = headerEnd + 4;
+    else
+    {
+        headerEnd = raw.find("\n\n");
+        if (headerEnd == std::string::npos)
+        {
+            error = "malformed response: no header terminator";
+            return false;
+        }
+        bodyStart = headerEnd + 2;
+    }
+
+    std::string_view head{raw.data(), headerEnd};
+    std::size_t lineEnd = head.find('\n');
+    std::string_view statusLine =
+        trimView(head.substr(0, lineEnd == std::string_view::npos
+                                    ? head.size()
+                                    : lineEnd));
+    // "HTTP/1.1 200 OK"
+    std::size_t sp = statusLine.find(' ');
+    if (sp == std::string_view::npos ||
+        statusLine.substr(0, 5) != std::string_view{"HTTP/"})
+    {
+        error = "malformed status line";
+        return false;
+    }
+    std::string_view codeView = trimView(statusLine.substr(sp + 1));
+    int code = 0;
+    std::size_t digits = 0;
+    while (digits < codeView.size() &&
+           std::isdigit(static_cast<unsigned char>(codeView[digits])))
+    {
+        code = code * 10 + (codeView[digits] - '0');
+        ++digits;
+    }
+    if (digits != 3)
+    {
+        error = "malformed status code";
+        return false;
+    }
+    out.status = code;
+
+    std::size_t pos = lineEnd == std::string_view::npos ? head.size()
+                                                        : lineEnd + 1;
+    while (pos < head.size())
+    {
+        std::size_t next = head.find('\n', pos);
+        std::string_view line = trimView(
+            head.substr(pos, next == std::string_view::npos ? head.size() - pos
+                                                            : next - pos));
+        if (headerIs(line, "content-type:"))
+            out.contentType = std::string{
+                trimView(line.substr(std::string_view{"content-type:"}.size()))};
+        if (next == std::string_view::npos)
+            break;
+        pos = next + 1;
+    }
+
+    out.body = raw.substr(bodyStart);
+    return true;
+}
+
+bool parseHttpUrl(std::string_view url, std::string &host,
+                  std::uint16_t &port, std::string &path)
+{
+    constexpr std::string_view kScheme = "http://";
+    if (url.substr(0, kScheme.size()) != kScheme)
+        return false;
+    url.remove_prefix(kScheme.size());
+    std::size_t slash = url.find('/');
+    std::string_view authority =
+        slash == std::string_view::npos ? url : url.substr(0, slash);
+    path = slash == std::string_view::npos ? "/"
+                                           : std::string{url.substr(slash)};
+    if (authority.empty())
+        return false;
+    std::size_t colon = authority.rfind(':');
+    if (colon == std::string_view::npos)
+    {
+        host = std::string{authority};
+        port = 80;
+        return true;
+    }
+    std::string_view portView = authority.substr(colon + 1);
+    if (portView.empty())
+        return false;
+    unsigned long value = 0;
+    for (char c : portView)
+    {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        value = value * 10 + static_cast<unsigned long>(c - '0');
+        if (value > 65535)
+            return false;
+    }
+    host = std::string{authority.substr(0, colon)};
+    port = static_cast<std::uint16_t>(value);
+    return !host.empty();
+}
+
+} // namespace specpmt::obs

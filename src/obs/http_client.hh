@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 GET client for the telemetry plane: just
+ * enough to scrape the admin endpoint (specstat top, `specstat check
+ * http://...`, tests) without a curl dependency. One request per
+ * connection (`Connection: close`), bounded by a wall-clock deadline
+ * so a wedged server cannot hang the caller.
+ */
+
+#ifndef SPECPMT_OBS_HTTP_CLIENT_HH
+#define SPECPMT_OBS_HTTP_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace specpmt::obs
+{
+
+/** Outcome of one httpGet(). */
+struct HttpResponse
+{
+    /** Status code from the response line (0 until parsed). */
+    int status = 0;
+    /** Response body (headers stripped). */
+    std::string body;
+    /** Content-Type header value, if present. */
+    std::string contentType;
+};
+
+/**
+ * Perform `GET path` against host:port. Returns false (and sets
+ * @p error) on connect/IO/parse failure or when the deadline expires;
+ * a non-2xx status is NOT a transport failure — the caller inspects
+ * @p out.status.
+ */
+bool httpGet(const std::string &host, std::uint16_t port,
+             const std::string &path, HttpResponse &out,
+             std::string &error, int timeoutMs = 5000);
+
+/**
+ * Split `http://host[:port]/path` into its parts (port defaults to
+ * 80, path to "/"). Returns false on anything else (https, garbage).
+ */
+bool parseHttpUrl(std::string_view url, std::string &host,
+                  std::uint16_t &port, std::string &path);
+
+} // namespace specpmt::obs
+
+#endif // SPECPMT_OBS_HTTP_CLIENT_HH

@@ -80,6 +80,25 @@ expositionName(std::string_view name, const Labels &labels)
     return out;
 }
 
+std::string
+sanitizeMetricName(std::string_view name)
+{
+    auto legal = [](char c, bool leading) {
+        if (c == '_' || c == ':')
+            return true;
+        if (std::isalpha(static_cast<unsigned char>(c)))
+            return true;
+        return !leading && std::isdigit(static_cast<unsigned char>(c));
+    };
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (name.empty() || !legal(name[0], true))
+        out += '_';
+    for (char c : name)
+        out += legal(c, false) ? c : '_';
+    return out;
+}
+
 namespace
 {
 
@@ -306,9 +325,10 @@ Registry::global()
 }
 
 Registry::Entry &
-Registry::entry(Kind kind, std::string_view name, std::string_view help,
+Registry::entry(Kind kind, std::string_view rawName, std::string_view help,
                 const Labels &labels)
 {
+    std::string name = sanitizeMetricName(rawName);
     std::string key = expositionName(name, labels);
     std::lock_guard<std::mutex> guard(mutex_);
     auto it = entries_.find(key);

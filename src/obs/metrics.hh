@@ -207,6 +207,16 @@ bool parsePrometheus(std::string_view text, FlatSamples &out,
 /** Build the exposition name: `name{k1="v1",k2="v2"}`. */
 std::string expositionName(std::string_view name, const Labels &labels);
 
+/**
+ * Force @p name into the Prometheus metric-name charset
+ * `[a-zA-Z_:][a-zA-Z0-9_:]*`: every illegal byte becomes '_', an
+ * illegal (or missing) leading byte gains a '_' prefix. Applied on
+ * every registration so dynamically composed names (e.g. derived from
+ * workload or shard identifiers) can never produce an unparseable
+ * exposition.
+ */
+std::string sanitizeMetricName(std::string_view name);
+
 /** The instrument registry; see file comment. */
 class Registry
 {

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * TelemetryServer implementation: one poll()-driven thread multiplexes
+ * the listen socket, a stop eventfd, and a small set of short-lived
+ * scrape connections. All route bodies are built synchronously from
+ * Registry/Tracer snapshots — those are internally locked, so the
+ * serving thread never touches data-plane state directly.
+ */
+
+#include "obs/telemetry_server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <list>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace specpmt::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+httpResponse(int status, const char *reason, const char *contentType,
+             std::string body)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + ' ' + reason +
+                      "\r\nContent-Type: " + contentType +
+                      "\r\nContent-Length: " + std::to_string(body.size()) +
+                      "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+/** First line of the request head: "GET /path HTTP/1.1". */
+bool
+parseRequestLine(const std::string &head, std::string &method,
+                 std::string &target)
+{
+    std::size_t eol = head.find("\r\n");
+    if (eol == std::string::npos)
+        eol = head.find('\n');
+    std::string_view line{head.data(),
+                          eol == std::string::npos ? head.size() : eol};
+    std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos)
+        return false;
+    std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos)
+        return false;
+    method = std::string{line.substr(0, sp1)};
+    target = std::string{line.substr(sp1 + 1, sp2 - sp1 - 1)};
+    return !method.empty() && !target.empty() && target[0] == '/';
+}
+
+/** `?ms=N` query value for /trace; default 1000, clamped to [1,60000]. */
+std::uint64_t
+traceWindowMs(std::string_view query)
+{
+    std::uint64_t ms = 1000;
+    constexpr std::string_view kKey = "ms=";
+    while (!query.empty()) {
+        std::size_t amp = query.find('&');
+        std::string_view param =
+            amp == std::string_view::npos ? query : query.substr(0, amp);
+        query = amp == std::string_view::npos ? std::string_view{}
+                                              : query.substr(amp + 1);
+        if (param.substr(0, kKey.size()) != kKey)
+            continue;
+        std::uint64_t value = 0;
+        bool any = false;
+        for (char c : param.substr(kKey.size())) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                return ms;
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+            any = true;
+            if (value > 60000)
+                return 60000;
+        }
+        if (any)
+            ms = value;
+    }
+    return std::clamp<std::uint64_t>(ms, 1, 60000);
+}
+
+std::string
+healthzBody(const std::vector<ShardHealth> &shards, bool &allLive)
+{
+    allLive = true;
+    for (const auto &s : shards)
+        allLive = allLive && s.live;
+    // The leading "healthz" marker keys specstat's JSON sniffing, the
+    // same way "traceEvents"/"counters" key the other artifact kinds.
+    std::string body = "{\"healthz\": 1, \"status\": \"";
+    body += allLive ? "ok" : "stalled";
+    body += "\", \"shards\": [";
+    bool first = true;
+    for (const auto &s : shards) {
+        body += first ? "\n  " : ",\n  ";
+        first = false;
+        body += "{\"shard\": " + std::to_string(s.shard) +
+                ", \"heartbeat_age_us\": " + std::to_string(s.heartbeatAgeUs) +
+                ", \"seal_lag\": " + std::to_string(s.sealLag) +
+                ", \"live\": " + (s.live ? "true" : "false") + "}";
+    }
+    body += first ? "]}\n" : "\n]}\n";
+    return body;
+}
+
+} // namespace
+
+/** One in-flight scrape connection. */
+struct TelemetryServer::Conn
+{
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t outPos = 0;
+    bool writing = false;
+    std::uint64_t idleDeadlineMs = 0;
+};
+
+TelemetryServer::TelemetryServer(TelemetryConfig config)
+    : config_(std::move(config))
+{
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool
+TelemetryServer::start()
+{
+    if (running_)
+        return true;
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                         0);
+    if (listenFd_ < 0) {
+        SPECPMT_WARN("telemetry: socket: %s", std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bindAddress.c_str(), &addr.sin_addr) !=
+        1) {
+        SPECPMT_WARN("telemetry: bad bind address `%s`",
+                          config_.bindAddress.c_str());
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listenFd_, 16) < 0) {
+        SPECPMT_WARN("telemetry: bind/listen %s:%u: %s",
+                          config_.bindAddress.c_str(),
+                          static_cast<unsigned>(config_.port),
+                          std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len) ==
+        0)
+        boundPort_ = ntohs(addr.sin_port);
+
+    wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wakeFd_ < 0) {
+        SPECPMT_WARN("telemetry: eventfd: %s", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    running_ = true;
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+TelemetryServer::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+    thread_.join();
+    ::close(listenFd_);
+    ::close(wakeFd_);
+    listenFd_ = -1;
+    wakeFd_ = -1;
+    boundPort_ = 0;
+}
+
+std::string
+TelemetryServer::respond(const std::string &head) const
+{
+    std::string method;
+    std::string target;
+    if (!parseRequestLine(head, method, target))
+        return httpResponse(400, "Bad Request", "text/plain",
+                            "malformed request\n");
+    if (method != "GET")
+        return httpResponse(405, "Method Not Allowed", "text/plain",
+                            "GET only\n");
+
+    std::size_t qmark = target.find('?');
+    std::string path =
+        qmark == std::string::npos ? target : target.substr(0, qmark);
+    std::string_view query =
+        qmark == std::string::npos
+            ? std::string_view{}
+            : std::string_view{target}.substr(qmark + 1);
+
+    Registry &registry =
+        config_.registry != nullptr ? *config_.registry : Registry::global();
+    Tracer &tracer =
+        config_.tracer != nullptr ? *config_.tracer : Tracer::global();
+
+    if (path == "/metrics")
+        return httpResponse(200, "OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            registry.snapshot().toPrometheus());
+    if (path == "/stats.json")
+        return httpResponse(200, "OK", "application/json",
+                            registry.snapshot().toJson());
+    if (path == "/healthz") {
+        std::vector<ShardHealth> shards;
+        if (config_.health)
+            shards = config_.health();
+        bool allLive = true;
+        std::string body = healthzBody(shards, allLive);
+        return allLive ? httpResponse(200, "OK", "application/json",
+                                      std::move(body))
+                       : httpResponse(503, "Service Unavailable",
+                                      "application/json", std::move(body));
+    }
+    if (path == "/trace") {
+        std::uint64_t windowNs = traceWindowMs(query) * 1000000ull;
+        std::uint64_t now = Tracer::now();
+        std::uint64_t since = now > windowNs ? now - windowNs : 0;
+        return httpResponse(200, "OK", "application/json",
+                            tracer.toChromeJson(since));
+    }
+    return httpResponse(404, "Not Found", "text/plain", "unknown route\n");
+}
+
+void
+TelemetryServer::serveLoop()
+{
+    std::list<Conn> conns;
+    std::vector<pollfd> pfds;
+    std::vector<Conn *> pfdConns;
+
+    while (running_) {
+        pfds.clear();
+        pfdConns.clear();
+        pfds.push_back({wakeFd_, POLLIN, 0});
+        pfdConns.push_back(nullptr);
+        pfds.push_back({listenFd_, POLLIN, 0});
+        pfdConns.push_back(nullptr);
+        for (Conn &c : conns) {
+            pfds.push_back(
+                {c.fd, static_cast<short>(c.writing ? POLLOUT : POLLIN), 0});
+            pfdConns.push_back(&c);
+        }
+
+        // Bounded tick so idle-deadline sweeps run even with no
+        // socket activity at all.
+        int rc = ::poll(pfds.data(), pfds.size(), 100);
+        if (rc < 0 && errno != EINTR) {
+            SPECPMT_WARN("telemetry: poll: %s", std::strerror(errno));
+            break;
+        }
+        if (!running_)
+            break;
+
+        if (pfds[0].revents != 0) {
+            std::uint64_t drain = 0;
+            [[maybe_unused]] ssize_t n =
+                ::read(wakeFd_, &drain, sizeof(drain));
+        }
+
+        if (pfds[1].revents & POLLIN) {
+            for (;;) {
+                int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                   SOCK_CLOEXEC | SOCK_NONBLOCK);
+                if (fd < 0)
+                    break;
+                Conn c;
+                c.fd = fd;
+                c.idleDeadlineMs =
+                    nowMs() + static_cast<std::uint64_t>(
+                                  std::max(config_.idleTimeoutMs, 1));
+                conns.push_back(std::move(c));
+            }
+        }
+
+        const std::uint64_t tick = nowMs();
+        for (std::size_t i = 2; i < pfds.size(); ++i) {
+            Conn &c = *pfdConns[i];
+            bool close = false;
+            if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL))
+                close = true;
+            else if (!c.writing && (pfds[i].revents & POLLIN)) {
+                char buf[4096];
+                for (;;) {
+                    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+                    if (n > 0) {
+                        c.in.append(buf, static_cast<std::size_t>(n));
+                        if (c.in.size() > config_.maxRequestBytes) {
+                            c.out = httpResponse(400, "Bad Request",
+                                                 "text/plain",
+                                                 "request too large\n");
+                            c.writing = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    if (n == 0) {
+                        // Peer closed before a full head arrived.
+                        close = !c.writing;
+                        break;
+                    }
+                    if (errno == EAGAIN || errno == EWOULDBLOCK)
+                        break;
+                    if (errno == EINTR)
+                        continue;
+                    close = true;
+                    break;
+                }
+                if (!close && !c.writing) {
+                    // GET requests carry no body: a blank line ends
+                    // the request.
+                    if (c.in.find("\r\n\r\n") != std::string::npos ||
+                        c.in.find("\n\n") != std::string::npos) {
+                        c.out = respond(c.in);
+                        c.writing = true;
+                    }
+                }
+            } else if (c.writing && (pfds[i].revents & POLLOUT)) {
+                while (c.outPos < c.out.size()) {
+                    ssize_t n = ::send(c.fd, c.out.data() + c.outPos,
+                                       c.out.size() - c.outPos, MSG_NOSIGNAL);
+                    if (n > 0) {
+                        c.outPos += static_cast<std::size_t>(n);
+                        continue;
+                    }
+                    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                        break;
+                    if (n < 0 && errno == EINTR)
+                        continue;
+                    close = true;
+                    break;
+                }
+                if (c.outPos >= c.out.size())
+                    close = true;  // Connection: close — done.
+            }
+            if (!close && tick >= c.idleDeadlineMs)
+                close = true;
+            if (close) {
+                ::close(c.fd);
+                c.fd = -1;
+            }
+        }
+        conns.remove_if([](const Conn &c) { return c.fd < 0; });
+    }
+
+    for (Conn &c : conns)
+        ::close(c.fd);
+}
+
+} // namespace specpmt::obs

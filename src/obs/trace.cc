@@ -25,6 +25,8 @@ struct Event
     const char *category;
     std::uint64_t startNs;
     std::uint64_t endNs;
+    /** Correlation id (0 = none); see Tracer::record. */
+    std::uint64_t id;
 };
 
 } // namespace
@@ -96,7 +98,8 @@ Tracer::threadBuffer()
 
 void
 Tracer::record(const char *name, const char *category,
-               std::uint64_t startNs, std::uint64_t endNs)
+               std::uint64_t startNs, std::uint64_t endNs,
+               std::uint64_t id)
 {
     ThreadBuffer &buf = threadBuffer();
     std::lock_guard<std::mutex> guard(buf.mutex);
@@ -104,7 +107,7 @@ Tracer::record(const char *name, const char *category,
         ++buf.dropped;
     else
         ++buf.size;
-    buf.ring[buf.head] = Event{name, category, startNs, endNs};
+    buf.ring[buf.head] = Event{name, category, startNs, endNs, id};
     buf.head = (buf.head + 1) % kRingCapacity;
 }
 
@@ -148,7 +151,7 @@ appendEscaped(std::string &out, const char *s)
 } // namespace
 
 std::string
-Tracer::toChromeJson() const
+Tracer::toChromeJson(std::uint64_t sinceNs) const
 {
     std::string out = "{\"traceEvents\": [";
     bool first = true;
@@ -159,6 +162,8 @@ Tracer::toChromeJson() const
             (buf->head + kRingCapacity - buf->size) % kRingCapacity;
         for (std::size_t i = 0; i < buf->size; ++i) {
             const Event &e = buf->ring[(start + i) % kRingCapacity];
+            if (e.endNs < sinceNs)
+                continue;
             out += first ? "\n" : ",\n";
             first = false;
             out += "{\"name\": \"";
@@ -167,18 +172,25 @@ Tracer::toChromeJson() const
             appendEscaped(out, e.category);
             // Chrome trace timestamps are microseconds; keep sub-µs
             // resolution by emitting three decimal places.
-            char buf2[128];
+            char buf2[160];
             std::uint64_t durNs =
                 e.endNs > e.startNs ? e.endNs - e.startNs : 0;
             std::snprintf(buf2, sizeof buf2,
                           "\", \"ph\": \"X\", \"ts\": %llu.%03u, "
-                          "\"dur\": %llu.%03u, \"pid\": 1, \"tid\": %llu}",
+                          "\"dur\": %llu.%03u, \"pid\": 1, \"tid\": %llu",
                           static_cast<unsigned long long>(e.startNs / 1000),
                           static_cast<unsigned>(e.startNs % 1000),
                           static_cast<unsigned long long>(durNs / 1000),
                           static_cast<unsigned>(durNs % 1000),
                           static_cast<unsigned long long>(buf->tid));
             out += buf2;
+            if (e.id != 0) {
+                std::snprintf(buf2, sizeof buf2,
+                              ", \"args\": {\"id\": %llu}",
+                              static_cast<unsigned long long>(e.id));
+                out += buf2;
+            }
+            out += '}';
         }
     }
     out += "\n]}\n";

@@ -71,10 +71,14 @@ class Tracer
     /**
      * Record a completed span. @p name and @p category must be
      * string literals (stored as pointers, never copied). Times are
-     * nanoseconds from the steady clock (see now()).
+     * nanoseconds from the steady clock (see now()). A nonzero @p id
+     * (e.g. a request id from tail sampling) is carried through to
+     * the serialized event as `"args":{"id":N}` so a slow request's
+     * spans can be correlated across threads.
      */
     void record(const char *name, const char *category,
-                std::uint64_t startNs, std::uint64_t endNs);
+                std::uint64_t startNs, std::uint64_t endNs,
+                std::uint64_t id = 0);
 
     /** Steady-clock nanoseconds; the time base for record(). */
     static std::uint64_t now();
@@ -88,9 +92,12 @@ class Tracer
     /**
      * Serialize all buffered events as Chrome trace-event JSON
      * (`{"traceEvents": [...]}`, "ph":"X" complete events with µs
-     * timestamps).
+     * timestamps). With a nonzero @p sinceNs only spans ending at or
+     * after that steady-clock instant are emitted — the `/trace?ms=N`
+     * endpoint serves the last N milliseconds this way without
+     * copying the rings.
      */
-    std::string toChromeJson() const;
+    std::string toChromeJson(std::uint64_t sinceNs = 0) const;
 
     /** toChromeJson() to @p path; false on IO error. */
     bool writeChromeJson(const std::string &path) const;

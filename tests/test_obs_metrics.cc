@@ -122,6 +122,66 @@ TEST(Registry, ExpositionNameEscapesLabelValues)
               "m{a=\"1\",b=\"2\"}");
 }
 
+TEST(Registry, ExpositionNameEscapesNewlines)
+{
+    // A raw newline in a label value would split the sample across
+    // two exposition lines; it must leave as the two-byte escape.
+    const std::string name =
+        obs::expositionName("m", {{"k", "line1\nline2"}});
+    EXPECT_EQ(name, "m{k=\"line1\\nline2\"}");
+    EXPECT_EQ(name.find('\n'), std::string::npos);
+    // All three escapes stacked in one value.
+    EXPECT_EQ(obs::expositionName("m", {{"k", "\\\"\n"}}),
+              "m{k=\"\\\\\\\"\\n\"}");
+}
+
+TEST(Registry, SanitizeMetricNameForcesPrometheusCharset)
+{
+    EXPECT_EQ(obs::sanitizeMetricName("good_name:total"),
+              "good_name:total");
+    EXPECT_EQ(obs::sanitizeMetricName("has space"), "has_space");
+    EXPECT_EQ(obs::sanitizeMetricName("has-dash.dot"), "has_dash_dot");
+    // A leading digit gains a '_' prefix instead of being dropped.
+    EXPECT_EQ(obs::sanitizeMetricName("9lives"), "_9lives");
+    EXPECT_EQ(obs::sanitizeMetricName(""), "_");
+    EXPECT_EQ(obs::sanitizeMetricName("\x01\xff"), "___");
+}
+
+TEST(Registry, IllegalInstrumentNamesAreSanitizedOnRegistration)
+{
+    obs::Registry registry;
+    registry.counter("bad name-1").add(7);
+    const auto snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.counters.at("bad_name_1"), 7u);
+    // The sanitized exposition must survive the parser.
+    obs::FlatSamples samples;
+    std::string error;
+    ASSERT_TRUE(obs::parsePrometheus(snapshot.toPrometheus(), samples,
+                                     error))
+        << error;
+    EXPECT_EQ(samples.at("bad_name_1"), 7.0);
+    // Same raw name again resolves to the same instrument.
+    registry.counter("bad name-1").add(1);
+    EXPECT_EQ(registry.snapshot().counters.at("bad_name_1"), 8u);
+}
+
+TEST(Exposition, EscapedLabelValuesRoundTripThroughParser)
+{
+    obs::Registry registry;
+    registry
+        .counter("esc_total", "",
+                 {{"path", "a\"b\\c"}, {"note", "two\nlines"}})
+        .add(11);
+    const std::string text = registry.snapshot().toPrometheus();
+    obs::FlatSamples samples;
+    std::string error;
+    ASSERT_TRUE(obs::parsePrometheus(text, samples, error)) << error;
+    const std::string key = obs::expositionName(
+        "esc_total", {{"path", "a\"b\\c"}, {"note", "two\nlines"}});
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples.at(key), 11.0);
+}
+
 /** A registry with one of everything, with deterministic contents. */
 obs::Registry &
 goldenRegistry()

@@ -50,6 +50,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -59,6 +60,8 @@
 #include "kv/kv_service.hh"
 #include "net/server.hh"
 #include "obs/artifacts.hh"
+#include "obs/telemetry_server.hh"
+#include "obs/trace.hh"
 
 using namespace specpmt;
 
@@ -183,7 +186,15 @@ serveMain(int argc, char **argv)
     bool group_commit = false;
     std::size_t epoch_max_ops = 64;
     std::uint64_t epoch_max_delay_us = 500;
+    int admin_port = -1; // -1 = no admin endpoint; 0 = ephemeral
+    std::string admin_port_file;
+    std::uint64_t slow_us = 0;
     obs::OutputFlags obs_flags;
+
+    // Install the stop handlers before anything heavy is built, so a
+    // signal during startup still reaches the artifact-flush path.
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -212,6 +223,12 @@ serveMain(int argc, char **argv)
             epoch_max_ops = std::strtoull(v, nullptr, 10);
         else if (const char *v = value("--epoch-max-delay-us="))
             epoch_max_delay_us = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--admin-port="))
+            admin_port = std::atoi(v);
+        else if (const char *v = value("--admin-port-file="))
+            admin_port_file = v;
+        else if (const char *v = value("--slow-us="))
+            slow_us = std::strtoull(v, nullptr, 10);
         else if (!obs_flags.accept(arg))
             SPECPMT_FATAL("unknown argument: %s", arg.c_str());
     }
@@ -235,8 +252,36 @@ serveMain(int argc, char **argv)
     server_config.groupCommit = group_commit;
     server_config.epochMaxOps = epoch_max_ops;
     server_config.epochMaxDelayUs = epoch_max_delay_us;
+    server_config.slowUs = slow_us;
     net::NetServer server(service, server_config);
     server.start();
+
+    // The live telemetry plane: /metrics, /stats.json, /healthz,
+    // /trace against the same registry the artifacts snapshot.
+    std::unique_ptr<obs::TelemetryServer> telemetry;
+    if (admin_port >= 0) {
+        obs::TelemetryConfig telemetry_config;
+        telemetry_config.port = static_cast<std::uint16_t>(admin_port);
+        telemetry_config.health = [&server] {
+            return server.healthReport();
+        };
+        telemetry = std::make_unique<obs::TelemetryServer>(
+            std::move(telemetry_config));
+        if (!telemetry->start())
+            SPECPMT_FATAL("cannot start admin endpoint on port %d",
+                          admin_port);
+        // Arm the tracer so /trace and --slow-us tail sampling have
+        // spans to serve even without --trace-out.
+        obs::Tracer::global().enable();
+        if (!admin_port_file.empty()) {
+            FILE *f = std::fopen(admin_port_file.c_str(), "w");
+            if (f == nullptr)
+                SPECPMT_FATAL("cannot write %s",
+                              admin_port_file.c_str());
+            std::fprintf(f, "%u\n", telemetry->port());
+            std::fclose(f);
+        }
+    }
 
     if (!port_file.empty()) {
         FILE *f = std::fopen(port_file.c_str(), "w");
@@ -245,13 +290,14 @@ serveMain(int argc, char **argv)
         std::fprintf(f, "%u\n", server.port());
         std::fclose(f);
     }
-    std::printf("speckv serve: runtime=%s shards=%u port=%u%s\n",
+    std::printf("speckv serve: runtime=%s shards=%u port=%u%s",
                 runtime.c_str(), shards, server.port(),
                 group_commit ? " group-commit" : "");
+    if (telemetry)
+        std::printf(" admin-port=%u", telemetry->port());
+    std::printf("\n");
     std::fflush(stdout);
 
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
     const auto start = std::chrono::steady_clock::now();
     while (!g_stop.load()) {
         if (seconds > 0 &&
@@ -262,6 +308,13 @@ serveMain(int argc, char **argv)
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
 
+    // Snapshot the artifacts BEFORE the drain path: if stop() or
+    // shutdown() wedges (or a second signal kills the process), the
+    // serve-time observations are already on disk. A clean exit
+    // overwrites them with the final state below.
+    obs_flags.writeArtifacts();
+    if (telemetry)
+        telemetry->stop();
     server.stop();
     service.shutdown();
     obs_flags.writeArtifacts();

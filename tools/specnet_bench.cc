@@ -71,10 +71,12 @@ jsonHistogram(FILE *f, const char *name, const LatencyHistogram &h,
               bool last)
 {
     std::fprintf(f,
-                 "  \"%s\": {\"count\": %llu, \"p50_ns\": %llu, "
+                 "  \"%s\": {\"count\": %llu, \"mean_ns\": %.1f, "
+                 "\"p50_ns\": %llu, "
                  "\"p99_ns\": %llu, \"p999_ns\": %llu, "
                  "\"max_ns\": %llu}%s\n",
                  name, static_cast<unsigned long long>(h.count()),
+                 h.mean(),
                  static_cast<unsigned long long>(h.percentile(50)),
                  static_cast<unsigned long long>(h.percentile(99)),
                  static_cast<unsigned long long>(h.percentile(99.9)),

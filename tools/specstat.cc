@@ -17,6 +17,19 @@
  *                    >=, <=, >, <) assert against the merged samples
  *                    of every Prometheus file; a missing metric fails
  *                    the assertion.
+ *   top              poll a live speckv admin endpoint (--admin-port=)
+ *                    and render QPS, per-stage latency percentiles,
+ *                    fences/tx, epoch state and per-shard balance as
+ *                    deltas between /metrics scrapes; --once emits a
+ *                    single frame for CI capture.
+ *
+ * Every FILE argument also accepts `-` (read stdin once) and
+ * `http://HOST:PORT/PATH` (scrape a live admin endpoint; a non-200
+ * response fails the command, so `specstat check http://..../healthz`
+ * gates on shard liveness). JSON inputs are sniffed by content, so
+ * `curl :PORT/stats.json | specstat dump -` works: a metrics snapshot
+ * flattens counters/gauges verbatim and histograms to NAME_count,
+ * NAME_sum and NAME_max samples.
  *   bench            normalize bench outputs (bench_kv_ycsb summary
  *                    JSON, specnet_bench --json files) into one
  *                    BENCH_<sha>.json of named cells with a fixed
@@ -35,16 +48,23 @@
  * error or unreadable/malformed input.
  */
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "obs/http_client.hh"
 #include "obs/metrics.hh"
 
 namespace
@@ -55,6 +75,12 @@ using specpmt::obs::FlatSamples;
 bool
 readFile(const std::string &path, std::string &out)
 {
+    if (path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        out = buffer.str();
+        return true;
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return false;
@@ -62,6 +88,58 @@ readFile(const std::string &path, std::string &out)
     buffer << in.rdbuf();
     out = buffer.str();
     return true;
+}
+
+bool
+isHttpUrl(std::string_view path)
+{
+    return path.rfind("http://", 0) == 0;
+}
+
+/**
+ * Load one artifact: `-` is stdin, `http://` scrapes a live endpoint
+ * (non-200 fails, which is how `check .../healthz` gates liveness),
+ * anything else is a file.
+ */
+bool
+fetchArtifact(const std::string &path, std::string &text,
+              std::string &error)
+{
+    if (isHttpUrl(path)) {
+        std::string host, url_path;
+        std::uint16_t port = 0;
+        if (!specpmt::obs::parseHttpUrl(path, host, port, url_path)) {
+            error = "malformed http:// URL";
+            return false;
+        }
+        specpmt::obs::HttpResponse response;
+        if (!specpmt::obs::httpGet(host, port, url_path, response,
+                                   error))
+            return false;
+        text = std::move(response.body);
+        if (response.status != 200) {
+            error = "HTTP " + std::to_string(response.status);
+            return false;
+        }
+        return true;
+    }
+    if (!readFile(path, text)) {
+        error = "cannot read";
+        return false;
+    }
+    return true;
+}
+
+/** First non-whitespace byte opens a JSON value. */
+bool
+looksLikeJson(std::string_view text)
+{
+    for (const char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        return c == '{' || c == '[';
+    }
+    return false;
 }
 
 /** Integral values print without a fractional part. */
@@ -78,18 +156,43 @@ formatValue(double value)
     return buf;
 }
 
-/** Load a Prometheus exposition or exit with status 2. */
+/**
+ * Flatten a Registry::toJson() metrics snapshot into Prometheus-style
+ * flat samples (defined after JsonFlattener below).
+ */
+bool flattenMetricsJson(std::string_view text, FlatSamples &out,
+                        std::string &error);
+
+/**
+ * Load samples from a Prometheus exposition or a metrics-JSON
+ * snapshot (file, stdin or URL) or exit with status 2.
+ */
 FlatSamples
 loadSamples(const std::string &path)
 {
     std::string text;
-    if (!readFile(path, text)) {
-        std::fprintf(stderr, "specstat: cannot read %s\n",
-                     path.c_str());
+    std::string error;
+    if (!fetchArtifact(path, text, error)) {
+        std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
+                     error.c_str());
         std::exit(2);
     }
     FlatSamples samples;
-    std::string error;
+    if (looksLikeJson(text)) {
+        if (text.find("\"counters\"") == std::string::npos) {
+            std::fprintf(stderr,
+                         "specstat: %s: JSON input is not a metrics "
+                         "snapshot (no counters section)\n",
+                         path.c_str());
+            std::exit(2);
+        }
+        if (!flattenMetricsJson(text, samples, error)) {
+            std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
+                         error.c_str());
+            std::exit(2);
+        }
+        return samples;
+    }
     if (!specpmt::obs::parsePrometheus(text, samples, error)) {
         std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
                      error.c_str());
@@ -322,17 +425,22 @@ endsWith(std::string_view s, std::string_view suffix)
            s.substr(s.size() - suffix.size()) == suffix;
 }
 
+/**
+ * Validate one artifact and merge any samples it carries into
+ * @p merged for the --require assertions (later inputs overwrite
+ * same-named series).
+ */
 bool
-checkOne(const std::string &path)
+checkOne(const std::string &path, FlatSamples &merged)
 {
     std::string text;
-    if (!readFile(path, text)) {
-        std::fprintf(stderr, "specstat: cannot read %s\n",
-                     path.c_str());
+    std::string error;
+    if (!fetchArtifact(path, text, error)) {
+        std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
+                     error.c_str());
         return false;
     }
-    std::string error;
-    if (endsWith(path, ".json")) {
+    if (endsWith(path, ".json") || looksLikeJson(text)) {
         JsonScanner scanner(text);
         if (!scanner.validate(error)) {
             std::fprintf(stderr, "specstat: %s: %s\n", path.c_str(),
@@ -341,16 +449,25 @@ checkOne(const std::string &path)
         }
         // A trace artifact must carry its event array; a metrics JSON
         // dump carries the counters section, a normalized bench file
-        // its schema marker.
+        // its schema marker, a /healthz body its own marker.
         if (text.find("\"traceEvents\"") == std::string::npos &&
             text.find("\"counters\"") == std::string::npos &&
-            text.find("\"bench_schema\"") == std::string::npos) {
+            text.find("\"bench_schema\"") == std::string::npos &&
+            text.find("\"healthz\"") == std::string::npos) {
             std::fprintf(stderr,
                          "specstat: %s: neither a trace (traceEvents) "
                          "nor a metrics (counters) nor a bench "
-                         "(bench_schema) JSON artifact\n",
+                         "(bench_schema) nor a health (healthz) JSON "
+                         "artifact\n",
                          path.c_str());
             return false;
+        }
+        if (text.find("\"counters\"") != std::string::npos) {
+            FlatSamples samples;
+            if (flattenMetricsJson(text, samples, error)) {
+                for (const auto &[name, value] : samples)
+                    merged[name] = value;
+            }
         }
         std::printf("OK %s (json, %zu bytes)\n", path.c_str(),
                     text.size());
@@ -362,6 +479,8 @@ checkOne(const std::string &path)
                      error.c_str());
         return false;
     }
+    for (const auto &[name, value] : samples)
+        merged[name] = value;
     std::printf("OK %s (%zu samples)\n", path.c_str(),
                 samples.size());
     return true;
@@ -559,6 +678,54 @@ class JsonFlattener
     FlatJson *out_ = nullptr;
     std::string *error_ = nullptr;
 };
+
+/** Insert a metric suffix before the label set, if any:
+ * `name{l} + _count` -> `name_count{l}`. */
+std::string
+withMetricSuffix(const std::string &name, const char *suffix)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return name + suffix;
+    return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+bool
+flattenMetricsJson(std::string_view text, FlatSamples &out,
+                   std::string &error)
+{
+    FlatJson json;
+    if (!JsonFlattener(text).parse(json, error))
+        return false;
+    for (const auto &[path, value] : json.numbers) {
+        if (path.rfind("counters.", 0) == 0) {
+            out[path.substr(9)] = value;
+        } else if (path.rfind("gauges.", 0) == 0) {
+            out[path.substr(7)] = value;
+        } else if (path.rfind("histograms.", 0) == 0) {
+            // histograms.NAME.{count,sum,max} -> NAME_{count,sum,max};
+            // the raw bucket triples are dropped (the Prometheus
+            // exposition is the bucket-level format).
+            const std::string rest = path.substr(11);
+            static const std::pair<const char *, const char *>
+                kSuffixes[] = {
+                    {".count", "_count"},
+                    {".sum", "_sum"},
+                    {".max", "_max"},
+                };
+            for (const auto &[json_suffix, metric_suffix] : kSuffixes) {
+                if (!endsWith(rest, json_suffix))
+                    continue;
+                const std::string name = rest.substr(
+                    0, rest.size() -
+                           std::string_view(json_suffix).size());
+                out[withMetricSuffix(name, metric_suffix)] = value;
+                break;
+            }
+        }
+    }
+    return true;
+}
 
 /** One named bench cell: metric name -> value, both sorted. */
 using BenchCells = std::map<std::string, std::map<std::string, double>>;
@@ -1008,6 +1175,336 @@ cmdDiffBench(const std::string &old_path, const std::string &new_path,
     return ok ? 0 : 1;
 }
 
+/**
+ * ======================== specstat top ========================
+ *
+ * A polling terminal view against a live speckv admin endpoint. Every
+ * frame is the delta between two /metrics scrapes: cumulative
+ * histogram buckets subtract into an exact windowed histogram (the
+ * buckets are cumulative-by-le, so the difference of two scrapes is
+ * the cumulative histogram of just that window), from which p50/p99/
+ * p999 are read off; counters subtract into rates.
+ */
+
+/** One cumulative bucket point: le upper bound and count <= le. */
+struct BucketPoint
+{
+    double le = 0;
+    double cumulative = 0;
+};
+
+/** Histogram base name -> ascending cumulative bucket points. */
+using BucketMap = std::map<std::string, std::vector<BucketPoint>>;
+
+BucketMap
+collectBuckets(const FlatSamples &samples)
+{
+    BucketMap out;
+    for (const auto &[name, value] : samples) {
+        const std::size_t pos = name.find("_bucket{");
+        if (pos == std::string::npos)
+            continue;
+        const std::size_t le = name.find("le=\"", pos);
+        if (le == std::string::npos)
+            continue;
+        double upper;
+        if (name.compare(le + 4, 4, "+Inf") == 0)
+            upper = std::numeric_limits<double>::infinity();
+        else
+            upper = std::strtod(name.c_str() + le + 4, nullptr);
+        out[name.substr(0, pos)].push_back({upper, value});
+    }
+    for (auto &[name, points] : out) {
+        (void)name;
+        std::sort(points.begin(), points.end(),
+                  [](const BucketPoint &a, const BucketPoint &b) {
+                      return a.le < b.le;
+                  });
+    }
+    return out;
+}
+
+/** One /metrics scrape plus its parsed bucket series and timestamp. */
+struct Scrape
+{
+    FlatSamples samples;
+    BucketMap buckets;
+    std::chrono::steady_clock::time_point when;
+};
+
+double
+sampleOr(const FlatSamples &samples, const std::string &name,
+         double fallback = 0)
+{
+    const auto it = samples.find(name);
+    return it == samples.end() ? fallback : it->second;
+}
+
+double
+sampleDelta(const Scrape &prev, const Scrape &cur,
+            const std::string &name)
+{
+    return sampleOr(cur.samples, name) - sampleOr(prev.samples, name);
+}
+
+/**
+ * Quantile of the windowed histogram between two cumulative bucket
+ * series: the smallest le whose windowed cumulative count reaches
+ * q * total. Returns NaN when the window saw no samples; +Inf when
+ * the quantile falls in the overflow bucket.
+ */
+double
+windowQuantile(const Scrape &prev, const Scrape &cur,
+               const std::string &base, double q, double &total_out)
+{
+    total_out = 0;
+    const auto cur_it = cur.buckets.find(base);
+    if (cur_it == cur.buckets.end() || cur_it->second.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    const auto prev_it = prev.buckets.find(base);
+    const auto prevCumulative = [&](double le) -> double {
+        if (prev_it == prev.buckets.end())
+            return 0;
+        for (const auto &point : prev_it->second) {
+            if (point.le == le)
+                return point.cumulative;
+        }
+        return 0;
+    };
+    const auto &points = cur_it->second;
+    const double total =
+        points.back().cumulative - prevCumulative(points.back().le);
+    total_out = total;
+    if (total <= 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    const double target = q * total;
+    for (const auto &point : points) {
+        const double windowed =
+            point.cumulative - prevCumulative(point.le);
+        if (windowed >= target)
+            return point.le;
+    }
+    return points.back().le;
+}
+
+/** Nanoseconds -> a human column ("3.2us", "1.8ms", "-" for NaN). */
+std::string
+formatNs(double ns)
+{
+    char buf[32];
+    if (std::isnan(ns))
+        return "-";
+    if (std::isinf(ns))
+        return ">max";
+    if (ns < 1000.0)
+        std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+    else if (ns < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+    else if (ns < 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+    return buf;
+}
+
+void
+renderTopFrame(const Scrape &prev, const Scrape &cur,
+               const std::string &where, std::size_t frame)
+{
+    const double dt =
+        std::chrono::duration<double>(cur.when - prev.when).count();
+    const double safe_dt = dt > 0 ? dt : 1;
+
+    const double qps =
+        sampleDelta(prev, cur, "specpmt_net_frames_rx_total") /
+        safe_dt;
+    double commits =
+        sampleDelta(prev, cur, "specpmt_spec_tx_commits_total");
+    if (commits <= 0)
+        commits = sampleDelta(prev, cur, "specpmt_txn_commits_total");
+    if (commits <= 0)
+        commits =
+            sampleDelta(prev, cur, "specpmt_net_batch_commits_total");
+    double fences;
+    if (cur.samples.count("specpmt_pmem_fences_total") != 0) {
+        fences = sampleDelta(prev, cur, "specpmt_pmem_fences_total");
+    } else {
+        // The live server persists through the real pmem path, which
+        // carries no fence counter; estimate from the SpecPMT fence
+        // discipline — one fence per strict commit, one per epoch
+        // seal (relaxed commits amortize into their epoch's seal).
+        const double relaxed = sampleDelta(
+            prev, cur, "specpmt_epoch_relaxed_commits_total");
+        fences = sampleDelta(prev, cur, "specpmt_epoch_seals_total") +
+                 std::max(0.0, commits - relaxed);
+    }
+    const double slow_total =
+        sampleOr(cur.samples, "specpmt_net_slow_requests_total");
+    const double slow_delta =
+        sampleDelta(prev, cur, "specpmt_net_slow_requests_total");
+
+    std::printf("specstat top — %s  window %.1fs  frame %zu\n",
+                where.c_str(), dt, frame);
+    std::printf("qps %.1f   fences/tx %s   slow %.0f (%+.0f)\n", qps,
+                commits > 0 ? formatValue(fences / commits).c_str()
+                            : "-",
+                slow_total, slow_delta);
+
+    std::printf("%-10s %10s %10s %10s %10s\n", "stage", "p50", "p99",
+                "p999", "count/s");
+    static const std::pair<const char *, const char *> kStages[] = {
+        {"queue", "specpmt_net_stage_queue"},
+        {"exec", "specpmt_net_stage_exec"},
+        {"seal_wait", "specpmt_net_stage_seal_wait"},
+        {"write", "specpmt_net_stage_write"},
+    };
+    for (const auto &[label, base] : kStages) {
+        double total = 0;
+        const double p50 = windowQuantile(prev, cur, base, 0.50, total);
+        const double p99 = windowQuantile(prev, cur, base, 0.99, total);
+        const double p999 =
+            windowQuantile(prev, cur, base, 0.999, total);
+        std::printf("%-10s %10s %10s %10s %10.0f\n", label,
+                    formatNs(p50).c_str(), formatNs(p99).c_str(),
+                    formatNs(p999).c_str(), total / safe_dt);
+    }
+
+    const double pending =
+        sampleOr(cur.samples, "specpmt_epoch_pending_txs");
+    const double seals =
+        sampleDelta(prev, cur, "specpmt_net_epoch_seals_total");
+    double max_seal_lag = 0;
+    for (const auto &[name, value] : cur.samples) {
+        if (name.rfind("specpmt_epoch_seal_lag{", 0) == 0)
+            max_seal_lag = std::max(max_seal_lag, value);
+    }
+    std::printf("epoch: pending %.0f   seals/s %.1f   seal_lag max "
+                "%.0f\n",
+                pending, seals / safe_dt, max_seal_lag);
+
+    std::printf("shard ops/s:");
+    bool any_shard = false;
+    for (const auto &[name, value] : cur.samples) {
+        static const std::string kPrefix =
+            "specpmt_net_shard_ops_total{shard=\"";
+        if (name.rfind(kPrefix, 0) != 0)
+            continue;
+        const std::string shard = name.substr(
+            kPrefix.size(), name.size() - kPrefix.size() - 2);
+        const double rate =
+            (value - sampleOr(prev.samples, name)) / safe_dt;
+        std::printf("  [%s] %.0f", shard.c_str(), rate);
+        any_shard = true;
+    }
+    std::printf(any_shard ? "\n" : "  (none)\n");
+}
+
+int
+cmdTop(const std::vector<std::string> &args)
+{
+    std::string host = "127.0.0.1";
+    std::string url;
+    int port = -1;
+    double interval = 1.0;
+    long count = -1;
+    bool once = false;
+
+    for (const auto &arg : args) {
+        const auto val = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::string_view(prefix).size();
+            return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n
+                                             : nullptr;
+        };
+        if (const char *v = val("--url=")) {
+            url = v;
+        } else if (const char *v = val("--host=")) {
+            host = v;
+        } else if (const char *v = val("--port=")) {
+            port = std::atoi(v);
+        } else if (const char *v = val("--interval=")) {
+            interval = std::strtod(v, nullptr);
+        } else if (const char *v = val("--count=")) {
+            count = std::atol(v);
+        } else if (arg == "--once") {
+            once = true;
+        } else {
+            std::fprintf(stderr, "specstat: unknown top arg %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    std::string path = "/metrics";
+    if (!url.empty()) {
+        std::uint16_t parsed_port = 0;
+        std::string parsed_path;
+        if (!specpmt::obs::parseHttpUrl(url, host, parsed_port,
+                                        parsed_path)) {
+            std::fprintf(stderr, "specstat: bad --url=%s\n",
+                         url.c_str());
+            return 2;
+        }
+        port = parsed_port;
+        if (parsed_path != "/")
+            path = parsed_path;
+    }
+    if (port <= 0 || port > 65535) {
+        std::fputs("specstat: top needs --port= or --url=\n", stderr);
+        return 2;
+    }
+    if (interval < 0.05)
+        interval = 0.05;
+    if (once)
+        count = 1;
+
+    const std::string where = host + ":" + std::to_string(port);
+    const auto scrape = [&](Scrape &out) -> bool {
+        specpmt::obs::HttpResponse response;
+        std::string error;
+        if (!specpmt::obs::httpGet(host,
+                                   static_cast<std::uint16_t>(port),
+                                   path, response, error)) {
+            std::fprintf(stderr, "specstat: %s%s: %s\n",
+                         where.c_str(), path.c_str(), error.c_str());
+            return false;
+        }
+        if (response.status != 200) {
+            std::fprintf(stderr, "specstat: %s%s: HTTP %d\n",
+                         where.c_str(), path.c_str(),
+                         response.status);
+            return false;
+        }
+        out.samples.clear();
+        if (!specpmt::obs::parsePrometheus(response.body, out.samples,
+                                           error)) {
+            std::fprintf(stderr, "specstat: %s%s: %s\n",
+                         where.c_str(), path.c_str(), error.c_str());
+            return false;
+        }
+        out.buckets = collectBuckets(out.samples);
+        out.when = std::chrono::steady_clock::now();
+        return true;
+    };
+
+    Scrape prev;
+    if (!scrape(prev))
+        return 2;
+    for (std::size_t frame = 1;
+         count < 0 || frame <= static_cast<std::size_t>(count);
+         ++frame) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+        Scrape cur;
+        if (!scrape(cur))
+            return 2;
+        if (!once)
+            std::printf("\x1b[H\x1b[2J");
+        renderTopFrame(prev, cur, where, frame);
+        std::fflush(stdout);
+        prev = std::move(cur);
+    }
+    return 0;
+}
+
 /** One parsed --require=<metric><op><value> assertion. */
 struct Requirement
 {
@@ -1098,7 +1595,11 @@ usage()
                "                      [--min-speedup=FAST/SLOW:RATIO]"
                "\n"
                "                      [--max-fences-per-tx=CELL:"
-               "LIMIT]\n",
+               "LIMIT]\n"
+               "       specstat top --port=P [--host=H] [--url=U]\n"
+               "                    [--interval=SEC] [--count=N] "
+               "[--once]\n"
+               "FILE may be a path, `-` (stdin) or an http:// URL.\n",
                stderr);
     return 2;
 }
@@ -1135,6 +1636,10 @@ main(int argc, char **argv)
         std::vector<std::string> args(argv + 2, argv + argc);
         return cmdBench(args);
     }
+    if (command == "top") {
+        std::vector<std::string> args(argv + 2, argv + argc);
+        return cmdTop(args);
+    }
     if (command == "check" && argc >= 3) {
         std::vector<Requirement> requirements;
         std::vector<std::string> files;
@@ -1158,20 +1663,8 @@ main(int argc, char **argv)
             return usage();
         bool ok = true;
         FlatSamples merged;
-        for (const auto &file : files) {
-            ok = checkOne(file) && ok;
-            if (endsWith(file, ".json"))
-                continue;
-            // Merge this exposition's samples for the assertions
-            // (later files overwrite same-named series).
-            std::string text, error;
-            FlatSamples samples;
-            if (readFile(file, text) &&
-                specpmt::obs::parsePrometheus(text, samples, error)) {
-                for (const auto &[name, value] : samples)
-                    merged[name] = value;
-            }
-        }
+        for (const auto &file : files)
+            ok = checkOne(file, merged) && ok;
         for (const auto &req : requirements)
             ok = evalRequirement(merged, req) && ok;
         return ok ? 0 : 1;

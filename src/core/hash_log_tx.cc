@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "obs/trace_context.hh"
 
 namespace specpmt::core
 {
@@ -96,7 +97,9 @@ HashLogTx::txStore(ThreadId tid, PmOff off, const void *src,
         dev_.storeT(bucket_off, bucket);
         tx.touched.insert(bucket_off);
         HashLogMetrics::get().bucketWrites.add();
+        obs::traceContext().cost.logBytes += sizeof(Bucket);
     }
+    obs::traceContext().cost.userBytes += size;
 
     dev_.store(off, src, size);
 }
@@ -113,7 +116,7 @@ HashLogTx::txCommit(ThreadId tid)
     // Persist the touched buckets — scattered lines, so unlike the
     // sequential log they see no XPLine write combining.
     {
-        SPECPMT_TRACE_SPAN("flush_batch", "flush");
+        const std::uint64_t flushStartNs = SPECPMT_TRACE_BEGIN();
         const TxTimestamp ts = nextTimestamp();
         for (PmOff bucket_off : tx.touched) {
             dev_.storeT(bucket_off + offsetof(Bucket, timestamp), ts);
@@ -123,6 +126,13 @@ HashLogTx::txCommit(ThreadId tid)
         flight_.record(forensic::EventType::TxCommit, tid, ts,
                        tx.touched.size());
         dev_.sfence();
+        if (flushStartNs != 0 && obs::Tracer::global().enabled()) {
+            const auto &tctx = obs::traceContext();
+            obs::Tracer::global().record(
+                "flush_batch", "flush", flushStartNs,
+                obs::Tracer::now(),
+                tctx.sampled ? tctx.traceId : 0);
+        }
     }
     tx.touched.clear();
     HashLogMetrics::get().commits.add();

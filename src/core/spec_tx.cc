@@ -10,6 +10,7 @@
 #include "core/splog_walk.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "obs/trace_context.hh"
 
 namespace specpmt::core
 {
@@ -99,6 +100,107 @@ struct SpecTxMetrics
     }
 };
 
+/**
+ * PM cost accounting (the specpmt_pm_* family): how much persistence
+ * work commits buy per byte of user data. Commits charge their
+ * thread-local PmCost delta into the cumulative counters; the ratio
+ * gauges are recomputed on each charge so a scrape always sees
+ * write-amp / flush-per-tx figures consistent with the counters it
+ * reads alongside them.
+ */
+struct PmMetrics
+{
+    obs::Counter &txs;
+    obs::Counter &userBytes;
+    obs::Counter &logBytes;
+    obs::Counter &dedupHits;
+    obs::Counter &flushes;
+    obs::Counter &flushBytes;
+    obs::Counter &fences;
+    obs::FloatGauge &writeAmp;
+    obs::FloatGauge &flushesPerTx;
+    obs::FloatGauge &fencesPerTx;
+    obs::Gauge &logBytesPeak;
+    obs::Gauge &reclaimDebt;
+
+    static PmMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static PmMetrics m{
+            reg.counter("specpmt_pm_txs_total",
+                        "update transactions charged to the PM cost "
+                        "accounting counters"),
+            reg.counter("specpmt_pm_user_bytes_total",
+                        "bytes transactions asked to persist (txStore "
+                        "payloads)"),
+            reg.counter("specpmt_pm_log_bytes_total",
+                        "log bytes those transactions appended "
+                        "(entries + headers)"),
+            reg.counter("specpmt_pm_dedup_hits_total",
+                        "txStores absorbed in place by the dedup "
+                        "index (no log append)"),
+            reg.counter("specpmt_pm_flushes_total",
+                        "cache-line flushes charged to transactions "
+                        "and their epoch seals"),
+            reg.counter("specpmt_pm_flush_bytes_total",
+                        "bytes covered by those flushes"),
+            reg.counter("specpmt_pm_fences_total",
+                        "store fences charged to transactions and "
+                        "their epoch seals"),
+            reg.floatGauge("specpmt_pm_write_amp",
+                           "cumulative log bytes / user bytes (log "
+                           "write amplification)"),
+            reg.floatGauge("specpmt_pm_flushes_per_tx",
+                           "cumulative flushes / committed update "
+                           "transactions"),
+            reg.floatGauge("specpmt_pm_fences_per_tx",
+                           "cumulative fences / committed update "
+                           "transactions"),
+            reg.gauge("specpmt_pm_log_bytes_peak",
+                      "high watermark of live speculative-log bytes"),
+            reg.gauge("specpmt_pm_reclaim_debt_bytes",
+                      "live log bytes beyond the reclaim threshold "
+                      "(0 when under it)"),
+        };
+        return m;
+    }
+
+    /** Add a cost delta to the counters; ratios follow. */
+    void
+    charge(const obs::PmCost &d)
+    {
+        if (d.userBytes != 0)
+            userBytes.add(d.userBytes);
+        if (d.logBytes != 0)
+            logBytes.add(d.logBytes);
+        if (d.dedupHits != 0)
+            dedupHits.add(d.dedupHits);
+        if (d.flushes != 0)
+            flushes.add(d.flushes);
+        if (d.flushBytes != 0)
+            flushBytes.add(d.flushBytes);
+        if (d.fences != 0)
+            fences.add(d.fences);
+        const double ub = static_cast<double>(userBytes.value());
+        if (ub > 0)
+            writeAmp.set(static_cast<double>(logBytes.value()) / ub);
+        const double n = static_cast<double>(txs.value());
+        if (n > 0) {
+            flushesPerTx.set(static_cast<double>(flushes.value()) / n);
+            fencesPerTx.set(static_cast<double>(fences.value()) / n);
+        }
+    }
+
+    /** One committed update transaction's delta. */
+    void
+    chargeCommit(const obs::PmCost &d)
+    {
+        txs.add();
+        charge(d);
+    }
+};
+
 } // namespace
 
 SpecTx::SpecTx(pmem::PmemPool &pool, unsigned num_threads,
@@ -146,6 +248,13 @@ SpecTx::noteLogBytes(std::ptrdiff_t delta)
     }
     SpecTxMetrics::get().logBytesInUse.set(
         static_cast<std::int64_t>(now));
+    auto &pm = PmMetrics::get();
+    pm.logBytesPeak.set(
+        static_cast<std::int64_t>(peakLogBytes_.load()));
+    pm.reclaimDebt.set(static_cast<std::int64_t>(
+        now > config_.reclaimThresholdBytes
+            ? now - config_.reclaimThresholdBytes
+            : 0));
 }
 
 void
@@ -246,6 +355,7 @@ SpecTx::appendEntry(ThreadLog &log, PmOff off, const void *src,
     log.entryIndex[entryKey(off, size)] = pos + sizeof(EntryHead);
     log.tailPos += bytes;
     SpecTxMetrics::get().logBytesWritten.add(bytes);
+    obs::traceContext().cost.logBytes += bytes;
 }
 
 void
@@ -275,6 +385,7 @@ SpecTx::txBegin(ThreadId tid)
     log.writeSet.clear();
     SpecTxMetrics::get().begins.add();
     flight_.record(forensic::EventType::TxBegin, tid);
+    log.costAtBegin = obs::traceContext().cost;
     log.traceStartNs = SPECPMT_TRACE_BEGIN();
     openSegment(log);
     {
@@ -305,9 +416,11 @@ SpecTx::txStore(ThreadId tid, PmOff off, const void *src, std::size_t size)
     const auto it = config_.dedupEntries
         ? log.entryIndex.find(entryKey(off, size))
         : log.entryIndex.end();
+    obs::traceContext().cost.userBytes += size;
     if (it != log.entryIndex.end()) {
         dev_.store(it->second, src, size);
         SpecTxMetrics::get().dedupHits.add();
+        ++obs::traceContext().cost.dedupHits;
     } else {
         appendEntry(log, off, src, size);
     }
@@ -379,7 +492,7 @@ SpecTx::txCommit(ThreadId tid)
     // One flush batch + one fence persists the whole transaction:
     // the segment checksums are the commit flag (Section 4.1).
     {
-        SPECPMT_TRACE_SPAN("flush_batch", "flush");
+        const std::uint64_t flushStartNs = SPECPMT_TRACE_BEGIN();
         if (config_.dataPersistOnCommit) {
             log.writeSet.forEachLine([&](std::uint64_t line) {
                 dev_.clwb(line * kCacheLineSize,
@@ -392,6 +505,13 @@ SpecTx::txCommit(ThreadId tid)
         flight_.record(forensic::EventType::TxCommit, tid, ts,
                        log.openSegs.size());
         dev_.sfence();
+        if (flushStartNs != 0 && obs::Tracer::global().enabled()) {
+            const auto &tctx = obs::traceContext();
+            obs::Tracer::global().record(
+                "flush_batch", "flush", flushStartNs,
+                obs::Tracer::now(),
+                tctx.sampled ? tctx.traceId : 0);
+        }
     }
 
     log.pendingFlush.clear();
@@ -406,6 +526,16 @@ SpecTx::txCommit(ThreadId tid)
     }
 
     SpecTxMetrics::get().commits.add();
+    {
+        auto &cost = obs::traceContext().cost;
+        cost.logBytesPeak = peakLogBytes_.load();
+        const std::size_t live = logBytes_.load();
+        cost.reclaimDebt = live > config_.reclaimThresholdBytes
+                               ? live - config_.reclaimThresholdBytes
+                               : 0;
+        PmMetrics::get().chargeCommit(
+            obs::PmCost::delta(log.costAtBegin, cost));
+    }
     SPECPMT_TRACE_END("tx", "tx", log.traceStartNs);
 
     // Implicit reclamation trigger (Section 4.2).
@@ -470,6 +600,10 @@ SpecTx::commitIntoEpoch(ThreadId tid, bool &readonly)
         // Rides the epoch fence, durable iff the seals are.
         flight_.record(forensic::EventType::TxCommit, tid, ts,
                        sealed_segs);
+        const auto &tctx = obs::traceContext();
+        if (tctx.sampled && tctx.traceId != 0 &&
+            epochTraceIds_.size() < kEpochTraceMembers)
+            epochTraceIds_.push_back(tctx.traceId);
     }
 
     log.pendingFlush.clear();
@@ -484,6 +618,16 @@ SpecTx::commitIntoEpoch(ThreadId tid, bool &readonly)
     }
 
     SpecTxMetrics::get().commits.add();
+    {
+        auto &cost = obs::traceContext().cost;
+        cost.logBytesPeak = peakLogBytes_.load();
+        const std::size_t live = logBytes_.load();
+        cost.reclaimDebt = live > config_.reclaimThresholdBytes
+                               ? live - config_.reclaimThresholdBytes
+                               : 0;
+        PmMetrics::get().chargeCommit(
+            obs::PmCost::delta(log.costAtBegin, cost));
+    }
     SPECPMT_TRACE_END("tx", "tx", log.traceStartNs);
 
     if (logBytes_.load() > config_.reclaimThresholdBytes &&
@@ -519,6 +663,7 @@ SpecTx::sealEpoch()
         return 0;
     std::lock_guard<std::mutex> seal_guard(epochSealMutex_);
     std::vector<EpochRange> ranges;
+    std::vector<std::uint64_t> members;
     std::uint64_t ticket = 0;
     std::uint64_t txs = 0;
     TxTimestamp first = 0;
@@ -528,6 +673,7 @@ SpecTx::sealEpoch()
         if (epochPendingTxs_ == 0)
             return epochLastSealed_.load(std::memory_order_relaxed);
         ranges.swap(epochPending_);
+        members.swap(epochTraceIds_);
         txs = epochPendingTxs_;
         epochPendingTxs_ = 0;
         first = epochFirstTs_;
@@ -537,8 +683,9 @@ SpecTx::sealEpoch()
         SpecTxMetrics::get().epochPendingTxs.set(0);
     }
 
+    const obs::PmCost sealCostBefore = obs::traceContext().cost;
+    const std::uint64_t sealStartNs = SPECPMT_TRACE_BEGIN();
     {
-        SPECPMT_TRACE_SPAN("epoch_seal", "flush");
         // The frontier advance rides the same flush batch as the
         // member seals. If the fence below never completes, recovery
         // treats any gap inside the announced window as proof of
@@ -550,6 +697,22 @@ SpecTx::sealEpoch()
             dev_.clwbRange(range.off, range.size, range.cls);
         dev_.sfence();
     }
+    if (sealStartNs != 0 && obs::Tracer::global().enabled()) {
+        const std::uint64_t sealEndNs = obs::Tracer::now();
+        auto &tracer = obs::Tracer::global();
+        tracer.record("epoch_seal", "flush", sealStartNs, sealEndNs);
+        // One linked span per sampled member, so each request's
+        // waterfall shows the shared fence it rode and how many
+        // transactions amortized it.
+        const obs::TraceArg sealArgs[] = {{"txs", txs}};
+        for (const std::uint64_t member : members)
+            tracer.record("epoch_seal", "flush", sealStartNs,
+                          sealEndNs, member, sealArgs, 1);
+    }
+    // The shared fence's flush work is charged without a tx of its
+    // own: flushes_per_tx amortizes it over the member commits.
+    PmMetrics::get().charge(obs::PmCost::delta(
+        sealCostBefore, obs::traceContext().cost));
     epochLastSealed_.store(ticket, std::memory_order_release);
 
     auto &m = SpecTxMetrics::get();

@@ -35,6 +35,7 @@
 
 #include "core/splog_format.hh"
 #include "forensic/flight_recorder.hh"
+#include "obs/trace_context.hh"
 #include "txn/tx_runtime.hh"
 #include "txn/write_set.hh"
 
@@ -182,6 +183,9 @@ class SpecTx : public txn::TxRuntime
         std::size_t firstOpenBlock = 0;
         /** Trace-span start for the open transaction (0 = tracing off). */
         std::uint64_t traceStartNs = 0;
+        /** Thread PM-cost snapshot at txBegin; commit publishes the
+         * delta into the specpmt_pm_* accounting metrics. */
+        obs::PmCost costAtBegin;
     };
 
     ThreadLog &threadLog(ThreadId tid) { return *logs_.at(tid); }
@@ -264,6 +268,12 @@ class SpecTx : public txn::TxRuntime
     TxTimestamp epochFirstTs_ = 0;
     TxTimestamp epochLastTs_ = 0;
     std::uint64_t epochOpenTicket_ = 1;
+    /** Trace ids of sampled members of the open epoch (guarded by
+     * epochMutex_, capped at kEpochTraceMembers); the sealer emits one
+     * epoch_seal span per id so a sampled request's waterfall shows
+     * the shared fence it rode. */
+    static constexpr std::size_t kEpochTraceMembers = 64;
+    std::vector<std::uint64_t> epochTraceIds_;
     std::atomic<std::uint64_t> epochLastSealed_{0};
     /** Device offset of the persistent frontier record (epoch mode). */
     PmOff epochFrontierOff_ = kPmNull;

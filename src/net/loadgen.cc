@@ -18,6 +18,7 @@
 #include "common/logging.hh"
 #include "net/protocol.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace specpmt::net
 {
@@ -43,6 +44,7 @@ struct LoadgenMetrics
     obs::Counter &notFound;
     obs::Counter &lost;
     obs::Counter &protocolErrors;
+    obs::Counter &tracedSent;
     obs::Histogram &readLatency;
     obs::Histogram &updateLatency;
     obs::Histogram &sendLag;
@@ -66,6 +68,8 @@ struct LoadgenMetrics
                         "requests unanswered at run end"),
             reg.counter("specpmt_loadgen_protocol_errors_total",
                         "malformed response frames"),
+            reg.counter("specpmt_loadgen_traced_sent_total",
+                        "requests sent with the trace extension"),
             reg.histogram("specpmt_loadgen_read_latency_ns",
                           "read latency from intended departure"),
             reg.histogram("specpmt_loadgen_update_latency_ns",
@@ -99,6 +103,10 @@ struct Outstanding
         Update,
         Load, ///< load-phase batch: no latency sample
     } kind = Kind::Read;
+    /** Trace id the request carried (0 = untraced). */
+    std::uint64_t traceId = 0;
+    /** Absolute steady ns of the socket enqueue (client_rtt base). */
+    std::uint64_t sentNs = 0;
     /** Durability obligations this request carries if acked. */
     std::vector<std::pair<kv::KvKey, std::uint64_t>> writes;
 };
@@ -390,6 +398,9 @@ class OpenLoopRun
             return;
         ++res_.acked;
         const std::uint64_t now = steadyNs();
+        if (op.traceId != 0 && obs::Tracer::global().enabled())
+            obs::Tracer::global().record("client_rtt", "client",
+                                         op.sentNs, now, op.traceId);
         const std::uint64_t intendedAbs = origin_ + op.intendedNs;
         const std::uint64_t latency =
             now > intendedAbs ? now - intendedAbs : 0;
@@ -527,16 +538,21 @@ class OpenLoopRun
         const std::uint64_t id = ++nextId_;
         Outstanding record;
         record.intendedNs = intendedNs;
+        record.sentNs = now;
+        TraceExt ext;
+        const TraceExt *extp =
+            drawTraceExt(ext) ? &ext : nullptr;
+        record.traceId = extp ? ext.traceId : 0;
         switch (op.kind) {
         case kv::WorkloadOp::Kind::Get:
             record.kind = Outstanding::Kind::Read;
-            appendGet(connOf(op.key).out, id, op.key);
+            appendGet(connOf(op.key).out, id, op.key, extp);
             break;
         case kv::WorkloadOp::Kind::Put:
             record.kind = Outstanding::Kind::Update;
             record.writes.emplace_back(op.key, op.value.words[1]);
             appendPut(connOf(op.key).out, id, op.key, op.value,
-                      drawStrictFlag());
+                      drawStrictFlag(), extp);
             break;
         case kv::WorkloadOp::Kind::MultiPut: {
             record.kind = Outstanding::Kind::Update;
@@ -546,13 +562,19 @@ class OpenLoopRun
             // members split the server-side run (correct, just more
             // fences), so route by the first key's shard.
             appendBatch(connOf(op.batch.front().first).out, id,
-                        op.batch, drawStrictFlag());
+                        op.batch, drawStrictFlag(), extp);
             break;
         }
         }
+        const std::uint64_t intendedAbs = origin_ + intendedNs;
+        // client_send spans the departure delay: intended departure
+        // to the socket enqueue (the open-loop send lag).
+        if (record.traceId != 0 && obs::Tracer::global().enabled())
+            obs::Tracer::global().record(
+                "client_send", "client",
+                std::min(intendedAbs, now), now, record.traceId);
         outstanding_.emplace(id, std::move(record));
         ++res_.sent;
-        const std::uint64_t intendedAbs = origin_ + intendedNs;
         res_.sendLag.record(now > intendedAbs ? now - intendedAbs
                                               : 0);
     }
@@ -568,6 +590,24 @@ class OpenLoopRun
             return 0;
         ++res_.strictSent;
         return kFlagStrict;
+    }
+
+    /**
+     * Trace extension for a seeded traceSample of requests; fills
+     * @p ext and returns true when this request is traced.
+     */
+    bool
+    drawTraceExt(TraceExt &ext)
+    {
+        if (cfg_.traceSample <= 0.0)
+            return false;
+        if (cfg_.traceSample < 1.0 &&
+            traceRng_.uniform() >= cfg_.traceSample)
+            return false;
+        ext.traceId = traceRng_.next() | 1; // 0 means untraced
+        ext.sampled = true;
+        ++res_.tracedSent;
+        return true;
     }
 
     const kv::ZipfianGenerator *
@@ -591,6 +631,7 @@ class OpenLoopRun
         metrics.notFound.add(res_.notFound);
         metrics.lost.add(res_.lost);
         metrics.protocolErrors.add(res_.protocolErrors);
+        metrics.tracedSent.add(res_.tracedSent);
         metrics.readLatency.mergeFrom(res_.readLatency);
         metrics.updateLatency.mergeFrom(res_.updateLatency);
         metrics.sendLag.mergeFrom(res_.sendLag);
@@ -605,6 +646,7 @@ class OpenLoopRun
     std::unordered_map<std::uint64_t, Outstanding> outstanding_;
     std::unique_ptr<kv::ZipfianGenerator> zipf_;
     Rng strictRng_{cfg_.seed ^ 0x57121C7F1A6ull};
+    Rng traceRng_{cfg_.seed ^ 0x712ACE5A3B1Dull};
 };
 
 } // namespace

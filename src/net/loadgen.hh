@@ -79,6 +79,17 @@ struct LoadgenConfig
      * strict on every run.
      */
     double strictFraction = 0.0;
+    /**
+     * Fraction of timed-run requests sent with the wire trace
+     * extension (kFlagTraced + sampled bit): each gets a fresh 64-bit
+     * trace id, a client_send/client_rtt span pair (when the process
+     * tracer is enabled), and seeds server-side span emission and
+     * histogram exemplars for that request. Drawn from the run's
+     * seeded RNG, so a given seed traces the same requests every run.
+     * 0 disables the extension entirely — frames stay byte-identical
+     * to the pre-extension protocol.
+     */
+    double traceSample = 0.0;
 };
 
 /** Aggregated outcome of one open-loop run. */
@@ -100,6 +111,8 @@ struct LoadgenResult
     std::uint64_t protocolErrors = 0;
     /** Mutation requests sent with kFlagStrict. */
     std::uint64_t strictSent = 0;
+    /** Requests sent with the trace extension (traceSample draws). */
+    std::uint64_t tracedSent = 0;
     /** A connection died mid-run (e.g. the server crashed). */
     bool connectionLost = false;
     /** Failed before any traffic (connect/handshake); see error. */

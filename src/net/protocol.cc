@@ -147,12 +147,16 @@ isKnownOp(std::uint8_t op)
 void
 appendFrame(std::vector<std::uint8_t> &out, Op op, std::uint64_t id,
             const void *payload, std::size_t payload_size,
-            std::uint8_t flags)
+            std::uint8_t flags, const TraceExt *ext)
 {
-    SPECPMT_ASSERT(kHeaderRest + payload_size + kTrailer <=
+    const bool traced = ext != nullptr && ext->traceId != 0;
+    const std::size_t ext_size = traced ? kTraceExtBytes : 0;
+    if (traced)
+        flags |= kFlagTraced;
+    SPECPMT_ASSERT(kHeaderRest + payload_size + ext_size + kTrailer <=
                    kMaxFrameBytes);
     const std::uint32_t length = static_cast<std::uint32_t>(
-        kHeaderRest + payload_size + kTrailer);
+        kHeaderRest + payload_size + ext_size + kTrailer);
     const std::size_t body_start = out.size() + 4;
     putU32(out, length);
     out.push_back(kMagic);
@@ -164,18 +168,24 @@ appendFrame(std::vector<std::uint8_t> &out, Op op, std::uint64_t id,
         const auto *bytes = static_cast<const std::uint8_t *>(payload);
         out.insert(out.end(), bytes, bytes + payload_size);
     }
+    if (traced) {
+        putU64(out, ext->traceId);
+        out.push_back(ext->sampled ? kTraceExtSampled : 0);
+    }
     const std::uint32_t crc = crc32c(out.data() + body_start,
-                                     kHeaderRest + payload_size);
+                                     kHeaderRest + payload_size +
+                                         ext_size);
     putU32(out, crc);
 }
 
 void
 appendHello(std::vector<std::uint8_t> &out, std::uint64_t id,
-            std::uint32_t desired_shard)
+            std::uint32_t desired_shard, const TraceExt *ext)
 {
     std::vector<std::uint8_t> payload;
     putU32(payload, desired_shard);
-    appendFrame(out, Op::Hello, id, payload.data(), payload.size());
+    appendFrame(out, Op::Hello, id, payload.data(), payload.size(), 0,
+                ext);
 }
 
 void
@@ -190,40 +200,42 @@ appendHelloOk(std::vector<std::uint8_t> &out, std::uint64_t id,
 
 void
 appendGet(std::vector<std::uint8_t> &out, std::uint64_t id,
-          kv::KvKey key)
+          kv::KvKey key, const TraceExt *ext)
 {
     std::vector<std::uint8_t> payload;
     putU64(payload, key);
-    appendFrame(out, Op::Get, id, payload.data(), payload.size());
+    appendFrame(out, Op::Get, id, payload.data(), payload.size(), 0,
+                ext);
 }
 
 void
 appendPut(std::vector<std::uint8_t> &out, std::uint64_t id,
-          kv::KvKey key, const kv::KvValue &value, std::uint8_t flags)
+          kv::KvKey key, const kv::KvValue &value, std::uint8_t flags,
+          const TraceExt *ext)
 {
     std::vector<std::uint8_t> payload;
     payload.reserve(8 + sizeof(kv::KvValue));
     putU64(payload, key);
     putValueCell(payload, value);
     appendFrame(out, Op::Put, id, payload.data(), payload.size(),
-                flags);
+                flags, ext);
 }
 
 void
 appendDel(std::vector<std::uint8_t> &out, std::uint64_t id,
-          kv::KvKey key, std::uint8_t flags)
+          kv::KvKey key, std::uint8_t flags, const TraceExt *ext)
 {
     std::vector<std::uint8_t> payload;
     putU64(payload, key);
     appendFrame(out, Op::Del, id, payload.data(), payload.size(),
-                flags);
+                flags, ext);
 }
 
 void
 appendBatch(std::vector<std::uint8_t> &out, std::uint64_t id,
             const std::vector<std::pair<kv::KvKey, kv::KvValue>>
                 &items,
-            std::uint8_t flags)
+            std::uint8_t flags, const TraceExt *ext)
 {
     SPECPMT_ASSERT(items.size() <= kMaxBatchEntries);
     std::vector<std::uint8_t> payload;
@@ -234,7 +246,7 @@ appendBatch(std::vector<std::uint8_t> &out, std::uint64_t id,
         putValueCell(payload, value);
     }
     appendFrame(out, Op::Batch, id, payload.data(), payload.size(),
-                flags);
+                flags, ext);
 }
 
 void
@@ -415,7 +427,20 @@ FrameDecoder::next(Frame &out, std::string &error)
     out.op = static_cast<Op>(body[2]);
     out.flags = body[3];
     out.id = readU64(body + 4);
-    out.payload.assign(body + kHeaderRest, body + covered);
+    out.ext = TraceExt{};
+    std::size_t payload_end = covered;
+    if ((out.flags & kFlagTraced) != 0) {
+        // The trace extension rides the tail of the payload, already
+        // CRC-covered; strip it so typed parsers see the base shape.
+        if (covered - kHeaderRest < kTraceExtBytes)
+            return fail("traced frame payload shorter than the "
+                        "trace extension");
+        payload_end = covered - kTraceExtBytes;
+        out.ext.traceId = readU64(body + payload_end);
+        out.ext.sampled =
+            (body[payload_end + 8] & kTraceExtSampled) != 0;
+    }
+    out.payload.assign(body + kHeaderRest, body + payload_end);
     pos_ += 4 + length;
     return Status::Frame;
 }

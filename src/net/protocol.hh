@@ -14,8 +14,10 @@
  *     u8   opcode   — Op below; requests have the top bit clear,
  *                     responses have it set
  *     u8   flags    — kFlagStrict on mutating requests (PUT/DEL/
- *                     BATCH) demands a strict-durability commit; all
- *                     other bits are reserved and must be zero
+ *                     BATCH) demands a strict-durability commit;
+ *                     kFlagTraced marks a trailing trace-context
+ *                     payload extension (any request); all other
+ *                     bits are reserved and must be zero
  *     u64  id       — request id, echoed verbatim in the response so
  *                     pipelined clients match completions to arrivals
  *     ...  payload  — opcode-specific (fixed 64-byte KvValue cells)
@@ -60,6 +62,33 @@ constexpr std::uint8_t kVersion = 1;
  * epoch's shared fence). Valid on Put, Del and Batch requests only.
  */
 constexpr std::uint8_t kFlagStrict = 0x1;
+
+/**
+ * Request flag: the frame carries a trace-context extension — the
+ * LAST kTraceExtBytes payload bytes are `u64 trace id + u8 ext
+ * flags` (bit 0 = sampled), covered by the frame CRC like any other
+ * payload byte. FrameDecoder strips the extension into Frame::ext
+ * before the typed parsers see the payload, so every request opcode
+ * may carry it; a frame with this flag whose payload is shorter than
+ * the extension is a protocol error. Responses never carry it (the
+ * client already knows the id it assigned). Frames without the flag
+ * are byte-identical to the pre-extension protocol, which is what
+ * keeps old clients interoperable.
+ */
+constexpr std::uint8_t kFlagTraced = 0x2;
+
+/** Serialized size of the trace extension (u64 id + u8 flags). */
+constexpr std::size_t kTraceExtBytes = 9;
+
+/** Ext-flags bit: this request asked for full span sampling. */
+constexpr std::uint8_t kTraceExtSampled = 0x1;
+
+/** Decoded trace-context extension; id 0 means "not traced". */
+struct TraceExt
+{
+    std::uint64_t traceId = 0;
+    bool sampled = false;
+};
 
 /** Fixed header bytes after the length field (magic..id). */
 constexpr std::size_t kHeaderRest = 1 + 1 + 1 + 1 + 8;
@@ -121,34 +150,43 @@ struct Frame
     Op op = Op::Hello;
     std::uint8_t flags = 0;
     std::uint64_t id = 0;
+    /** Payload with any trace extension already stripped off. */
     std::vector<std::uint8_t> payload;
+    /** Trace extension (traceId 0 unless kFlagTraced was set). */
+    TraceExt ext;
 };
 
 /** @name Encoding
  * appendFrame writes one complete frame (length, header, payload,
- * CRC) onto @p out; the typed helpers build the payload too.
+ * CRC) onto @p out; the typed helpers build the payload too. A
+ * non-null @p ext with a nonzero trace id appends the trace
+ * extension and raises kFlagTraced; the default leaves the frame
+ * byte-identical to the pre-extension encoding.
  */
 /// @{
 
 void appendFrame(std::vector<std::uint8_t> &out, Op op,
                  std::uint64_t id, const void *payload,
-                 std::size_t payload_size, std::uint8_t flags = 0);
+                 std::size_t payload_size, std::uint8_t flags = 0,
+                 const TraceExt *ext = nullptr);
 
 void appendHello(std::vector<std::uint8_t> &out, std::uint64_t id,
-                 std::uint32_t desired_shard);
+                 std::uint32_t desired_shard,
+                 const TraceExt *ext = nullptr);
 void appendHelloOk(std::vector<std::uint8_t> &out, std::uint64_t id,
                    std::uint32_t shards, std::uint32_t bound_shard);
 void appendGet(std::vector<std::uint8_t> &out, std::uint64_t id,
-               kv::KvKey key);
+               kv::KvKey key, const TraceExt *ext = nullptr);
 void appendPut(std::vector<std::uint8_t> &out, std::uint64_t id,
                kv::KvKey key, const kv::KvValue &value,
-               std::uint8_t flags = 0);
+               std::uint8_t flags = 0, const TraceExt *ext = nullptr);
 void appendDel(std::vector<std::uint8_t> &out, std::uint64_t id,
-               kv::KvKey key, std::uint8_t flags = 0);
+               kv::KvKey key, std::uint8_t flags = 0,
+               const TraceExt *ext = nullptr);
 void appendBatch(
     std::vector<std::uint8_t> &out, std::uint64_t id,
     const std::vector<std::pair<kv::KvKey, kv::KvValue>> &items,
-    std::uint8_t flags = 0);
+    std::uint8_t flags = 0, const TraceExt *ext = nullptr);
 void appendValue(std::vector<std::uint8_t> &out, std::uint64_t id,
                  const kv::KvValue &value);
 void appendOk(std::vector<std::uint8_t> &out, std::uint64_t id);

@@ -18,6 +18,7 @@
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "obs/trace_context.hh"
 
 namespace specpmt::net
 {
@@ -339,13 +340,15 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
     metrics.framesRx.add();
     const std::uint64_t decodedNs = obs::Tracer::now();
 
-    // kFlagStrict is meaningful on mutating requests only; every
-    // other flag bit is reserved and fails closed.
+    // kFlagStrict is meaningful on mutating requests only; the trace
+    // extension may ride any request; every other flag bit is
+    // reserved and fails closed.
     const std::uint8_t allowed_flags =
-        (frame.op == Op::Put || frame.op == Op::Del ||
-         frame.op == Op::Batch)
-            ? kFlagStrict
-            : 0;
+        kFlagTraced |
+        ((frame.op == Op::Put || frame.op == Op::Del ||
+          frame.op == Op::Batch)
+             ? kFlagStrict
+             : 0);
     if (!isRequestOp(static_cast<std::uint8_t>(frame.op)) ||
         (frame.flags & ~allowed_flags) != 0) {
         appendErr(conn.out, frame.id, ErrCode::BadFrame,
@@ -400,6 +403,8 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
         op.op.key = key;
         op.strict = strict;
         op.decodedNs = decodedNs;
+        op.traceId = frame.ext.traceId;
+        op.traceSampled = frame.ext.sampled;
         pending.push_back(op);
         return true;
       }
@@ -419,6 +424,8 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
         op.shard = service_.shardOf(op.op.key);
         op.strict = strict;
         op.decodedNs = decodedNs;
+        op.traceId = frame.ext.traceId;
+        op.traceSampled = frame.ext.sampled;
         pending.push_back(op);
         return true;
       }
@@ -444,6 +451,8 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
             op.respond = i + 1 == items.size();
             op.strict = strict;
             op.decodedNs = decodedNs;
+            op.traceId = frame.ext.traceId;
+            op.traceSampled = frame.ext.sampled;
             pending.push_back(op);
         }
         return true;
@@ -553,6 +562,11 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
         const bool strict = !epochMode_ || pending[start].strict;
         std::size_t end = start;
         std::size_t mutations = 0;
+        // The run's trace identity: the first sampled member wins
+        // (so a sampled request's waterfall is complete), else the
+        // first traced member (exemplars only).
+        std::uint64_t runTraceId = 0;
+        bool runSampled = false;
         ops.clear();
         while (end < pending.size() &&
                ops.size() < config_.maxOpsPerCommit &&
@@ -562,33 +576,74 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
                                    pending[start].strict)) {
             if (pending[end].op.kind != kv::BatchOp::Kind::Get)
                 ++mutations;
+            if (pending[end].traceId != 0 &&
+                (runTraceId == 0 ||
+                 (!runSampled && pending[end].traceSampled))) {
+                runTraceId = pending[end].traceId;
+                runSampled = pending[end].traceSampled;
+            }
             ops.push_back(pending[end].op);
             ++end;
         }
         std::uint64_t ticket = 0;
         const std::uint64_t execStartNs = obs::Tracer::now();
-        const bool ok = service_.executeShardBatch(
-            loop.index, shard, ops, results,
-            strict ? kv::Durability::Strict : kv::Durability::Relaxed,
-            &ticket);
+        const obs::PmCost costBefore = obs::traceContext().cost;
+        bool ok = false;
+        {
+            // The context rides this thread into KvService and the
+            // tx runtime: log appends and device flushes charge
+            // their PM costs here, and sampled commits correlate
+            // their spans (flush_batch, epoch_seal) by this id.
+            obs::ScopedTraceId traceScope(runTraceId, runSampled);
+            ok = service_.executeShardBatch(
+                loop.index, shard, ops, results,
+                strict ? kv::Durability::Strict
+                       : kv::Durability::Relaxed,
+                &ticket);
+        }
         const std::uint64_t execEndNs = obs::Tracer::now();
         SPECPMT_ASSERT(ok);
         metrics.batchCommits.add();
         metrics.batchOps.add(ops.size());
         if (shard < shardOps_.size())
             shardOps_[shard]->add(ops.size());
+        if (runSampled && obs::Tracer::global().enabled()) {
+            const obs::PmCost cost = obs::PmCost::delta(
+                costBefore, obs::traceContext().cost);
+            const obs::TraceArg args[] = {
+                {"user_bytes", cost.userBytes},
+                {"log_bytes", cost.logBytes},
+                {"flushes", cost.flushes},
+                {"flush_bytes", cost.flushBytes},
+                {"fences", cost.fences},
+                {"log_peak", cost.logBytesPeak},
+                {"reclaim_debt", cost.reclaimDebt},
+            };
+            obs::Tracer::global().record(
+                "srv_exec", "req", execStartNs, execEndNs, runTraceId,
+                args, sizeof(args) / sizeof(args[0]));
+        }
         // Every request of the run shares the run's execution time —
-        // that is what each of them actually waited for.
+        // that is what each of them actually waited for. Traced
+        // requests also pin their ids onto the stage buckets they
+        // land in, so a live scrape links tail buckets to traces.
         const std::uint64_t execNs = execEndNs - execStartNs;
         for (std::size_t i = 0; i < results.size(); ++i) {
             all_results[start + i] = results[i];
             PendingOp &done = pending[start + i];
             done.ticket = ticket;
             done.execEndNs = execEndNs;
-            metrics.stageQueue.record(execStartNs > done.decodedNs
-                                          ? execStartNs - done.decodedNs
-                                          : 0);
-            metrics.stageExec.record(execNs);
+            const std::uint64_t queueNs =
+                execStartNs > done.decodedNs
+                    ? execStartNs - done.decodedNs
+                    : 0;
+            metrics.stageQueue.record(queueNs, done.traceId);
+            metrics.stageExec.record(execNs, done.traceId);
+            if (done.traceSampled && obs::Tracer::global().enabled())
+                obs::Tracer::global().record("srv_queue", "req",
+                                             done.decodedNs,
+                                             execStartNs,
+                                             done.traceId);
         }
         if (ticket != 0)
             loop.epochOps[shard] += mutations;
@@ -627,8 +682,13 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
                 conn.markers.back().enqueueNs == respNs) {
                 conn.markers.back().endOffset = conn.out.size();
                 ++conn.markers.back().frames;
+                if (conn.markers.back().traceId == 0) {
+                    conn.markers.back().traceId = op.traceId;
+                    conn.markers.back().traceSampled = op.traceSampled;
+                }
             } else {
-                conn.markers.push_back({conn.out.size(), respNs, 1});
+                conn.markers.push_back({conn.out.size(), respNs, 1,
+                                        op.traceId, op.traceSampled});
             }
             if (config_.slowUs != 0 &&
                 respNs - op.decodedNs > config_.slowUs * 1000) {
@@ -651,6 +711,10 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
             chunk.execEndNs = op.execEndNs;
         if (chunk.repId == 0)
             chunk.repId = op.id;
+        if (chunk.traceId == 0) {
+            chunk.traceId = op.traceId;
+            chunk.traceSampled = op.traceSampled;
+        }
     };
     bool batch_ok = true;
     for (std::size_t i = 0; i < pending.size(); ++i) {
@@ -728,13 +792,18 @@ NetServer::releaseDeferred(Conn &conn)
             const std::uint64_t waitNs =
                 nowNs > front.execEndNs ? nowNs - front.execEndNs : 0;
             for (std::uint32_t i = 0; i < front.sealOps; ++i)
-                metrics.stageSealWait.record(waitNs);
+                metrics.stageSealWait.record(waitNs, front.traceId);
+            if (front.traceSampled && obs::Tracer::global().enabled())
+                obs::Tracer::global().record("seal_wait", "req",
+                                             front.execEndNs, nowNs,
+                                             front.traceId);
         }
         conn.out.insert(conn.out.end(), front.bytes.begin(),
                         front.bytes.end());
         if (front.frames != 0)
-            conn.markers.push_back(
-                {conn.out.size(), nowNs, front.frames});
+            conn.markers.push_back({conn.out.size(), nowNs,
+                                    front.frames, front.traceId,
+                                    front.traceSampled});
         if (config_.slowUs != 0 && front.firstDecodedNs != 0 &&
             nowNs - front.firstDecodedNs > config_.slowUs * 1000) {
             metrics.slowRequests.add();
@@ -791,7 +860,12 @@ NetServer::flushConn(Loop &loop, Conn &conn)
                 nowNs > marker.enqueueNs ? nowNs - marker.enqueueNs
                                          : 0;
             for (std::uint32_t i = 0; i < marker.frames; ++i)
-                metrics.stageWrite.record(writeNs);
+                metrics.stageWrite.record(writeNs, marker.traceId);
+            if (marker.traceSampled &&
+                obs::Tracer::global().enabled())
+                obs::Tracer::global().record("ack_write", "req",
+                                             marker.enqueueNs, nowNs,
+                                             marker.traceId);
             c.markers.pop_front();
         }
     };

@@ -182,6 +182,10 @@ class NetServer
         std::uint32_t sealOps = 0;
         /** Response frames in the chunk (write-stage samples). */
         std::uint32_t frames = 0;
+        /** First traced member's trace id (0 = untraced chunk). */
+        std::uint64_t traceId = 0;
+        /** That member asked for full span sampling. */
+        bool traceSampled = false;
     };
 
     /**
@@ -194,6 +198,10 @@ class NetServer
         std::size_t endOffset = 0;
         std::uint64_t enqueueNs = 0;
         std::uint32_t frames = 0;
+        /** First traced response's trace id (write-stage exemplar). */
+        std::uint64_t traceId = 0;
+        /** That response's request asked for span sampling. */
+        bool traceSampled = false;
     };
 
     struct Conn
@@ -255,6 +263,10 @@ class NetServer
         std::uint64_t decodedNs = 0;
         /** When the op's run finished executing (stage_exec end). */
         std::uint64_t execEndNs = 0;
+        /** Wire trace extension: correlation id (0 = untraced). */
+        std::uint64_t traceId = 0;
+        /** The client asked for full span sampling of this request. */
+        bool traceSampled = false;
     };
 
     void loopMain(Loop &loop);

@@ -24,11 +24,26 @@ detail::nextThreadShard()
 }
 
 void
-Histogram::record(std::uint64_t value)
+Histogram::record(std::uint64_t value, std::uint64_t exemplarId)
 {
     auto &stripe = stripes_[threadShard() & (kHistogramStripes - 1)];
     std::lock_guard<std::mutex> guard(stripe.mutex);
     stripe.hist.record(value);
+    if (exemplarId != 0)
+        stripe.exemplars[LatencyHistogram::bucketIndex(value)] = {
+            exemplarId, value};
+}
+
+std::map<unsigned, std::array<std::uint64_t, 2>>
+Histogram::exemplars() const
+{
+    std::map<unsigned, std::array<std::uint64_t, 2>> merged;
+    for (const auto &stripe : stripes_) {
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        for (const auto &[bucket, ex] : stripe.exemplars)
+            merged[bucket] = ex;
+    }
+    return merged;
 }
 
 void
@@ -140,6 +155,18 @@ appendHelpType(std::string &out, const Snapshot &snap,
     out += "# TYPE " + base + ' ' + type + '\n';
 }
 
+/**
+ * Shortest %g form that still distinguishes the ratios we publish
+ * (write amp, flushes/tx); parses back via from_chars<double>.
+ */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
 void
 appendJsonString(std::string &out, std::string_view s)
 {
@@ -175,22 +202,49 @@ Snapshot::toPrometheus() const
         out += name + ' ' + std::to_string(value) + '\n';
     }
     lastBase.clear();
-    for (const auto &[name, value] : gauges) {
-        appendHelpType(out, *this, baseOf(name), "gauge", lastBase);
-        out += name + ' ' + std::to_string(value) + '\n';
+    {
+        // Integer and float gauges interleave in name order so the
+        // output stays sorted (and byte-identical to the pre-float
+        // format when no FloatGauge is registered).
+        auto g = gauges.begin();
+        auto f = floatGauges.begin();
+        while (g != gauges.end() || f != floatGauges.end()) {
+            bool takeInt = f == floatGauges.end() ||
+                           (g != gauges.end() && g->first < f->first);
+            const std::string &name = takeInt ? g->first : f->first;
+            appendHelpType(out, *this, baseOf(name), "gauge", lastBase);
+            out += name + ' ' +
+                   (takeInt ? std::to_string(g->second)
+                            : formatDouble(f->second)) +
+                   '\n';
+            if (takeInt)
+                ++g;
+            else
+                ++f;
+        }
     }
     lastBase.clear();
     for (const auto &[name, h] : histograms) {
         appendHelpType(out, *this, baseOf(name), "histogram", lastBase);
         // Cumulative buckets over the non-empty LatencyHistogram
-        // buckets; the final +Inf bucket always equals count.
+        // buckets; the final +Inf bucket always equals count. A
+        // bucket holding an exemplar gets the OpenMetrics suffix
+        // ` # {trace_id="..."} value` on its own sample line.
         std::uint64_t cumulative = 0;
         std::string base = baseOf(name);
         for (const auto &bucket : h.buckets) {
             cumulative += bucket[2];
             out += withExtraLabel(base + "_bucket" + name.substr(base.size()),
                                   "le=\"" + std::to_string(bucket[1]) + "\"") +
-                   ' ' + std::to_string(cumulative) + '\n';
+                   ' ' + std::to_string(cumulative);
+            for (const auto &ex : h.exemplars) {
+                if (ex[0] != bucket[1])
+                    continue;
+                out += " # {trace_id=\"" + std::to_string(ex[1]) +
+                       "\"} " + std::to_string(ex[2]);
+                break;
+            }
+            out += '\n';
         }
         out += withExtraLabel(base + "_bucket" + name.substr(base.size()),
                               "le=\"+Inf\"") +
@@ -217,11 +271,23 @@ Snapshot::toJson() const
     out += first ? "},\n" : "\n  },\n";
     out += "  \"gauges\": {";
     first = true;
-    for (const auto &[name, value] : gauges) {
-        out += first ? "\n    " : ",\n    ";
-        first = false;
-        appendJsonString(out, name);
-        out += ": " + std::to_string(value);
+    {
+        auto g = gauges.begin();
+        auto f = floatGauges.begin();
+        while (g != gauges.end() || f != floatGauges.end()) {
+            bool takeInt = f == floatGauges.end() ||
+                           (g != gauges.end() && g->first < f->first);
+            out += first ? "\n    " : ",\n    ";
+            first = false;
+            appendJsonString(out, takeInt ? g->first : f->first);
+            out += ": ";
+            out += takeInt ? std::to_string(g->second)
+                           : formatDouble(f->second);
+            if (takeInt)
+                ++g;
+            else
+                ++f;
+        }
     }
     out += first ? "},\n" : "\n  },\n";
     out += "  \"histograms\": {";
@@ -242,7 +308,23 @@ Snapshot::toJson() const
                    std::to_string(bucket[1]) + ", " +
                    std::to_string(bucket[2]) + "]";
         }
-        out += "]}";
+        out += "]";
+        // Exemplars only when present, so exemplar-free snapshots
+        // keep the historical (golden-tested) shape.
+        if (!h.exemplars.empty()) {
+            out += ", \"exemplars\": [";
+            bool firstEx = true;
+            for (const auto &ex : h.exemplars) {
+                if (!firstEx)
+                    out += ", ";
+                firstEx = false;
+                out += "[" + std::to_string(ex[0]) + ", " +
+                       std::to_string(ex[1]) + ", " +
+                       std::to_string(ex[2]) + "]";
+            }
+            out += "]";
+        }
+        out += "}";
     }
     out += first ? "}\n" : "\n  }\n";
     out += "}\n";
@@ -264,6 +346,13 @@ parsePrometheus(std::string_view text, FlatSamples &out,
         ++lineNo;
         if (line.empty() || line[0] == '#')
             continue;
+        // OpenMetrics exemplars ride bucket lines as a ` # {...} v`
+        // suffix; drop it before the name/value split. Label values
+        // in this codebase never contain " # ", so the first match
+        // is always the exemplar marker.
+        auto exemplar = line.find(" # ");
+        if (exemplar != std::string_view::npos)
+            line = line.substr(0, exemplar);
         // A sample line is `name[{labels}] value`; split on the last
         // space so quoted label values containing spaces survive.
         auto space = line.rfind(' ');
@@ -343,6 +432,9 @@ Registry::entry(Kind kind, std::string_view rawName, std::string_view help,
         case Kind::Gauge:
             fresh.gauge = std::make_unique<Gauge>();
             break;
+        case Kind::FloatGauge:
+            fresh.floatGauge = std::make_unique<class FloatGauge>();
+            break;
         case Kind::Histogram:
             fresh.histogram = std::make_unique<Histogram>();
             break;
@@ -371,6 +463,13 @@ Registry::gauge(std::string_view name, std::string_view help,
     return *entry(Kind::Gauge, name, help, labels).gauge;
 }
 
+FloatGauge &
+Registry::floatGauge(std::string_view name, std::string_view help,
+                     const Labels &labels)
+{
+    return *entry(Kind::FloatGauge, name, help, labels).floatGauge;
+}
+
 Histogram &
 Registry::histogram(std::string_view name, std::string_view help,
                     const Labels &labels)
@@ -392,6 +491,9 @@ Registry::snapshot() const
         case Kind::Gauge:
             snap.gauges.emplace(name, e.gauge->value());
             break;
+        case Kind::FloatGauge:
+            snap.floatGauges.emplace(name, e.floatGauge->value());
+            break;
         case Kind::Histogram: {
             LatencyHistogram merged = e.histogram->snapshot();
             HistogramSample sample;
@@ -406,6 +508,10 @@ Registry::snapshot() const
                     {LatencyHistogram::bucketLowerBound(i),
                      LatencyHistogram::bucketUpperBound(i), buckets[i]});
             }
+            for (const auto &[bucket, ex] : e.histogram->exemplars())
+                sample.exemplars.push_back(
+                    {LatencyHistogram::bucketUpperBound(bucket), ex[0],
+                     ex[1]});
             snap.histograms.emplace(name, std::move(sample));
             break;
         }

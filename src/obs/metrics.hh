@@ -110,6 +110,31 @@ class Counter
     std::array<Slot, kCounterShards> slots_;
 };
 
+/**
+ * A settable floating-point level, for derived ratios (write
+ * amplification, flushes per transaction) that lose their meaning
+ * truncated to integers. Serialized into the gauge sections of the
+ * expositions alongside integer Gauges.
+ */
+class FloatGauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
 /** A settable signed level. */
 class Gauge
 {
@@ -144,7 +169,14 @@ class Gauge
 class Histogram
 {
   public:
-    void record(std::uint64_t value);
+    /**
+     * Record one sample. A nonzero @p exemplarId attaches an
+     * OpenMetrics-style exemplar to the sample's bucket: the bucket
+     * remembers (id, value) of the most recent exemplified sample,
+     * so a live scrape can link a tail bucket straight to the trace
+     * of a request that landed in it.
+     */
+    void record(std::uint64_t value, std::uint64_t exemplarId = 0);
 
     /** Fold a thread-local LatencyHistogram in post-run (bulk path). */
     void mergeFrom(const LatencyHistogram &other);
@@ -152,11 +184,16 @@ class Histogram
     /** Merged copy of all stripes. */
     LatencyHistogram snapshot() const;
 
+    /** Merged exemplars: bucket index -> (exemplar id, value). */
+    std::map<unsigned, std::array<std::uint64_t, 2>> exemplars() const;
+
   private:
     struct Stripe
     {
         mutable std::mutex mutex;
         LatencyHistogram hist;
+        /** Bucket index -> (exemplar id, value); latest wins. */
+        std::map<unsigned, std::array<std::uint64_t, 2>> exemplars;
     };
     std::array<Stripe, kHistogramStripes> stripes_;
 };
@@ -169,6 +206,13 @@ struct HistogramSample
     std::uint64_t max = 0;
     /** (lower bound, upper bound, count) of every non-empty bucket. */
     std::vector<std::array<std::uint64_t, 3>> buckets;
+    /**
+     * (bucket upper bound, exemplar id, sample value) for every
+     * bucket that holds an exemplar, sorted by bound. Empty unless
+     * record() was called with a nonzero exemplar id, so expositions
+     * without exemplars are byte-identical to the pre-exemplar form.
+     */
+    std::vector<std::array<std::uint64_t, 3>> exemplars;
 };
 
 /**
@@ -179,6 +223,8 @@ struct Snapshot
 {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, std::int64_t> gauges;
+    /** FloatGauge levels; merged into the gauge output sections. */
+    std::map<std::string, double> floatGauges;
     std::map<std::string, HistogramSample> histograms;
     /** Base metric name -> help string (for # HELP lines). */
     std::map<std::string, std::string> help;
@@ -239,6 +285,10 @@ class Registry
     Gauge &gauge(std::string_view name, std::string_view help = {},
                  const Labels &labels = {});
 
+    FloatGauge &floatGauge(std::string_view name,
+                           std::string_view help = {},
+                           const Labels &labels = {});
+
     Histogram &histogram(std::string_view name,
                          std::string_view help = {},
                          const Labels &labels = {});
@@ -255,6 +305,7 @@ class Registry
     {
         Counter,
         Gauge,
+        FloatGauge,
         Histogram,
     };
 
@@ -264,6 +315,7 @@ class Registry
         std::string baseName;
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<class FloatGauge> floatGauge;
         std::unique_ptr<Histogram> histogram;
     };
 

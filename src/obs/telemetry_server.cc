@@ -79,7 +79,7 @@ parseRequestLine(const std::string &head, std::string &method,
     return !method.empty() && !target.empty() && target[0] == '/';
 }
 
-/** `?ms=N` query value for /trace; default 1000, clamped to [1,60000]. */
+/** `?ms=N` for /trace; default 1000, clamped to [1, kTraceWindowMaxMs]. */
 std::uint64_t
 traceWindowMs(std::string_view query)
 {
@@ -100,13 +100,13 @@ traceWindowMs(std::string_view query)
                 return ms;
             value = value * 10 + static_cast<std::uint64_t>(c - '0');
             any = true;
-            if (value > 60000)
-                return 60000;
+            if (value > kTraceWindowMaxMs)
+                return kTraceWindowMaxMs;
         }
         if (any)
             ms = value;
     }
-    return std::clamp<std::uint64_t>(ms, 1, 60000);
+    return std::clamp<std::uint64_t>(ms, 1, kTraceWindowMaxMs);
 }
 
 std::string

@@ -14,7 +14,8 @@
  *                 epoch lag from a caller-supplied health source;
  *                 returns 503 when any shard is stalled;
  *   /trace?ms=N   Chrome trace-event JSON of spans from the last N
- *                 milliseconds (default 1000, capped at 60000).
+ *                 milliseconds (default 1000, capped at
+ *                 kTraceWindowMaxMs).
  *
  * Single dedicated thread, poll()-based, request/response only
  * (Connection: close) with small bounded buffers — deliberately not a
@@ -38,6 +39,15 @@ namespace specpmt::obs
 
 class Registry;
 class Tracer;
+
+/**
+ * Largest `/trace?ms=N` window honored: one minute. Anything larger
+ * is clamped, not rejected — the per-thread rings hold 2^14 spans
+ * each, so windows beyond this only replay ring wraparound noise and
+ * bloat the response. Documented here so scrapers can plan polling
+ * cadence against a stable contract.
+ */
+constexpr std::uint64_t kTraceWindowMaxMs = 60000;
 
 /** One shard's liveness sample for /healthz. */
 struct ShardHealth

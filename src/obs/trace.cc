@@ -12,6 +12,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace specpmt::obs
 {
 
@@ -27,6 +29,9 @@ struct Event
     std::uint64_t endNs;
     /** Correlation id (0 = none); see Tracer::record. */
     std::uint64_t id;
+    /** Numeric arguments (keys are literals, like name/category). */
+    TraceArg args[Tracer::kMaxTraceArgs];
+    unsigned numArgs;
 };
 
 } // namespace
@@ -99,15 +104,34 @@ Tracer::threadBuffer()
 void
 Tracer::record(const char *name, const char *category,
                std::uint64_t startNs, std::uint64_t endNs,
-               std::uint64_t id)
+               std::uint64_t id, const TraceArg *args,
+               unsigned numArgs)
 {
+    // Registered up front (outside the buffer lock) so a live scrape
+    // can alert on trace loss; the per-buffer counter below feeds
+    // droppedEvents() and is reset by clear(), while this registry
+    // counter stays cumulative like every other *_total series.
+    static Counter &droppedTotal = Registry::global().counter(
+        "specpmt_trace_dropped_total",
+        "trace spans overwritten by ring-buffer wraparound");
     ThreadBuffer &buf = threadBuffer();
     std::lock_guard<std::mutex> guard(buf.mutex);
-    if (buf.size == kRingCapacity)
+    if (buf.size == kRingCapacity) {
         ++buf.dropped;
-    else
+        droppedTotal.add();
+    } else {
         ++buf.size;
-    buf.ring[buf.head] = Event{name, category, startNs, endNs, id};
+    }
+    Event &e = buf.ring[buf.head];
+    e = Event{};
+    e.name = name;
+    e.category = category;
+    e.startNs = startNs;
+    e.endNs = endNs;
+    e.id = id;
+    e.numArgs = numArgs < kMaxTraceArgs ? numArgs : kMaxTraceArgs;
+    for (unsigned i = 0; i < e.numArgs; ++i)
+        e.args[i] = args[i];
     buf.head = (buf.head + 1) % kRingCapacity;
 }
 
@@ -184,11 +208,27 @@ Tracer::toChromeJson(std::uint64_t sinceNs) const
                           static_cast<unsigned>(durNs % 1000),
                           static_cast<unsigned long long>(buf->tid));
             out += buf2;
-            if (e.id != 0) {
-                std::snprintf(buf2, sizeof buf2,
-                              ", \"args\": {\"id\": %llu}",
-                              static_cast<unsigned long long>(e.id));
-                out += buf2;
+            if (e.id != 0 || e.numArgs != 0) {
+                out += ", \"args\": {";
+                bool firstArg = true;
+                if (e.id != 0) {
+                    std::snprintf(buf2, sizeof buf2, "\"id\": %llu",
+                                  static_cast<unsigned long long>(e.id));
+                    out += buf2;
+                    firstArg = false;
+                }
+                for (unsigned a = 0; a < e.numArgs; ++a) {
+                    if (!firstArg)
+                        out += ", ";
+                    firstArg = false;
+                    out += '"';
+                    appendEscaped(out, e.args[a].key);
+                    std::snprintf(
+                        buf2, sizeof buf2, "\": %llu",
+                        static_cast<unsigned long long>(e.args[a].value));
+                    out += buf2;
+                }
+                out += '}';
             }
             out += '}';
         }

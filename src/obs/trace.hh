@@ -45,6 +45,18 @@ namespace specpmt::obs
 {
 
 /**
+ * One numeric argument attached to a span, e.g. {"log_bytes", 512}.
+ * The key must be a string literal (stored as a pointer, like span
+ * names); values serialize into the event's Chrome-JSON "args"
+ * object alongside the correlation id.
+ */
+struct TraceArg
+{
+    const char *key;
+    std::uint64_t value;
+};
+
+/**
  * Collector for trace events; see file comment. One process-wide
  * instance (Tracer::global()) backs the macros.
  */
@@ -53,6 +65,9 @@ class Tracer
   public:
     /** Events kept per thread; older events are dropped, counted. */
     static constexpr std::size_t kRingCapacity = 1u << 14;
+
+    /** Most TraceArgs one event can carry (extras are dropped). */
+    static constexpr unsigned kMaxTraceArgs = 8;
 
     static Tracer &global();
 
@@ -76,9 +91,23 @@ class Tracer
      * the serialized event as `"args":{"id":N}` so a slow request's
      * spans can be correlated across threads.
      */
+    void
+    record(const char *name, const char *category,
+           std::uint64_t startNs, std::uint64_t endNs,
+           std::uint64_t id = 0)
+    {
+        record(name, category, startNs, endNs, id, nullptr, 0);
+    }
+
+    /**
+     * As above, plus up to kMaxTraceArgs numeric arguments (a PM
+     * cost vector, a batch size, ...) serialized into the event's
+     * "args" object. @p args keys must be string literals.
+     */
     void record(const char *name, const char *category,
                 std::uint64_t startNs, std::uint64_t endNs,
-                std::uint64_t id = 0);
+                std::uint64_t id, const TraceArg *args,
+                unsigned numArgs);
 
     /** Steady-clock nanoseconds; the time base for record(). */
     static std::uint64_t now();

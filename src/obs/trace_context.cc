@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Thread-local storage for the request trace context.
+ */
+
+#include "obs/trace_context.hh"
+
+namespace specpmt::obs
+{
+
+TraceContext &
+traceContext()
+{
+    // One context per thread for the thread's whole lifetime. POD-ish
+    // (no dynamic members), so thread exit needs no ordering against
+    // other TLS destructors.
+    thread_local TraceContext ctx;
+    return ctx;
+}
+
+} // namespace specpmt::obs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-thread request trace context and PM cost accounting.
+ *
+ * A TraceContext rides the thread that is currently executing a
+ * request: the net server (or a bench harness) installs the request's
+ * 64-bit trace id with a ScopedTraceId, and every layer below —
+ * core::SpecTx / core::HashLogTx appends, PmemDevice flush/fence
+ * hooks — charges its persistence work to the context's PmCost
+ * vector. The cost fields accumulate unconditionally (they are a few
+ * thread-local adds on paths that already maintain device stats), so
+ * callers measure a region by snapshotting `cost` before and
+ * subtracting after; the trace id is only consulted when a span or
+ * histogram exemplar needs a correlation key.
+ *
+ * The context is plain thread-local state, not a tracing dependency:
+ * this header pulls in nothing from trace.hh or metrics.hh, so the
+ * pmem and core layers can charge costs without linking the tracer.
+ */
+
+#ifndef SPECPMT_OBS_TRACE_CONTEXT_HH
+#define SPECPMT_OBS_TRACE_CONTEXT_HH
+
+#include <cstdint>
+
+namespace specpmt::obs
+{
+
+/**
+ * Persistence cost vector charged by the layers below a request.
+ * Counters are cumulative per thread; subtract two snapshots to cost
+ * a region. The watermark fields (logBytesPeak, reclaimDebt) are
+ * levels, not counters: the tx runtime overwrites them at commit.
+ */
+struct PmCost
+{
+    /** Bytes the user asked to persist (txStore payload sizes). */
+    std::uint64_t userBytes = 0;
+    /** Bytes actually appended to persistent logs (incl. headers). */
+    std::uint64_t logBytes = 0;
+    /** txStore calls answered from the dedup index (no log write). */
+    std::uint64_t dedupHits = 0;
+    /** Cache lines flushed (clwb / ntstore / ADR-persist lines). */
+    std::uint64_t flushes = 0;
+    /** Bytes covered by those flushes. */
+    std::uint64_t flushBytes = 0;
+    /** Store fences issued. */
+    std::uint64_t fences = 0;
+    /** Flushes by device call-site class (see pmem::TrafficClass). */
+    std::uint64_t flushesData = 0;
+    std::uint64_t flushesLog = 0;
+    std::uint64_t flushesMeta = 0;
+    /** Log-space high watermark of the committing runtime (bytes). */
+    std::uint64_t logBytesPeak = 0;
+    /** Live log bytes beyond the reclaim threshold (0 when under). */
+    std::uint64_t reclaimDebt = 0;
+
+    /** Counter-field delta (watermarks copied from @p after). */
+    static PmCost
+    delta(const PmCost &before, const PmCost &after)
+    {
+        PmCost d;
+        d.userBytes = after.userBytes - before.userBytes;
+        d.logBytes = after.logBytes - before.logBytes;
+        d.dedupHits = after.dedupHits - before.dedupHits;
+        d.flushes = after.flushes - before.flushes;
+        d.flushBytes = after.flushBytes - before.flushBytes;
+        d.fences = after.fences - before.fences;
+        d.flushesData = after.flushesData - before.flushesData;
+        d.flushesLog = after.flushesLog - before.flushesLog;
+        d.flushesMeta = after.flushesMeta - before.flushesMeta;
+        d.logBytesPeak = after.logBytesPeak;
+        d.reclaimDebt = after.reclaimDebt;
+        return d;
+    }
+};
+
+/** The per-thread context: correlation key + cost accumulator. */
+struct TraceContext
+{
+    /** Trace id of the request this thread is executing; 0 = none. */
+    std::uint64_t traceId = 0;
+    /** Whether that request asked for full span sampling. */
+    bool sampled = false;
+    PmCost cost;
+};
+
+/** The calling thread's context (never null, lives forever). */
+TraceContext &traceContext();
+
+/**
+ * RAII installer: sets the thread's trace id/sampled flag for one
+ * request (or batch) and restores the previous values on exit, so
+ * nested scopes and non-request work compose.
+ */
+class ScopedTraceId
+{
+  public:
+    ScopedTraceId(std::uint64_t traceId, bool sampled)
+        : ctx_(traceContext()), priorId_(ctx_.traceId),
+          priorSampled_(ctx_.sampled)
+    {
+        ctx_.traceId = traceId;
+        ctx_.sampled = sampled;
+    }
+
+    ~ScopedTraceId()
+    {
+        ctx_.traceId = priorId_;
+        ctx_.sampled = priorSampled_;
+    }
+
+    ScopedTraceId(const ScopedTraceId &) = delete;
+    ScopedTraceId &operator=(const ScopedTraceId &) = delete;
+
+  private:
+    TraceContext &ctx_;
+    std::uint64_t priorId_;
+    bool priorSampled_;
+};
+
+} // namespace specpmt::obs
+
+#endif // SPECPMT_OBS_TRACE_CONTEXT_HH

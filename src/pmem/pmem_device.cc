@@ -5,6 +5,7 @@
 
 #include "common/rand.hh"
 #include "obs/metrics.hh"
+#include "obs/trace_context.hh"
 
 namespace specpmt::pmem
 {
@@ -54,6 +55,31 @@ struct DeviceMetrics
         return m;
     }
 };
+
+/**
+ * Charge one effective line flush to the calling thread's PM cost
+ * vector (obs::TraceContext), next to the DeviceStats bump: a few
+ * thread-local adds, so the cost of a traced request's flushes is
+ * known per thread without touching the registry on the data path.
+ */
+void
+chargeFlush(TrafficClass cls)
+{
+    auto &cost = obs::traceContext().cost;
+    ++cost.flushes;
+    cost.flushBytes += kCacheLineSize;
+    switch (cls) {
+      case TrafficClass::Data:
+        ++cost.flushesData;
+        break;
+      case TrafficClass::Log:
+        ++cost.flushesLog;
+        break;
+      case TrafficClass::Meta:
+        ++cost.flushesMeta;
+        break;
+    }
+}
 
 /** add(current - published) and advance published; for bulk flushes. */
 void
@@ -226,6 +252,7 @@ PmemDevice::clwbLocked(PmOff off, TrafficClass cls)
     pendingLines_[line] = snapshot;
     dirtyLines_.erase(line);
     ++stats_.clwbs[static_cast<unsigned>(cls)];
+    chargeFlush(cls);
     if (timed())
         timing_.onClwb(line);
     else if (timedThreadOnly_)
@@ -265,6 +292,7 @@ PmemDevice::sfence()
         pendingLines_.clear();
     }
     ++stats_.fences;
+    ++obs::traceContext().cost.fences;
     if (timed())
         timing_.onSfence();
 }
@@ -289,6 +317,7 @@ PmemDevice::ntstore(PmOff off, const void *src, std::size_t size,
         pendingLines_[line] = snapshot;
         dirtyLines_.erase(line);
         ++stats_.clwbs[static_cast<unsigned>(cls)];
+        chargeFlush(cls);
             if (timed())
             timing_.onClwb(line);
         else if (timedThreadOnly_)
@@ -313,6 +342,7 @@ PmemDevice::adrPersist(PmOff off, std::size_t size, TrafficClass cls)
         dirtyLines_.erase(line);
         pendingLines_.erase(line);
         ++stats_.clwbs[static_cast<unsigned>(cls)];
+        chargeFlush(cls);
             if (timed())
             timing_.onClwb(line);
         else if (timedThreadOnly_)
@@ -406,6 +436,7 @@ PmemDevice::drainAll(TrafficClass cls)
     }
     pendingLines_.clear();
     ++stats_.fences;
+    ++obs::traceContext().cost.fences;
     if (timed())
         timing_.onSfence();
 }

@@ -50,6 +50,15 @@ trap - EXIT
 [ -s "$WORK_DIR/serve-metrics.prom" ] || fail "no metrics artifact"
 grep -q '"p99_ns"' "$WORK_DIR/bench.json" || fail "no bench artifact"
 
+# Sampling-off hygiene: without --trace-sample the wire protocol and
+# the exposition must be byte-identical to the pre-tracing build — no
+# traced frames sent, no exemplars rendered.
+grep -q '"traced_sent": 0' "$WORK_DIR/bench.json" \
+    || fail "bench sent traced frames with sampling off"
+if grep -q '# {trace_id=' "$WORK_DIR/serve-metrics.prom"; then
+    fail "exemplars leaked into the exposition with sampling off"
+fi
+
 # The real gate: several assertions in ONE check invocation.
 "$SPECSTAT" check "$WORK_DIR/serve-metrics.prom" \
     --require='specpmt_net_protocol_errors_total==0' \
@@ -74,6 +83,10 @@ fi
 # on the floor at shutdown (the final seal leaves no pending
 # transactions behind); the admin endpoint is scraped MID-LOAD to
 # prove /metrics and /healthz answer while the shard loops are busy.
+# The bench also samples 5% of requests into the wire trace
+# extension, so this phase doubles as the end-to-end tracing gate:
+# exemplars on the live scrape, PM cost metrics with real values,
+# and a client+server waterfall merged by `specstat trace`.
 rm -f "$WORK_DIR"/port.txt "$WORK_DIR"/admin.txt
 "$SPECKV" serve --runtime=spec --shards=2 --keys=2048 \
     --port=0 --port-file="$WORK_DIR/port.txt" --seconds=60 \
@@ -97,6 +110,8 @@ ADMIN=$(cat "$WORK_DIR/admin.txt")
 
 "$SPECNET_BENCH" --port-file="$WORK_DIR/port.txt" \
     --qps=4000 --seconds=4 --keys=2048 --mix=A --strict=0.1 --load \
+    --trace-sample=0.05 \
+    --trace-out="$WORK_DIR/bench-epoch-trace.json" \
     --json="$WORK_DIR/bench-epoch.json" \
     >"$WORK_DIR/bench-epoch.log" 2>&1 &
 BENCH_PID=$!
@@ -112,6 +127,15 @@ sleep 1
     --require='specpmt_net_stage_queue_count>0' \
     --require='specpmt_net_stage_write_count>0' \
     || fail "mid-load admin scrape gate failed"
+
+# A sampled request's trace id must surface as an OpenMetrics
+# exemplar on the live /metrics scrape while load is still running.
+if command -v curl >/dev/null 2>&1; then
+    curl -s "http://127.0.0.1:$ADMIN/metrics" \
+        >"$WORK_DIR/live-metrics.prom"
+    grep -q '# {trace_id=' "$WORK_DIR/live-metrics.prom" \
+        || fail "no exemplar on the live /metrics scrape"
+fi
 
 # Epoch seal lag stays bounded on every shard while relaxed commits
 # stream through (the per-shard gauges are labeled, so gate via dump).
@@ -156,6 +180,41 @@ trap - EXIT
     --require='specpmt_epoch_seals_total>=10' \
     --require='specpmt_epoch_pending_txs==0' \
     || fail "specstat check rejected the epoch serve metrics"
+
+# PM cost accounting gates: every commit was charged (write
+# amplification is log bytes over user bytes, so >= 1 whenever the
+# log wrote anything), and the flush/fence budget per transaction
+# stays within the speculative-logging design envelope.
+"$SPECSTAT" check "$WORK_DIR/serve-epoch-metrics.prom" \
+    --require='specpmt_pm_txs_total>=1000' \
+    --require='specpmt_pm_user_bytes_total>0' \
+    --require='specpmt_pm_write_amp>=1' \
+    --require='specpmt_pm_flushes_per_tx<=8' \
+    --require='specpmt_pm_fences_per_tx<=4' \
+    || fail "specstat check rejected the PM cost metrics"
+
+# The metrics artifact carries the sampled exemplars even without a
+# live scrape (same renderer as /metrics).
+grep -q '# {trace_id=' "$WORK_DIR/serve-epoch-metrics.prom" \
+    || fail "no exemplar in the serve metrics artifact"
+
+# End-to-end waterfall: merge the client-side capture with the
+# server-side one; `specstat trace` must correlate at least one
+# sampled request across both (exit 1 = no correlated spans), and
+# the slowest waterfall must span wire, server stages, and the PM
+# cost vector attributed to its exec span.
+"$SPECSTAT" trace --slowest=1 \
+    "$WORK_DIR/bench-epoch-trace.json" \
+    "$WORK_DIR/serve-epoch-trace.json" \
+    >"$WORK_DIR/trace.txt" \
+    || fail "specstat trace found no correlated spans"
+for needle in client_rtt srv_exec 'pm: user'; do
+    grep -q "$needle" "$WORK_DIR/trace.txt" \
+        || { cat "$WORK_DIR/trace.txt" >&2
+             fail "merged waterfall missing '$needle'"; }
+done
+echo "net_smoke: merged waterfall:"
+cat "$WORK_DIR/trace.txt"
 
 # Stage attribution sanity: the per-stage means must be positive and
 # their sum bounded by the loadgen's end-to-end update mean — the

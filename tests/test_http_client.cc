@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Deadline tests for the telemetry-plane HTTP client: a scrape
+ * against a wedged or misbehaving server must return within the
+ * caller's deadline, never hang. Covers the slow-loris drip (bytes
+ * keep arriving but the response never completes), the header-only
+ * stall (headers start, terminator never comes), and mid-body EOF
+ * (connection-close framing: a clean early close ends the body
+ * without waiting out the deadline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/http_client.hh"
+
+namespace specpmt::obs
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+long
+elapsedMs(Clock::time_point since)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - since)
+        .count();
+}
+
+/**
+ * One-shot loopback server: accepts a single connection and hands it
+ * to the session callback on a background thread. Sessions end when
+ * the callback returns; the callback is responsible for noticing a
+ * closed peer (send fails / recv returns 0) so a timed-out client
+ * releases the thread.
+ */
+class StubServer
+{
+  public:
+    explicit StubServer(std::function<void(int)> session)
+    {
+        listen_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(listen_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::bind(listen_,
+                         reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listen_, 1), 0);
+        socklen_t len = sizeof(addr);
+        EXPECT_EQ(::getsockname(listen_,
+                                reinterpret_cast<sockaddr *>(&addr),
+                                &len),
+                  0);
+        port_ = ntohs(addr.sin_port);
+        thread_ = std::thread([this, session] {
+            const int client = ::accept(listen_, nullptr, nullptr);
+            if (client >= 0) {
+                session(client);
+                ::close(client);
+            }
+        });
+    }
+
+    ~StubServer()
+    {
+        thread_.join();
+        ::close(listen_);
+    }
+
+    std::uint16_t port() const { return port_; }
+
+  private:
+    int listen_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+/** Drain whatever request bytes the client sent (best effort). */
+void
+drainRequest(int fd)
+{
+    char buf[4096];
+    (void)::recv(fd, buf, sizeof(buf), 0);
+}
+
+void
+sendAll(int fd, const std::string &bytes)
+{
+    (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+}
+
+TEST(HttpClient, SlowLorisDripTimesOutAtTheDeadline)
+{
+    // The server drips one header byte every 50 ms forever: progress
+    // never stops, but the response never completes. The deadline is
+    // absolute wall clock, so the drip must not extend it.
+    StubServer server([](int fd) {
+        drainRequest(fd);
+        const std::string drip = "HTTP/1.1 200 OK\r\nContent-Type: "
+                                 "text/plain\r\nX-Padding: ";
+        for (std::size_t i = 0;; i = (i + 1) % drip.size()) {
+            const ssize_t n =
+                ::send(fd, drip.data() + i, 1, MSG_NOSIGNAL);
+            if (n <= 0)
+                return; // client gave up and closed
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    });
+
+    HttpResponse response;
+    std::string error;
+    const auto start = Clock::now();
+    const bool ok = httpGet("127.0.0.1", server.port(), "/metrics",
+                            response, error, 400);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(error, "timed out");
+    EXPECT_GE(elapsedMs(start), 300);
+    EXPECT_LT(elapsedMs(start), 5000)
+        << "deadline did not bound the slow-loris drip";
+}
+
+TEST(HttpClient, HeaderOnlyStallTimesOutAtTheDeadline)
+{
+    // Headers start but the blank-line terminator never arrives and
+    // the connection stays open: the client must not wait for EOF
+    // beyond its deadline.
+    StubServer server([](int fd) {
+        drainRequest(fd);
+        sendAll(fd, "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: text/plain\r\n");
+        // Hold the connection open until the client closes it.
+        char buf[16];
+        while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+        }
+    });
+
+    HttpResponse response;
+    std::string error;
+    const auto start = Clock::now();
+    const bool ok = httpGet("127.0.0.1", server.port(), "/metrics",
+                            response, error, 400);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(error, "timed out");
+    EXPECT_GE(elapsedMs(start), 300);
+    EXPECT_LT(elapsedMs(start), 5000);
+}
+
+TEST(HttpClient, MidBodyEofReturnsPromptlyWithTheReceivedBody)
+{
+    // Connection-close framing: the body ends at EOF, so a server
+    // that closes early ends the request cleanly — well inside the
+    // deadline, with exactly the bytes that made it across.
+    StubServer server([](int fd) {
+        drainRequest(fd);
+        sendAll(fd, "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: text/plain\r\n"
+                    "\r\n"
+                    "partial body");
+    });
+
+    HttpResponse response;
+    std::string error;
+    const auto start = Clock::now();
+    const bool ok = httpGet("127.0.0.1", server.port(), "/metrics",
+                            response, error, 5000);
+    EXPECT_TRUE(ok) << error;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.contentType, "text/plain");
+    EXPECT_EQ(response.body, "partial body");
+    EXPECT_LT(elapsedMs(start), 2000)
+        << "a closed connection must not wait out the deadline";
+}
+
+TEST(HttpClient, ImmediateEofBeforeHeadersFailsCleanly)
+{
+    // EOF before any header terminator is a malformed response, not
+    // a hang and not a success.
+    StubServer server([](int fd) { drainRequest(fd); });
+
+    HttpResponse response;
+    std::string error;
+    const bool ok = httpGet("127.0.0.1", server.port(), "/healthz",
+                            response, error, 2000);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("no header terminator"), std::string::npos)
+        << error;
+}
+
+TEST(HttpClient, ParseHttpUrlSplitsAuthorityAndPath)
+{
+    std::string host, path;
+    std::uint16_t port = 0;
+    ASSERT_TRUE(parseHttpUrl("http://127.0.0.1:9180/metrics", host,
+                             port, path));
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 9180);
+    EXPECT_EQ(path, "/metrics");
+    ASSERT_TRUE(parseHttpUrl("http://localhost/x", host, port, path));
+    EXPECT_EQ(port, 80);
+    EXPECT_FALSE(parseHttpUrl("https://127.0.0.1/", host, port, path));
+    EXPECT_FALSE(parseHttpUrl("http://:1/", host, port, path));
+    EXPECT_FALSE(
+        parseHttpUrl("http://h:99999/", host, port, path));
+}
+
+} // namespace
+} // namespace specpmt::obs

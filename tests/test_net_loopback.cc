@@ -27,6 +27,7 @@
 #include "net/loadgen.hh"
 #include "net/protocol.hh"
 #include "net/server.hh"
+#include "obs/trace.hh"
 #include "pmem/crash_policy.hh"
 #include "pmem/image_io.hh"
 
@@ -318,6 +319,97 @@ TEST(NetLoopback, OpenLoopMultiPut)
         ASSERT_TRUE(value.has_value()) << "key " << key;
         EXPECT_TRUE(value->checkTag(key)) << "key " << key;
     }
+    service.shutdown();
+}
+
+TEST(NetLoopback, MixedVersionClientsInteroperate)
+{
+    // An old-style client (no trace extension — byte-identical to the
+    // pre-extension protocol) and a new traced client share one
+    // server: both must be answered correctly, and responses must
+    // never carry the extension regardless of what the request did.
+    kv::KvService service(serviceConfig(1));
+    NetServer server(service, ServerConfig{});
+    server.start();
+
+    BlockingClient old_client(server.port());
+    BlockingClient new_client(server.port());
+    ASSERT_EQ(old_client.hello(0), 0u);
+    ASSERT_EQ(new_client.hello(0), 0u);
+
+    const TraceExt ext{0xABCDEFull, true};
+    std::vector<std::uint8_t> out;
+    appendPut(out, 1, 7, kv::KvValue::tagged(7, 1), 0, &ext);
+    appendGet(out, 2, 7, &ext);
+    new_client.sendAll(out);
+    const auto traced = new_client.readFrames(2);
+    ASSERT_EQ(traced.size(), 2u);
+    EXPECT_EQ(traced[0].op, Op::Ok);
+    EXPECT_EQ(traced[1].op, Op::Value);
+    for (const auto &frame : traced) {
+        EXPECT_EQ(frame.flags & kFlagTraced, 0)
+            << "responses must not carry the trace extension";
+        EXPECT_EQ(frame.ext.traceId, 0u);
+    }
+
+    // The old client reads the traced client's write: tracing is
+    // per-request metadata, not a fork of the data path.
+    out.clear();
+    appendPut(out, 3, 8, kv::KvValue::tagged(8, 2));
+    appendGet(out, 4, 7);
+    old_client.sendAll(out);
+    const auto plain = old_client.readFrames(2);
+    ASSERT_EQ(plain.size(), 2u);
+    EXPECT_EQ(plain[0].op, Op::Ok);
+    ASSERT_EQ(plain[1].op, Op::Value);
+    kv::KvValue got;
+    ASSERT_TRUE(parseValue(plain[1], got));
+    EXPECT_TRUE(got.checkTag(7));
+
+    server.stop();
+    service.shutdown();
+}
+
+TEST(NetLoopback, SampledRequestEmitsCorrelatedServerSpans)
+{
+    obs::Tracer::global().clear();
+    obs::Tracer::global().enable();
+
+    kv::KvService service(serviceConfig(1));
+    NetServer server(service, ServerConfig{});
+    server.start();
+
+    BlockingClient client(server.port());
+    ASSERT_EQ(client.hello(0), 0u);
+
+    // One sampled traced strict PUT: the server must emit request
+    // spans correlated by the wire trace id, and the srv_exec span
+    // must carry the PM cost vector charged by the commit.
+    constexpr std::uint64_t kTraceId = 424242;
+    const TraceExt ext{kTraceId, true};
+    std::vector<std::uint8_t> out;
+    appendPut(out, 1, 99, kv::KvValue::tagged(99, 5), kFlagStrict,
+              &ext);
+    client.sendAll(out);
+    const auto frames = client.readFrames(1);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].op, Op::Ok);
+
+    // The ack_write span is recorded just after the response bytes
+    // leave the server; give it a beat before serializing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.stop();
+    obs::Tracer::global().disable();
+
+    const std::string json = obs::Tracer::global().toChromeJson();
+    EXPECT_NE(json.find("\"id\": 424242"), std::string::npos)
+        << "no span carries the wire trace id";
+    EXPECT_NE(json.find("srv_exec"), std::string::npos);
+    EXPECT_NE(json.find("user_bytes"), std::string::npos)
+        << "srv_exec span lacks the PM cost vector";
+    EXPECT_NE(json.find("flush_batch"), std::string::npos);
+
+    obs::Tracer::global().clear();
     service.shutdown();
 }
 

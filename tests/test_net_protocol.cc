@@ -254,6 +254,113 @@ TEST(NetProtocol, FuzzMutatedValidStreams)
     }
 }
 
+TEST(NetProtocol, TraceExtRoundTripsAtEverySplit)
+{
+    // A mixed stream: sampled-traced GET, strict+traced PUT, traced
+    // but unsampled BATCH, and a plain untraced GET. The extension
+    // must survive every read split and stay invisible to the typed
+    // parsers (stripped before the payload-shape contract applies).
+    const TraceExt sampled{0xDEADBEEFCAFEBABEull, true};
+    const TraceExt unsampled{7, false};
+    std::vector<std::uint8_t> bytes;
+    appendGet(bytes, 2, 42, &sampled);
+    appendPut(bytes, 3, 42, kv::KvValue::tagged(42, 7), kFlagStrict,
+              &sampled);
+    appendBatch(bytes, 5, {{1, kv::KvValue::tagged(1, 1)}}, 0,
+                &unsampled);
+    appendGet(bytes, 6, 43);
+
+    for (std::size_t chunk = 1; chunk <= bytes.size(); ++chunk) {
+        bool errored = false;
+        const auto frames = decodeAll(bytes, chunk, errored);
+        ASSERT_FALSE(errored) << "chunk " << chunk;
+        ASSERT_EQ(frames.size(), 4u) << "chunk " << chunk;
+
+        EXPECT_EQ(frames[0].ext.traceId, sampled.traceId);
+        EXPECT_TRUE(frames[0].ext.sampled);
+        EXPECT_NE(frames[0].flags & kFlagTraced, 0);
+        kv::KvKey key = 0;
+        EXPECT_TRUE(parseKey(frames[0], key));
+        EXPECT_EQ(key, 42u);
+
+        EXPECT_EQ(frames[1].ext.traceId, sampled.traceId);
+        EXPECT_TRUE(frames[1].ext.sampled);
+        EXPECT_NE(frames[1].flags & kFlagStrict, 0);
+        kv::KvValue value;
+        EXPECT_TRUE(parsePut(frames[1], key, value));
+        EXPECT_TRUE(value.checkTag(42));
+
+        EXPECT_EQ(frames[2].ext.traceId, unsampled.traceId);
+        EXPECT_FALSE(frames[2].ext.sampled);
+        std::vector<std::pair<kv::KvKey, kv::KvValue>> items;
+        EXPECT_TRUE(parseBatch(frames[2], items));
+        ASSERT_EQ(items.size(), 1u);
+
+        EXPECT_EQ(frames[3].ext.traceId, 0u);
+        EXPECT_FALSE(frames[3].ext.sampled);
+        EXPECT_EQ(frames[3].flags & kFlagTraced, 0);
+    }
+}
+
+TEST(NetProtocol, UntracedFramesStayByteIdentical)
+{
+    // A null/zero extension must not change the encoding at all —
+    // the old-client interop guarantee is byte-level.
+    std::vector<std::uint8_t> plain, with_null, with_zero;
+    appendGet(plain, 2, 42);
+    appendGet(with_null, 2, 42, nullptr);
+    const TraceExt zero{}; // traceId 0 = untraced
+    appendGet(with_zero, 2, 42, &zero);
+    EXPECT_EQ(plain, with_null);
+    EXPECT_EQ(plain, with_zero);
+}
+
+TEST(NetProtocol, TracedFrameEveryBitFlipIsCaught)
+{
+    // The extension is CRC-covered like any other payload byte: no
+    // single-bit flip anywhere in a traced frame (including inside
+    // the trace id and ext-flags bytes) may emit a frame.
+    const TraceExt ext{0x1122334455667788ull, true};
+    std::vector<std::uint8_t> bytes;
+    appendPut(bytes, 77, 123, kv::KvValue::tagged(123, 9),
+              kFlagStrict, &ext);
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto mutated = bytes;
+        mutated[bit / 8] ^= static_cast<std::uint8_t>(1u
+                                                      << (bit % 8));
+        FrameDecoder decoder;
+        decoder.feed(mutated.data(), mutated.size());
+        Frame frame;
+        std::string error;
+        if (decoder.next(frame, error) ==
+            FrameDecoder::Status::Frame) {
+            ADD_FAILURE() << "bit " << bit
+                          << " flipped undetected";
+        }
+    }
+}
+
+TEST(NetProtocol, TracedFrameShorterThanExtensionFailsClosed)
+{
+    // kFlagTraced claims the last kTraceExtBytes payload bytes; a
+    // frame whose payload cannot hold them (here: a GET's 8-byte key,
+    // and an empty payload) is a protocol error, not a guess.
+    for (const bool with_payload : {true, false}) {
+        std::vector<std::uint8_t> bytes;
+        const std::uint64_t key = 42;
+        appendFrame(bytes, Op::Get, 9, with_payload ? &key : nullptr,
+                    with_payload ? sizeof(key) : 0, kFlagTraced);
+        FrameDecoder decoder;
+        decoder.feed(bytes.data(), bytes.size());
+        Frame frame;
+        std::string error;
+        EXPECT_EQ(decoder.next(frame, error),
+                  FrameDecoder::Status::Error);
+        EXPECT_TRUE(decoder.failed());
+        EXPECT_NE(error.find("trace extension"), std::string::npos);
+    }
+}
+
 TEST(NetProtocol, ParsersRejectWrongShapes)
 {
     std::vector<std::uint8_t> bytes;

@@ -313,6 +313,70 @@ TEST(LatencyHistogramJson, BucketBoundsMatchTheStaticFunctions)
     EXPECT_GE(LatencyHistogram::bucketUpperBound(index), value);
 }
 
+TEST(Histogram, ExemplarAttachesToBucketAndLatestWins)
+{
+    obs::Registry registry;
+    auto &hist = registry.histogram("ex_lat_ns", "latency");
+    hist.record(2, 111);
+    hist.record(2, 222); // same bucket: the later exemplar wins
+    hist.record(3);      // no exemplar on this bucket
+
+    const std::string text = registry.snapshot().toPrometheus();
+    EXPECT_NE(text.find("ex_lat_ns_bucket{le=\"2\"} 2 "
+                        "# {trace_id=\"222\"} 2"),
+              std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("trace_id=\"111\""), std::string::npos);
+    EXPECT_NE(text.find("ex_lat_ns_bucket{le=\"3\"} 3\n"),
+              std::string::npos)
+        << "exemplar leaked onto a bucket that never got one";
+
+    // The text parser strips exemplars: samples stay purely numeric.
+    obs::FlatSamples samples;
+    std::string error;
+    ASSERT_TRUE(obs::parsePrometheus(text, samples, error)) << error;
+    EXPECT_EQ(samples.at("ex_lat_ns_bucket{le=\"2\"}"), 2.0);
+    EXPECT_EQ(samples.at("ex_lat_ns_count"), 3.0);
+}
+
+TEST(Histogram, NoExemplarMeansByteIdenticalExposition)
+{
+    // record() without an exemplar id must serialize exactly like the
+    // pre-exemplar format — the golden tests above pin the full text;
+    // this pins the absence of the suffix even after mixed usage.
+    obs::Registry registry;
+    auto &hist = registry.histogram("plain_lat_ns");
+    hist.record(5);
+    hist.record(7, 0); // id 0 = no exemplar
+    const std::string text = registry.snapshot().toPrometheus();
+    EXPECT_EQ(text.find(" # {"), std::string::npos) << text;
+}
+
+TEST(FloatGauge, InterleavesIntoGaugeSections)
+{
+    obs::Registry registry;
+    registry.gauge("t_a_level").set(4);
+    registry.floatGauge("t_b_ratio", "derived ratio").set(1.5);
+    registry.gauge("t_c_level").set(9);
+
+    const std::string text = registry.snapshot().toPrometheus();
+    // All three land in gauge sections, sorted by name.
+    const auto a = text.find("t_a_level 4");
+    const auto b = text.find("t_b_ratio 1.5");
+    const auto c = text.find("t_c_level 9");
+    ASSERT_NE(a, std::string::npos) << text;
+    ASSERT_NE(b, std::string::npos) << text;
+    ASSERT_NE(c, std::string::npos) << text;
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_NE(text.find("# TYPE t_b_ratio gauge"), std::string::npos);
+
+    obs::FlatSamples samples;
+    std::string error;
+    ASSERT_TRUE(obs::parsePrometheus(text, samples, error)) << error;
+    EXPECT_DOUBLE_EQ(samples.at("t_b_ratio"), 1.5);
+}
+
 TEST(Exposition, EmptyRegistrySerializes)
 {
     obs::Registry registry;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 using namespace specpmt;
@@ -89,6 +90,57 @@ TEST_F(TraceTest, RingBufferDropsOldestAndCounts)
     EXPECT_EQ(obs::Tracer::global().bufferedEvents(),
               obs::Tracer::kRingCapacity);
     EXPECT_EQ(obs::Tracer::global().droppedEvents(), kExtra);
+}
+
+TEST_F(TraceTest, IdAndArgsSerializeIntoArgsObject)
+{
+    obs::Tracer::global().enable();
+    const obs::TraceArg args[] = {{"user_bytes", 64}, {"fences", 1}};
+    obs::Tracer::global().record("cost_span", "unittest", 1, 2, 77,
+                                 args, 2);
+    const std::string json = obs::Tracer::global().toChromeJson();
+    EXPECT_NE(json.find("\"id\": 77"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"user_bytes\": 64"), std::string::npos);
+    EXPECT_NE(json.find("\"fences\": 1"), std::string::npos);
+    // A span without id or args carries no args object at all.
+    obs::Tracer::global().clear();
+    obs::Tracer::global().record("bare_span", "unittest", 1, 2);
+    EXPECT_EQ(obs::Tracer::global().toChromeJson().find("\"args\""),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, SinceNsServesOnlyTheRecentWindow)
+{
+    // The /trace?ms=N endpoint serves toChromeJson(sinceNs); spans
+    // that ended before the cutoff must be filtered out.
+    obs::Tracer::global().enable();
+    obs::Tracer::global().record("old_span", "unittest", 50, 100);
+    obs::Tracer::global().record("new_span", "unittest", 180, 200);
+    const std::string json = obs::Tracer::global().toChromeJson(150);
+    EXPECT_EQ(json.find("old_span"), std::string::npos);
+    EXPECT_NE(json.find("new_span"), std::string::npos);
+}
+
+TEST_F(TraceTest, OverflowFeedsTheGlobalDroppedCounter)
+{
+    // Ring wraparound must surface on /metrics as
+    // specpmt_trace_dropped_total so a live scrape can alert on
+    // trace loss — the buffered drop count resets with clear(), the
+    // registry counter stays cumulative.
+    auto &dropped = obs::Registry::global().counter(
+        "specpmt_trace_dropped_total");
+    const std::uint64_t before = dropped.value();
+    obs::Tracer::global().enable();
+    constexpr std::size_t kExtra = 37;
+    for (std::size_t i = 0;
+         i < obs::Tracer::kRingCapacity + kExtra; ++i) {
+        obs::Tracer::global().record("flood2", "unittest", 1, 2);
+    }
+    EXPECT_EQ(dropped.value() - before, kExtra);
+    obs::Tracer::global().clear();
+    EXPECT_EQ(obs::Tracer::global().droppedEvents(), 0u);
+    EXPECT_EQ(dropped.value() - before, kExtra)
+        << "clear() must not rewind the cumulative registry counter";
 }
 
 TEST_F(TraceTest, ClearResetsBuffersAndDropCounter)

@@ -17,12 +17,18 @@
  *                 [--dist=zipfian|uniform] [--keys=4096]
  *                 [--multiput=0.0] [--strict=0.0] [--seed=1]
  *                 [--load] [--json=out.json] [--metrics-out=m.prom]
+ *                 [--trace-sample=0.0] [--trace-out=trace.json]
  *
  * --load first PUTs the whole keyspace (shard-grouped batches), so
  * GETs in the timed phase hit. --strict=F sends fraction F of
  * mutation frames with the protocol's kFlagStrict, forcing a
  * per-request commit fence on a server running epoch group commit
  * (no effect on a strict server, where every commit fences anyway).
+ * --trace-sample=F sends fraction F of requests with the wire trace
+ * extension: the server emits correlated spans and histogram
+ * exemplars for them, and with --trace-out= the client writes its
+ * own client_send/client_rtt spans (same trace ids) for `specstat
+ * trace` to merge with a server-side /trace capture.
  * Exit status is nonzero when the run aborted, a connection died,
  * frames were malformed, or requests went unanswered.
  */
@@ -130,6 +136,8 @@ main(int argc, char **argv)
             config.workload.multiPutFraction = std::atof(v);
         else if (const char *v = value("--strict="))
             config.strictFraction = std::atof(v);
+        else if (const char *v = value("--trace-sample="))
+            config.traceSample = std::atof(v);
         else if (const char *v = value("--seed="))
             config.seed = std::strtoull(v, nullptr, 10);
         else if (arg == "--load")
@@ -163,7 +171,8 @@ main(int argc, char **argv)
 
     std::printf(
         "scheduled %llu  sent %llu  acked %llu  errors %llu  "
-        "notFound %llu  lost %llu  protocolErrors %llu  strict %llu\n",
+        "notFound %llu  lost %llu  protocolErrors %llu  strict %llu  "
+        "traced %llu\n",
         static_cast<unsigned long long>(result.scheduled),
         static_cast<unsigned long long>(result.sent),
         static_cast<unsigned long long>(result.acked),
@@ -171,7 +180,8 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(result.notFound),
         static_cast<unsigned long long>(result.lost),
         static_cast<unsigned long long>(result.protocolErrors),
-        static_cast<unsigned long long>(result.strictSent));
+        static_cast<unsigned long long>(result.strictSent),
+        static_cast<unsigned long long>(result.tracedSent));
     std::printf("wall %.3fs  achieved %.1f kops/s (target %.1f)\n",
                 result.wallSeconds, result.achievedQps / 1e3,
                 config.targetQps / 1e3);
@@ -199,7 +209,9 @@ main(int argc, char **argv)
             "  \"lost\": %llu,\n"
             "  \"protocol_errors\": %llu,\n"
             "  \"strict_fraction\": %.4f,\n"
-            "  \"strict_sent\": %llu,\n",
+            "  \"strict_sent\": %llu,\n"
+            "  \"trace_sample\": %.4f,\n"
+            "  \"traced_sent\": %llu,\n",
             config.targetQps, result.achievedQps,
             result.wallSeconds, net::arrivalName(config.arrival),
             static_cast<unsigned long long>(result.scheduled),
@@ -210,7 +222,9 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(result.lost),
             static_cast<unsigned long long>(result.protocolErrors),
             config.strictFraction,
-            static_cast<unsigned long long>(result.strictSent));
+            static_cast<unsigned long long>(result.strictSent),
+            config.traceSample,
+            static_cast<unsigned long long>(result.tracedSent));
         jsonHistogram(f, "read_latency", result.readLatency, false);
         jsonHistogram(f, "update_latency", result.updateLatency,
                       false);

@@ -19,9 +19,20 @@
  *                    the assertion.
  *   top              poll a live speckv admin endpoint (--admin-port=)
  *                    and render QPS, per-stage latency percentiles,
- *                    fences/tx, epoch state and per-shard balance as
- *                    deltas between /metrics scrapes; --once emits a
- *                    single frame for CI capture.
+ *                    fences/tx, epoch state, per-shard balance and the
+ *                    slowest histogram exemplar per stage as deltas
+ *                    between /metrics scrapes; a cumulative counter
+ *                    that decreases between scrapes means the server
+ *                    restarted, so the frame re-baselines instead of
+ *                    printing negative rates; --once emits a single
+ *                    frame for CI capture.
+ *   trace FILE...    merge Chrome trace-event captures (client
+ *                    --trace-out= files and server /trace?ms=N
+ *                    scrapes), group spans by correlation id and
+ *                    print per-request waterfalls for the slowest
+ *                    traced requests (--slowest=N, --id=ID), with
+ *                    the PM cost vector the server attached to each
+ *                    srv_exec span.
  *
  * Every FILE argument also accepts `-` (read stdin once) and
  * `http://HOST:PORT/PATH` (scrape a live admin endpoint; a non-200
@@ -52,6 +63,7 @@
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -1224,11 +1236,61 @@ collectBuckets(const FlatSamples &samples)
     return out;
 }
 
+/**
+ * Histogram base name -> (value, trace id) of its highest-valued
+ * OpenMetrics exemplar in one scrape. parsePrometheus strips the
+ * `# {trace_id="N"} V` suffixes to keep FlatSamples numeric, so the
+ * exemplars are re-scanned from the raw exposition text here.
+ */
+using ExemplarMap =
+    std::map<std::string, std::pair<double, std::uint64_t>>;
+
+ExemplarMap
+collectExemplars(const std::string &body)
+{
+    ExemplarMap out;
+    std::size_t line_start = 0;
+    while (line_start < body.size()) {
+        std::size_t line_end = body.find('\n', line_start);
+        if (line_end == std::string::npos)
+            line_end = body.size();
+        const std::string_view line(body.data() + line_start,
+                                    line_end - line_start);
+        line_start = line_end + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        static constexpr std::string_view kMarker =
+            " # {trace_id=\"";
+        const std::size_t marker = line.find(kMarker);
+        if (marker == std::string_view::npos)
+            continue;
+        const std::size_t id_pos = marker + kMarker.size();
+        const std::uint64_t id =
+            std::strtoull(line.data() + id_pos, nullptr, 10);
+        const std::size_t close = line.find("\"} ", id_pos);
+        if (close == std::string_view::npos || id == 0)
+            continue;
+        const double value =
+            std::strtod(line.data() + close + 3, nullptr);
+        std::size_t name_end = line.find("_bucket{");
+        if (name_end == std::string_view::npos)
+            name_end = line.find_first_of(" {");
+        if (name_end == std::string_view::npos)
+            continue;
+        const std::string base(line.substr(0, name_end));
+        const auto it = out.find(base);
+        if (it == out.end() || value > it->second.first)
+            out[base] = {value, id};
+    }
+    return out;
+}
+
 /** One /metrics scrape plus its parsed bucket series and timestamp. */
 struct Scrape
 {
     FlatSamples samples;
     BucketMap buckets;
+    ExemplarMap exemplars;
     std::chrono::steady_clock::time_point when;
 };
 
@@ -1350,8 +1412,8 @@ renderTopFrame(const Scrape &prev, const Scrape &cur,
                             : "-",
                 slow_total, slow_delta);
 
-    std::printf("%-10s %10s %10s %10s %10s\n", "stage", "p50", "p99",
-                "p999", "count/s");
+    std::printf("%-10s %10s %10s %10s %10s  %s\n", "stage", "p50",
+                "p99", "p999", "count/s", "exemplar");
     static const std::pair<const char *, const char *> kStages[] = {
         {"queue", "specpmt_net_stage_queue"},
         {"exec", "specpmt_net_stage_exec"},
@@ -1364,9 +1426,17 @@ renderTopFrame(const Scrape &prev, const Scrape &cur,
         const double p99 = windowQuantile(prev, cur, base, 0.99, total);
         const double p999 =
             windowQuantile(prev, cur, base, 0.999, total);
-        std::printf("%-10s %10s %10s %10s %10.0f\n", label,
+        // Slowest exemplar of the stage histogram: a concrete trace
+        // id behind the tail, ready for `specstat trace --id=`.
+        std::string exemplar = "-";
+        const auto ex = cur.exemplars.find(base);
+        if (ex != cur.exemplars.end())
+            exemplar = formatNs(ex->second.first) + " id=" +
+                       std::to_string(ex->second.second);
+        std::printf("%-10s %10s %10s %10s %10.0f  %s\n", label,
                     formatNs(p50).c_str(), formatNs(p99).c_str(),
-                    formatNs(p999).c_str(), total / safe_dt);
+                    formatNs(p999).c_str(), total / safe_dt,
+                    exemplar.c_str());
     }
 
     const double pending =
@@ -1397,6 +1467,26 @@ renderTopFrame(const Scrape &prev, const Scrape &cur,
         any_shard = true;
     }
     std::printf(any_shard ? "\n" : "  (none)\n");
+}
+
+/**
+ * Cumulative series (counters, histogram counts) never decrease in a
+ * live process; a lower reading means the scraped endpoint restarted
+ * (or now belongs to a different process) and every delta this frame
+ * would come out negative. The frame re-baselines instead.
+ */
+bool
+countersReset(const Scrape &prev, const Scrape &cur)
+{
+    for (const auto &[name, value] : prev.samples) {
+        if (!endsWith(name, "_total") && !endsWith(name, "_count") &&
+            name.find("_bucket{") == std::string::npos)
+            continue;
+        const auto it = cur.samples.find(name);
+        if (it != cur.samples.end() && it->second < value)
+            return true;
+    }
+    return false;
 }
 
 int
@@ -1481,6 +1571,7 @@ cmdTop(const std::vector<std::string> &args)
             return false;
         }
         out.buckets = collectBuckets(out.samples);
+        out.exemplars = collectExemplars(response.body);
         out.when = std::chrono::steady_clock::now();
         return true;
     };
@@ -1498,9 +1589,261 @@ cmdTop(const std::vector<std::string> &args)
             return 2;
         if (!once)
             std::printf("\x1b[H\x1b[2J");
-        renderTopFrame(prev, cur, where, frame);
+        if (countersReset(prev, cur)) {
+            std::printf("specstat top — %s  counter reset detected "
+                        "(server restart?), re-baselining\n",
+                        where.c_str());
+        } else {
+            renderTopFrame(prev, cur, where, frame);
+        }
         std::fflush(stdout);
         prev = std::move(cur);
+    }
+    return 0;
+}
+
+int usage();
+
+/**
+ * ======================== specstat trace ========================
+ *
+ * Merge Chrome trace-event captures — client --trace-out= files and
+ * server /trace?ms=N scrapes share the steady-clock time base when
+ * both processes run on the same host — group spans by their
+ * correlation id (args.id, the 64-bit wire trace id) and print a
+ * waterfall per traced request, slowest first: client_send and
+ * client_rtt from the load generator interleaved with srv_queue,
+ * srv_exec, flush_batch, epoch_seal, seal_wait and ack_write from the
+ * server, each positioned on a shared time axis. The PM cost vector
+ * the server attaches to srv_exec (user vs log bytes, flushes,
+ * fences, log-space watermarks) prints below each waterfall with the
+ * derived write amplification.
+ */
+
+/** One parsed trace event carrying a correlation id. */
+struct TraceSpan
+{
+    std::string name;
+    std::string cat;
+    double startNs = 0;
+    double durNs = 0;
+    std::size_t source = 0; ///< index into the input list
+    std::uint64_t id = 0;
+    /** Numeric args minus the id, in file order. */
+    std::vector<std::pair<std::string, double>> args;
+};
+
+/**
+ * Load one trace artifact and append its events. The flattener turns
+ * `traceEvents[i].field` into `traceEvents.<i>.<field>` leaf paths;
+ * string fields (name, cat) and numeric fields (ts, dur, args.*)
+ * land in separate maps and are re-joined by index here.
+ */
+bool
+loadTraceSpans(const std::string &path, std::size_t source,
+               std::vector<TraceSpan> &out, std::string &error)
+{
+    std::string text;
+    if (!fetchArtifact(path, text, error))
+        return false;
+    if (text.find("\"traceEvents\"") == std::string::npos) {
+        error = "not a trace artifact (no traceEvents)";
+        return false;
+    }
+    FlatJson json;
+    if (!JsonFlattener(text).parse(json, error))
+        return false;
+    const auto indexOf = [](const std::string &key,
+                            std::string &field) -> long {
+        static const std::string kPrefix = "traceEvents.";
+        if (key.rfind(kPrefix, 0) != 0)
+            return -1;
+        const std::size_t dot = key.find('.', kPrefix.size());
+        if (dot == std::string::npos)
+            return -1;
+        field = key.substr(dot + 1);
+        return std::atol(key.c_str() + kPrefix.size());
+    };
+    std::map<long, TraceSpan> events;
+    for (const auto &[key, value] : json.strings) {
+        std::string field;
+        const long i = indexOf(key, field);
+        if (i < 0)
+            continue;
+        if (field == "name")
+            events[i].name = value;
+        else if (field == "cat")
+            events[i].cat = value;
+    }
+    for (const auto &[key, value] : json.numbers) {
+        std::string field;
+        const long i = indexOf(key, field);
+        if (i < 0)
+            continue;
+        if (field == "ts") {
+            // Chrome trace timestamps are microseconds.
+            events[i].startNs = value * 1000.0;
+        } else if (field == "dur") {
+            events[i].durNs = value * 1000.0;
+        } else if (field == "args.id") {
+            events[i].id = static_cast<std::uint64_t>(value);
+        } else if (field.rfind("args.", 0) == 0) {
+            events[i].args.emplace_back(field.substr(5), value);
+        }
+    }
+    for (auto &[i, span] : events) {
+        (void)i;
+        span.source = source;
+        out.push_back(std::move(span));
+    }
+    return true;
+}
+
+/** Render one waterfall bar on a @p width-column shared time axis. */
+std::string
+waterfallBar(double offset_ns, double dur_ns, double total_ns,
+             int width)
+{
+    std::string bar(static_cast<std::size_t>(width), '.');
+    if (total_ns <= 0)
+        return bar;
+    int begin = static_cast<int>(offset_ns / total_ns * width);
+    int fill = static_cast<int>(dur_ns / total_ns * width);
+    begin = std::clamp(begin, 0, width - 1);
+    fill = std::clamp(fill, 1, width - begin);
+    for (int i = 0; i < fill; ++i)
+        bar[static_cast<std::size_t>(begin + i)] = '=';
+    return bar;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    std::size_t slowest = 10;
+    std::uint64_t only_id = 0;
+    std::vector<std::string> paths;
+    for (const auto &arg : args) {
+        if (arg.rfind("--slowest=", 0) == 0) {
+            slowest = std::strtoull(arg.c_str() + 10, nullptr, 10);
+        } else if (arg.rfind("--id=", 0) == 0) {
+            only_id = std::strtoull(arg.c_str() + 5, nullptr, 10);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "specstat: unknown trace arg %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty() || slowest == 0)
+        return usage();
+
+    std::vector<TraceSpan> spans;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        std::string error;
+        if (!loadTraceSpans(paths[i], i, spans, error)) {
+            std::fprintf(stderr, "specstat: %s: %s\n",
+                         paths[i].c_str(), error.c_str());
+            return 2;
+        }
+        std::printf("input %zu: %s\n", i, paths[i].c_str());
+    }
+
+    std::map<std::uint64_t, std::vector<const TraceSpan *>> traces;
+    for (const TraceSpan &span : spans) {
+        if (span.id == 0 || (only_id != 0 && span.id != only_id))
+            continue;
+        traces[span.id].push_back(&span);
+    }
+    if (traces.empty()) {
+        std::fprintf(stderr,
+                     "specstat: no correlated spans (args.id%s) "
+                     "among %zu events\n",
+                     only_id != 0 ? " matching --id" : "",
+                     spans.size());
+        return 1;
+    }
+
+    struct Ranked
+    {
+        std::uint64_t id;
+        double start;
+        double end;
+        const std::vector<const TraceSpan *> *spans;
+    };
+    std::vector<Ranked> ranked;
+    for (const auto &[id, members] : traces) {
+        Ranked r{id, std::numeric_limits<double>::infinity(), 0,
+                 &members};
+        for (const TraceSpan *span : members) {
+            r.start = std::min(r.start, span->startNs);
+            r.end = std::max(r.end, span->startNs + span->durNs);
+        }
+        ranked.push_back(r);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  return a.end - a.start > b.end - b.start;
+              });
+
+    std::printf("%zu correlated trace(s) across %zu spans; showing "
+                "slowest %zu\n",
+                ranked.size(), spans.size(),
+                std::min(slowest, ranked.size()));
+
+    constexpr int kBarWidth = 40;
+    for (std::size_t t = 0; t < ranked.size() && t < slowest; ++t) {
+        const Ranked &r = ranked[t];
+        const double total = r.end - r.start;
+        std::vector<const TraceSpan *> ordered = *r.spans;
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const TraceSpan *a, const TraceSpan *b) {
+                      return a->startNs != b->startNs
+                                 ? a->startNs < b->startNs
+                                 : a->durNs > b->durNs;
+                  });
+        std::printf("\ntrace %llu  total %s  spans %zu\n",
+                    static_cast<unsigned long long>(r.id),
+                    formatNs(total).c_str(), ordered.size());
+        const TraceSpan *exec = nullptr;
+        for (const TraceSpan *span : ordered) {
+            std::printf("  %-12s %-7s [%zu] +%-9s %-9s |%s|",
+                        span->name.c_str(), span->cat.c_str(),
+                        span->source,
+                        formatNs(span->startNs - r.start).c_str(),
+                        formatNs(span->durNs).c_str(),
+                        waterfallBar(span->startNs - r.start,
+                                     span->durNs, total, kBarWidth)
+                            .c_str());
+            for (const auto &[key, value] : span->args)
+                std::printf(" %s=%s", key.c_str(),
+                            formatValue(value).c_str());
+            std::printf("\n");
+            if (span->name == "srv_exec" && exec == nullptr)
+                exec = span;
+        }
+        if (exec != nullptr && !exec->args.empty()) {
+            const auto arg = [&](const char *key) -> double {
+                for (const auto &[k, v] : exec->args)
+                    if (k == key)
+                        return v;
+                return 0;
+            };
+            const double user = arg("user_bytes");
+            const double log = arg("log_bytes");
+            std::printf("  pm: user %sB  log %sB  write_amp %s  "
+                        "flushes %s (%sB)  fences %s  log_peak %sB  "
+                        "reclaim_debt %sB\n",
+                        formatValue(user).c_str(),
+                        formatValue(log).c_str(),
+                        user > 0 ? formatValue(log / user).c_str()
+                                 : "-",
+                        formatValue(arg("flushes")).c_str(),
+                        formatValue(arg("flush_bytes")).c_str(),
+                        formatValue(arg("fences")).c_str(),
+                        formatValue(arg("log_peak")).c_str(),
+                        formatValue(arg("reclaim_debt")).c_str());
+        }
     }
     return 0;
 }
@@ -1599,6 +1942,8 @@ usage()
                "       specstat top --port=P [--host=H] [--url=U]\n"
                "                    [--interval=SEC] [--count=N] "
                "[--once]\n"
+               "       specstat trace [--slowest=N] [--id=ID] "
+               "FILE...\n"
                "FILE may be a path, `-` (stdin) or an http:// URL.\n",
                stderr);
     return 2;
@@ -1639,6 +1984,10 @@ main(int argc, char **argv)
     if (command == "top") {
         std::vector<std::string> args(argv + 2, argv + argc);
         return cmdTop(args);
+    }
+    if (command == "trace" && argc >= 3) {
+        std::vector<std::string> args(argv + 2, argv + argc);
+        return cmdTrace(args);
     }
     if (command == "check" && argc >= 3) {
         std::vector<Requirement> requirements;

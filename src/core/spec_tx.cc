@@ -49,6 +49,7 @@ struct SpecTxMetrics
     obs::Gauge &epochPendingTxs;
     obs::Gauge &epochLastSealed;
     obs::Histogram &epochTxsPerSeal;
+    obs::Counter &quarantinedSegments;
 
     static SpecTxMetrics &
     get()
@@ -95,6 +96,9 @@ struct SpecTxMetrics
                       "highest sealed epoch ticket"),
             reg.histogram("specpmt_epoch_txs_per_seal",
                           "epoch size in transactions at seal time"),
+            reg.counter("specpmt_pm_media_quarantined_segments_total",
+                        "CRC-failing log segments quarantined by "
+                        "recovery walks instead of stopping them"),
         };
         return m;
     }
@@ -318,6 +322,17 @@ SpecTx::attachBlock(ThreadLog &log, std::size_t min_bytes)
 void
 SpecTx::openSegment(ThreadLog &log)
 {
+    if (log.retireTailOnBegin) {
+        // The previous transaction aborted mid-append. If the abort
+        // was a media fault (e.g. a write-EIO line under the tail),
+        // re-serving the rewound bytes would hit the same line on
+        // every retry forever; burn the rest of the block and carry
+        // on in a fresh one. A genuinely dead region thus costs pool
+        // space — degrading to read-only via PoolExhausted — instead
+        // of wedging the shard in an abort loop.
+        attachBlock(log, sizeof(SegHead));
+        log.retireTailOnBegin = false;
+    }
     const PmOff base = log.blocks.back();
     const auto cap = static_cast<std::size_t>(
         dev_.loadT<std::uint64_t>(base + offsetof(BlockHeader, capacity)));
@@ -472,11 +487,11 @@ SpecTx::txCommit(ThreadId tid)
 
     auto &log = threadLog(tid);
     SPECPMT_ASSERT(log.inTx);
-    log.inTx = false;
 
     // Read-only transaction: nothing to persist; rewind the header
     // space reserved at txBegin.
     if (log.openSegs.size() == 1 && log.openSegs[0].numEntries == 0) {
+        log.inTx = false;
         log.tailPos -= sizeof(SegHead);
         log.openSegs.clear();
         std::lock_guard<std::mutex> guard(log.mutex);
@@ -513,6 +528,12 @@ SpecTx::txCommit(ThreadId tid)
                 tctx.sampled ? tctx.traceId : 0);
         }
     }
+
+    // Commit point. Only past the fence is the transaction
+    // irrevocable; a media fault thrown from the seal/flush stores
+    // above leaves inTx set, so the caller can still txAbort() —
+    // pre-images restored, tail rewound and re-poisoned.
+    log.inTx = false;
 
     log.pendingFlush.clear();
     log.openSegs.clear();
@@ -755,6 +776,10 @@ SpecTx::storeEpochFrontier(TxTimestamp first, TxTimestamp last)
 void
 SpecTx::txAbort(ThreadId tid)
 {
+    // The rollback must complete even when the abort is *caused by* a
+    // media fault: restoring pre-images and re-poisoning the tail may
+    // touch the very lines whose failure is being unwound.
+    pmem::MediaFaultSuppress suppress_media_faults;
     auto &log = threadLog(tid);
     SPECPMT_ASSERT(log.inTx);
     log.inTx = false;
@@ -765,9 +790,21 @@ SpecTx::txAbort(ThreadId tid)
         dev_.store(it->first, it->second.data(), it->second.size());
     }
 
+    // A transaction that failed before its first segment opened (pool
+    // exhaustion inside txBegin) has nothing staged to rewind.
+    if (log.openSegs.empty()) {
+        log.entryIndex.clear();
+        log.preImages.clear();
+        log.captured.clear();
+        log.writeSet.clear();
+        SpecTxMetrics::get().aborts.add();
+        flight_.record(forensic::EventType::TxAbort, tid);
+        SPECPMT_TRACE_END("tx_abort", "tx", log.traceStartNs);
+        return;
+    }
+
     // Rewind the log tail to where this transaction started and drop
     // any blocks attached on its behalf.
-    SPECPMT_ASSERT(!log.openSegs.empty());
     const PmOff rewind_pos = log.openSegs.front().pos;
 
     std::vector<PmOff> freed;
@@ -811,17 +848,23 @@ SpecTx::txAbort(ThreadId tid)
     });
     poisonTail(log);
 
-    for (PmOff base : freed) {
+    // The dropped blocks are deliberately NOT returned to the pool:
+    // when the abort was caused by a media fault one of them may
+    // contain the failing line, and the pool's LIFO free lists would
+    // hand it straight back to the next attachBlock — an abort loop
+    // on the same bad line. Aborts are exceptional (media faults,
+    // pool exhaustion), so the quarantined space is bounded and
+    // read-only degradation remains the backstop.
+    for (PmOff base : freed)
         noteLogBytes(-static_cast<std::ptrdiff_t>(
             pool_.allocationSize(base)));
-        pool_.free(base);
-    }
 
     log.openSegs.clear();
     log.entryIndex.clear();
     log.preImages.clear();
     log.captured.clear();
     log.writeSet.clear();
+    log.retireTailOnBegin = true;
     SpecTxMetrics::get().aborts.add();
     flight_.record(forensic::EventType::TxAbort, tid);
     SPECPMT_TRACE_END("tx_abort", "tx", log.traceStartNs);
@@ -902,6 +945,10 @@ void
 SpecTx::recover()
 {
     SPECPMT_TRACE_SPAN("spec_recover", "recovery");
+    // Recovery reads whatever the media still yields: a poisoned line
+    // inside an old record must not wedge the walk — the CRC seals
+    // decide what is trustworthy, and quarantining handles the rest.
+    pmem::MediaFaultSuppress suppress_media_faults;
     flight_.record(forensic::EventType::RecoveryBegin, 0);
     struct CommittedTx
     {
@@ -950,11 +997,23 @@ SpecTx::recover()
         // not replaying it.
         TxGrouper grouper;
         chains[tid].walk = walkChain(
-            dev_, root, [&](const DecodedSegment &seg) {
+            dev_, root,
+            [&](const DecodedSegment &seg) {
                 seedTimestamp(seg.timestamp);
                 grouper.feed(seg);
+            },
+            [&](const QuarantinedSegment &q) {
+                grouper.noteQuarantine();
+                flight_.record(forensic::EventType::Quarantine, tid, 0,
+                               q.pos, q.sizeBytes);
             });
         grouper.finish();
+        if (!chains[tid].walk.quarantined.empty()) {
+            SpecTxMetrics::get().quarantinedSegments.add(
+                chains[tid].walk.quarantined.size());
+            quarantinedSegments_ +=
+                chains[tid].walk.quarantined.size();
+        }
         for (const auto &group : grouper.committed()) {
             CommittedTx tx;
             tx.ts = group.ts;

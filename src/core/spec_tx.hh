@@ -114,9 +114,18 @@ class SpecTx : public txn::TxRuntime
     /**
      * Abort the open transaction during normal execution
      * (Section 5.3.2): restore the captured pre-images and drop the
-     * staged log segments.
+     * staged log segments. Runs with media faults suppressed so the
+     * rollback that recovers from a MediaError cannot itself be
+     * interrupted by one.
      */
-    void txAbort(ThreadId tid);
+    void txAbort(ThreadId tid) override;
+
+    /** Segments quarantined by this incarnation's recovery walks. */
+    std::uint64_t
+    quarantinedSegments() const override
+    {
+        return quarantinedSegments_;
+    }
 
     /**
      * Post-crash recovery (Section 3.1): discard records of
@@ -181,6 +190,10 @@ class SpecTx : public txn::TxRuntime
         txn::WriteSet writeSet;  ///< data bytes updated this tx (DP)
         /** Index of the first block containing an open segment. */
         std::size_t firstOpenBlock = 0;
+        /** Set by txAbort: the rewound tail bytes may sit on a
+         * permanently failing media line, so the next transaction
+         * must open in a fresh block instead of re-serving them. */
+        bool retireTailOnBegin = false;
         /** Trace-span start for the open transaction (0 = tracing off). */
         std::uint64_t traceStartNs = 0;
         /** Thread PM-cost snapshot at txBegin; commit publishes the
@@ -242,6 +255,8 @@ class SpecTx : public txn::TxRuntime
     std::vector<std::unique_ptr<ThreadLog>> logs_;
     /** Set when the constructor found a pre-existing (crashed) pool. */
     bool needsRecovery_ = false;
+    /** Media-corrupted segments quarantined by recover(). */
+    std::uint64_t quarantinedSegments_ = 0;
 
     std::atomic<std::size_t> logBytes_{0};
     std::atomic<std::size_t> peakLogBytes_{0};

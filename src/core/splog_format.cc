@@ -50,7 +50,10 @@ namespace
 WalkEnd
 parseBlock(const pmem::PmemDevice &dev, PmOff block,
            const std::function<void(const DecodedSegment &)> &visit,
-           PmOff *next_out, PmOff *stop_out = nullptr)
+           PmOff *next_out, PmOff *stop_out = nullptr,
+           std::vector<QuarantinedSegment> *quarantine = nullptr,
+           const std::function<void(const QuarantinedSegment &)>
+               *on_quarantine = nullptr)
 {
     const auto bh = dev.loadT<BlockHeader>(block);
     if (next_out)
@@ -84,8 +87,34 @@ parseBlock(const pmem::PmemDevice &dev, PmOff block,
             return WalkEnd::CleanTail; // poison: chronological tail here
         if (head.sizeBytes < sizeof(SegHead) || pos + head.sizeBytes > end)
             return WalkEnd::TornRecord;
-        if (segmentCrc(dev, pos, head) != head.crc)
-            return WalkEnd::TornRecord;
+        if (segmentCrc(dev, pos, head) != head.crc) {
+            // Torn tail or corrupted interior record? A crash-torn
+            // commit is by construction the chronologically last
+            // record, so if the position this header's size points to
+            // holds another checksum-valid segment, the failure is
+            // media corruption of an old record: quarantine it and
+            // keep walking. Anything else is the torn tail, exactly
+            // as before.
+            const PmOff skip =
+                pos + ((head.sizeBytes + 7) & ~std::uint64_t{7});
+            bool interior = false;
+            if (quarantine != nullptr &&
+                skip + sizeof(SegHead) <= end) {
+                const auto next_head = dev.loadT<SegHead>(skip);
+                if (next_head.sizeBytes >= sizeof(SegHead) &&
+                    skip + next_head.sizeBytes <= end &&
+                    segmentCrc(dev, skip, next_head) == next_head.crc)
+                    interior = true;
+            }
+            if (!interior)
+                return WalkEnd::TornRecord;
+            const QuarantinedSegment q{pos, head.sizeBytes, block};
+            quarantine->push_back(q);
+            if (on_quarantine != nullptr && *on_quarantine)
+                (*on_quarantine)(q);
+            pos = skip;
+            continue;
+        }
 
         DecodedSegment seg;
         seg.pos = pos;
@@ -126,7 +155,9 @@ parseBlock(const pmem::PmemDevice &dev, PmOff block,
 
 WalkResult
 walkChain(const pmem::PmemDevice &dev, PmOff head_block,
-          const std::function<void(const DecodedSegment &)> &visit)
+          const std::function<void(const DecodedSegment &)> &visit,
+          const std::function<void(const QuarantinedSegment &)>
+              &on_quarantine)
 {
     WalkResult result;
     PmOff block = head_block;
@@ -160,7 +191,8 @@ walkChain(const pmem::PmemDevice &dev, PmOff head_block,
         PmOff next = kPmNull;
         PmOff stop = kPmNull;
         const WalkEnd block_end =
-            parseBlock(dev, block, visit, &next, &stop);
+            parseBlock(dev, block, visit, &next, &stop,
+                       &result.quarantined, &on_quarantine);
         result.tailPos = stop;
         if (block_end == WalkEnd::TornRecord) {
             result.end = WalkEnd::TornRecord;

@@ -188,6 +188,21 @@ enum class WalkEnd
     TornRecord,  ///< crc mismatch: crash interrupted a commit here
 };
 
+/**
+ * A CRC-failing segment the walker skipped instead of stopping at:
+ * media corruption of an *interior* record, distinguishable from a
+ * crash-torn tail because a checksum-valid segment follows it at the
+ * position its (plausible) size header points to. Crash-torn tails
+ * never look like this — nothing valid is ever appended past a torn
+ * commit — so quarantining preserves the torn-tail rule exactly.
+ */
+struct QuarantinedSegment
+{
+    PmOff pos = kPmNull;        ///< segment start in the log area
+    std::uint32_t sizeBytes = 0;///< size claimed by its header
+    PmOff block = kPmNull;      ///< block containing the segment
+};
+
 /** Structural result of a chain walk, used to re-adopt a log. */
 struct WalkResult
 {
@@ -198,16 +213,23 @@ struct WalkResult
     PmOff tailPos = kPmNull;
     /** Block containing tailPos (the last visited block). */
     PmOff tailBlock = kPmNull;
+    /** Interior CRC failures skipped as media corruption. */
+    std::vector<QuarantinedSegment> quarantined;
 };
 
 /**
  * Walk one thread's block chain from @p head_block, invoking
  * @p visit for every checksum-valid segment in chronological order.
  * Stops at the first torn record (there cannot be fresh records
- * beyond it — Section 4.1).
+ * beyond it — Section 4.1) — unless the failing record is followed by
+ * a checksum-valid segment, in which case it is quarantined (see
+ * QuarantinedSegment), @p on_quarantine fires, and the walk continues.
  */
-WalkResult walkChain(const pmem::PmemDevice &dev, PmOff head_block,
-                     const std::function<void(const DecodedSegment &)> &visit);
+WalkResult walkChain(
+    const pmem::PmemDevice &dev, PmOff head_block,
+    const std::function<void(const DecodedSegment &)> &visit,
+    const std::function<void(const QuarantinedSegment &)> &on_quarantine =
+        {});
 
 /**
  * Walk the segments of a single block (no chain following); used by

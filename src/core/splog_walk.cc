@@ -32,6 +32,16 @@ TxGrouper::feed(const DecodedSegment &seg, std::size_t block_index)
     open_ = GroupedTx{};
 }
 
+void
+TxGrouper::noteQuarantine()
+{
+    SPECPMT_ASSERT(!finished_);
+    if (open_.segs.empty())
+        return;
+    discarded_.push_back({TxDiscard::QuarantineGap, std::move(open_)});
+    open_ = GroupedTx{};
+}
+
 const GroupedTx &
 TxGrouper::finish()
 {

@@ -60,6 +60,10 @@ enum class TxDiscard
      * poison), so committing the run would apply a subset of the
      * transaction. */
     SegCountMismatch,
+    /** A quarantined (media-corrupted) segment interrupted the run:
+     * part of the transaction is unreadable, so committing the
+     * remainder would apply a subset. */
+    QuarantineGap,
 };
 
 /** One segment inside a grouped transaction. */
@@ -92,6 +96,14 @@ class TxGrouper
   public:
     /** Feed the next checksum-valid segment of the walk. */
     void feed(const DecodedSegment &seg, std::size_t block_index = 0);
+
+    /**
+     * The walker quarantined a CRC-failing segment at this point of
+     * the stream: any open run loses a member and must be discarded
+     * (TxDiscard::QuarantineGap); a later final seal for the same
+     * timestamp will then fail its count attestation as well.
+     */
+    void noteQuarantine();
 
     /** End of walk: whatever is still open becomes the in-flight
      * tail. @return the in-flight run (empty if the walk ended on a

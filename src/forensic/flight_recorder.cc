@@ -51,6 +51,12 @@ eventTypeName(EventType type)
         return "recovery_end";
       case EventType::ModeSwitch:
         return "mode_switch";
+      case EventType::MediaFault:
+        return "media_fault";
+      case EventType::Quarantine:
+        return "quarantine";
+      case EventType::DegradedEnter:
+        return "degraded_enter";
       case EventType::None:
         break;
     }

@@ -74,6 +74,16 @@ enum class EventType : std::uint16_t
     RecoveryEnd = 7,
     /** arg0 = 0 (Section 4.3.1 mechanism switch). */
     ModeSwitch = 8,
+    /** A device MediaError surfaced to the runtime: arg0 = the
+     * faulting media offset, arg1 = MediaErrorKind. */
+    MediaFault = 9,
+    /** Recovery/walk quarantined a CRC-failing segment: arg0 = the
+     * segment's position, arg1 = its claimed sizeBytes. */
+    Quarantine = 10,
+    /** The pool entered read-only degraded mode (log-space
+     * exhaustion or unrecoverable media failure): arg0 = bytes the
+     * failing allocation needed (0 when unknown). */
+    DegradedEnter = 11,
 };
 
 /** Printable name of @p type ("tx_commit", ...). */

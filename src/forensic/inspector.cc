@@ -123,8 +123,13 @@ inspectChain(const pmem::PmemDevice &dev, unsigned tid, PmOff root)
 
     core::TxGrouper grouper;
     const auto walk = core::walkChain(
-        dev, root, [&](const DecodedSegment &seg) { grouper.feed(seg); });
+        dev, root,
+        [&](const DecodedSegment &seg) { grouper.feed(seg); },
+        [&](const core::QuarantinedSegment &) {
+            grouper.noteQuarantine();
+        });
     grouper.finish();
+    chain.quarantined = walk.quarantined;
 
     chain.blocks = walk.blocks;
     chain.tornTail = walk.end == core::WalkEnd::TornRecord;
@@ -160,6 +165,13 @@ inspectChain(const pmem::PmemDevice &dev, unsigned tid, PmOff root)
                      " (intermediate segment never persisted)";
             break;
           }
+          case core::TxDiscard::QuarantineGap:
+            reason = "a quarantined (media-corrupted) segment "
+                     "interrupted the run of " +
+                     std::to_string(discarded.tx.segs.size()) +
+                     " sealed segment(s); committing the remainder "
+                     "would apply a subset";
+            break;
         }
         chain.txs.push_back(txFromGroup(discarded.tx, TxVerdict::Torn,
                                         std::move(reason)));
@@ -302,6 +314,7 @@ inspectImage(const pmem::PmemDevice &dev, unsigned threads,
     }
 
     for (const auto &chain : report.chains) {
+        report.quarantined += chain.quarantined.size();
         for (const auto &tx : chain.txs) {
             switch (tx.verdict) {
               case TxVerdict::Committed:
@@ -418,6 +431,13 @@ InspectReport::toText() const
             }
             out += "\n    reason: " + tx.reason + "\n";
         }
+        for (const auto &q : chain.quarantined) {
+            out += "  QUARANTINED segment at " + hex(q.pos) +
+                   " (sizeBytes=" + std::to_string(q.sizeBytes) +
+                   ", block=" + hex(q.block) +
+                   "): seal crc failed but a valid segment follows "
+                   "(media corruption, not a torn tail)\n";
+        }
     }
     if (epochMedia) {
         out += "epoch frontier: window [" +
@@ -432,6 +452,8 @@ InspectReport::toText() const
            " in-flight=" + std::to_string(inFlight);
     if (epochMedia)
         out += " unsealed=" + std::to_string(unsealed);
+    if (quarantined != 0)
+        out += " quarantined=" + std::to_string(quarantined);
     out += "\n";
     return out;
 }
@@ -463,8 +485,22 @@ InspectReport::toJson(const std::string &metrics_json) const
                ", \"tailDetail\": \"";
         appendJsonEscaped(out, chain.tailDetail);
         out += "\", \"lastCommittedEnd\": " +
-               std::to_string(chain.lastCommittedEnd) +
-               ",\n     \"txs\": [";
+               std::to_string(chain.lastCommittedEnd);
+        if (!chain.quarantined.empty()) {
+            out += ", \"quarantined\": [";
+            bool first_q = true;
+            for (const auto &q : chain.quarantined) {
+                if (!first_q)
+                    out += ", ";
+                first_q = false;
+                out += "{\"pos\": " + std::to_string(q.pos) +
+                       ", \"sizeBytes\": " +
+                       std::to_string(q.sizeBytes) +
+                       ", \"block\": " + std::to_string(q.block) + "}";
+            }
+            out += "]";
+        }
+        out += ",\n     \"txs\": [";
         bool first_tx = true;
         for (const auto &tx : chain.txs) {
             if (!first_tx)
@@ -545,6 +581,8 @@ InspectReport::toJson(const std::string &metrics_json) const
            ", \"inFlight\": " + std::to_string(inFlight);
     if (epochMedia)
         out += ", \"unsealed\": " + std::to_string(unsealed);
+    if (quarantined != 0)
+        out += ", \"quarantined\": " + std::to_string(quarantined);
     out += "}";
     if (!metrics_json.empty())
         out += ",\n  \"metrics\": " + metrics_json;

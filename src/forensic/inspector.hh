@@ -118,6 +118,10 @@ struct ChainReport
     std::vector<TxReport> txs;
     /** End of the last committed tx: where recovery will re-adopt. */
     PmOff lastCommittedEnd = kPmNull;
+    /** Interior CRC-failing segments the walker skipped as media
+     * corruption (see core::QuarantinedSegment); empty on healthy
+     * and crash-torn images alike. */
+    std::vector<core::QuarantinedSegment> quarantined;
 };
 
 /** Full inspection result for one image. */
@@ -130,6 +134,8 @@ struct InspectReport
     std::size_t committed = 0;
     std::size_t torn = 0;
     std::size_t inFlight = 0;
+    /** Media-corrupted segments quarantined across all chains. */
+    std::size_t quarantined = 0;
 
     /** @name Epoch group commit (root slot txn::kEpochFrontierSlot)
      * Populated only when the image publishes an epoch frontier

@@ -126,10 +126,14 @@ auditRecovery(const std::vector<std::uint8_t> &image,
         std::vector<TxTimestamp> got;
         if (root != kPmNull) {
             core::TxGrouper grouper;
-            core::walkChain(*dev, root,
-                            [&](const core::DecodedSegment &seg) {
-                                grouper.feed(seg);
-                            });
+            core::walkChain(
+                *dev, root,
+                [&](const core::DecodedSegment &seg) {
+                    grouper.feed(seg);
+                },
+                [&](const core::QuarantinedSegment &) {
+                    grouper.noteQuarantine();
+                });
             grouper.finish();
             for (const auto &group : grouper.committed())
                 got.push_back(group.ts);

@@ -30,6 +30,9 @@ struct KvMetrics
     obs::Counter &multiPuts;
     obs::Counter &crashes;
     obs::Counter &recoveries;
+    obs::Counter &mediaAborts;
+    obs::Counter &readOnlyRejects;
+    obs::Counter &degradedEnters;
     obs::Gauge &lastRecoveryNs;
     obs::Histogram &shardRecoveryNs;
 
@@ -51,6 +54,15 @@ struct KvMetrics
                         "simulated whole-service crashes"),
             reg.counter("specpmt_kv_recoveries_total",
                         "whole-service parallel recoveries"),
+            reg.counter("specpmt_kv_media_tx_aborts_total",
+                        "transactions aborted cleanly on a media "
+                        "fault (poisoned read / write EIO)"),
+            reg.counter("specpmt_kv_readonly_rejects_total",
+                        "mutations refused by a read-only degraded "
+                        "shard"),
+            reg.counter("specpmt_kv_degraded_enters_total",
+                        "shards that flipped into read-only degraded "
+                        "mode (log-space exhaustion)"),
             reg.gauge("specpmt_kv_last_recovery_ns",
                       "wall-clock ns of the most recent recover()"),
             reg.histogram("specpmt_kv_shard_recovery_ns",
@@ -96,18 +108,43 @@ KvService::KvService(const KvServiceConfig &config) : config_(config)
     shards_.reserve(config_.shards);
     for (unsigned s = 0; s < config_.shards; ++s) {
         auto shard = std::make_unique<Shard>();
-        shard->device =
-            std::make_unique<pmem::PmemDevice>(config_.shardPoolBytes);
+        if (config_.pmDir.empty()) {
+            shard->device = std::make_unique<pmem::PmemDevice>(
+                config_.shardPoolBytes);
+        } else {
+            shard->device = std::make_unique<pmem::PmemDevice>(
+                config_.shardPoolBytes,
+                config_.pmDir + "/shard-" + std::to_string(s) +
+                    ".pm");
+        }
         shard->pool = std::make_unique<pmem::PmemPool>(*shard->device);
-        if (config_.flightRecorder)
-            forensic::FlightRecorder::create(*shard->pool);
-        shard->runtime =
-            txn::makeRuntime(config_.runtime, *shard->pool,
-                             config_.threads, config_.runtimeOptions);
-        shard->map.emplace(
-            Map::create(*shard->runtime, config_.bucketsPerShard));
-        shard->pool->setRoot(txn::kAppRootSlotBase,
-                             shard->map->base());
+        if (shard->device->hadExistingData()) {
+            // Reattach: the backing file holds a pre-kill image.
+            // Run this shard's recovery and re-adopt the map exactly
+            // as the post-crash path does.
+            shard->runtime = txn::makeRuntime(config_.runtime,
+                                              *shard->pool,
+                                              config_.threads,
+                                              config_.runtimeOptions);
+            shard->runtime->recover();
+            const PmOff base =
+                shard->pool->getRoot(txn::kAppRootSlotBase);
+            SPECPMT_ASSERT(base != kPmNull);
+            shard->map.emplace(Map::attach(*shard->runtime, base));
+        } else {
+            if (config_.flightRecorder)
+                forensic::FlightRecorder::create(*shard->pool);
+            shard->runtime =
+                txn::makeRuntime(config_.runtime, *shard->pool,
+                                 config_.threads,
+                                 config_.runtimeOptions);
+            shard->map.emplace(
+                Map::create(*shard->runtime,
+                            config_.bucketsPerShard));
+            shard->pool->setRoot(txn::kAppRootSlotBase,
+                                 shard->map->base());
+        }
+        shard->flight = forensic::FlightRecorder::attach(*shard->pool);
         shard->locks =
             std::make_unique<txn::LockTable>(config_.lockStripes);
         shard->sealLagGauge = &obs::Registry::global().gauge(
@@ -373,7 +410,89 @@ KvService::multiPut(ThreadId tid,
     return all_ok;
 }
 
+void
+KvService::noteMediaAbort(unsigned shard_index, Shard &shard,
+                          ThreadId tid, std::uint64_t fault_off,
+                          std::uint64_t fault_kind, bool in_tx)
+{
+    // Everything here runs with media faults suppressed: the rollback
+    // recovering from a MediaError must not itself be interrupted by
+    // one, and the flight append stores to the same device.
+    pmem::MediaFaultSuppress suppress_media_faults;
+    if (in_tx)
+        shard.runtime->txAbort(tid);
+    shard.mediaAborts.fetch_add(1, std::memory_order_relaxed);
+    KvMetrics::get().mediaAborts.add();
+    shard.flight.record(forensic::EventType::MediaFault, tid, 0,
+                        fault_off, fault_kind);
+    SPECPMT_INFORM("kv: shard %u aborted a transaction on a media "
+                "fault (off=%llu kind=%llu)",
+                shard_index,
+                static_cast<unsigned long long>(fault_off),
+                static_cast<unsigned long long>(fault_kind));
+}
+
+void
+KvService::enterReadOnly(unsigned shard_index, Shard &shard,
+                         ThreadId tid, std::uint64_t bytes_needed)
+{
+    bool was = false;
+    if (!shard.readOnly.compare_exchange_strong(
+            was, true, std::memory_order_acq_rel))
+        return; // already degraded
+    KvMetrics::get().degradedEnters.add();
+    {
+        pmem::MediaFaultSuppress suppress_media_faults;
+        shard.flight.record(forensic::EventType::DegradedEnter, tid,
+                            0, bytes_needed);
+    }
+    SPECPMT_INFORM("kv: shard %u entered read-only degraded mode "
+                "(allocation of %llu bytes failed)",
+                shard_index,
+                static_cast<unsigned long long>(bytes_needed));
+}
+
 bool
+KvService::shardReadOnly(unsigned shard_index) const
+{
+    return shards_.at(shard_index)
+        ->readOnly.load(std::memory_order_acquire);
+}
+
+void
+KvService::setShardReadOnly(unsigned shard_index, bool read_only)
+{
+    Shard &shard = *shards_.at(shard_index);
+    if (read_only)
+        enterReadOnly(shard_index, shard, 0, 0);
+    else
+        shard.readOnly.store(false, std::memory_order_release);
+}
+
+bool
+KvService::shardDegraded(unsigned shard_index) const
+{
+    const Shard &shard = *shards_.at(shard_index);
+    return shard.readOnly.load(std::memory_order_acquire) ||
+           shard.mediaAborts.load(std::memory_order_relaxed) != 0 ||
+           shardQuarantined(shard_index) != 0;
+}
+
+std::uint64_t
+KvService::shardQuarantined(unsigned shard_index) const
+{
+    const Shard &shard = *shards_.at(shard_index);
+    return shard.runtime ? shard.runtime->quarantinedSegments() : 0;
+}
+
+std::uint64_t
+KvService::shardMediaAborts(unsigned shard_index) const
+{
+    return shards_.at(shard_index)
+        ->mediaAborts.load(std::memory_order_relaxed);
+}
+
+BatchStatus
 KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
                              const std::vector<BatchOp> &ops,
                              std::vector<BatchOpResult> &results,
@@ -385,13 +504,13 @@ KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
     results.clear();
     results.resize(ops.size());
     if (shard_index >= config_.shards)
-        return false;
+        return BatchStatus::BadRoute;
     bool any_mutation = false;
     bool any_put = false;
     std::vector<PmOff> addrs;
     for (const auto &op : ops) {
         if (shardOf(op.key) != shard_index)
-            return false;
+            return BatchStatus::BadRoute;
         if (op.kind != BatchOp::Kind::Get) {
             addrs.push_back(lockAddr(op.key));
             any_mutation = true;
@@ -401,16 +520,34 @@ KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
     Shard &shard = *shards_[shard_index];
     auto &metrics = KvMetrics::get();
 
-    if (!any_mutation) {
-        // Read-only batch: lock-free probes, no transaction, no fence.
-        for (std::size_t i = 0; i < ops.size(); ++i) {
-            const auto value = shard.map->get(tid, ops[i].key);
-            results[i].ok = value.has_value();
-            if (value)
-                results[i].value = *value;
-            metrics.gets.add();
+    const bool read_only =
+        shard.readOnly.load(std::memory_order_acquire);
+    if (!any_mutation || read_only) {
+        // No transaction: lock-free probes serve the reads; in
+        // degraded read-only mode the mutations are refused
+        // individually (nothing is staged) so reads stay alive.
+        try {
+            for (std::size_t i = 0; i < ops.size(); ++i) {
+                if (ops[i].kind != BatchOp::Kind::Get) {
+                    results[i].ok = false;
+                    results[i].rejectedReadOnly = true;
+                    metrics.readOnlyRejects.add();
+                    continue;
+                }
+                const auto value = shard.map->get(tid, ops[i].key);
+                results[i].ok = value.has_value();
+                if (value)
+                    results[i].value = *value;
+                metrics.gets.add();
+            }
+        } catch (const pmem::MediaError &err) {
+            noteMediaAbort(shard_index, shard, tid,
+                           err.offset(),
+                           static_cast<std::uint64_t>(err.kind()),
+                           /*in_tx=*/false);
+            return BatchStatus::Io;
         }
-        return true;
+        return BatchStatus::Ok;
     }
 
     // Same lock order as put()/multiPut(): stripes, then (only when a
@@ -420,44 +557,67 @@ KvService::executeShardBatch(ThreadId tid, unsigned shard_index,
                                            std::defer_lock);
     if (any_put)
         structure.lock();
-    shard.runtime->txBegin(tid);
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-        const BatchOp &op = ops[i];
-        switch (op.kind) {
-          case BatchOp::Kind::Get: {
-            // In-order inside the open tx: sees this batch's earlier
-            // uncommitted puts (pipelined read-your-writes).
-            const auto value = shard.map->get(tid, op.key);
-            results[i].ok = value.has_value();
-            if (value)
-                results[i].value = *value;
-            metrics.gets.add();
-            break;
-          }
-          case BatchOp::Kind::Put:
-            results[i].ok = shard.map->putInTx(tid, op.key, op.value);
-            metrics.puts.add();
-            if (!results[i].ok)
-                metrics.putFailures.add();
-            break;
-          case BatchOp::Kind::Erase:
-            results[i].ok = shard.map->eraseInTx(tid, op.key);
-            if (results[i].ok)
-                metrics.erases.add();
-            break;
+    try {
+        shard.runtime->txBegin(tid);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const BatchOp &op = ops[i];
+            switch (op.kind) {
+              case BatchOp::Kind::Get: {
+                // In-order inside the open tx: sees this batch's
+                // earlier uncommitted puts (read-your-writes).
+                const auto value = shard.map->get(tid, op.key);
+                results[i].ok = value.has_value();
+                if (value)
+                    results[i].value = *value;
+                metrics.gets.add();
+                break;
+              }
+              case BatchOp::Kind::Put:
+                results[i].ok =
+                    shard.map->putInTx(tid, op.key, op.value);
+                metrics.puts.add();
+                if (!results[i].ok)
+                    metrics.putFailures.add();
+                break;
+              case BatchOp::Kind::Erase:
+                results[i].ok = shard.map->eraseInTx(tid, op.key);
+                if (results[i].ok)
+                    metrics.erases.add();
+                break;
+            }
         }
-    }
-    if (durability == Durability::Relaxed &&
-        shard.runtime->groupCommitSupported()) {
-        const std::uint64_t ticket = shard.runtime->txCommitRelaxed(tid);
-        if (epoch_ticket)
-            *epoch_ticket = ticket;
-        noteTicket(shard_index, shard, ticket);
-    } else {
-        shard.runtime->txCommit(tid);
+        if (durability == Durability::Relaxed &&
+            shard.runtime->groupCommitSupported()) {
+            const std::uint64_t ticket =
+                shard.runtime->txCommitRelaxed(tid);
+            if (epoch_ticket)
+                *epoch_ticket = ticket;
+            noteTicket(shard_index, shard, ticket);
+        } else {
+            shard.runtime->txCommit(tid);
+        }
+    } catch (const pmem::MediaError &err) {
+        // Abort cleanly: pre-images restore the in-place data, the
+        // staged log segments are dropped, nothing of the run
+        // survives. The caller may retry (fresh log blocks usually
+        // avoid the bad lines).
+        noteMediaAbort(shard_index, shard, tid, err.offset(),
+                       static_cast<std::uint64_t>(err.kind()),
+                       /*in_tx=*/true);
+        return BatchStatus::Io;
+    } catch (const pmem::PoolExhausted &err) {
+        // Log space is gone: abort the run and flip the shard into
+        // read-only degraded mode instead of dying. Reads keep
+        // working; mutations are refused until an operator clears it.
+        {
+            pmem::MediaFaultSuppress suppress_media_faults;
+            shard.runtime->txAbort(tid);
+        }
+        enterReadOnly(shard_index, shard, tid, err.need());
+        return BatchStatus::ReadOnly;
     }
     shard.committedTxs.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return BatchStatus::Ok;
 }
 
 void
@@ -499,6 +659,11 @@ KvService::recover()
                 shard.pool->getRoot(txn::kAppRootSlotBase);
             SPECPMT_ASSERT(base != kPmNull);
             shard.map.emplace(Map::attach(*shard.runtime, base));
+            shard.flight =
+                forensic::FlightRecorder::attach(*shard.pool);
+            // Recovery re-initializes the log areas, so a shard that
+            // degraded on log exhaustion serves mutations again.
+            shard.readOnly.store(false, std::memory_order_release);
             KvMetrics::get().shardRecoveryNs.record(
                 static_cast<std::uint64_t>(
                     std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "forensic/flight_recorder.hh"
 #include "pmds/pm_hash_map.hh"
 #include "pmem/crash_policy.hh"
 #include "pmem/pmem_device.hh"
@@ -125,6 +126,16 @@ struct KvServiceConfig
     std::uint64_t epochSealIntervalUs = 0;
     /** Options forwarded to the runtime factory. */
     txn::RuntimeOptions runtimeOptions;
+    /**
+     * When non-empty, every shard's emulated device is backed by an
+     * mmap'ed file `<pmDir>/shard-<n>.pm` so its persistent image
+     * survives the PROCESS (SIGKILL included), not just a simulated
+     * crash. Opening a directory that already holds matching images
+     * reattaches them: the constructor runs each shard's recovery and
+     * re-adopts the hash map instead of creating a fresh one — the
+     * restart path a chaos harness drives.
+     */
+    std::string pmDir;
 };
 
 /**
@@ -161,8 +172,29 @@ struct BatchOpResult
 {
     /** Get: found; Put: stored (false = map full); Erase: removed. */
     bool ok = false;
+    /** The mutation was refused because its shard is in read-only
+     * degraded mode (ok is false; nothing was staged). */
+    bool rejectedReadOnly = false;
     /** The value read (Get with ok == true only). */
     KvValue value{};
+};
+
+/** Outcome of one executeShardBatch call. */
+enum class BatchStatus : std::uint8_t
+{
+    /** Ops executed; per-op results are valid (mutations on a
+     * read-only shard report rejectedReadOnly individually). */
+    Ok,
+    /** A key did not map to the shard; nothing executed. */
+    BadRoute,
+    /** A media fault (poisoned read / write EIO) interrupted the
+     * run. Any open transaction was aborted cleanly — nothing the
+     * run staged was applied — and per-op results are meaningless. */
+    Io,
+    /** The shard ran out of log space mid-run: the transaction was
+     * aborted cleanly and the shard flipped into read-only degraded
+     * mode. Nothing was applied; reads keep working on retry. */
+    ReadOnly,
 };
 
 /**
@@ -252,11 +284,36 @@ class KvService
      * Relaxed batches do NOT auto-seal — the caller owns the seal
      * policy via sealShardEpoch().
      */
-    bool executeShardBatch(ThreadId tid, unsigned shard,
-                           const std::vector<BatchOp> &ops,
-                           std::vector<BatchOpResult> &results,
-                           Durability durability = Durability::Strict,
-                           std::uint64_t *epoch_ticket = nullptr);
+    BatchStatus executeShardBatch(
+        ThreadId tid, unsigned shard,
+        const std::vector<BatchOp> &ops,
+        std::vector<BatchOpResult> &results,
+        Durability durability = Durability::Strict,
+        std::uint64_t *epoch_ticket = nullptr);
+
+    /** @name Degraded-mode state (media faults, log exhaustion) */
+    /// @{
+
+    /** True once @p shard refuses mutations (log space exhausted or
+     * forced via setShardReadOnly). Reads keep working. */
+    bool shardReadOnly(unsigned shard) const;
+
+    /** Operator/test hook: force @p shard in or out of read-only
+     * degraded mode. */
+    void setShardReadOnly(unsigned shard, bool read_only);
+
+    /** True when @p shard is read-only, has aborted transactions on
+     * media faults, or recovered past quarantined log segments —
+     * anything /healthz should surface as degraded. */
+    bool shardDegraded(unsigned shard) const;
+
+    /** Log segments @p shard's recovery quarantined as media-corrupt. */
+    std::uint64_t shardQuarantined(unsigned shard) const;
+
+    /** Transactions of @p shard aborted cleanly on a media fault. */
+    std::uint64_t shardMediaAborts(unsigned shard) const;
+
+    /// @}
 
     /** @name Epoch group commit */
     /// @{
@@ -341,6 +398,14 @@ class KvService
         std::atomic<std::uint64_t> lastRelaxedTicket{0};
         /** Cached `specpmt_epoch_seal_lag{shard=}` gauge. */
         obs::Gauge *sealLagGauge = nullptr;
+        /** Mutations refused: read-only degraded mode (see
+         * executeShardBatch / PoolExhausted). */
+        std::atomic<bool> readOnly{false};
+        /** Transactions aborted cleanly on pmem::MediaError. */
+        std::atomic<std::uint64_t> mediaAborts{0};
+        /** Journal handle for media-fault / degraded-mode events
+         * (disabled unless the pool carries a flight ring). */
+        forensic::FlightRecorder flight;
     };
 
     /** Pseudo-address used to stripe-lock @p key. */
@@ -350,6 +415,16 @@ class KvService
     bool putBatchLocked(Shard &shard, ThreadId tid,
                         const std::vector<std::pair<KvKey, KvValue>>
                             &items);
+
+    /** Media-fault catch path: abort the open tx with faults
+     * suppressed, journal the event, bump the abort accounting. */
+    void noteMediaAbort(unsigned shard_index, Shard &shard,
+                        ThreadId tid, std::uint64_t fault_off,
+                        std::uint64_t fault_kind, bool in_tx);
+
+    /** Flip @p shard into read-only degraded mode (idempotent). */
+    void enterReadOnly(unsigned shard_index, Shard &shard,
+                       ThreadId tid, std::uint64_t bytes_needed);
 
     /** Count one relaxed mutation; seal on the epochMaxOps boundary. */
     void noteRelaxedMutation(unsigned shard_index, Shard &shard);

@@ -5,15 +5,18 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <fcntl.h>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "net/protocol.hh"
@@ -45,6 +48,10 @@ struct LoadgenMetrics
     obs::Counter &lost;
     obs::Counter &protocolErrors;
     obs::Counter &tracedSent;
+    obs::Counter &timeouts;
+    obs::Counter &retries;
+    obs::Counter &reconnects;
+    obs::Counter &busyResponses;
     obs::Histogram &readLatency;
     obs::Histogram &updateLatency;
     obs::Histogram &sendLag;
@@ -70,6 +77,14 @@ struct LoadgenMetrics
                         "malformed response frames"),
             reg.counter("specpmt_loadgen_traced_sent_total",
                         "requests sent with the trace extension"),
+            reg.counter("specpmt_loadgen_timeouts_total",
+                        "attempts whose deadline expired unanswered"),
+            reg.counter("specpmt_loadgen_retries_total",
+                        "byte-identical resends (timeout or Busy)"),
+            reg.counter("specpmt_loadgen_reconnects_total",
+                        "successful re-dials of a dead connection"),
+            reg.counter("specpmt_loadgen_busy_total",
+                        "Busy (overload-shed) responses received"),
             reg.histogram("specpmt_loadgen_read_latency_ns",
                           "read latency from intended departure"),
             reg.histogram("specpmt_loadgen_update_latency_ns",
@@ -90,6 +105,10 @@ struct Conn
     std::vector<std::uint8_t> out;
     std::size_t outPos = 0;
     bool dead = false;
+    /** Next re-dial attempt, absolute steady ns (0 = unscheduled). */
+    std::uint64_t reconnectAtNs = 0;
+    /** Consecutive failed re-dials (backoff exponent). */
+    std::uint32_t reconnectAttempts = 0;
 };
 
 /** What we remember about an in-flight request. */
@@ -109,6 +128,15 @@ struct Outstanding
     std::uint64_t sentNs = 0;
     /** Durability obligations this request carries if acked. */
     std::vector<std::pair<kv::KvKey, std::uint64_t>> writes;
+    /** Shard (connection index) the request is routed to. */
+    std::uint32_t shard = 0;
+    /** Attempts so far (1 = the original send). */
+    std::uint32_t attempts = 1;
+    /** Active deadline, absolute steady ns (0 = none pending). */
+    std::uint64_t deadlineAbs = 0;
+    /** The encoded frame, kept for byte-identical resends (empty
+     * when retries are disabled). */
+    std::vector<std::uint8_t> frame;
 };
 
 class OpenLoopRun
@@ -189,6 +217,13 @@ class OpenLoopRun
         const int fd = connectTcp();
         if (fd < 0)
             return -1;
+        // Bound the blocking handshake: a server that accepts but
+        // never answers (e.g. SIGSTOPped under chaos) must not wedge
+        // the client; the re-dial path retries with backoff.
+        timeval tv{};
+        tv.tv_sec = 5;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         std::vector<std::uint8_t> hello;
         appendHello(hello, ++nextId_, desired);
         std::size_t off = 0;
@@ -261,12 +296,6 @@ class OpenLoopRun
         return true;
     }
 
-    Conn &
-    connOf(kv::KvKey key)
-    {
-        return conns_[kv::shardOfKey(key, shards_)];
-    }
-
     /**
      * Flush pending output and drain readable responses once; returns
      * false when every connection is dead.
@@ -274,6 +303,11 @@ class OpenLoopRun
     bool
     pump(int timeout_ms)
     {
+        const std::uint64_t now = steadyNs();
+        if (cfg_.reconnect)
+            serviceReconnects(now);
+        serviceDeadlines(now);
+        serviceRetries(now);
         std::vector<pollfd> fds;
         std::vector<unsigned> index;
         fds.reserve(conns_.size());
@@ -288,8 +322,14 @@ class OpenLoopRun
             fds.push_back(pollfd{conn.fd, events, 0});
             index.push_back(i);
         }
-        if (fds.empty())
-            return false;
+        if (fds.empty()) {
+            if (!cfg_.reconnect)
+                return false;
+            // Everything is down but re-dials are pending: sleep a
+            // slice so the backoff clock advances without spinning.
+            ::poll(nullptr, 0, std::max(1, std::min(timeout_ms, 50)));
+            return true;
+        }
         const int ready =
             ::poll(fds.data(), fds.size(), timeout_ms);
         if (ready <= 0)
@@ -305,8 +345,175 @@ class OpenLoopRun
             if (fds[i].revents & POLLIN)
                 readReady(conn);
         }
-        return std::any_of(conns_.begin(), conns_.end(),
+        return cfg_.reconnect ||
+               std::any_of(conns_.begin(), conns_.end(),
                            [](const Conn &c) { return !c.dead; });
+    }
+
+    /** Seeded, capped exponential backoff with 50–100% jitter so
+     * concurrent clients decorrelate instead of re-stampeding. */
+    std::uint64_t
+    backoffNs(std::uint32_t attempts)
+    {
+        const std::uint64_t baseNs =
+            std::max<std::uint64_t>(1, cfg_.backoffBaseMs) * 1000000;
+        const std::uint64_t capNs =
+            std::max(baseNs, cfg_.backoffMaxMs * 1000000);
+        const std::uint64_t d = std::min(
+            capNs, baseNs << std::min<std::uint32_t>(attempts, 16));
+        return d / 2 +
+               static_cast<std::uint64_t>(
+                   static_cast<double>(d / 2) * jitterRng_.uniform());
+    }
+
+    /**
+     * A request may be resent iff attempts remain AND (for writes)
+     * it is still the newest write of every key it touches: the
+     * byte-identical resend is then an idempotent overwrite, never a
+     * rollback of a newer acked PUT.
+     */
+    bool
+    canRetry(const Outstanding &op, std::uint64_t id) const
+    {
+        if (op.attempts > cfg_.maxRetries || op.frame.empty())
+            return false;
+        for (const auto &[key, payload] : op.writes) {
+            const auto newest = newestWrite_.find(key);
+            if (newest == newestWrite_.end() || newest->second != id)
+                return false;
+        }
+        return true;
+    }
+
+    /** Give up on an in-flight request whose durability is unknown:
+     * its writes become recovery obligations (unackedPuts). */
+    void
+    abandonUnknown(
+        std::unordered_map<std::uint64_t, Outstanding>::iterator it)
+    {
+        lateIds_.insert(it->first);
+        for (const auto &[key, payload] : it->second.writes)
+            res_.unackedPuts[key].push_back(payload);
+        ++res_.lost;
+        outstanding_.erase(it);
+    }
+
+    void
+    serviceDeadlines(std::uint64_t now)
+    {
+        while (!deadlines_.empty() && deadlines_.front().first <= now) {
+            const auto [deadline, id] = deadlines_.front();
+            deadlines_.pop_front();
+            const auto it = outstanding_.find(id);
+            // Answered already, or the deadline was superseded by a
+            // resend / parked behind a scheduled retry.
+            if (it == outstanding_.end() ||
+                it->second.deadlineAbs != deadline)
+                continue;
+            ++res_.timeouts;
+            if (canRetry(it->second, id)) {
+                it->second.deadlineAbs = 0;
+                retryQueue_.push_back(
+                    {now + backoffNs(it->second.attempts), id});
+            } else {
+                abandonUnknown(it);
+            }
+        }
+    }
+
+    void
+    serviceRetries(std::uint64_t now)
+    {
+        std::vector<std::uint64_t> due;
+        for (std::size_t i = 0; i < retryQueue_.size();) {
+            if (retryQueue_[i].first <= now) {
+                due.push_back(retryQueue_[i].second);
+                retryQueue_[i] = retryQueue_.back();
+                retryQueue_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        for (const std::uint64_t id : due)
+            resendNow(id, now);
+    }
+
+    /** Byte-identical resend under the same request id. */
+    void
+    resendNow(std::uint64_t id, std::uint64_t now)
+    {
+        const auto it = outstanding_.find(id);
+        if (it == outstanding_.end())
+            return;
+        Outstanding &op = it->second;
+        Conn &conn = conns_[op.shard];
+        if (conn.dead) {
+            if (cfg_.reconnect) {
+                // Park the retry until the re-dial lands.
+                retryQueue_.push_back(
+                    {now + backoffNs(op.attempts), id});
+            } else {
+                abandonUnknown(it);
+            }
+            return;
+        }
+        conn.out.insert(conn.out.end(), op.frame.begin(),
+                        op.frame.end());
+        ++op.attempts;
+        ++res_.retries;
+        op.deadlineAbs =
+            cfg_.requestTimeoutMs != 0
+                ? now + cfg_.requestTimeoutMs * 1000000
+                : 0;
+        if (op.deadlineAbs != 0)
+            deadlines_.push_back({op.deadlineAbs, id});
+    }
+
+    void
+    serviceReconnects(std::uint64_t now)
+    {
+        for (std::uint32_t s = 0; s < conns_.size(); ++s) {
+            Conn &conn = conns_[s];
+            if (!conn.dead)
+                continue;
+            res_.connectionLost = true;
+            if (conn.fd >= 0) {
+                ::close(conn.fd);
+                conn.fd = -1;
+            }
+            if (conn.reconnectAtNs == 0) {
+                conn.reconnectAtNs =
+                    now + backoffNs(conn.reconnectAttempts);
+                continue;
+            }
+            if (now < conn.reconnectAtNs)
+                continue;
+            std::uint32_t shards = 0;
+            std::uint32_t bound = 0;
+            const int fd = helloConnect(s, shards, bound);
+            if (fd < 0 || bound != s) {
+                if (fd >= 0)
+                    ::close(fd);
+                ++conn.reconnectAttempts;
+                conn.reconnectAtNs =
+                    now + backoffNs(conn.reconnectAttempts);
+                continue;
+            }
+            const int flags = ::fcntl(fd, F_GETFL, 0);
+            ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+            // Unsent output dies with the old socket (a partial frame
+            // may already be on the wire — resuming mid-frame would
+            // poison the stream); in-flight requests resolve via the
+            // deadline/retry path.
+            conn.fd = fd;
+            conn.decoder = FrameDecoder();
+            conn.out.clear();
+            conn.outPos = 0;
+            conn.dead = false;
+            conn.reconnectAtNs = 0;
+            conn.reconnectAttempts = 0;
+            ++res_.reconnects;
+        }
     }
 
     void
@@ -366,11 +573,36 @@ class OpenLoopRun
     {
         const auto it = outstanding_.find(frame.id);
         if (it == outstanding_.end()) {
+            // Late/duplicate answer to a request we retried or gave
+            // up on — expected under chaos, not a protocol violation.
+            if (lateIds_.count(frame.id))
+                return;
             ++res_.protocolErrors;
+            return;
+        }
+        if (frame.op == Op::Busy) {
+            // Overload shed: the server executed nothing. Retry after
+            // backoff while attempts remain; else the request failed
+            // definitively (no durability ambiguity).
+            ++res_.busyResponses;
+            Outstanding &op = it->second;
+            if (canRetry(op, frame.id)) {
+                op.deadlineAbs = 0;
+                retryQueue_.push_back(
+                    {steadyNs() + backoffNs(op.attempts), frame.id});
+            } else {
+                ++res_.errors;
+                lateIds_.insert(frame.id);
+                outstanding_.erase(it);
+            }
             return;
         }
         const Outstanding op = std::move(it->second);
         outstanding_.erase(it);
+        // A retried request may be acked more than once (the retry
+        // was spurious); remember the id so duplicates are ignored.
+        if (op.attempts > 1)
+            lateIds_.insert(frame.id);
 
         bool ok = false;
         switch (frame.op) {
@@ -391,8 +623,10 @@ class OpenLoopRun
         }
         if (!ok)
             return;
-        for (const auto &[key, payload] : op.writes)
+        for (const auto &[key, payload] : op.writes) {
             res_.ackedPuts[key] = payload;
+            res_.ackedPutHistory[key].push_back(payload);
+        }
         // Load-phase batches are plumbing, not measured traffic.
         if (op.kind == Outstanding::Kind::Load)
             return;
@@ -430,6 +664,7 @@ class OpenLoopRun
                 items.reserve(n);
                 Outstanding op;
                 op.kind = Outstanding::Kind::Load;
+                op.shard = s;
                 for (std::size_t i = 0; i < n; ++i) {
                     const kv::KvKey key = keys[off + i];
                     items.emplace_back(key,
@@ -437,7 +672,17 @@ class OpenLoopRun
                     op.writes.emplace_back(key, 0);
                 }
                 const std::uint64_t id = ++nextId_;
-                appendBatch(conns_[s].out, id, items);
+                scratch_.clear();
+                appendBatch(scratch_, id, items);
+                conns_[s].out.insert(conns_[s].out.end(),
+                                     scratch_.begin(), scratch_.end());
+                // Load batches keep their own phase-level deadline
+                // (below) but are Busy-retryable like timed traffic.
+                if (cfg_.maxRetries > 0) {
+                    op.frame = scratch_;
+                    for (const auto &[key, payload] : op.writes)
+                        newestWrite_[key] = id;
+                }
                 outstanding_.emplace(id, std::move(op));
             }
         }
@@ -514,12 +759,13 @@ class OpenLoopRun
         }
 
         res_.scheduled = total;
-        res_.lost = outstanding_.size();
+        res_.lost += outstanding_.size();
         for (const auto &[id, op] : outstanding_) {
             for (const auto &[key, payload] : op.writes)
                 res_.unackedPuts[key].push_back(payload);
         }
         res_.connectionLost =
+            res_.connectionLost ||
             std::any_of(conns_.begin(), conns_.end(),
                         [](const Conn &c) { return c.dead; });
         outstanding_.clear();
@@ -543,15 +789,18 @@ class OpenLoopRun
         const TraceExt *extp =
             drawTraceExt(ext) ? &ext : nullptr;
         record.traceId = extp ? ext.traceId : 0;
+        scratch_.clear();
         switch (op.kind) {
         case kv::WorkloadOp::Kind::Get:
             record.kind = Outstanding::Kind::Read;
-            appendGet(connOf(op.key).out, id, op.key, extp);
+            record.shard = kv::shardOfKey(op.key, shards_);
+            appendGet(scratch_, id, op.key, extp);
             break;
         case kv::WorkloadOp::Kind::Put:
             record.kind = Outstanding::Kind::Update;
+            record.shard = kv::shardOfKey(op.key, shards_);
             record.writes.emplace_back(op.key, op.value.words[1]);
-            appendPut(connOf(op.key).out, id, op.key, op.value,
+            appendPut(scratch_, id, op.key, op.value,
                       drawStrictFlag(), extp);
             break;
         case kv::WorkloadOp::Kind::MultiPut: {
@@ -561,10 +810,25 @@ class OpenLoopRun
             // A batch frame lands on one connection; misrouted
             // members split the server-side run (correct, just more
             // fences), so route by the first key's shard.
-            appendBatch(connOf(op.batch.front().first).out, id,
-                        op.batch, drawStrictFlag(), extp);
+            record.shard =
+                kv::shardOfKey(op.batch.front().first, shards_);
+            appendBatch(scratch_, id, op.batch, drawStrictFlag(),
+                        extp);
             break;
         }
+        }
+        Conn &conn = conns_[record.shard];
+        conn.out.insert(conn.out.end(), scratch_.begin(),
+                        scratch_.end());
+        if (cfg_.maxRetries > 0) {
+            record.frame = scratch_;
+            for (const auto &[key, payload] : record.writes)
+                newestWrite_[key] = id;
+        }
+        if (cfg_.requestTimeoutMs != 0) {
+            record.deadlineAbs =
+                now + cfg_.requestTimeoutMs * 1000000;
+            deadlines_.push_back({record.deadlineAbs, id});
         }
         const std::uint64_t intendedAbs = origin_ + intendedNs;
         // client_send spans the departure delay: intended departure
@@ -632,6 +896,10 @@ class OpenLoopRun
         metrics.lost.add(res_.lost);
         metrics.protocolErrors.add(res_.protocolErrors);
         metrics.tracedSent.add(res_.tracedSent);
+        metrics.timeouts.add(res_.timeouts);
+        metrics.retries.add(res_.retries);
+        metrics.reconnects.add(res_.reconnects);
+        metrics.busyResponses.add(res_.busyResponses);
         metrics.readLatency.mergeFrom(res_.readLatency);
         metrics.updateLatency.mergeFrom(res_.updateLatency);
         metrics.sendLag.mergeFrom(res_.sendLag);
@@ -645,8 +913,19 @@ class OpenLoopRun
     std::uint64_t origin_ = 0;
     std::unordered_map<std::uint64_t, Outstanding> outstanding_;
     std::unique_ptr<kv::ZipfianGenerator> zipf_;
+    /** Frame-encoding scratch (reused per request). */
+    std::vector<std::uint8_t> scratch_;
+    /** (deadlineAbs, id) in send order — deadlines are monotonic. */
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> deadlines_;
+    /** (dueAbs, id) of scheduled resends (unordered, scanned). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> retryQueue_;
+    /** Ids whose late/duplicate responses must be ignored. */
+    std::unordered_set<std::uint64_t> lateIds_;
+    /** Key -> id of the newest write touching it (retry guard). */
+    std::unordered_map<kv::KvKey, std::uint64_t> newestWrite_;
     Rng strictRng_{cfg_.seed ^ 0x57121C7F1A6ull};
     Rng traceRng_{cfg_.seed ^ 0x712ACE5A3B1Dull};
+    Rng jitterRng_{cfg_.seed ^ 0xBACC0FF5EEDull};
 };
 
 } // namespace

@@ -90,6 +90,33 @@ struct LoadgenConfig
      * to the pre-extension protocol.
      */
     double traceSample = 0.0;
+    /**
+     * Per-request deadline in milliseconds measured from the socket
+     * enqueue of each attempt. A request unanswered past it counts a
+     * timeout and (attempts permitting) is retried; 0 disables
+     * deadlines entirely — the legacy wait-forever behavior.
+     */
+    std::uint64_t requestTimeoutMs = 0;
+    /**
+     * Resend budget per request beyond the first attempt, spent on
+     * timeouts and Busy (overload-shed) responses. Retries are
+     * byte-identical resends under the SAME request id, and a write
+     * is only resent while it is still the newest write of every key
+     * it touches — an idempotent overwrite, never a rollback of a
+     * newer acked PUT. 0 disables retries.
+     */
+    std::uint32_t maxRetries = 0;
+    /**
+     * Re-dial a dead connection (capped exponential backoff with
+     * seeded jitter) instead of declaring the run over. Requests that
+     * were in flight on the dead connection resolve via the deadline
+     * path, so pair this with requestTimeoutMs.
+     */
+    bool reconnect = false;
+    /** First retry/reconnect backoff step, milliseconds. */
+    std::uint64_t backoffBaseMs = 10;
+    /** Backoff ceiling, milliseconds. */
+    std::uint64_t backoffMaxMs = 500;
 };
 
 /** Aggregated outcome of one open-loop run. */
@@ -113,6 +140,14 @@ struct LoadgenResult
     std::uint64_t strictSent = 0;
     /** Requests sent with the trace extension (traceSample draws). */
     std::uint64_t tracedSent = 0;
+    /** Attempts whose per-request deadline expired unanswered. */
+    std::uint64_t timeouts = 0;
+    /** Byte-identical resends (timeout or Busy, same request id). */
+    std::uint64_t retries = 0;
+    /** Successful re-dials of a dead connection. */
+    std::uint64_t reconnects = 0;
+    /** Busy (overload-shed) responses received. */
+    std::uint64_t busyResponses = 0;
     /** A connection died mid-run (e.g. the server crashed). */
     bool connectionLost = false;
     /** Failed before any traffic (connect/handshake); see error. */
@@ -145,6 +180,16 @@ struct LoadgenResult
      * never made it back.
      */
     std::map<kv::KvKey, std::vector<std::uint64_t>> unackedPuts;
+
+    /**
+     * Every payload ever ACKED for a key, in ack order (the last one
+     * equals ackedPuts[key]). A verifier that finds an *older* entry
+     * here is looking at a rollback — recovery discarded the newest
+     * committed value, typically past a quarantined or torn log
+     * segment — which accountable-loss scenarios treat differently
+     * from a value that matches nothing ever sent (corruption).
+     */
+    std::map<kv::KvKey, std::vector<std::uint64_t>> ackedPutHistory;
 
     std::uint64_t
     completed() const

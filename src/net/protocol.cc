@@ -1,5 +1,6 @@
 #include "net/protocol.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32.hh"
@@ -141,7 +142,7 @@ isKnownOp(std::uint8_t op)
 {
     return isRequestOp(op) ||
            (op >= static_cast<std::uint8_t>(Op::HelloOk) &&
-            op <= static_cast<std::uint8_t>(Op::Err));
+            op <= static_cast<std::uint8_t>(Op::Busy));
 }
 
 void
@@ -272,6 +273,12 @@ appendNotFound(std::vector<std::uint8_t> &out, std::uint64_t id)
 }
 
 void
+appendBusy(std::vector<std::uint8_t> &out, std::uint64_t id)
+{
+    appendFrame(out, Op::Busy, id, nullptr, 0);
+}
+
+void
 appendErr(std::vector<std::uint8_t> &out, std::uint64_t id,
           ErrCode code, std::string_view message)
 {
@@ -367,6 +374,14 @@ parseErr(const Frame &frame, ErrCode &code, std::string &message)
 }
 
 void
+FrameDecoder::setMaxFrameBytes(std::size_t cap)
+{
+    maxFrame_ = std::min(
+        kMaxFrameBytes,
+        std::max(cap, kHeaderRest + kTrailer));
+}
+
+void
 FrameDecoder::feed(const void *data, std::size_t size)
 {
     if (failed_ || size == 0)
@@ -403,10 +418,12 @@ FrameDecoder::next(Frame &out, std::string &error)
     if (length < kHeaderRest + kTrailer)
         return fail("frame length " + std::to_string(length) +
                     " below the fixed header size");
-    if (length > kMaxFrameBytes)
+    if (length > maxFrame_) {
+        oversized_ = true;
         return fail("frame length " + std::to_string(length) +
-                    " exceeds the " +
-                    std::to_string(kMaxFrameBytes) + "-byte cap");
+                    " exceeds the " + std::to_string(maxFrame_) +
+                    "-byte cap");
+    }
     if (avail < 4 + static_cast<std::size_t>(length))
         return Status::NeedMore;
 

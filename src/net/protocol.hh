@@ -125,6 +125,7 @@ enum class Op : std::uint8_t
     Ok = 0x83,       ///< empty (Put stored / Del removed / Batch done)
     NotFound = 0x84, ///< empty (Get miss / Del miss)
     Err = 0x85,      ///< u8 code + message bytes
+    Busy = 0x86,     ///< empty (overload shed; retry after backoff)
 };
 
 /** Hello shard wildcard: bind me anywhere. */
@@ -136,6 +137,14 @@ enum class ErrCode : std::uint8_t
     MapFull = 1,  ///< put rejected, shard table full
     BadFrame = 2, ///< semantically malformed request payload
     Shutdown = 3, ///< server is stopping
+    /** Mutation rejected: the shard is in read-only degraded mode
+     * (log space exhausted or operator-forced). Reads still work;
+     * retrying the write on this shard will keep failing. */
+    ReadOnly = 4,
+    /** The request's transaction hit a media fault (poisoned read /
+     * write EIO); it was aborted cleanly and nothing was applied.
+     * Retrying may succeed (fresh log blocks avoid the bad lines). */
+    Io = 5,
 };
 
 /** True for opcodes a client is allowed to send. */
@@ -191,6 +200,7 @@ void appendValue(std::vector<std::uint8_t> &out, std::uint64_t id,
                  const kv::KvValue &value);
 void appendOk(std::vector<std::uint8_t> &out, std::uint64_t id);
 void appendNotFound(std::vector<std::uint8_t> &out, std::uint64_t id);
+void appendBusy(std::vector<std::uint8_t> &out, std::uint64_t id);
 void appendErr(std::vector<std::uint8_t> &out, std::uint64_t id,
                ErrCode code, std::string_view message);
 
@@ -248,13 +258,28 @@ class FrameDecoder
     /** True once a protocol error has been diagnosed. */
     bool failed() const { return failed_; }
 
+    /** True when the diagnosed error was a frame-length-cap breach
+     * (servers count these as oversize evictions, separately from
+     * garbage-byte protocol errors). */
+    bool oversized() const { return oversized_; }
+
     /** Bytes fed but not yet consumed by decoded frames. */
     std::size_t buffered() const { return buf_.size() - pos_; }
+
+    /**
+     * Tighten the per-frame length cap below the protocol-wide
+     * kMaxFrameBytes (a server-side overload guard: one peer cannot
+     * make the decoder buffer a megabyte per frame). Values above
+     * kMaxFrameBytes or below a frame's fixed overhead are clamped.
+     */
+    void setMaxFrameBytes(std::size_t cap);
 
   private:
     std::vector<std::uint8_t> buf_;
     std::size_t pos_ = 0;
+    std::size_t maxFrame_ = kMaxFrameBytes;
     bool failed_ = false;
+    bool oversized_ = false;
     std::string error_;
 };
 

@@ -43,6 +43,12 @@ struct NetMetrics
     obs::Counter &epochSeals;
     obs::Counter &strictOps;
     obs::Counter &slowRequests;
+    /** Requests shed with Busy by admission control. */
+    obs::Counter &busyShed;
+    /** Connections evicted by the idle-timeout sweep. */
+    obs::Counter &evictedIdle;
+    /** Connections evicted for breaching the frame-length cap. */
+    obs::Counter &evictedOversize;
     obs::Histogram &pipelineDepth;
     /** Per-request stage attribution (ns): decode->execute wait,
      *  transaction execution, epoch-seal parking, socket write. */
@@ -88,6 +94,15 @@ struct NetMetrics
             reg.counter("specpmt_net_slow_requests_total",
                         "requests slower than --slow-us end to end "
                         "(tail-sampled into the trace when enabled)"),
+            reg.counter("specpmt_net_busy_total",
+                        "requests shed with Busy by admission "
+                        "control (bounded pending queue)"),
+            reg.counter("specpmt_net_evicted_total",
+                        "connections evicted by server policy",
+                        obs::Labels{{"reason", "idle"}}),
+            reg.counter("specpmt_net_evicted_total",
+                        "connections evicted by server policy",
+                        obs::Labels{{"reason", "oversize"}}),
             reg.histogram("specpmt_net_pipeline_depth",
                           "requests drained per connection per epoll "
                           "wake-up"),
@@ -322,6 +337,8 @@ NetServer::acceptReady(Loop &loop)
         NetMetrics::get().connections.add();
         auto conn = std::make_unique<Conn>();
         conn->fd = fd;
+        conn->decoder.setMaxFrameBytes(config_.maxFrameBytes);
+        conn->lastActivityNs = obs::Tracer::now();
         const unsigned target =
             nextLoop_.fetch_add(1, std::memory_order_relaxed) %
             loops_.size();
@@ -360,6 +377,22 @@ NetServer::handleFrame(Loop &loop, Conn &conn, const Frame &frame,
     const bool strict = (frame.flags & kFlagStrict) != 0;
     if (strict)
         metrics.strictOps.add();
+
+    // Admission control: once this wake-up's drain has queued
+    // maxPendingOps operations, further requests are shed with Busy
+    // — nothing executes, the client retries after backoff. Hello is
+    // exempt (no work queued, and shedding it would orphan the
+    // connection's shard binding). A Batch admitted here may overshoot
+    // the cap by its member count; the next frame is shed, so the
+    // overshoot is bounded by kMaxBatchEntries.
+    if (frame.op != Op::Hello && config_.maxPendingOps != 0 &&
+        pending.size() >= config_.maxPendingOps) {
+        conn.sawFrame = true;
+        appendBusy(conn.out, frame.id);
+        metrics.framesTx.add();
+        metrics.busyShed.add();
+        return true;
+    }
 
     switch (frame.op) {
       case Op::Hello: {
@@ -478,6 +511,7 @@ NetServer::connReadable(Loop &loop, Conn &conn,
         const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
         if (n > 0) {
             metrics.bytesRx.add(static_cast<std::uint64_t>(n));
+            conn.lastActivityNs = obs::Tracer::now();
             conn.decoder.feed(buf, static_cast<std::size_t>(n));
             if (static_cast<std::size_t>(n) < sizeof(buf))
                 break;
@@ -510,6 +544,8 @@ NetServer::connReadable(Loop &loop, Conn &conn,
                 appendErr(conn.out, 0, ErrCode::BadFrame, error);
                 metrics.framesTx.add();
                 metrics.protocolErrors.add();
+                if (conn.decoder.oversized())
+                    metrics.evictedOversize.add();
             }
             protocol_ok = false;
             break;
@@ -588,21 +624,27 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
         std::uint64_t ticket = 0;
         const std::uint64_t execStartNs = obs::Tracer::now();
         const obs::PmCost costBefore = obs::traceContext().cost;
-        bool ok = false;
+        kv::BatchStatus status = kv::BatchStatus::Ok;
         {
             // The context rides this thread into KvService and the
             // tx runtime: log appends and device flushes charge
             // their PM costs here, and sampled commits correlate
             // their spans (flush_batch, epoch_seal) by this id.
             obs::ScopedTraceId traceScope(runTraceId, runSampled);
-            ok = service_.executeShardBatch(
+            status = service_.executeShardBatch(
                 loop.index, shard, ops, results,
                 strict ? kv::Durability::Strict
                        : kv::Durability::Relaxed,
                 &ticket);
         }
         const std::uint64_t execEndNs = obs::Tracer::now();
-        SPECPMT_ASSERT(ok);
+        // BadRoute would mean this loop computed the wrong shard for
+        // a key — a server bug, not a client or media condition.
+        SPECPMT_ASSERT(status != kv::BatchStatus::BadRoute);
+        const std::uint8_t runStatus =
+            status == kv::BatchStatus::Io        ? 1
+            : status == kv::BatchStatus::ReadOnly ? 2
+                                                  : 0;
         metrics.batchCommits.add();
         metrics.batchOps.add(ops.size());
         if (shard < shardOps_.size())
@@ -633,6 +675,7 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
             PendingOp &done = pending[start + i];
             done.ticket = ticket;
             done.execEndNs = execEndNs;
+            done.runStatus = runStatus;
             const std::uint64_t queueNs =
                 execStartNs > done.decodedNs
                     ? execStartNs - done.decodedNs
@@ -717,6 +760,8 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
         }
     };
     bool batch_ok = true;
+    ErrCode batch_err = ErrCode::MapFull;
+    std::string_view batch_msg = "batch put rejected";
     for (std::size_t i = 0; i < pending.size(); ++i) {
         const PendingOp &op = pending[i];
         if (op.conn->closing)
@@ -725,14 +770,30 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
         if (op.ticket != 0 && (op.respond || !op.fromBatch))
             metrics.deferredAcks.add();
         if (op.fromBatch) {
-            batch_ok = batch_ok && result.ok;
+            // First failure wins: the whole batch frame gets one
+            // response, and the earliest cause is the honest one.
+            if (batch_ok) {
+                if (op.runStatus == 1) {
+                    batch_ok = false;
+                    batch_err = ErrCode::Io;
+                    batch_msg = "media fault; batch aborted";
+                } else if (op.runStatus == 2 ||
+                           result.rejectedReadOnly) {
+                    batch_ok = false;
+                    batch_err = ErrCode::ReadOnly;
+                    batch_msg = "shard is read-only";
+                } else if (!result.ok) {
+                    batch_ok = false;
+                    batch_err = ErrCode::MapFull;
+                    batch_msg = "batch put rejected";
+                }
+            }
             if (op.respond) {
                 auto &out = sink(op);
                 if (batch_ok)
                     appendOk(out, op.id);
                 else
-                    appendErr(out, op.id, ErrCode::MapFull,
-                              "batch put rejected");
+                    appendErr(out, op.id, batch_err, batch_msg);
                 metrics.framesTx.add();
                 noteResponse(op, out);
                 batch_ok = true;
@@ -740,26 +801,48 @@ NetServer::executePending(Loop &loop, std::vector<PendingOp> &pending)
             continue;
         }
         auto &out = sink(op);
-        switch (op.op.kind) {
-          case kv::BatchOp::Kind::Get:
-            if (result.ok)
-                appendValue(out, op.id, result.value);
+        const bool is_get = op.op.kind == kv::BatchOp::Kind::Get;
+        if (op.runStatus == 1) {
+            // The run's transaction hit a media fault and was aborted
+            // cleanly: nothing applied, nothing durable. Every member
+            // reports Io — a retry may land on healthy lines.
+            appendErr(out, op.id, ErrCode::Io,
+                      "media fault; tx aborted");
+        } else if (op.runStatus == 2) {
+            // The shard flipped read-only mid-run. Mutations are
+            // refused outright; a Get merely lost its ride (the run
+            // aborted before execution) — Busy tells the client to
+            // retry, and the retry is served from the read-only path.
+            if (is_get)
+                appendBusy(out, op.id);
             else
-                appendNotFound(out, op.id);
-            break;
-          case kv::BatchOp::Kind::Put:
-            if (result.ok)
-                appendOk(out, op.id);
-            else
-                appendErr(out, op.id, ErrCode::MapFull,
-                          "shard table full");
-            break;
-          case kv::BatchOp::Kind::Erase:
-            if (result.ok)
-                appendOk(out, op.id);
-            else
-                appendNotFound(out, op.id);
-            break;
+                appendErr(out, op.id, ErrCode::ReadOnly,
+                          "shard is read-only");
+        } else if (result.rejectedReadOnly) {
+            appendErr(out, op.id, ErrCode::ReadOnly,
+                      "shard is read-only");
+        } else {
+            switch (op.op.kind) {
+              case kv::BatchOp::Kind::Get:
+                if (result.ok)
+                    appendValue(out, op.id, result.value);
+                else
+                    appendNotFound(out, op.id);
+                break;
+              case kv::BatchOp::Kind::Put:
+                if (result.ok)
+                    appendOk(out, op.id);
+                else
+                    appendErr(out, op.id, ErrCode::MapFull,
+                              "shard table full");
+                break;
+              case kv::BatchOp::Kind::Erase:
+                if (result.ok)
+                    appendOk(out, op.id);
+                else
+                    appendNotFound(out, op.id);
+                break;
+            }
         }
         metrics.framesTx.add();
         noteResponse(op, out);
@@ -983,10 +1066,23 @@ NetServer::loopMain(Loop &loop)
         executePending(loop, pending);
         std::vector<int> to_close;
         std::vector<int> to_migrate;
+        const std::uint64_t sweepNs = obs::Tracer::now();
         for (auto &[fd, conn] : loop.conns) {
             releaseDeferred(*conn);
             if (!conn->out.empty() && !conn->wantWrite)
                 flushConn(loop, *conn);
+            // Idle-timeout sweep: only truly quiet connections — no
+            // unsent response bytes, no acks parked for a seal — are
+            // evicted, so a slow reader is a write stall, not "idle".
+            if (config_.idleTimeoutMs != 0 && !conn->closing &&
+                conn->out.empty() && conn->deferred.empty() &&
+                conn->lastActivityNs != 0 &&
+                sweepNs > conn->lastActivityNs &&
+                sweepNs - conn->lastActivityNs >
+                    config_.idleTimeoutMs * 1000000ull) {
+                conn->closing = true;
+                NetMetrics::get().evictedIdle.add();
+            }
             if (conn->closing)
                 to_close.push_back(fd);
             else if (conn->migrateTo >= 0)
@@ -1053,6 +1149,10 @@ NetServer::healthReport() const
         health.sealLag = service_.shardEpochLag(loop->index);
         health.live =
             health.heartbeatAgeUs < config_.stallThresholdMs * 1000;
+        health.readOnly = service_.shardReadOnly(loop->index);
+        health.degraded = service_.shardDegraded(loop->index);
+        health.quarantined = service_.shardQuarantined(loop->index);
+        health.mediaAborts = service_.shardMediaAborts(loop->index);
         report.push_back(health);
     }
     return report;

@@ -109,6 +109,28 @@ struct ServerConfig
      * healthReport() (the /healthz contract).
      */
     std::uint64_t stallThresholdMs = 1000;
+    /**
+     * Admission control: once a wake-up has drained this many
+     * operations, further request frames are answered with Busy
+     * instead of being queued — a bounded-queue shed that keeps the
+     * loop's drain cycle (and thus every ack latency) bounded under
+     * overload. Busy is retryable; well-behaved clients back off.
+     */
+    std::size_t maxPendingOps = 4096;
+    /**
+     * Data-plane idle timeout in milliseconds: a connection that
+     * neither sends a byte nor has bytes in flight for this long is
+     * evicted (specpmt_net_evicted_total{reason="idle"}). 0 disables
+     * the sweep (default: the benchmark harness keeps long-lived
+     * idle-ish connections).
+     */
+    std::uint64_t idleTimeoutMs = 0;
+    /**
+     * Per-frame length cap handed to each connection's decoder;
+     * frames above it are protocol errors counted as
+     * evicted{reason="oversize"}. Clamped to kMaxFrameBytes.
+     */
+    std::size_t maxFrameBytes = kMaxFrameBytes;
 };
 
 /**
@@ -223,6 +245,8 @@ class NetServer
         bool sawFrame = false;
         /** Loop to migrate to after this cycle (-1 = stay). */
         int migrateTo = -1;
+        /** Steady ns of the last byte received (idle-timeout base). */
+        std::uint64_t lastActivityNs = 0;
     };
 
     struct Loop
@@ -267,6 +291,9 @@ class NetServer
         std::uint64_t traceId = 0;
         /** The client asked for full span sampling of this request. */
         bool traceSampled = false;
+        /** How the op's run ended: 0 ok, 1 media-fault abort (Io),
+         * 2 shard read-only (run rejected before execution). */
+        std::uint8_t runStatus = 0;
     };
 
     void loopMain(Loop &loop);

@@ -113,12 +113,15 @@ std::string
 healthzBody(const std::vector<ShardHealth> &shards, bool &allLive)
 {
     allLive = true;
-    for (const auto &s : shards)
+    bool anyDegraded = false;
+    for (const auto &s : shards) {
         allLive = allLive && s.live;
+        anyDegraded = anyDegraded || s.degraded;
+    }
     // The leading "healthz" marker keys specstat's JSON sniffing, the
     // same way "traceEvents"/"counters" key the other artifact kinds.
     std::string body = "{\"healthz\": 1, \"status\": \"";
-    body += allLive ? "ok" : "stalled";
+    body += !allLive ? "stalled" : anyDegraded ? "degraded" : "ok";
     body += "\", \"shards\": [";
     bool first = true;
     for (const auto &s : shards) {
@@ -127,7 +130,12 @@ healthzBody(const std::vector<ShardHealth> &shards, bool &allLive)
         body += "{\"shard\": " + std::to_string(s.shard) +
                 ", \"heartbeat_age_us\": " + std::to_string(s.heartbeatAgeUs) +
                 ", \"seal_lag\": " + std::to_string(s.sealLag) +
-                ", \"live\": " + (s.live ? "true" : "false") + "}";
+                ", \"live\": " + (s.live ? "true" : "false") +
+                ", \"read_only\": " + (s.readOnly ? "true" : "false") +
+                ", \"degraded\": " + (s.degraded ? "true" : "false") +
+                ", \"quarantined\": " + std::to_string(s.quarantined) +
+                ", \"media_aborts\": " + std::to_string(s.mediaAborts) +
+                "}";
     }
     body += first ? "]}\n" : "\n]}\n";
     return body;

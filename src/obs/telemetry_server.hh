@@ -60,6 +60,16 @@ struct ShardHealth
     std::uint64_t sealLag = 0;
     /** False when the heartbeat is older than the stall threshold. */
     bool live = true;
+    /** The shard refuses mutations (read-only degraded mode). */
+    bool readOnly = false;
+    /** Read-only, media-fault aborts, or quarantined segments: the
+     * shard is serving but impaired. Degraded is NOT dead — /healthz
+     * stays 200 so load balancers keep routing the working reads. */
+    bool degraded = false;
+    /** Log segments quarantined as media-corrupt by recovery. */
+    std::uint64_t quarantined = 0;
+    /** Transactions aborted cleanly on media faults. */
+    std::uint64_t mediaAborts = 0;
 };
 
 /** Callback producing the current per-shard health; may be empty. */

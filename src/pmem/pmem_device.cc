@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "common/rand.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_context.hh"
@@ -28,6 +33,11 @@ struct DeviceMetrics
     std::array<obs::Counter *, 3> clwbs; ///< indexed by TrafficClass
     obs::Counter &fences;
     obs::Counter &crashes;
+    obs::Counter &mediaReadErrors;
+    obs::Counter &mediaWriteErrors;
+    obs::Counter &mediaPoisonInjected;
+    obs::Counter &mediaEioInjected;
+    obs::Counter &mediaCorruptInjected;
 
     static DeviceMetrics &
     get()
@@ -51,10 +61,28 @@ struct DeviceMetrics
                         "store fences (persist barriers)"),
             reg.counter("specpmt_pmem_crashes_total",
                         "simulated crashes / image resets"),
+            reg.counter("specpmt_pm_media_read_errors_total",
+                        "loads rejected by a poisoned media line"),
+            reg.counter("specpmt_pm_media_write_errors_total",
+                        "stores rejected by an EIO media line"),
+            reg.counter("specpmt_pm_media_faults_injected_total",
+                        "media-fault lines installed by fault plans",
+                        {{"kind", "poison"}}),
+            reg.counter("specpmt_pm_media_faults_injected_total", {},
+                        {{"kind", "eio"}}),
+            reg.counter("specpmt_pm_media_faults_injected_total", {},
+                        {{"kind", "corrupt"}}),
         };
         return m;
     }
 };
+
+/**
+ * Per-thread media-fault suppression depth (see MediaFaultSuppress).
+ * Thread-local so a worker aborting a transaction never masks faults
+ * for concurrently running transactions on other threads.
+ */
+thread_local int t_mediaSuppress = 0;
 
 /**
  * Charge one effective line flush to the calling thread's PM cost
@@ -94,6 +122,36 @@ flushDelta(obs::Counter &counter, std::uint64_t current,
 
 } // namespace
 
+const char *
+mediaErrorKindName(MediaErrorKind kind)
+{
+    switch (kind) {
+      case MediaErrorKind::PoisonedRead:
+        return "poisoned-read";
+      case MediaErrorKind::WriteEio:
+        return "write-eio";
+    }
+    return "?";
+}
+
+MediaError::MediaError(MediaErrorKind kind, PmOff off)
+    : std::runtime_error(std::string("pm media error: ") +
+                         mediaErrorKindName(kind) + " at offset " +
+                         std::to_string(off)),
+      kind_(kind), off_(off)
+{
+}
+
+MediaFaultSuppress::MediaFaultSuppress()
+{
+    ++t_mediaSuppress;
+}
+
+MediaFaultSuppress::~MediaFaultSuppress()
+{
+    --t_mediaSuppress;
+}
+
 PmemDevice::PmemDevice(std::size_t size, const TimingParams &params)
     : timing_(params)
 {
@@ -104,9 +162,166 @@ PmemDevice::PmemDevice(std::size_t size, const TimingParams &params)
     persistentImage_.assign(rounded, 0);
 }
 
+PmemDevice::PmemDevice(std::size_t size, const std::string &backingPath,
+                       const TimingParams &params)
+    : PmemDevice(size, params)
+{
+    const std::size_t rounded = persistentImage_.size();
+    backingFd_ = ::open(backingPath.c_str(), O_RDWR | O_CREAT, 0644);
+    if (backingFd_ < 0)
+        SPECPMT_FATAL("cannot open pm backing file %s",
+                      backingPath.c_str());
+    struct stat st;
+    if (::fstat(backingFd_, &st) != 0)
+        SPECPMT_FATAL("cannot stat pm backing file %s",
+                      backingPath.c_str());
+    hadExistingData_ =
+        st.st_size == static_cast<off_t>(rounded);
+    if (!hadExistingData_ &&
+        ::ftruncate(backingFd_, static_cast<off_t>(rounded)) != 0)
+        SPECPMT_FATAL("cannot size pm backing file %s",
+                      backingPath.c_str());
+    void *map = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, backingFd_, 0);
+    if (map == MAP_FAILED)
+        SPECPMT_FATAL("cannot mmap pm backing file %s",
+                      backingPath.c_str());
+    backingMap_ = static_cast<std::uint8_t *>(map);
+    if (hadExistingData_) {
+        // Re-open: the mirrored image IS the persistent state the
+        // previous process left behind (page cache survives SIGKILL).
+        std::memcpy(persistentImage_.data(), backingMap_, rounded);
+        std::memcpy(volatileImage_.data(), backingMap_, rounded);
+    } else {
+        std::memset(backingMap_, 0, rounded);
+    }
+}
+
 PmemDevice::~PmemDevice()
 {
     publishMetrics();
+    if (backingMap_ != nullptr)
+        ::munmap(backingMap_, persistentImage_.size());
+    if (backingFd_ >= 0)
+        ::close(backingFd_);
+}
+
+void
+PmemDevice::mirrorLine(std::uint64_t line)
+{
+    if (backingMap_ != nullptr) {
+        std::memcpy(backingMap_ + line * kCacheLineSize,
+                    persistentImage_.data() + line * kCacheLineSize,
+                    kCacheLineSize);
+    }
+}
+
+void
+PmemDevice::mirrorAll()
+{
+    if (backingMap_ != nullptr) {
+        std::memcpy(backingMap_, persistentImage_.data(),
+                    persistentImage_.size());
+    }
+}
+
+void
+PmemDevice::checkMediaLines(
+    const std::unordered_set<std::uint64_t> &lines, MediaErrorKind kind,
+    PmOff off, std::size_t size) const
+{
+    if (lines.empty() || t_mediaSuppress > 0)
+        return;
+    const std::uint64_t first = lineIndex(off);
+    const std::uint64_t last = lineIndex(off + size - 1);
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (lines.count(line)) {
+            auto *self = const_cast<PmemDevice *>(this);
+            if (kind == MediaErrorKind::PoisonedRead)
+                ++self->stats_.mediaReadErrors;
+            else
+                ++self->stats_.mediaWriteErrors;
+            throw MediaError(kind, line * kCacheLineSize);
+        }
+    }
+}
+
+void
+PmemDevice::applyFaultPlan(const FaultPlan &plan)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    poisonLines_.clear();
+    eioLines_.clear();
+    const std::uint64_t firstLine = lineIndex(plan.regionStart);
+    const PmOff end = plan.regionEnd == 0
+        ? static_cast<PmOff>(persistentImage_.size())
+        : plan.regionEnd;
+    SPECPMT_ASSERT(end > plan.regionStart);
+    const std::uint64_t endLine = lineIndex(end - 1) + 1;
+    const std::uint64_t span = endLine - firstLine;
+    Rng rng(plan.seed);
+
+    auto draw = [&](std::unordered_set<std::uint64_t> &into,
+                    std::size_t want) {
+        want = std::min<std::size_t>(want, span);
+        // Bounded rejection sampling; deterministic for a given seed.
+        std::size_t attempts = 0;
+        while (into.size() < want && attempts < want * 64 + 64) {
+            into.insert(firstLine + rng.below(span));
+            ++attempts;
+        }
+    };
+    draw(poisonLines_, plan.poisonLines);
+    draw(eioLines_, plan.eioLines);
+
+    // Latent corruption targets lines that actually hold data, so the
+    // flip has a CRC seal to defeat; flipping all-zero scratch space
+    // would never surface anywhere.
+    std::size_t corrupted = 0;
+    if (plan.corruptLines > 0) {
+        std::vector<std::uint64_t> nonzero;
+        for (std::uint64_t line = firstLine; line < endLine; ++line) {
+            const std::uint8_t *p =
+                persistentImage_.data() + line * kCacheLineSize;
+            bool any = false;
+            for (std::size_t i = 0; i < kCacheLineSize; ++i)
+                if (p[i] != 0) {
+                    any = true;
+                    break;
+                }
+            if (any)
+                nonzero.push_back(line);
+        }
+        std::unordered_set<std::uint64_t> picked;
+        std::size_t attempts = 0;
+        while (!nonzero.empty() && picked.size() < plan.corruptLines &&
+               attempts < plan.corruptLines * 64 + 64) {
+            ++attempts;
+            const std::uint64_t line =
+                nonzero[rng.below(nonzero.size())];
+            if (!picked.insert(line).second)
+                continue;
+            const std::size_t byte = rng.below(kCacheLineSize);
+            const unsigned bit = static_cast<unsigned>(rng.below(8));
+            persistentImage_[line * kCacheLineSize + byte] ^=
+                static_cast<std::uint8_t>(1u << bit);
+            mirrorLine(line);
+            ++corrupted;
+        }
+    }
+
+    auto &m = DeviceMetrics::get();
+    m.mediaPoisonInjected.add(poisonLines_.size());
+    m.mediaEioInjected.add(eioLines_.size());
+    m.mediaCorruptInjected.add(corrupted);
+}
+
+void
+PmemDevice::clearFaultPlan()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    poisonLines_.clear();
+    eioLines_.clear();
 }
 
 void
@@ -122,6 +337,10 @@ PmemDevice::publishMetrics()
                    published_.clwbs[cls]);
     flushDelta(m.fences, stats_.fences, published_.fences);
     flushDelta(m.crashes, stats_.crashes, published_.crashes);
+    flushDelta(m.mediaReadErrors, stats_.mediaReadErrors,
+               published_.mediaReadErrors);
+    flushDelta(m.mediaWriteErrors, stats_.mediaWriteErrors,
+               published_.mediaWriteErrors);
     timing_.publishMetrics();
 }
 
@@ -209,6 +428,7 @@ PmemDevice::store(PmOff off, const void *src, std::size_t size)
     std::lock_guard<std::mutex> guard(mutex_);
     maybeCrash();
     checkRange(off, size);
+    checkMediaLines(eioLines_, MediaErrorKind::WriteEio, off, size);
     std::memcpy(volatileImage_.data() + off, src, size);
     const std::uint64_t first = lineIndex(off);
     const std::uint64_t last = lineIndex(off + size - 1);
@@ -227,6 +447,8 @@ PmemDevice::load(PmOff off, void *dst, std::size_t size) const
         return; // zero-length reads may pass a null buffer
     std::lock_guard<std::mutex> guard(mutex_);
     checkRange(off, size);
+    checkMediaLines(poisonLines_, MediaErrorKind::PoisonedRead, off,
+                    size);
     std::memcpy(dst, volatileImage_.data() + off, size);
     auto *self = const_cast<PmemDevice *>(this);
     ++self->stats_.loads;
@@ -288,6 +510,7 @@ PmemDevice::sfence()
             std::memcpy(persistentImage_.data() +
                             line * kCacheLineSize,
                         snapshot.data(), kCacheLineSize);
+            mirrorLine(line);
         }
         pendingLines_.clear();
     }
@@ -304,6 +527,7 @@ PmemDevice::ntstore(PmOff off, const void *src, std::size_t size,
     std::lock_guard<std::mutex> guard(mutex_);
     maybeCrash();
     checkRange(off, size);
+    checkMediaLines(eioLines_, MediaErrorKind::WriteEio, off, size);
     std::memcpy(volatileImage_.data() + off, src, size);
     ++stats_.stores;
     stats_.storeBytes += size;
@@ -339,6 +563,7 @@ PmemDevice::adrPersist(PmOff off, std::size_t size, TrafficClass cls)
         std::memcpy(persistentImage_.data() + line * kCacheLineSize,
                     volatileImage_.data() + line * kCacheLineSize,
                     kCacheLineSize);
+        mirrorLine(line);
         dirtyLines_.erase(line);
         pendingLines_.erase(line);
         ++stats_.clwbs[static_cast<unsigned>(cls)];
@@ -404,6 +629,7 @@ PmemDevice::simulateCrash(const CrashPolicy &policy)
     std::lock_guard<std::mutex> guard(mutex_);
     persistentImage_ = image;
     volatileImage_ = std::move(image);
+    mirrorAll();
     dirtyLines_.clear();
     pendingLines_.clear();
     ++stats_.crashes;
@@ -416,6 +642,7 @@ PmemDevice::resetFromImage(const std::vector<std::uint8_t> &image)
     SPECPMT_ASSERT(image.size() == volatileImage_.size());
     volatileImage_ = image;
     persistentImage_ = image;
+    mirrorAll();
     dirtyLines_.clear();
     pendingLines_.clear();
     ++stats_.crashes;
@@ -433,6 +660,7 @@ PmemDevice::drainAll(TrafficClass cls)
     for (const auto &[line, snapshot] : pendingLines_) {
         std::memcpy(persistentImage_.data() + line * kCacheLineSize,
                     snapshot.data(), kCacheLineSize);
+        mirrorLine(line);
     }
     pendingLines_.clear();
     ++stats_.fences;

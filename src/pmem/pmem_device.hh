@@ -35,6 +35,8 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -109,6 +111,83 @@ enum class DeviceFault : std::uint8_t
     DropFences,
 };
 
+/** What kind of media failure a device operation hit. */
+enum class MediaErrorKind : std::uint8_t
+{
+    /** A load overlapped a poisoned line (uncorrectable read error). */
+    PoisonedRead,
+    /** A store overlapped a write-failed line; nothing was written. */
+    WriteEio,
+};
+
+const char *mediaErrorKindName(MediaErrorKind kind);
+
+/**
+ * Thrown by the device data path when an operation overlaps a line
+ * selected by the active FaultPlan. Unlike SimulatedCrash this is a
+ * *survivable* error: the caller is expected to abort the enclosing
+ * transaction (or quarantine the affected log segment) and keep
+ * serving. The faulting operation is NOT applied.
+ */
+class MediaError : public std::runtime_error
+{
+  public:
+    MediaError(MediaErrorKind kind, PmOff off);
+
+    MediaErrorKind kind() const { return kind_; }
+    /** Line-aligned offset of the faulting media line. */
+    PmOff offset() const { return off_; }
+
+  private:
+    MediaErrorKind kind_;
+    PmOff off_;
+};
+
+/**
+ * A seeded, deterministic media-fault plan. applyFaultPlan() derives
+ * the affected cache lines from @c seed with the repo's deterministic
+ * Rng, so a scenario name + seed reproduces the exact same fault set
+ * on every run (the property the specchaos matrix keys off).
+ *
+ * Three independent fault populations:
+ *  - @c poisonLines: loads overlapping these lines throw
+ *    MediaError(PoisonedRead) instead of returning data;
+ *  - @c eioLines: stores overlapping these lines throw
+ *    MediaError(WriteEio) and write nothing;
+ *  - @c corruptLines: a single bit is flipped in the *persistent*
+ *    image of each selected (non-zero) line — latent corruption that
+ *    surfaces only at recovery, where the log CRC seals must catch it.
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+    /** Number of lines to poison for reads. */
+    std::size_t poisonLines = 0;
+    /** Number of lines that fail writes with EIO. */
+    std::size_t eioLines = 0;
+    /** Number of persistent lines to latently bit-flip. */
+    std::size_t corruptLines = 0;
+    /** Fault region [regionStart, regionEnd); end 0 = device size. */
+    PmOff regionStart = 0;
+    PmOff regionEnd = 0;
+};
+
+/**
+ * RAII scope under which media faults are NOT raised for the calling
+ * thread: loads of poisoned lines return their bytes, stores to EIO
+ * lines apply. Cleanup paths (transaction abort restoring pre-images,
+ * tail poisoning, flight-recorder appends) run under this scope so a
+ * media error can never wedge the abort that recovers from it.
+ */
+class MediaFaultSuppress
+{
+  public:
+    MediaFaultSuppress();
+    ~MediaFaultSuppress();
+    MediaFaultSuppress(const MediaFaultSuppress &) = delete;
+    MediaFaultSuppress &operator=(const MediaFaultSuppress &) = delete;
+};
+
 /** Aggregate event counters exposed by the device. */
 struct DeviceStats
 {
@@ -118,6 +197,10 @@ struct DeviceStats
     std::uint64_t clwbs[3] = {0, 0, 0}; ///< indexed by TrafficClass
     std::uint64_t fences = 0;
     std::uint64_t crashes = 0;
+    /** Loads rejected by a poisoned line (MediaError thrown). */
+    std::uint64_t mediaReadErrors = 0;
+    /** Stores rejected by an EIO line (MediaError thrown). */
+    std::uint64_t mediaWriteErrors = 0;
 
     std::uint64_t
     totalClwbs() const
@@ -139,6 +222,17 @@ class PmemDevice
      * @param params  Latency model parameters.
      */
     explicit PmemDevice(std::size_t size, const TimingParams &params = {});
+
+    /**
+     * File-backed variant: the persistent image is mirrored into an
+     * mmap(MAP_SHARED) mapping of @p backingPath, so it survives even
+     * a SIGKILL of the process (the page cache outlives the mapping).
+     * If the file already holds a full image, both images are loaded
+     * from it and hadExistingData() returns true — the re-open path a
+     * restarted server uses to find its pre-kill state.
+     */
+    PmemDevice(std::size_t size, const std::string &backingPath,
+               const TimingParams &params = {});
 
     /** Publishes any unflushed metric deltas; see publishMetrics(). */
     ~PmemDevice();
@@ -288,6 +382,20 @@ class PmemDevice
      */
     void injectFault(DeviceFault fault);
 
+    /**
+     * Derive and install the media-fault line sets for @p plan (see
+     * FaultPlan). Replaces any previous plan; latent corruption is
+     * applied to the persistent image immediately. Deterministic for
+     * a given (plan, image) pair.
+     */
+    void applyFaultPlan(const FaultPlan &plan);
+
+    /** Remove every installed media fault (latent flips stay). */
+    void clearFaultPlan();
+
+    /** True when the device was opened over a pre-existing image. */
+    bool hadExistingData() const { return hadExistingData_; }
+
     /** @name Introspection */
     /// @{
 
@@ -349,6 +457,14 @@ class PmemDevice
     void checkRange(PmOff off, std::size_t size) const;
     void clwbLocked(PmOff off, TrafficClass cls);
     void maybeCrash();
+    /** Throw MediaError if [off,off+size) overlaps @p lines. */
+    void checkMediaLines(
+        const std::unordered_set<std::uint64_t> &lines,
+        MediaErrorKind kind, PmOff off, std::size_t size) const;
+    /** Copy one persistent line into the backing mapping. */
+    void mirrorLine(std::uint64_t line);
+    /** Copy the whole persistent image into the backing mapping. */
+    void mirrorAll();
 
     /** Whether the calling thread's ops advance the virtual clock. */
     bool
@@ -376,6 +492,14 @@ class PmemDevice
     std::uint64_t persistEvents_ = 0;
     /** Injected persistence fault (DeviceFault::None normally). */
     DeviceFault fault_ = DeviceFault::None;
+    /** Lines whose loads fail (FaultPlan::poisonLines). */
+    std::unordered_set<std::uint64_t> poisonLines_;
+    /** Lines whose stores fail (FaultPlan::eioLines). */
+    std::unordered_set<std::uint64_t> eioLines_;
+    /** mmap(MAP_SHARED) mirror of persistentImage_; null = none. */
+    std::uint8_t *backingMap_ = nullptr;
+    int backingFd_ = -1;
+    bool hadExistingData_ = false;
     /** Virtual-clock thread filter (see timeOnlyCallingThread). */
     bool timedThreadOnly_ = false;
     std::thread::id timedThread_;

@@ -5,6 +5,16 @@
 namespace specpmt::pmem
 {
 
+PoolExhausted::PoolExhausted(std::size_t need, PmOff at,
+                             std::size_t capacity)
+    : std::runtime_error("pmem pool exhausted: need " +
+                         std::to_string(need) + " bytes at " +
+                         std::to_string(at) + " (capacity " +
+                         std::to_string(capacity) + ")"),
+      need_(need), capacity_(capacity)
+{
+}
+
 PmemPool::PmemPool(PmemDevice &device)
     : device_(device), freeLists_(kNumClasses),
       bump_(kPageSize) // page 0 is the root directory
@@ -59,12 +69,8 @@ PmemPool::allocAligned(std::size_t size, std::size_t alignment)
             cls < kNumClasses ? classBytes(cls)
                               : ((size + kMinAlloc - 1) & ~(kMinAlloc - 1));
         PmOff start = (bump_ + alignment - 1) & ~(alignment - 1);
-        if (start + bytes > device_.size()) {
-            SPECPMT_FATAL("pmem pool exhausted: need %zu bytes at %llu "
-                          "(capacity %zu)",
-                          bytes, static_cast<unsigned long long>(start),
-                          device_.size());
-        }
+        if (start + bytes > device_.size())
+            throw PoolExhausted(bytes, start, device_.size());
         bump_ = start + bytes;
         off = start;
         live_[off] = bytes;

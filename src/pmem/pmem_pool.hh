@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,25 @@
 
 namespace specpmt::pmem
 {
+
+/**
+ * Thrown by alloc()/allocAligned() when the pool cannot satisfy a
+ * request. Survivable: the caller aborts its transaction and the
+ * service degrades to read-only instead of dying — log-space
+ * exhaustion is an operational condition, not a programming error.
+ */
+class PoolExhausted : public std::runtime_error
+{
+  public:
+    PoolExhausted(std::size_t need, PmOff at, std::size_t capacity);
+
+    std::size_t need() const { return need_; }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t need_;
+    std::size_t capacity_;
+};
 
 /**
  * Allocator + root directory over one PmemDevice.

@@ -91,6 +91,24 @@ class TxRuntime
     /** Commit the open transaction on thread @p tid. */
     virtual void txCommit(ThreadId tid) = 0;
 
+    /**
+     * Abort the open transaction on thread @p tid, rolling back its
+     * speculative writes where the scheme supports rollback. This is
+     * the error boundary the serving tier unwinds through when a
+     * media fault (pmem::MediaError) or log-space exhaustion
+     * (pmem::PoolExhausted) surfaces mid-transaction. Default: no-op
+     * for schemes without abort support.
+     */
+    virtual void txAbort(ThreadId tid) { (void)tid; }
+
+    /**
+     * Log segments quarantined by this runtime's recovery walks as
+     * media-corrupted (CRC-failing but provably not a torn tail).
+     * Surfaces in /healthz and pminspect; 0 for schemes without a
+     * quarantining walker.
+     */
+    virtual std::uint64_t quarantinedSegments() const { return 0; }
+
     /** @name Epoch group commit (optional capability) */
     /// @{
 

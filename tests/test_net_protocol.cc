@@ -65,6 +65,7 @@ sampleStream()
     appendOk(out, 5);
     appendNotFound(out, 2);
     appendErr(out, 6, ErrCode::MapFull, "shard 3 full");
+    appendBusy(out, 7);
     return out;
 }
 
@@ -76,7 +77,7 @@ TEST(NetProtocol, RoundTripEveryOpAtEverySplit)
     bool errored = false;
     const auto whole = decodeAll(bytes, bytes.size(), errored);
     ASSERT_FALSE(errored);
-    ASSERT_EQ(whole.size(), 10u);
+    ASSERT_EQ(whole.size(), 11u);
 
     for (std::size_t chunk = 1; chunk <= 13; ++chunk) {
         const auto split = decodeAll(bytes, chunk, errored);
@@ -107,6 +108,9 @@ TEST(NetProtocol, RoundTripEveryOpAtEverySplit)
     EXPECT_TRUE(parseErr(whole[9], code, message));
     EXPECT_EQ(code, ErrCode::MapFull);
     EXPECT_EQ(message, "shard 3 full");
+    EXPECT_EQ(whole[10].op, Op::Busy);
+    EXPECT_EQ(whole[10].id, 7u);
+    EXPECT_TRUE(whole[10].payload.empty());
 }
 
 TEST(NetProtocol, TruncationIsNeedMoreNeverError)
@@ -358,6 +362,190 @@ TEST(NetProtocol, TracedFrameShorterThanExtensionFailsClosed)
                   FrameDecoder::Status::Error);
         EXPECT_TRUE(decoder.failed());
         EXPECT_NE(error.find("trace extension"), std::string::npos);
+    }
+}
+
+TEST(NetProtocol, BusyInterleavesWithTracedPipelines)
+{
+    // The overload-shed exchange as a resilient client sees it: a
+    // traced strict PUT answered Busy, then the backed-off retry of
+    // the same request answered Ok. The Busy response is a bare
+    // header-only frame (empty payload, no flags, no extension) and
+    // must round-trip at every read split without disturbing the
+    // traced request frames around it.
+    const TraceExt ext{0xAB54A98CEB1F0AD2ull, true};
+    std::vector<std::uint8_t> bytes;
+    appendPut(bytes, 31, 7, kv::KvValue::tagged(7, 1), kFlagStrict,
+              &ext);
+    appendBusy(bytes, 31);
+    appendPut(bytes, 32, 7, kv::KvValue::tagged(7, 1), kFlagStrict,
+              &ext);
+    appendOk(bytes, 32);
+
+    for (std::size_t chunk = 1; chunk <= bytes.size(); ++chunk) {
+        bool errored = false;
+        const auto frames = decodeAll(bytes, chunk, errored);
+        ASSERT_FALSE(errored) << "chunk " << chunk;
+        ASSERT_EQ(frames.size(), 4u) << "chunk " << chunk;
+
+        EXPECT_EQ(frames[1].op, Op::Busy);
+        EXPECT_EQ(frames[1].id, 31u);
+        EXPECT_TRUE(frames[1].payload.empty());
+        EXPECT_EQ(frames[1].flags, 0);
+        EXPECT_EQ(frames[1].ext.traceId, 0u);
+
+        // The retry carries the extension and the strict flag intact;
+        // the shed in between must not have eaten either.
+        EXPECT_EQ(frames[2].ext.traceId, ext.traceId);
+        EXPECT_TRUE(frames[2].ext.sampled);
+        EXPECT_NE(frames[2].flags & kFlagStrict, 0);
+        kv::KvKey key = 0;
+        kv::KvValue value;
+        EXPECT_TRUE(parsePut(frames[2], key, value));
+        EXPECT_EQ(key, 7u);
+
+        EXPECT_EQ(frames[3].op, Op::Ok);
+        EXPECT_EQ(frames[3].id, 32u);
+    }
+
+    // A Busy frame claiming a trace extension it cannot hold (empty
+    // payload + kFlagTraced) is a protocol error — the server never
+    // sends one, so a decoder seeing it must fail closed.
+    std::vector<std::uint8_t> lying;
+    appendFrame(lying, Op::Busy, 31, nullptr, 0, kFlagTraced);
+    FrameDecoder decoder;
+    decoder.feed(lying.data(), lying.size());
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(decoder.next(frame, error),
+              FrameDecoder::Status::Error);
+    EXPECT_FALSE(decoder.oversized());
+}
+
+TEST(NetProtocol, TightenedFrameCapFailsClosedAsOversize)
+{
+    // A server tightens the per-frame cap below kMaxFrameBytes; a
+    // frame legal under the protocol-wide limit but above the cap is
+    // a protocol error flagged oversized() — the bit servers use to
+    // count evicted{reason="oversize"} apart from garbage bytes.
+    std::vector<std::uint8_t> small;
+    appendGet(small, 1, 42);
+    std::vector<std::pair<kv::KvKey, kv::KvValue>> items;
+    for (kv::KvKey k = 0; k < 64; ++k)
+        items.emplace_back(k, kv::KvValue::tagged(k, 1));
+    std::vector<std::uint8_t> big;
+    appendBatch(big, 2, items);
+    ASSERT_LT(big.size(), kMaxFrameBytes);
+
+    FrameDecoder decoder;
+    decoder.setMaxFrameBytes(1024);
+    decoder.feed(small.data(), small.size());
+    Frame frame;
+    std::string error;
+    ASSERT_EQ(decoder.next(frame, error),
+              FrameDecoder::Status::Frame)
+        << "under-cap frame must still decode";
+    decoder.feed(big.data(), big.size());
+    EXPECT_EQ(decoder.next(frame, error),
+              FrameDecoder::Status::Error);
+    EXPECT_TRUE(decoder.failed());
+    EXPECT_TRUE(decoder.oversized());
+    EXPECT_NE(error.find("cap"), std::string::npos);
+
+    // A plausible-length frame with a wrong magic byte is a protocol
+    // error but NOT an oversize: the two eviction reasons must stay
+    // distinguishable.
+    FrameDecoder garbage_decoder;
+    garbage_decoder.setMaxFrameBytes(1024);
+    std::vector<std::uint8_t> bad_magic;
+    appendGet(bad_magic, 3, 42);
+    bad_magic[4] ^= 0xFF; // the magic byte follows the length field
+    garbage_decoder.feed(bad_magic.data(), bad_magic.size());
+    EXPECT_EQ(garbage_decoder.next(frame, error),
+              FrameDecoder::Status::Error);
+    EXPECT_FALSE(garbage_decoder.oversized());
+
+    // The cap clamps: absurd values can neither widen the decoder
+    // past the protocol limit nor shrink it below a header-only
+    // frame, so Busy/Ok responses always fit.
+    FrameDecoder clamped;
+    clamped.setMaxFrameBytes(0);
+    std::vector<std::uint8_t> busy;
+    appendBusy(busy, 9);
+    clamped.feed(busy.data(), busy.size());
+    EXPECT_EQ(clamped.next(frame, error),
+              FrameDecoder::Status::Frame);
+    EXPECT_EQ(frame.op, Op::Busy);
+
+    FrameDecoder widened;
+    widened.setMaxFrameBytes(static_cast<std::size_t>(-1));
+    std::uint8_t huge_len[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    widened.feed(huge_len, sizeof(huge_len));
+    EXPECT_EQ(widened.next(frame, error),
+              FrameDecoder::Status::Error);
+    EXPECT_TRUE(widened.oversized());
+}
+
+TEST(NetProtocol, FuzzCappedDecoderNeverEmitsOverCap)
+{
+    // Seeded fuzz against a cap-tightened decoder: random streams
+    // (garbage, and valid streams with oversized batches spliced in)
+    // must never crash, and no emitted frame's payload may imply a
+    // wire size above the cap.
+    Rng rng(0xF044);
+    for (int round = 0; round < 1000; ++round) {
+        const std::size_t cap = 32 + rng.below(2048);
+        FrameDecoder decoder;
+        decoder.setMaxFrameBytes(cap);
+
+        std::vector<std::uint8_t> bytes;
+        for (int part = 0; part < 4; ++part) {
+            switch (rng.below(3)) {
+            case 0: { // valid small frame
+                appendGet(bytes, rng.next(),
+                          static_cast<kv::KvKey>(rng.next()));
+                break;
+            }
+            case 1: { // valid batch, possibly over the cap
+                std::vector<std::pair<kv::KvKey, kv::KvValue>> items;
+                const std::size_t n = 1 + rng.below(40);
+                for (std::size_t i = 0; i < n; ++i)
+                    items.emplace_back(
+                        static_cast<kv::KvKey>(i),
+                        kv::KvValue::tagged(static_cast<kv::KvKey>(i),
+                                            1));
+                appendBatch(bytes, rng.next(), items);
+                break;
+            }
+            default: { // garbage
+                const std::size_t n = 1 + rng.below(64);
+                for (std::size_t i = 0; i < n; ++i)
+                    bytes.push_back(
+                        static_cast<std::uint8_t>(rng.next()));
+                break;
+            }
+            }
+        }
+
+        const std::size_t chunk = 1 + rng.below(96);
+        Frame frame;
+        std::string error;
+        for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+            const std::size_t n =
+                std::min(chunk, bytes.size() - off);
+            decoder.feed(bytes.data() + off, n);
+            for (;;) {
+                const auto status = decoder.next(frame, error);
+                if (status != FrameDecoder::Status::Frame)
+                    break;
+                EXPECT_LE(frameSize(frame.payload.size() +
+                                    (frame.ext.traceId != 0
+                                         ? kTraceExtBytes
+                                         : 0)),
+                          4 + cap)
+                    << "emitted frame larger than the cap";
+            }
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "pmem/pmem_pool.hh"
 
@@ -113,16 +114,27 @@ TEST_F(PmemPoolTest, AdoptIsIdempotent)
     EXPECT_EQ(pool_.allocationSize(a), 64u);
 }
 
-TEST_F(PmemPoolTest, ExhaustionIsFatal)
+TEST_F(PmemPoolTest, ExhaustionThrowsTypedAndPoolStaysUsable)
 {
+    // Exhaustion is a typed, recoverable condition (the KV layer
+    // turns it into read-only degraded mode), not a process abort —
+    // and an alloc that threw must leave the pool consistent.
     PmemDevice small_dev(3 * kPageSize);
     PmemPool small_pool(small_dev);
-    EXPECT_EXIT(
-        {
-            for (int i = 0; i < 100; ++i)
-                small_pool.alloc(4096);
-        },
-        ::testing::ExitedWithCode(1), "exhausted");
+    std::vector<PmOff> live;
+    for (int i = 0; i < 100; ++i) {
+        try {
+            live.push_back(small_pool.alloc(4096));
+        } catch (const PoolExhausted &) {
+            break;
+        }
+    }
+    ASSERT_FALSE(live.empty());
+    ASSERT_LT(live.size(), 100u) << "the 12 KiB pool never exhausted";
+    // Freeing a block makes the pool allocatable again: the throw
+    // must not have corrupted allocator state.
+    small_pool.free(live.back());
+    EXPECT_EQ(small_pool.alloc(4096), live.back());
 }
 
 } // namespace

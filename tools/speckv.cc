@@ -32,10 +32,29 @@
  *                [--port=0] [--port-file=PATH] [--seconds=0]
  *                [--max-ops-per-commit=256] [--group-commit]
  *                [--epoch-max-ops=64] [--epoch-max-delay-us=500]
+ *                [--pm-dir=DIR] [--pool-bytes=N]
+ *                [--max-pending-ops=4096]
+ *                [--idle-timeout-ms=0] [--max-frame-bytes=1048576]
+ *                [--fault-seed=1] [--fault-poison=0] [--fault-eio=0]
+ *                [--fault-corrupt=0] [--fault-region-start=65536]
+ *                [--fault-delay-ms=0] [--fault-shard=-1]
  *                [--metrics-out=m.prom]
  *
  * --port=0 binds an ephemeral port; --port-file writes the bound port
  * so scripts (CI, specnet_bench wrappers) can find it.
+ *
+ * --pm-dir backs every shard's emulated device with a file
+ * `<dir>/shard-<n>.pm`; a restart over the same directory re-attaches
+ * the images and runs recovery, so a SIGKILLed server can be brought
+ * back with its acked writes intact (the specchaos harness does
+ * exactly this).
+ *
+ * --fault-* install a seeded deterministic media-fault plan
+ * (pmem::FaultPlan) on the shard devices: poisoned read lines, write
+ * EIO lines, latent bit corruption. --fault-delay-ms defers the
+ * injection into mid-traffic; --fault-shard targets one shard (-1 =
+ * all). --fault-region-start keeps faults off the pool metadata so
+ * scenarios exercise log/data paths, not bootstrap.
  *
  * --group-commit serves with epoch group commit (DESIGN §12):
  * mutations without the wire protocol's kFlagStrict commit relaxed
@@ -60,6 +79,7 @@
 #include "kv/kv_service.hh"
 #include "net/server.hh"
 #include "obs/artifacts.hh"
+#include "pmem/pmem_device.hh"
 #include "obs/telemetry_server.hh"
 #include "obs/trace.hh"
 
@@ -189,12 +209,25 @@ serveMain(int argc, char **argv)
     int admin_port = -1; // -1 = no admin endpoint; 0 = ephemeral
     std::string admin_port_file;
     std::uint64_t slow_us = 0;
+    std::string pm_dir;
+    std::size_t pool_bytes = 0; // 0 = KvServiceConfig default
+    std::size_t max_pending_ops = 4096;
+    std::uint64_t idle_timeout_ms = 0;
+    std::size_t max_frame_bytes = net::kMaxFrameBytes;
+    pmem::FaultPlan fault_plan;
+    fault_plan.regionStart = 64 * 1024;
+    std::uint64_t fault_delay_ms = 0;
+    int fault_shard = -1;
     obs::OutputFlags obs_flags;
 
     // Install the stop handlers before anything heavy is built, so a
     // signal during startup still reaches the artifact-flush path.
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    // Every socket send in the tree passes MSG_NOSIGNAL, but a client
+    // that resets its connection mid-response must never be able to
+    // kill the server through any future write path either.
+    std::signal(SIGPIPE, SIG_IGN);
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -229,6 +262,30 @@ serveMain(int argc, char **argv)
             admin_port_file = v;
         else if (const char *v = value("--slow-us="))
             slow_us = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--pm-dir="))
+            pm_dir = v;
+        else if (const char *v = value("--pool-bytes="))
+            pool_bytes = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--max-pending-ops="))
+            max_pending_ops = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--idle-timeout-ms="))
+            idle_timeout_ms = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--max-frame-bytes="))
+            max_frame_bytes = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--fault-seed="))
+            fault_plan.seed = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--fault-poison="))
+            fault_plan.poisonLines = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--fault-eio="))
+            fault_plan.eioLines = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--fault-corrupt="))
+            fault_plan.corruptLines = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--fault-region-start="))
+            fault_plan.regionStart = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--fault-delay-ms="))
+            fault_delay_ms = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--fault-shard="))
+            fault_shard = std::atoi(v);
         else if (!obs_flags.accept(arg))
             SPECPMT_FATAL("unknown argument: %s", arg.c_str());
     }
@@ -244,7 +301,50 @@ serveMain(int argc, char **argv)
         nextPow2(std::max<std::uint64_t>(1024, 4 * keys / shards));
     if (group_commit)
         service_config.runtimeOptions.groupCommit = true;
+    service_config.pmDir = pm_dir;
+    if (pool_bytes != 0)
+        service_config.shardPoolBytes = pool_bytes;
     kv::KvService service(service_config);
+
+    // Media-fault injection: install the seeded plan after
+    // construction (so a --pm-dir re-attach recovers fault-free),
+    // either immediately or from a delay thread that fires
+    // mid-traffic.
+    std::thread fault_thread;
+    const bool fault_armed = fault_plan.poisonLines != 0 ||
+                             fault_plan.eioLines != 0 ||
+                             fault_plan.corruptLines != 0;
+    auto apply_faults = [&service, fault_plan, fault_shard, shards] {
+        for (unsigned s = 0; s < shards; ++s) {
+            if (fault_shard >= 0 &&
+                s != static_cast<unsigned>(fault_shard))
+                continue;
+            service.shardDevice(s).applyFaultPlan(fault_plan);
+        }
+        SPECPMT_INFORM(
+            "speckv serve: fault plan armed (seed=%llu poison=%zu "
+            "eio=%zu corrupt=%zu shard=%d)",
+            static_cast<unsigned long long>(fault_plan.seed),
+            fault_plan.poisonLines, fault_plan.eioLines,
+            fault_plan.corruptLines, fault_shard);
+    };
+    if (fault_armed) {
+        if (fault_delay_ms == 0)
+            apply_faults();
+        else
+            fault_thread = std::thread([apply_faults,
+                                        fault_delay_ms] {
+                const auto deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(fault_delay_ms);
+                while (!g_stop.load() &&
+                       std::chrono::steady_clock::now() < deadline)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                if (!g_stop.load())
+                    apply_faults();
+            });
+    }
 
     net::ServerConfig server_config;
     server_config.port = static_cast<std::uint16_t>(port);
@@ -253,6 +353,9 @@ serveMain(int argc, char **argv)
     server_config.epochMaxOps = epoch_max_ops;
     server_config.epochMaxDelayUs = epoch_max_delay_us;
     server_config.slowUs = slow_us;
+    server_config.maxPendingOps = max_pending_ops;
+    server_config.idleTimeoutMs = idle_timeout_ms;
+    server_config.maxFrameBytes = max_frame_bytes;
     net::NetServer server(service, server_config);
     server.start();
 
@@ -313,6 +416,9 @@ serveMain(int argc, char **argv)
     // serve-time observations are already on disk. A clean exit
     // overwrites them with the final state below.
     obs_flags.writeArtifacts();
+    g_stop.store(true);
+    if (fault_thread.joinable())
+        fault_thread.join();
     if (telemetry)
         telemetry->stop();
     server.stop();

@@ -18,6 +18,8 @@
  *                 [--multiput=0.0] [--strict=0.0] [--seed=1]
  *                 [--load] [--json=out.json] [--metrics-out=m.prom]
  *                 [--trace-sample=0.0] [--trace-out=trace.json]
+ *                 [--timeout-ms=0] [--retries=0] [--reconnect]
+ *                 [--backoff-base-ms=10] [--backoff-max-ms=500]
  *
  * --load first PUTs the whole keyspace (shard-grouped batches), so
  * GETs in the timed phase hit. --strict=F sends fraction F of
@@ -29,6 +31,10 @@
  * exemplars for them, and with --trace-out= the client writes its
  * own client_send/client_rtt spans (same trace ids) for `specstat
  * trace` to merge with a server-side /trace capture.
+ * --timeout-ms / --retries / --reconnect arm the resilient-client
+ * machinery (per-request deadlines, idempotent same-id resends of
+ * timed-out or Busy-shed requests, re-dial with capped backoff) for
+ * chaos runs against a faulting or restarting server.
  * Exit status is nonzero when the run aborted, a connection died,
  * frames were malformed, or requests went unanswered.
  */
@@ -142,6 +148,17 @@ main(int argc, char **argv)
             config.seed = std::strtoull(v, nullptr, 10);
         else if (arg == "--load")
             config.loadFirst = true;
+        else if (const char *v = value("--timeout-ms="))
+            config.requestTimeoutMs = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--retries="))
+            config.maxRetries =
+                static_cast<std::uint32_t>(std::atoi(v));
+        else if (arg == "--reconnect")
+            config.reconnect = true;
+        else if (const char *v = value("--backoff-base-ms="))
+            config.backoffBaseMs = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--backoff-max-ms="))
+            config.backoffMaxMs = std::strtoull(v, nullptr, 10);
         else if (const char *v = value("--json="))
             json_path = v;
         else if (!obs_flags.accept(arg))
@@ -182,6 +199,15 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(result.protocolErrors),
         static_cast<unsigned long long>(result.strictSent),
         static_cast<unsigned long long>(result.tracedSent));
+    if (result.timeouts || result.retries || result.reconnects ||
+        result.busyResponses)
+        std::printf("timeouts %llu  retries %llu  reconnects %llu  "
+                    "busy %llu\n",
+                    static_cast<unsigned long long>(result.timeouts),
+                    static_cast<unsigned long long>(result.retries),
+                    static_cast<unsigned long long>(result.reconnects),
+                    static_cast<unsigned long long>(
+                        result.busyResponses));
     std::printf("wall %.3fs  achieved %.1f kops/s (target %.1f)\n",
                 result.wallSeconds, result.achievedQps / 1e3,
                 config.targetQps / 1e3);
@@ -211,7 +237,11 @@ main(int argc, char **argv)
             "  \"strict_fraction\": %.4f,\n"
             "  \"strict_sent\": %llu,\n"
             "  \"trace_sample\": %.4f,\n"
-            "  \"traced_sent\": %llu,\n",
+            "  \"traced_sent\": %llu,\n"
+            "  \"timeouts\": %llu,\n"
+            "  \"retries\": %llu,\n"
+            "  \"reconnects\": %llu,\n"
+            "  \"busy_responses\": %llu,\n",
             config.targetQps, result.achievedQps,
             result.wallSeconds, net::arrivalName(config.arrival),
             static_cast<unsigned long long>(result.scheduled),
@@ -224,7 +254,11 @@ main(int argc, char **argv)
             config.strictFraction,
             static_cast<unsigned long long>(result.strictSent),
             config.traceSample,
-            static_cast<unsigned long long>(result.tracedSent));
+            static_cast<unsigned long long>(result.tracedSent),
+            static_cast<unsigned long long>(result.timeouts),
+            static_cast<unsigned long long>(result.retries),
+            static_cast<unsigned long long>(result.reconnects),
+            static_cast<unsigned long long>(result.busyResponses));
         jsonHistogram(f, "read_latency", result.readLatency, false);
         jsonHistogram(f, "update_latency", result.updateLatency,
                       false);

@@ -1862,7 +1862,21 @@ parseRequirement(std::string_view spec, Requirement &out,
                  std::string &error)
 {
     out.raw = spec;
-    const std::size_t pos = spec.find_first_of("<>!=");
+    // A labeled metric (`name{kind="poison"}>=1`) carries '=' inside
+    // the label block; the comparison operator can only start after
+    // the closing brace.
+    std::size_t search_from = 0;
+    const std::size_t brace = spec.find('{');
+    if (brace != std::string_view::npos &&
+        brace < spec.find_first_of("<>!=")) {
+        const std::size_t close = spec.find('}', brace);
+        if (close == std::string_view::npos) {
+            error = "unterminated label block";
+            return false;
+        }
+        search_from = close + 1;
+    }
+    const std::size_t pos = spec.find_first_of("<>!=", search_from);
     if (pos == 0 || pos == std::string_view::npos) {
         error = "want <metric><op><value> with op one of "
                 "== != >= <= > <";
